@@ -1,0 +1,41 @@
+"""Ablation — uniform cost scaling.
+
+The reproduction's claims are about *shapes*; uniformly scaling every
+cost constant (a faster or slower machine) must leave all qualitative
+results intact: ratios identical, orderings identical, linearity
+identical.  This guards the experiments against accidental dependence
+on absolute calibration values.
+"""
+
+import pytest
+
+from repro.bench import experiments as exp
+from repro.simtime.costs import DEFAULT_COSTS
+from repro.core.scenario import build_scenario
+from repro.core.architectures import Architecture
+from repro.bench.harness import measure_hot
+
+
+def fig5_ratios(costs, data):
+    wfms = build_scenario(Architecture.WFMS, costs=costs, data=data)
+    udtf = build_scenario(Architecture.ENHANCED_SQL_UDTF, costs=costs, data=data)
+    ratios = {}
+    for name in exp.FIG5_FUNCTIONS:
+        ratios[name] = (
+            measure_hot(wfms, name).mean / measure_hot(udtf, name).mean
+        )
+    return ratios
+
+
+def test_uniform_scaling_preserves_every_ratio(benchmark, data):
+    def run():
+        return fig5_ratios(DEFAULT_COSTS, data), fig5_ratios(
+            DEFAULT_COSTS.scaled(7.5), data
+        )
+
+    baseline, scaled = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for name in baseline:
+        print(f"{name:24s} baseline {baseline[name]:.3f}x   "
+              f"7.5x-machine {scaled[name]:.3f}x")
+        assert scaled[name] == pytest.approx(baseline[name], rel=1e-6)

@@ -1,0 +1,19 @@
+"""E3 — Sect. 4's three processing situations.
+
+Paper shape: 'the initial function calls are the slowest ... the
+repeated function call is the fastest', for both architectures.
+"""
+
+from repro.bench import experiments as exp
+
+
+def test_boot_warm_hot(benchmark, data):
+    result = benchmark.pedantic(
+        exp.exp_boot_warm_hot, kwargs={"data": data}, rounds=2, iterations=1
+    )
+    print()
+    print(exp.render_boot_warm_hot(result))
+
+    for timings in result.timings.values():
+        for timing in timings:
+            assert timing.cold > timing.warm_other > timing.hot

@@ -1,0 +1,22 @@
+"""E6 — Sect. 4's hypothetical prototypes without the controller.
+
+Paper shape: WfMS total decreases by ~8 %, UDTF by ~25 %, and the
+WfMS/UDTF ratio widens from ~3 to ~3.7.
+"""
+
+import pytest
+
+from repro.bench import experiments as exp
+
+
+def test_controller_ablation(benchmark, data):
+    result = benchmark.pedantic(
+        exp.exp_controller_ablation, kwargs={"data": data}, rounds=2, iterations=1
+    )
+    print()
+    print(exp.render_controller_ablation(result))
+
+    assert result.wfms_decrease == pytest.approx(0.08, abs=0.02)
+    assert result.udtf_decrease == pytest.approx(0.25, abs=0.02)
+    assert result.ratio_with == pytest.approx(3.0, abs=0.15)
+    assert result.ratio_without == pytest.approx(3.7, abs=0.15)

@@ -1,0 +1,18 @@
+"""E7 — Sect. 4's AllCompNames loop scaling (WfMS do-until loop).
+
+Paper shape: 'the overall processing time rises linearly to the number
+of function calls'.
+"""
+
+from repro.bench import experiments as exp
+
+
+def test_cyclic_scaling(benchmark):
+    result = benchmark.pedantic(exp.exp_cyclic_scaling, rounds=2, iterations=1)
+    print()
+    print(exp.render_cyclic_scaling(result))
+
+    assert result.r_squared > 0.999
+    assert result.slope > 0
+    times = [t for _, t in result.points]
+    assert times == sorted(times)

@@ -1,0 +1,24 @@
+"""E4 — Fig. 5: WfMS vs enhanced SQL UDTF, repeated calls.
+
+Paper shape: the UDTF solution wins everywhere; the WfMS approach is
+about three times slower at the anchor function and its elapsed time
+rises more steeply with the number of local functions.
+"""
+
+import pytest
+
+from repro.bench import experiments as exp
+
+
+def test_fig5_comparison(benchmark, data):
+    result = benchmark.pedantic(
+        exp.exp_fig5, kwargs={"data": data}, rounds=2, iterations=1
+    )
+    print()
+    print(exp.render_fig5(result))
+
+    assert all(point.udtf < point.wfms for point in result.points)
+    anchor = next(p for p in result.points if p.function == "GetNoSuppComp")
+    assert anchor.ratio == pytest.approx(3.0, abs=0.15)
+    one = next(p for p in result.points if p.function == "GibKompNr")
+    assert (anchor.wfms - one.wfms) > (anchor.udtf - one.udtf)

@@ -1,0 +1,32 @@
+"""E5 — Fig. 6: per-step time portions of a hot GetNoSuppComp call.
+
+Paper shape (WfMS): process activities ≈51 %, start-workflow/Java ≈10 %,
+controller + RMI ≈8 %.  (UDTF): A-UDTF prepare/finish ≈49 %, RMI ≈25 %,
+local-function work ≈6 %.
+"""
+
+import pytest
+
+from repro.bench import experiments as exp
+
+
+def test_fig6_breakdown(benchmark, data):
+    result = benchmark.pedantic(
+        exp.exp_fig6, kwargs={"data": data}, rounds=2, iterations=1
+    )
+    print()
+    print(exp.render_fig6(result))
+
+    wfms = {label: frac for label, _, frac in result.wfms.steps}
+    assert wfms["Process activities"] == pytest.approx(0.51, abs=0.02)
+    assert wfms["Start workflows and Java environment"] == pytest.approx(0.10, abs=0.02)
+    assert wfms["RMI call"] + wfms["Controller"] == pytest.approx(0.08, abs=0.02)
+
+    udtf = {label: frac for label, _, frac in result.udtf.steps}
+    assert udtf["Prepare A-UDTFs"] + udtf["Finish A-UDTFs"] == pytest.approx(
+        0.49, abs=0.03
+    )
+    assert udtf["RMI calls"] + udtf["RMI returns"] == pytest.approx(0.25, abs=0.02)
+    assert udtf["Process activities"] == pytest.approx(0.06, abs=0.02)
+
+    assert result.wfms.total / result.udtf.total == pytest.approx(3.0, abs=0.15)

@@ -1,0 +1,19 @@
+"""E8 — Sect. 4's parallel vs sequential comparison.
+
+Paper shape: GetSuppQualRelia (parallel activities) beats GetSuppQual
+(sequential) on the WfMS, while 'the UDTF approach achieves processing
+times which show a contrary result'.
+"""
+
+from repro.bench import experiments as exp
+
+
+def test_parallel_vs_sequential(benchmark, data):
+    result = benchmark.pedantic(
+        exp.exp_parallel_vs_sequential, kwargs={"data": data}, rounds=2, iterations=1
+    )
+    print()
+    print(exp.render_parallel_vs_sequential(result))
+
+    assert result.wfms_parallel < result.wfms_sequential
+    assert result.udtf_parallel > result.udtf_sequential

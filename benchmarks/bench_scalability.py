@@ -1,0 +1,53 @@
+"""Extension bench — scalability over the data-universe size.
+
+Another Sect. 6 open question ("scalability").  Expected shape: the
+hot elapsed time of *point-lookup* federated functions (BuySuppComp)
+is flat in the universe size — the middleware cost is per-call, not
+per-row — while *table-valued* mappings (GetSubCompDiscounts) grow
+with their result volume, because the independent branch is re-invoked
+per driving row ("join with selection").
+"""
+
+from repro.appsys.datagen import generate_enterprise_data
+from repro.bench.harness import measure_hot
+from repro.bench.report import format_table
+from repro.core.architectures import Architecture
+from repro.core.scenario import build_scenario
+
+
+def measure(n_components):
+    data = generate_enterprise_data(
+        n_suppliers=max(10, n_components // 4), n_components=n_components
+    )
+    scenario = build_scenario(Architecture.ENHANCED_SQL_UDTF, data=data)
+    point = measure_hot(scenario, "BuySuppComp").mean
+    table_valued = measure_hot(scenario, "GetSubCompDiscounts").mean
+    return point, table_valued
+
+
+def test_scalability(benchmark):
+    sizes = [30, 60, 120, 240]
+
+    def run():
+        return {n: measure(n) for n in sizes}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [n, point, table_valued] for n, (point, table_valued) in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["#components", "BuySuppComp [su]", "GetSubCompDiscounts [su]"],
+            rows,
+            title="Extension — scalability over universe size (hot calls)",
+        )
+    )
+    point_times = [point for point, _ in results.values()]
+    table_times = [t for _, t in results.values()]
+    # Point lookups: flat within 10 % across an 8x size range.
+    assert max(point_times) <= min(point_times) * 1.10
+    # Table-valued mapping: monotone growth with the universe (the
+    # discount branch's result volume drives re-invocations and rows).
+    assert table_times == sorted(table_times)
+    assert table_times[-1] > table_times[0] * 1.15

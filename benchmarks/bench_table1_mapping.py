@@ -1,0 +1,21 @@
+"""E2 — the Sect. 3 mapping-complexity table.
+
+Derived by *compiling* every scenario function for every architecture;
+the printed matrix mirrors the paper's table including the cyclic row's
+'not supported' cell for the UDTF approach.
+"""
+
+from repro.bench import experiments as exp
+from repro.core.architectures import Architecture
+
+
+def test_mapping_complexity_matrix(benchmark):
+    result = benchmark.pedantic(exp.exp_mapping_matrix, rounds=2, iterations=1)
+    print()
+    print(exp.render_mapping_matrix(result))
+
+    udtf = Architecture.ENHANCED_SQL_UDTF.value
+    wfms = Architecture.WFMS.value
+    unsupported = [r.function for r in result.rows if r.cells[udtf] == "not supported"]
+    assert unsupported == ["AllCompNames"]
+    assert all(r.cells[wfms] != "not supported" for r in result.rows)

@@ -1,0 +1,17 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures by
+running the real engines under the calibrated virtual-time model; the
+pytest-benchmark timer measures the (real) cost of the simulation, the
+printed tables report the (virtual) reproduction numbers.  Run with
+``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+import pytest
+
+from repro.appsys.datagen import generate_enterprise_data
+
+
+@pytest.fixture(scope="session")
+def data():
+    return generate_enterprise_data()

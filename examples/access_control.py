@@ -1,0 +1,53 @@
+"""Access control over federated functions (Sect. 6 future work).
+
+The paper leaves "access control" open; this example shows the
+extension in action: a purchasing clerk gets EXECUTE on the federated
+function BuySuppComp — and nothing else.  The clerk can make purchase
+decisions but cannot reach the underlying A-UDTFs or the application
+systems' raw data, because SQL function bodies run with definer rights.
+
+Run with::
+
+    python examples/access_control.py
+"""
+
+from repro import Architecture, build_scenario
+from repro.errors import AuthorizationError
+
+
+def main() -> None:
+    scenario = build_scenario(Architecture.ENHANCED_SQL_UDTF)
+    fdbs = scenario.server.fdbs
+
+    # Administrator (SYSTEM) sets up the clerk's least privilege.
+    fdbs.execute("CREATE USER clerk")
+    fdbs.execute("GRANT EXECUTE ON FUNCTION BuySuppComp TO clerk")
+    fdbs.execute("GRANT EXECUTE ON FUNCTION GibKompNr TO PUBLIC")
+
+    fdbs.set_current_user("clerk")
+    print("user:", fdbs.current_user)
+
+    rows = fdbs.execute(
+        "SELECT * FROM TABLE (BuySuppComp(1234, 'gearbox')) AS B"
+    ).rows
+    print("BuySuppComp ->", rows, "(granted explicitly)")
+
+    rows = fdbs.execute("SELECT * FROM TABLE (GibKompNr('axle')) AS G").rows
+    print("GibKompNr   ->", rows, "(granted to PUBLIC)")
+
+    for sql, label in [
+        ("SELECT * FROM TABLE (GetQuality(1234)) AS Q", "raw A-UDTF"),
+        ("SELECT * FROM TABLE (GetSuppGrade(1234)) AS G", "ungranted federated fn"),
+        ("CREATE TABLE scratch (x INT)", "DDL"),
+    ]:
+        try:
+            fdbs.execute(sql)
+            raise AssertionError("should have been denied")
+        except AuthorizationError as exc:
+            print(f"denied ({label}): {exc}")
+
+    fdbs.set_current_user("SYSTEM")
+
+
+if __name__ == "__main__":
+    main()

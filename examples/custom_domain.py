@@ -1,0 +1,136 @@
+"""Using the library on a domain of your own.
+
+The paper's architecture is generic — "Such scenarios can be
+encountered in many practical and/or legacy applications."  This
+example builds an *engineering change management* integration from
+scratch with the public API:
+
+* two custom encapsulated application systems (a CAD vault and an ERP),
+* one custom federated function (AssessChange: 1:n mapping) defined as
+  a mapping graph,
+* deployed on both the WfMS and the enhanced-SQL-UDTF architectures.
+
+Run with::
+
+    python examples/custom_domain.py
+"""
+
+from repro import Architecture, FederatedFunction, IntegrationServer, MappingGraph
+from repro.appsys.base import ApplicationSystem, LocalFunction
+from repro.core.mapping import FedInput, LocalCall, NodeOutput, OutputSpec
+from repro.fdbs.types import INTEGER, VARCHAR
+
+
+class CadVault(ApplicationSystem):
+    """Document management: revisions of engineering drawings."""
+
+    def __init__(self, machine=None):
+        super().__init__("cad", machine)
+
+    def _populate(self, database):
+        database.execute(
+            "CREATE TABLE docs (doc_id INT PRIMARY KEY, revision INT, "
+            "part_no INT)"
+        )
+        database.execute(
+            "INSERT INTO docs VALUES (100, 4, 77), (101, 1, 88), (102, 9, 77)"
+        )
+        self.register_function(
+            LocalFunction(
+                "GetRevision",
+                params=[("DocId", INTEGER)],
+                returns=[("Revision", INTEGER)],
+                implementation=lambda doc_id: database.execute(
+                    "SELECT revision FROM docs WHERE doc_id = ?", params=[doc_id]
+                ).rows,
+                description="current revision of a drawing",
+            )
+        )
+        self.register_function(
+            LocalFunction(
+                "GetPartNo",
+                params=[("DocId", INTEGER)],
+                returns=[("PartNo", INTEGER)],
+                implementation=lambda doc_id: database.execute(
+                    "SELECT part_no FROM docs WHERE doc_id = ?", params=[doc_id]
+                ).rows,
+                description="the part a drawing describes",
+            )
+        )
+
+
+class Erp(ApplicationSystem):
+    """Cost planning: change costs per part and revision depth."""
+
+    def __init__(self, machine=None):
+        super().__init__("erp", machine)
+
+    def _populate(self, database):
+        database.execute(
+            "CREATE TABLE part_costs (part_no INT PRIMARY KEY, unit_cost INT)"
+        )
+        database.execute("INSERT INTO part_costs VALUES (77, 120), (88, 45)")
+        self.register_function(
+            LocalFunction(
+                "AssessImpact",
+                params=[("PartNo", INTEGER), ("Revision", INTEGER)],
+                returns=[("Verdict", VARCHAR(20))],
+                implementation=lambda part_no, revision: (
+                    "ESCALATE"
+                    if (
+                        database.execute(
+                            "SELECT unit_cost FROM part_costs WHERE part_no = ?",
+                            params=[part_no],
+                        ).rows[0][0]
+                        * (revision or 0)
+                        > 400
+                    )
+                    else "APPROVE"
+                ),
+                description="change-impact verdict from cost and revision depth",
+            )
+        )
+
+
+def assess_change() -> FederatedFunction:
+    """AssessChange(DocId) — a (1:n) mapping over both systems."""
+    return FederatedFunction(
+        name="AssessChange",
+        params=[("DocId", INTEGER)],
+        returns=[("Verdict", VARCHAR(20))],
+        mapping=MappingGraph(
+            nodes=[
+                LocalCall("REV", "cad", "GetRevision", {"DocId": FedInput("DocId")}),
+                LocalCall("PART", "cad", "GetPartNo", {"DocId": FedInput("DocId")}),
+                LocalCall(
+                    "IMPACT",
+                    "erp",
+                    "AssessImpact",
+                    {
+                        "PartNo": NodeOutput("PART", "PartNo"),
+                        "Revision": NodeOutput("REV", "Revision"),
+                    },
+                ),
+            ],
+            outputs=[OutputSpec("Verdict", NodeOutput("IMPACT", "Verdict"))],
+        ),
+        description="engineering change assessment",
+    )
+
+
+def main() -> None:
+    fed = assess_change()
+    print(f"{fed.signature()}   [{fed.case.value}]")
+    for architecture in (Architecture.WFMS, Architecture.ENHANCED_SQL_UDTF):
+        server = IntegrationServer(
+            architecture,
+            system_factories=[CadVault, Erp],
+        )
+        server.deploy(fed)
+        for doc_id in (100, 101, 102):
+            rows = server.call("AssessChange", doc_id)
+            print(f"  {architecture.value:20s} AssessChange({doc_id}) -> {rows}")
+
+
+if __name__ == "__main__":
+    main()

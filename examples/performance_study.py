@@ -1,0 +1,35 @@
+"""Regenerate the paper's whole evaluation section in one run.
+
+Prints, in order: the Sect. 3 capability table (E2), the three
+processing situations (E3), the Fig. 5 comparison (E4), the Fig. 6
+breakdown (E5), the controller ablation (E6), the loop scaling (E7) and
+the parallel-vs-sequential comparison (E8).
+
+Run with::
+
+    python examples/performance_study.py
+"""
+
+from repro.appsys.datagen import generate_enterprise_data
+from repro.bench import experiments as exp
+
+
+def main() -> None:
+    data = generate_enterprise_data()
+    sections = [
+        ("E2", exp.render_mapping_matrix(exp.exp_mapping_matrix())),
+        ("E3", exp.render_boot_warm_hot(exp.exp_boot_warm_hot(data=data))),
+        ("E4", exp.render_fig5(exp.exp_fig5(data=data))),
+        ("E5", exp.render_fig6(exp.exp_fig6(data=data))),
+        ("E6", exp.render_controller_ablation(exp.exp_controller_ablation(data=data))),
+        ("E7", exp.render_cyclic_scaling(exp.exp_cyclic_scaling())),
+        ("E8", exp.render_parallel_vs_sequential(
+            exp.exp_parallel_vs_sequential(data=data))),
+    ]
+    for label, text in sections:
+        print(f"\n################ {label} ################")
+        print(text)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""The full purchasing-department scenario (paper, Sect. 1 + Fig. 1).
+
+Walks every federated function of the scenario through all four
+integration architectures, checks that they agree on the answers, and
+prints a per-architecture timing table.
+
+Run with::
+
+    python examples/purchasing_scenario.py
+"""
+
+from repro import Architecture, build_scenario
+from repro.appsys.datagen import generate_enterprise_data
+from repro.bench.harness import DEFAULT_ARGS, measure_hot
+from repro.bench.report import format_table
+from repro.wfms.fdl import to_fdl
+
+
+def main() -> None:
+    data = generate_enterprise_data()
+    scenarios = {
+        architecture: build_scenario(architecture, data=data)
+        for architecture in Architecture
+    }
+
+    # 1. The Fig. 1 workflow process, as deployed FDL.
+    wfms = scenarios[Architecture.WFMS]
+    print("=== Fig. 1: the BuySuppComp workflow process (FDL) ===")
+    print(to_fdl(wfms.server.wfms_client.template("BuySuppComp")))
+
+    # 2. Every federated function, every architecture: same answers.
+    print("=== results across architectures ===")
+    headers = ["function", "args", "result", "architectures agreeing"]
+    rows = []
+    for name, args in DEFAULT_ARGS.items():
+        results = {}
+        for architecture, scenario in scenarios.items():
+            if name.upper() in scenario.skipped:
+                continue
+            results[architecture.value] = sorted(scenario.call(name, *args))
+        reference = next(iter(results.values()))
+        assert all(rows_ == reference for rows_ in results.values())
+        shown = reference if len(reference) <= 2 else reference[:2] + ["..."]
+        rows.append([name, args, shown, len(results)])
+    print(format_table(headers, rows))
+    print()
+
+    # 3. Hot-call timings per architecture (virtual su).
+    print("=== repeated-call timings [su] ===")
+    headers = ["function"] + [a.value for a in Architecture]
+    rows = []
+    for name in DEFAULT_ARGS:
+        row: list[object] = [name]
+        for architecture in Architecture:
+            scenario = scenarios[architecture]
+            if name.upper() in scenario.skipped:
+                row.append("unsupported")
+            else:
+                row.append(round(measure_hot(scenario, name).mean, 1))
+        rows.append(row)
+    print(format_table(headers, rows))
+
+    # 4. What the employee of Sect. 1 no longer has to do by hand.
+    print()
+    print("=== the five manual steps BuySuppComp replaces ===")
+    stock, purchasing, pdm = (
+        wfms.server.stock,
+        wfms.server.purchasing,
+        wfms.server.pdm,
+    )
+    qual = stock.call("GetQuality", 1234)[0][0]
+    relia = purchasing.call("GetReliability", 1234)[0][0]
+    grade = purchasing.call("GetGrade", qual, relia)[0][0]
+    comp_no = pdm.call("GetCompNo", "gearbox")[0][0]
+    answer = purchasing.call("DecidePurchase", grade, comp_no)[0][0]
+    print(f"GetQuality -> {qual}, GetReliability -> {relia}, "
+          f"GetGrade -> {grade}, GetCompNo -> {comp_no}, "
+          f"DecidePurchase -> {answer!r}")
+    assert [(answer,)] == wfms.call("BuySuppComp", 1234, "gearbox")
+    print("matches BuySuppComp: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""The paper's Sect. 2 'alternative architecture': WfMS on top.
+
+"there is also the possibility to implement an integration based on the
+WfMS only. In this case, the workflow system represents the top layer
+of an integration architecture accessing functions as well as data (via
+an FDBS, for instance)."
+
+This example builds that topology: a workflow whose activities call
+local functions of application systems *and* query the FDBS directly
+through a SQL-query program.  The paper prefers the FDBS on top —
+"we believe that a database system provides an engine that is more
+suitable [for processing data]" — and the inversion shows why: result
+composition that is one WHERE clause in SQL becomes hand-written helper
+code here.
+
+Run with::
+
+    python examples/wfms_on_top.py
+"""
+
+from repro import Architecture, build_scenario
+from repro.fdbs.types import INTEGER, VARCHAR
+from repro.wfms.builder import ProcessBuilder
+
+
+def main() -> None:
+    scenario = build_scenario(Architecture.WFMS)
+    server = scenario.server
+    fdbs = server.fdbs
+
+    # Some FDBS-resident data the workflow will need.
+    fdbs.execute("CREATE TABLE preferred (supplier_no INT, bonus INT)")
+    fdbs.execute("INSERT INTO preferred VALUES (1234, 2), (5001, 1)")
+
+    # A *data-access program*: the workflow reaching down into the FDBS.
+    def query_bonus(inputs):
+        result = fdbs.execute(
+            "SELECT bonus FROM preferred WHERE supplier_no = ?",
+            params=[inputs["SupplierNo"]],
+        )
+        return {"Bonus": result.rows[0][0] if result.rows else 0}
+
+    server.registry.register_program("fdbs.QueryBonus", query_bonus)
+
+    # A composition helper: what the FDBS would do with one expression.
+    server.registry.register_helper(
+        "helper.AddBonus",
+        lambda inputs: {"Total": inputs["Grade"] + inputs["Bonus"]},
+    )
+
+    # The top-layer workflow: function access (GetQuality/GetReliability/
+    # GetGrade) + data access (QueryBonus) + composition (AddBonus).
+    b = ProcessBuilder(
+        "GradeWithBonus",
+        inputs=[("SupplierNo", INTEGER)],
+        outputs=[("Total", INTEGER)],
+    )
+    b.program_activity(
+        "GQ", "stock.GetQuality", [("SupplierNo", INTEGER)], [("Qual", INTEGER)],
+        {"SupplierNo": b.from_input("SupplierNo")},
+    )
+    b.program_activity(
+        "GR", "purchasing.GetReliability",
+        [("SupplierNo", INTEGER)], [("Relia", INTEGER)],
+        {"SupplierNo": b.from_input("SupplierNo")},
+    )
+    b.program_activity(
+        "GG", "purchasing.GetGrade",
+        [("Qual", INTEGER), ("Relia", INTEGER)], [("Grade", INTEGER)],
+        {"Qual": b.from_activity("GQ", "Qual"),
+         "Relia": b.from_activity("GR", "Relia")},
+    )
+    b.program_activity(
+        "QB", "fdbs.QueryBonus",
+        [("SupplierNo", INTEGER)], [("Bonus", INTEGER)],
+        {"SupplierNo": b.from_input("SupplierNo")},
+    )
+    b.helper_activity(
+        "AddBonus", "helper.AddBonus",
+        [("Grade", INTEGER), ("Bonus", INTEGER)], [("Total", INTEGER)],
+        {"Grade": b.from_activity("GG", "Grade"),
+         "Bonus": b.from_activity("QB", "Bonus")},
+    )
+    b.connect("GQ", "GG").connect("GR", "GG")
+    b.connect("GG", "AddBonus").connect("QB", "AddBonus")
+    b.map_output("Total", b.from_activity("AddBonus", "Total"))
+
+    client = server.wfms_client
+    client.deploy(b.build())
+    output = client.run_to_output("GradeWithBonus", {"SupplierNo": 1234})
+    print("WfMS-on-top GradeWithBonus(1234) ->", output)
+
+    # Cross-check against the FDBS-on-top formulation (one statement).
+    grade = server.call("GetSuppGrade", 1234)[0][0]
+    bonus = fdbs.execute(
+        "SELECT bonus FROM preferred WHERE supplier_no = 1234"
+    ).scalar()
+    assert output["Total"] == grade + bonus
+    print(f"matches FDBS-on-top: GetSuppGrade={grade} + bonus={bonus}")
+
+
+if __name__ == "__main__":
+    main()

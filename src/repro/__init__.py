@@ -1,0 +1,68 @@
+"""Reproduction of Hergula & Härder, "Coupling of FDBS and WfMS for
+Integrating Database and Application Systems: Architecture, Complexity,
+Performance" (EDBT 2002).
+
+Quickstart::
+
+    from repro import Architecture, build_scenario
+
+    scenario = build_scenario(Architecture.WFMS)
+    rows = scenario.call("BuySuppComp", 1234, "gearbox")
+    # -> [('BUY',)]
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.fdbs` — the federated DBMS substrate (SQL dialect,
+  planner, executor, UDTFs, stored procedures, SQL/MED federation);
+* :mod:`repro.wfms` — the workflow management substrate (process model,
+  FDL, navigator with parallel scheduling, do-until loops);
+* :mod:`repro.appsys` — the encapsulated application systems;
+* :mod:`repro.wrapper` — the FDBS↔WfMS coupling (fenced runtime,
+  controller, SQL/MED registry);
+* :mod:`repro.udtf` — the UDTF architecture family;
+* :mod:`repro.core` — federated functions, mapping graphs, compilers,
+  the integration server and the paper's scenario;
+* :mod:`repro.simtime` / :mod:`repro.sysmodel` — the deterministic
+  virtual-time machine model behind the performance experiments;
+* :mod:`repro.bench` — the experiment harness regenerating every table
+  and figure.
+"""
+
+from repro.core import (
+    Architecture,
+    FederatedFunction,
+    HeterogeneityCase,
+    IntegrationServer,
+    MappingGraph,
+    Scenario,
+    build_scenario,
+    capability_matrix,
+    classify,
+)
+from repro.fdbs import Database
+from repro.simtime import CostModel, TraceRecorder, VirtualClock
+from repro.sysmodel import Machine
+from repro.wfms import ProcessBuilder, WfmsClient, WorkflowEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Architecture",
+    "CostModel",
+    "Database",
+    "FederatedFunction",
+    "HeterogeneityCase",
+    "IntegrationServer",
+    "Machine",
+    "MappingGraph",
+    "ProcessBuilder",
+    "Scenario",
+    "TraceRecorder",
+    "VirtualClock",
+    "WfmsClient",
+    "WorkflowEngine",
+    "build_scenario",
+    "capability_matrix",
+    "classify",
+    "__version__",
+]

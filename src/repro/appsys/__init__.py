@@ -1,0 +1,33 @@
+"""Encapsulated application systems.
+
+The paper's premise: packaged application systems (SAP-R/3-style)
+deliver their own databases, and "access via predefined functions is the
+only way to get data" out of them.  Each system here embeds a private
+:class:`~repro.fdbs.engine.Database` that is *not* reachable from the
+outside — only the registered local functions are.
+
+Three systems populate the paper's purchasing scenario:
+
+* :class:`~repro.appsys.stock.StockKeepingSystem` — components in
+  stock, their suppliers, supplier quality;
+* :class:`~repro.appsys.purchasing.PurchasingSystem` — suppliers,
+  reliability, discounts, the purchase-decision functions;
+* :class:`~repro.appsys.pdm.ProductDataManagementSystem` — components
+  and the bill of material.
+"""
+
+from repro.appsys.base import ApplicationSystem, LocalFunction
+from repro.appsys.datagen import EnterpriseData, generate_enterprise_data
+from repro.appsys.stock import StockKeepingSystem
+from repro.appsys.purchasing import PurchasingSystem
+from repro.appsys.pdm import ProductDataManagementSystem
+
+__all__ = [
+    "ApplicationSystem",
+    "LocalFunction",
+    "EnterpriseData",
+    "generate_enterprise_data",
+    "StockKeepingSystem",
+    "PurchasingSystem",
+    "ProductDataManagementSystem",
+]

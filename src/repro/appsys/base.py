@@ -1,0 +1,170 @@
+"""Application-system base: encapsulated database + local functions.
+
+An :class:`ApplicationSystem` owns a private database whose only public
+access path is :meth:`ApplicationSystem.call`.  Reading the ``database``
+attribute from outside raises
+:class:`~repro.errors.EncapsulationError` — the defining property of the
+systems the paper integrates ("pure data integration is not possible
+anymore").
+
+Every local-function call charges
+:attr:`~repro.simtime.costs.CostModel.local_function_base` (plus a
+per-row cost) and, when tracing, accounts under the Fig. 6 step name
+``Process activities``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import (
+    EncapsulationError,
+    SignatureError,
+    UnknownFunctionError,
+)
+from repro.fdbs.engine import Database
+from repro.fdbs.functions import normalize_rows
+from repro.fdbs.types import SqlType, coerce_into
+from repro.simtime.trace import TraceRecorder, maybe_span
+from repro.sysmodel.machine import Machine
+
+
+@dataclass
+class LocalFunction:
+    """One predefined function exported by an application system."""
+
+    name: str
+    params: list[tuple[str, SqlType]]
+    returns: list[tuple[str, SqlType]]
+    implementation: Callable[..., object]
+    description: str = ""
+
+    def signature(self) -> str:
+        """Human-readable signature text."""
+        inner = ", ".join(f"{n} {t.render()}" for n, t in self.params)
+        outer = ", ".join(f"{n} {t.render()}" for n, t in self.returns)
+        return f"{self.name}({inner}) -> ({outer})"
+
+
+class ApplicationSystem:
+    """Base class of encapsulated application systems."""
+
+    def __init__(self, name: str, machine: Machine | None = None):
+        self.name = name
+        self.machine = machine
+        # The private database is deliberately "hidden": two leading
+        # underscores plus a guarding property below.
+        self.__database = Database(f"{name}-internal", machine=None)
+        self._functions: dict[str, LocalFunction] = {}
+        self.call_count = 0
+        if machine is not None:
+            machine.register_appsys(name)
+        self._populate(self.__database)
+
+    # -- subclass hooks ------------------------------------------------------------
+
+    def _populate(self, database: Database) -> None:
+        """Create and fill the private schema (subclass hook)."""
+
+    # -- encapsulation --------------------------------------------------------------
+
+    @property
+    def database(self) -> Database:
+        """The private database is not part of the public interface."""
+        raise EncapsulationError(
+            f"application system {self.name!r} encapsulates its database; "
+            "data is accessible via predefined functions only"
+        )
+
+    def _db(self) -> Database:
+        """Internal accessor for subclass implementations."""
+        return self._ApplicationSystem__database  # type: ignore[attr-defined]
+
+    # -- function registry -------------------------------------------------------------
+
+    def register_function(self, function: LocalFunction) -> None:
+        """Export one local function (duplicates rejected)."""
+        key = function.name.upper()
+        if key in self._functions:
+            raise SignatureError(
+                f"function {function.name!r} already exported by {self.name!r}"
+            )
+        self._functions[key] = function
+
+    def function(self, name: str) -> LocalFunction:
+        """Look up an exported local function by name."""
+        try:
+            return self._functions[name.upper()]
+        except KeyError:
+            raise UnknownFunctionError(
+                f"application system {self.name!r} exports no function {name!r}"
+            ) from None
+
+    def functions(self) -> list[LocalFunction]:
+        """All exported local functions."""
+        return list(self._functions.values())
+
+    def has_function(self, name: str) -> bool:
+        """True if a local function of that name is exported."""
+        return name.upper() in self._functions
+
+    # -- the one public access path ------------------------------------------------------
+
+    def call(
+        self,
+        name: str,
+        *args: object,
+        trace: TraceRecorder | None = None,
+    ) -> list[tuple]:
+        """Invoke a predefined function; returns its result rows."""
+        function = self.function(name)
+        if len(args) != len(function.params):
+            raise SignatureError(
+                f"{self.name}.{function.name} expects {len(function.params)} "
+                f"argument(s), got {len(args)}"
+            )
+        coerced = [
+            coerce_into(value, param_type)
+            for value, (_, param_type) in zip(args, function.params)
+        ]
+        self.call_count += 1
+        with maybe_span(trace, "Process activities"):
+            if self.machine is not None:
+                self.machine.ensure_appsys(self.name)
+                self.machine.clock.advance(self.machine.costs.local_function_base)
+            rows = normalize_rows(
+                function.implementation(*coerced), f"{self.name}.{name}"
+            )
+            rows = self._coerce_rows(function, rows)
+            if self.machine is not None and rows:
+                self.machine.clock.advance(
+                    self.machine.costs.local_function_row_cost * len(rows)
+                )
+        return rows
+
+    def _coerce_rows(self, function: LocalFunction, rows: Sequence[tuple]) -> list[tuple]:
+        coerced: list[tuple] = []
+        for row in rows:
+            if len(row) != len(function.returns):
+                raise SignatureError(
+                    f"{self.name}.{function.name} declared "
+                    f"{len(function.returns)} result column(s) but produced a "
+                    f"row of width {len(row)}"
+                )
+            coerced.append(
+                tuple(
+                    coerce_into(value, column_type)
+                    for value, (_, column_type) in zip(row, function.returns)
+                )
+            )
+        return coerced
+
+    def catalog_summary(self) -> str:
+        """Human-readable list of the exported functions."""
+        lines = [f"application system {self.name}:"]
+        for function in self._functions.values():
+            lines.append(f"  {function.signature()}")
+            if function.description:
+                lines.append(f"    -- {function.description}")
+        return "\n".join(lines)

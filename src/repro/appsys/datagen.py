@@ -1,0 +1,191 @@
+"""Deterministic synthetic enterprise data.
+
+The paper's measurements ran against DaimlerChrysler-internal systems we
+obviously do not have; this generator produces a consistent purchasing
+universe (suppliers, components, bill of material, stock, discounts)
+shared by the three application systems, seeded for reproducibility.
+
+Supplier 1234 and the component ``'gearbox'`` are pinned so the paper's
+literal examples (``GetNumberSupp1234``, ``BuySuppComp(1234,
+'gearbox')``) work verbatim.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Supplier:
+    """One supplier known to the purchasing department."""
+
+    supplier_no: int
+    name: str
+    reliability: int  # 1..10
+    quality: int  # 1..10
+
+
+@dataclass(frozen=True)
+class Component:
+    """One component in the product data management system."""
+
+    comp_no: int
+    name: str
+
+
+@dataclass(frozen=True)
+class StockRecord:
+    """Stock-keeping entry: a supplier's stock number for a component."""
+
+    comp_no: int
+    supplier_no: int
+    number: int  # stock-keeping number
+
+
+@dataclass(frozen=True)
+class DiscountOffer:
+    """A supplier's discount (percent) on a component."""
+
+    comp_no: int
+    supplier_no: int
+    discount: int
+
+
+@dataclass
+class EnterpriseData:
+    """The full synthetic universe shared by the application systems."""
+
+    suppliers: list[Supplier] = field(default_factory=list)
+    components: list[Component] = field(default_factory=list)
+    bom: list[tuple[int, int]] = field(default_factory=list)  # (comp, sub-comp)
+    stock: list[StockRecord] = field(default_factory=list)
+    discounts: list[DiscountOffer] = field(default_factory=list)
+
+    def supplier_by_no(self, supplier_no: int) -> Supplier | None:
+        """The supplier with that number, or None."""
+        for supplier in self.suppliers:
+            if supplier.supplier_no == supplier_no:
+                return supplier
+        return None
+
+    def component_by_name(self, name: str) -> Component | None:
+        """The component with that name, or None."""
+        for component in self.components:
+            if component.name == name:
+                return component
+        return None
+
+
+_COMPONENT_WORDS = [
+    "gearbox",
+    "axle",
+    "piston",
+    "crankshaft",
+    "valve",
+    "camshaft",
+    "bearing",
+    "flange",
+    "gasket",
+    "housing",
+    "rotor",
+    "stator",
+    "bracket",
+    "manifold",
+    "injector",
+    "radiator",
+    "clutch",
+    "flywheel",
+    "spindle",
+    "bushing",
+]
+
+_SUPPLIER_WORDS = [
+    "ACME Industrial",
+    "Globex Metals",
+    "Initech Parts",
+    "Umbrella Components",
+    "Stark Forgings",
+    "Wayne Precision",
+    "Tyrell Castings",
+    "Cyberdyne Tooling",
+    "Soylent Alloys",
+    "Vandelay Imports",
+]
+
+
+def generate_enterprise_data(
+    seed: int = 42,
+    n_suppliers: int = 25,
+    n_components: int = 60,
+) -> EnterpriseData:
+    """Generate the shared synthetic universe.
+
+    Guarantees: supplier 1234 exists (name 'ACME Industrial'); component
+    'gearbox' exists with comp_no 1 and has sub-components; every
+    component has at least one stock record; discounts cover roughly a
+    third of (component, supplier) stock pairs.
+    """
+    if n_suppliers < 2 or n_components < 3:
+        raise ValueError("need at least 2 suppliers and 3 components")
+    rng = random.Random(seed)
+    data = EnterpriseData()
+
+    # Suppliers: 1234 pinned first, the rest numbered from 5000.
+    data.suppliers.append(Supplier(1234, "ACME Industrial", 7, 8))
+    for index in range(1, n_suppliers):
+        base = _SUPPLIER_WORDS[index % len(_SUPPLIER_WORDS)]
+        name = base if index < len(_SUPPLIER_WORDS) else f"{base} {index}"
+        data.suppliers.append(
+            Supplier(
+                5000 + index,
+                name,
+                reliability=rng.randint(1, 10),
+                quality=rng.randint(1, 10),
+            )
+        )
+
+    # Components: 'gearbox' pinned as comp 1.
+    for index in range(n_components):
+        word = _COMPONENT_WORDS[index % len(_COMPONENT_WORDS)]
+        name = word if index < len(_COMPONENT_WORDS) else f"{word}-{index}"
+        data.components.append(Component(index + 1, name))
+
+    # Bill of material: a forest — components reference higher-numbered
+    # ones as sub-components (guarantees acyclicity).
+    for component in data.components:
+        fanout = rng.randint(0, 3) if component.comp_no > 1 else 3
+        candidates = [
+            c.comp_no for c in data.components if c.comp_no > component.comp_no
+        ]
+        for sub in rng.sample(candidates, min(fanout, len(candidates))):
+            data.bom.append((component.comp_no, sub))
+
+    # Stock records: every component stocked by 1-3 suppliers.
+    for component in data.components:
+        chosen = rng.sample(data.suppliers, rng.randint(1, 3))
+        if component.comp_no == 1:
+            pinned = data.supplier_by_no(1234)
+            assert pinned is not None
+            if pinned not in chosen:
+                chosen.append(pinned)
+        for supplier in chosen:
+            data.stock.append(
+                StockRecord(
+                    component.comp_no,
+                    supplier.supplier_no,
+                    number=rng.randint(0, 500),
+                )
+            )
+
+    # Discounts: roughly a third of the stock pairs get an offer.
+    for record in data.stock:
+        if rng.random() < 0.35:
+            data.discounts.append(
+                DiscountOffer(
+                    record.comp_no,
+                    record.supplier_no,
+                    discount=rng.choice([5, 10, 15, 20, 25]),
+                )
+            )
+    return data

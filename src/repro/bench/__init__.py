@@ -1,0 +1,29 @@
+"""Measurement harness regenerating the paper's tables and figures.
+
+Experiment index (DESIGN.md, Sect. 5):
+
+* E2 — Sect. 3 mapping-complexity matrix: :func:`repro.bench.experiments.exp_mapping_matrix`
+* E3 — boot / warm / hot timing: :func:`repro.bench.experiments.exp_boot_warm_hot`
+* E4 — Fig. 5 comparison: :func:`repro.bench.experiments.exp_fig5`
+* E5 — Fig. 6 step breakdown: :func:`repro.bench.experiments.exp_fig6`
+* E6 — controller ablation: :func:`repro.bench.experiments.exp_controller_ablation`
+* E7 — cyclic loop scaling: :func:`repro.bench.experiments.exp_cyclic_scaling`
+* E8 — parallel vs sequential: :func:`repro.bench.experiments.exp_parallel_vs_sequential`
+"""
+
+from repro.bench.harness import (
+    Measurement,
+    SituationTiming,
+    measure_hot,
+    measure_situations,
+)
+from repro.bench import experiments, report
+
+__all__ = [
+    "Measurement",
+    "SituationTiming",
+    "experiments",
+    "measure_hot",
+    "measure_situations",
+    "report",
+]

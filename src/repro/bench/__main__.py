@@ -1,0 +1,46 @@
+"""Command-line entry point: regenerate the paper's evaluation.
+
+Usage::
+
+    python -m repro.bench            # all experiments
+    python -m repro.bench E4 E5      # a subset (E2, E3, ..., E8)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.appsys.datagen import generate_enterprise_data
+from repro.bench import experiments as exp
+
+
+def main(argv: list[str]) -> int:
+    """CLI entry point; returns a process exit code."""
+    data = generate_enterprise_data()
+    sections = {
+        "E2": lambda: exp.render_mapping_matrix(exp.exp_mapping_matrix()),
+        "E3": lambda: exp.render_boot_warm_hot(exp.exp_boot_warm_hot(data=data)),
+        "E4": lambda: exp.render_fig5(exp.exp_fig5(data=data)),
+        "E5": lambda: exp.render_fig6(exp.exp_fig6(data=data)),
+        "E6": lambda: exp.render_controller_ablation(
+            exp.exp_controller_ablation(data=data)
+        ),
+        "E7": lambda: exp.render_cyclic_scaling(exp.exp_cyclic_scaling()),
+        "E8": lambda: exp.render_parallel_vs_sequential(
+            exp.exp_parallel_vs_sequential(data=data)
+        ),
+    }
+    chosen = [arg.upper() for arg in argv] or list(sections)
+    unknown = [c for c in chosen if c not in sections]
+    if unknown:
+        print(f"unknown experiment id(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(sections)}", file=sys.stderr)
+        return 2
+    for label in chosen:
+        print(f"\n################ {label} ################")
+        print(sections[label]())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

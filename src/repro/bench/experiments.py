@@ -1,0 +1,525 @@
+"""Experiment drivers — one per table/figure of the paper.
+
+Every driver *runs the actual engines* under the calibrated cost model
+and returns structured results; the ``render_*`` helpers print them in
+the paper's format.  Nothing here hard-codes expected numbers — the
+benchmarks assert on shapes (orderings, factors, linearity), mirroring
+what the paper claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.appsys.datagen import EnterpriseData, generate_enterprise_data
+from repro.appsys.pdm import ProductDataManagementSystem
+from repro.appsys.purchasing import PurchasingSystem
+from repro.appsys.stock import StockKeepingSystem
+from repro.bench.harness import (
+    SituationTiming,
+    call_args,
+    measure_hot,
+    measure_situations,
+    timed_call,
+)
+from repro.bench.report import format_percent, format_table, linear_fit
+from repro.core.architectures import Architecture, mechanism, supports
+from repro.core.compile_procedural import compile_procedural
+from repro.core.compile_sql_udtf import compile_simple_select, compile_sql_udtf
+from repro.core.compile_workflow import compile_workflow
+from repro.core.scenario import Scenario, build_scenario, scenario_functions
+from repro.errors import UnsupportedMappingError
+from repro.simtime.trace import TraceRecorder
+from repro.wfms.programs import ProgramRegistry
+
+#: The two architectures the paper's Sect. 4 measures head to head.
+MEASURED_ARCHITECTURES = (Architecture.WFMS, Architecture.ENHANCED_SQL_UDTF)
+
+#: Fig. 5's x-axis: scenario functions by increasing #local functions.
+FIG5_FUNCTIONS = [
+    "GibKompNr",
+    "GetNumberSupp1234",
+    "GetSuppQual",
+    "GetSuppQualRelia",
+    "GetSubCompDiscounts",
+    "GetSuppGrade",
+    "GetSuppQualReliaByName",
+    "GetNoSuppComp",
+    "BuySuppComp",
+]
+
+#: Fig. 6's anchor federated function (three local functions).
+FIG6_FUNCTION = "GetNoSuppComp"
+
+#: Fig. 6 row labels, in the paper's order, per architecture.
+FIG6_WFMS_STEPS = [
+    "Start UDTF",
+    "Process UDTF",
+    "RMI call",
+    "Start workflows and Java environment",
+    "Process activities",
+    "Workflow",
+    "Controller",
+    "RMI return",
+    "Finish UDTF",
+]
+FIG6_UDTF_STEPS = [
+    "Start I-UDTF",
+    "Prepare A-UDTFs",
+    "RMI calls",
+    "controller runs",
+    "Process activities",
+    "Finish A-UDTFs",
+    "RMI returns",
+    "Finish I-UDTF",
+]
+
+
+def _fresh_scenario(
+    architecture: Architecture,
+    data: EnterpriseData | None = None,
+    controller_enabled: bool = True,
+) -> Scenario:
+    return build_scenario(
+        architecture,
+        data=data if data is not None else generate_enterprise_data(),
+        controller_enabled=controller_enabled,
+    )
+
+
+# ===========================================================================
+# E2 — Sect. 3 mapping-complexity matrix
+# ===========================================================================
+
+
+@dataclass
+class MatrixRow:
+    """One scenario function's support across architectures."""
+
+    function: str
+    case: str
+    cells: dict[str, str]  # architecture value -> mechanism / "not supported"
+
+
+@dataclass
+class MappingMatrixResult:
+    """E2 result: one row per scenario function."""
+    rows: list[MatrixRow] = field(default_factory=list)
+
+
+def exp_mapping_matrix() -> MappingMatrixResult:
+    """Reconstruct the Sect. 3 table by *actually compiling* every
+    scenario function for every architecture."""
+    data = generate_enterprise_data()
+    systems = {
+        s.name: s
+        for s in (
+            StockKeepingSystem(None, data),
+            PurchasingSystem(None, data),
+            ProductDataManagementSystem(None, data),
+        )
+    }
+
+    def resolver(system: str, function: str):
+        return systems[system].function(function)
+
+    result = MappingMatrixResult()
+    for fed in scenario_functions():
+        cells: dict[str, str] = {}
+        for architecture in Architecture:
+            try:
+                if architecture is Architecture.WFMS:
+                    compile_workflow(fed, resolver, ProgramRegistry())
+                elif architecture is Architecture.ENHANCED_SQL_UDTF:
+                    compile_sql_udtf(fed, resolver)
+                elif architecture is Architecture.ENHANCED_JAVA_UDTF:
+                    compile_procedural(fed, resolver)
+                else:
+                    compile_simple_select(fed, resolver)
+                cells[architecture.value] = mechanism(architecture, fed.case)
+            except UnsupportedMappingError:
+                cells[architecture.value] = "not supported"
+            # Cross-check the static capability matrix against reality.
+            compiled = cells[architecture.value] != "not supported"
+            assert compiled == supports(architecture, fed.case), (
+                f"capability matrix disagrees with the compiler for "
+                f"{fed.name} on {architecture.value}"
+            )
+        result.rows.append(MatrixRow(fed.name, fed.case.value, cells))
+    return result
+
+
+def render_mapping_matrix(result: MappingMatrixResult) -> str:
+    """The Sect. 3 table as ASCII."""
+    headers = ["federated function", "case", "UDTF approach", "WfMS approach"]
+    rows = [
+        [
+            row.function,
+            row.case,
+            row.cells[Architecture.ENHANCED_SQL_UDTF.value],
+            row.cells[Architecture.WFMS.value],
+        ]
+        for row in result.rows
+    ]
+    return format_table(headers, rows, title="Sect. 3 — supported mapping complexity")
+
+
+# ===========================================================================
+# E3 — boot / warm-other / hot
+# ===========================================================================
+
+
+@dataclass
+class BootWarmHotResult:
+    """E3 result: situation timings per architecture."""
+    timings: dict[str, list[SituationTiming]] = field(default_factory=dict)
+    """architecture value -> per-function situation timings."""
+
+
+def exp_boot_warm_hot(
+    functions: list[str] | None = None,
+    data: EnterpriseData | None = None,
+) -> BootWarmHotResult:
+    """Sect. 4 ¶3: initial calls are slowest, repeated calls fastest."""
+    shared = data if data is not None else generate_enterprise_data()
+    chosen = functions or ["GetSuppQual", "GetSuppQualRelia", FIG6_FUNCTION]
+    result = BootWarmHotResult()
+    for architecture in MEASURED_ARCHITECTURES:
+        scenario = _fresh_scenario(architecture, shared)
+        timings = []
+        for name in chosen:
+            if name.upper() in scenario.skipped:
+                continue
+            timings.append(measure_situations(scenario, name))
+        result.timings[architecture.value] = timings
+    return result
+
+
+def render_boot_warm_hot(result: BootWarmHotResult) -> str:
+    """The three-situations tables as ASCII."""
+    chunks = []
+    for architecture, timings in result.timings.items():
+        rows = [
+            [t.name, t.cold, t.warm_other, t.hot] for t in timings
+        ]
+        chunks.append(
+            format_table(
+                ["function", "after boot", "after other", "repeated"],
+                rows,
+                title=f"Sect. 4 — processing situations ({architecture})",
+            )
+        )
+    return "\n\n".join(chunks)
+
+
+# ===========================================================================
+# E4 — Fig. 5
+# ===========================================================================
+
+
+@dataclass
+class Fig5Point:
+    """One Fig. 5 data point (one federated function)."""
+    function: str
+    local_functions: int
+    case: str
+    wfms: float
+    udtf: float
+
+    @property
+    def ratio(self) -> float:
+        """WfMS elapsed over UDTF elapsed."""
+        return self.wfms / self.udtf
+
+
+@dataclass
+class Fig5Result:
+    """E4 result: the full Fig. 5 sweep."""
+    points: list[Fig5Point] = field(default_factory=list)
+
+    @property
+    def max_ratio(self) -> float:
+        """Largest WfMS/UDTF ratio in the sweep."""
+        return max(p.ratio for p in self.points)
+
+
+def exp_fig5(
+    data: EnterpriseData | None = None, repeats: int = 3
+) -> Fig5Result:
+    """Fig. 5: repeated-call elapsed times, WfMS vs enhanced SQL UDTF."""
+    shared = data if data is not None else generate_enterprise_data()
+    wfms = _fresh_scenario(Architecture.WFMS, shared)
+    udtf = _fresh_scenario(Architecture.ENHANCED_SQL_UDTF, shared)
+    result = Fig5Result()
+    for name in FIG5_FUNCTIONS:
+        fed = wfms.function(name)
+        result.points.append(
+            Fig5Point(
+                function=name,
+                local_functions=fed.local_function_count(),
+                case=fed.case.value,
+                wfms=measure_hot(wfms, name, repeats=repeats).mean,
+                udtf=measure_hot(udtf, name, repeats=repeats).mean,
+            )
+        )
+    return result
+
+
+def render_fig5(result: Fig5Result) -> str:
+    """The Fig. 5 comparison as ASCII."""
+    rows = [
+        [p.function, p.local_functions, p.case, p.wfms, p.udtf, f"{p.ratio:.2f}x"]
+        for p in result.points
+    ]
+    return format_table(
+        ["function", "#local fns", "case", "WfMS [su]", "UDTF [su]", "WfMS/UDTF"],
+        rows,
+        title="Fig. 5 — workflow vs. enhanced UDTF approach (repeated calls)",
+    )
+
+
+# ===========================================================================
+# E5 — Fig. 6
+# ===========================================================================
+
+
+@dataclass
+class Fig6Breakdown:
+    """Per-step portions of one architecture's anchor call."""
+    architecture: str
+    total: float
+    steps: list[tuple[str, float, float]] = field(default_factory=list)
+    """(label, time, fraction) in the paper's row order."""
+    unattributed: float = 0.0
+
+
+@dataclass
+class Fig6Result:
+    """E5 result: both Fig. 6 tables."""
+    wfms: Fig6Breakdown | None = None
+    udtf: Fig6Breakdown | None = None
+
+
+def _breakdown(
+    scenario: Scenario, labels: list[str], architecture: Architecture
+) -> Fig6Breakdown:
+    scenario.call(FIG6_FUNCTION, *call_args(FIG6_FUNCTION))  # warm
+    trace = TraceRecorder(scenario.server.machine.clock)
+    with trace.span("TOTAL"):
+        scenario.call(FIG6_FUNCTION, *call_args(FIG6_FUNCTION), trace=trace)
+    total = trace.total()
+    by_name = trace.totals_by_name()
+    steps = [
+        (label, by_name.get(label, 0.0), by_name.get(label, 0.0) / total)
+        for label in labels
+    ]
+    attributed = sum(t for _, t, _ in steps)
+    return Fig6Breakdown(
+        architecture=architecture.value,
+        total=total,
+        steps=steps,
+        unattributed=total - attributed,
+    )
+
+
+def exp_fig6(
+    data: EnterpriseData | None = None, controller_enabled: bool = True
+) -> Fig6Result:
+    """Fig. 6: per-step time portions of a hot GetNoSuppComp call."""
+    shared = data if data is not None else generate_enterprise_data()
+    result = Fig6Result()
+    wfms = _fresh_scenario(Architecture.WFMS, shared, controller_enabled)
+    result.wfms = _breakdown(wfms, FIG6_WFMS_STEPS, Architecture.WFMS)
+    udtf = _fresh_scenario(
+        Architecture.ENHANCED_SQL_UDTF, shared, controller_enabled
+    )
+    result.udtf = _breakdown(udtf, FIG6_UDTF_STEPS, Architecture.ENHANCED_SQL_UDTF)
+    return result
+
+
+def render_fig6(result: Fig6Result) -> str:
+    """Both Fig. 6 tables as ASCII."""
+    chunks = []
+    for breakdown, title in (
+        (result.wfms, "Workflow approach"),
+        (result.udtf, "UDTF approach"),
+    ):
+        assert breakdown is not None
+        rows = [
+            [label, time, format_percent(fraction)]
+            for label, time, fraction in breakdown.steps
+        ]
+        rows.append(["(engine overhead)", breakdown.unattributed,
+                     format_percent(breakdown.unattributed / breakdown.total)])
+        rows.append(["TOTAL", breakdown.total, "100%"])
+        chunks.append(
+            format_table(
+                ["Step", "Time [su]", "Portion"],
+                rows,
+                title=f"Fig. 6 — {title} ({FIG6_FUNCTION})",
+            )
+        )
+    return "\n\n".join(chunks)
+
+
+# ===========================================================================
+# E6 — controller ablation
+# ===========================================================================
+
+
+@dataclass
+class AblationResult:
+    """E6 result: totals with and without the controller."""
+    wfms_with: float = 0.0
+    wfms_without: float = 0.0
+    udtf_with: float = 0.0
+    udtf_without: float = 0.0
+
+    @property
+    def wfms_decrease(self) -> float:
+        """Relative WfMS saving without the controller."""
+        return 1.0 - self.wfms_without / self.wfms_with
+
+    @property
+    def udtf_decrease(self) -> float:
+        """Relative UDTF saving without the controller."""
+        return 1.0 - self.udtf_without / self.udtf_with
+
+    @property
+    def ratio_with(self) -> float:
+        """WfMS/UDTF ratio with the controller."""
+        return self.wfms_with / self.udtf_with
+
+    @property
+    def ratio_without(self) -> float:
+        """WfMS/UDTF ratio without the controller."""
+        return self.wfms_without / self.udtf_without
+
+
+def exp_controller_ablation(data: EnterpriseData | None = None) -> AblationResult:
+    """Sect. 4: 'Assume we can implement our prototypes without the
+    controller' — WfMS −8 %, UDTF −25 %, ratio 3 → 3.7."""
+    shared = data if data is not None else generate_enterprise_data()
+    result = AblationResult()
+    for enabled in (True, False):
+        wfms = _fresh_scenario(Architecture.WFMS, shared, controller_enabled=enabled)
+        udtf = _fresh_scenario(
+            Architecture.ENHANCED_SQL_UDTF, shared, controller_enabled=enabled
+        )
+        wfms_time = measure_hot(wfms, FIG6_FUNCTION).mean
+        udtf_time = measure_hot(udtf, FIG6_FUNCTION).mean
+        if enabled:
+            result.wfms_with, result.udtf_with = wfms_time, udtf_time
+        else:
+            result.wfms_without, result.udtf_without = wfms_time, udtf_time
+    return result
+
+
+def render_controller_ablation(result: AblationResult) -> str:
+    """The ablation table as ASCII."""
+    rows = [
+        ["WfMS", result.wfms_with, result.wfms_without,
+         format_percent(result.wfms_decrease)],
+        ["UDTF", result.udtf_with, result.udtf_without,
+         format_percent(result.udtf_decrease)],
+        ["ratio WfMS/UDTF", result.ratio_with, result.ratio_without, "-"],
+    ]
+    return format_table(
+        ["approach", "with controller", "without", "decrease"],
+        rows,
+        title="Sect. 4 — hypothetical prototypes without the controller",
+    )
+
+
+# ===========================================================================
+# E7 — cyclic loop scaling
+# ===========================================================================
+
+
+@dataclass
+class LoopScalingResult:
+    """E7 result: (iterations, elapsed) points and the fit."""
+    points: list[tuple[int, float]] = field(default_factory=list)
+    slope: float = 0.0
+    intercept: float = 0.0
+    r_squared: float = 0.0
+
+
+def exp_cyclic_scaling(
+    iteration_counts: list[int] | None = None,
+    data: EnterpriseData | None = None,
+) -> LoopScalingResult:
+    """Sect. 4: AllCompNames via a do-until loop — 'the overall
+    processing time rises linearly to the number of function calls'."""
+    counts = iteration_counts or [1, 2, 5, 10, 20, 50]
+    shared = data if data is not None else generate_enterprise_data(
+        n_components=max(counts) + 10
+    )
+    scenario = _fresh_scenario(Architecture.WFMS, shared)
+    timed_call(scenario, "AllCompNames", (1, 1))  # warm plan + template
+    result = LoopScalingResult()
+    for k in counts:
+        elapsed = timed_call(scenario, "AllCompNames", (1, k))
+        result.points.append((k, elapsed))
+    slope, intercept, r_squared = linear_fit(
+        [(float(k), t) for k, t in result.points]
+    )
+    result.slope, result.intercept, result.r_squared = slope, intercept, r_squared
+    return result
+
+
+def render_cyclic_scaling(result: LoopScalingResult) -> str:
+    """The loop-scaling table and fit as ASCII."""
+    rows = [[k, t] for k, t in result.points]
+    table = format_table(
+        ["#iterations", "elapsed [su]"],
+        rows,
+        title="Sect. 4 — AllCompNames loop scaling (WfMS)",
+    )
+    return (
+        f"{table}\n"
+        f"linear fit: {result.slope:.2f} su/iteration + {result.intercept:.2f} su "
+        f"(r^2 = {result.r_squared:.4f})"
+    )
+
+
+# ===========================================================================
+# E8 — parallel vs sequential
+# ===========================================================================
+
+
+@dataclass
+class ParallelResult:
+    """E8 result: parallel vs sequential on both architectures."""
+    wfms_sequential: float = 0.0
+    wfms_parallel: float = 0.0
+    udtf_sequential: float = 0.0
+    udtf_parallel: float = 0.0
+
+
+def exp_parallel_vs_sequential(data: EnterpriseData | None = None) -> ParallelResult:
+    """Sect. 4: GetSuppQualRelia (parallel) vs GetSuppQual (sequential)
+    — the WfMS profits from parallelism, the UDTF approach shows 'a
+    contrary result'."""
+    shared = data if data is not None else generate_enterprise_data()
+    wfms = _fresh_scenario(Architecture.WFMS, shared)
+    udtf = _fresh_scenario(Architecture.ENHANCED_SQL_UDTF, shared)
+    return ParallelResult(
+        wfms_sequential=measure_hot(wfms, "GetSuppQual").mean,
+        wfms_parallel=measure_hot(wfms, "GetSuppQualRelia").mean,
+        udtf_sequential=measure_hot(udtf, "GetSuppQual").mean,
+        udtf_parallel=measure_hot(udtf, "GetSuppQualRelia").mean,
+    )
+
+
+def render_parallel_vs_sequential(result: ParallelResult) -> str:
+    """The parallel-vs-sequential table as ASCII."""
+    rows = [
+        ["GetSuppQual (sequential)", result.wfms_sequential, result.udtf_sequential],
+        ["GetSuppQualRelia (parallel)", result.wfms_parallel, result.udtf_parallel],
+    ]
+    return format_table(
+        ["function", "WfMS [su]", "UDTF [su]"],
+        rows,
+        title="Sect. 4 — parallel vs sequential execution",
+    )

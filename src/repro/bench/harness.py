@@ -1,0 +1,110 @@
+"""Measurement primitives over the virtual clock.
+
+All timings are *virtual* (simulated milliseconds); repeats exercise the
+averaging path but are deterministic unless a jitter source is
+configured on the scenario's machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.scenario import Scenario
+
+#: Default invocation arguments for every scenario function.
+DEFAULT_ARGS: dict[str, tuple] = {
+    "GibKompNr": ("gearbox",),
+    "GetNumberSupp1234": (1,),
+    "GetSuppQual": ("ACME Industrial",),
+    "GetSuppQualRelia": (1234,),
+    "GetSubCompDiscounts": (1, 5),
+    "GetSuppGrade": (1234,),
+    "GetSuppQualReliaByName": ("ACME Industrial",),
+    "GetNoSuppComp": ("gearbox",),
+    "BuySuppComp": (1234, "gearbox"),
+    "AllCompNames": (1, 5),
+}
+
+
+@dataclass
+class Measurement:
+    """One averaged timing."""
+
+    name: str
+    mean: float
+    runs: list[float]
+
+    @property
+    def minimum(self) -> float:
+        """Fastest run."""
+        return min(self.runs)
+
+    @property
+    def maximum(self) -> float:
+        """Slowest run."""
+        return max(self.runs)
+
+
+@dataclass
+class SituationTiming:
+    """Sect. 4 ¶3: elapsed time in the three warmth situations."""
+
+    name: str
+    cold: float
+    warm_other: float
+    hot: float
+
+
+def call_args(name: str) -> tuple:
+    """Default arguments for a scenario function."""
+    return DEFAULT_ARGS[name]
+
+
+def timed_call(scenario: Scenario, name: str, args: tuple | None = None) -> float:
+    """One call; returns its virtual elapsed time."""
+    arguments = args if args is not None else call_args(name)
+    clock = scenario.server.machine.clock
+    start = clock.now
+    scenario.call(name, *arguments)
+    return clock.now - start
+
+
+def measure_hot(
+    scenario: Scenario,
+    name: str,
+    args: tuple | None = None,
+    repeats: int = 3,
+) -> Measurement:
+    """Repeated-call timing: warm up once, then average ``repeats``."""
+    timed_call(scenario, name, args)  # warm-up (plan + template load)
+    runs = [timed_call(scenario, name, args) for _ in range(repeats)]
+    return Measurement(name, sum(runs) / len(runs), runs)
+
+
+def measure_situations(
+    scenario: Scenario,
+    name: str,
+    other: str | None = None,
+) -> SituationTiming:
+    """Boot / warm-other / hot timing for one federated function.
+
+    ``other`` is the function invoked first in the 'after some other
+    function' situation; defaults to any deployed function different
+    from ``name``.
+    """
+    if other is None:
+        other = next(
+            fed.name
+            for fed in scenario.functions.values()
+            if fed.name.upper() != name.upper()
+        )
+    # Situation 1: right after the entire system has been booted.
+    scenario.server.boot()
+    cold = timed_call(scenario, name)
+    # Situation 2: after some *other* function has been invoked.
+    scenario.server.boot()
+    timed_call(scenario, other)
+    warm_other = timed_call(scenario, name)
+    # Situation 3: after the same function has been processed.
+    hot = timed_call(scenario, name)
+    return SituationTiming(name, cold, warm_other, hot)

@@ -1,0 +1,88 @@
+"""Paper-style plain-text tables and series.
+
+The benchmarks print their results through these helpers so the console
+output mirrors the paper's tables (Fig. 6, the Sect. 3 matrix) and
+series (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    columns = len(headers)
+    cells = [[_text(value) for value in row] for row in rows]
+    for row in cells:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, header has {columns}: {row!r}"
+            )
+    widths = [
+        max(len(headers[index]), *(len(row[index]) for row in cells))
+        if cells
+        else len(headers[index])
+        for index in range(columns)
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _text(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_percent(fraction: float) -> str:
+    """A paper-style whole-percent cell ('51%', '0%')."""
+    return f"{round(fraction * 100):d}%"
+
+
+def format_series(
+    label: str,
+    points: Sequence[tuple[object, float]],
+    unit: str = "su",
+) -> str:
+    """Render an (x, y) series as one table row per point."""
+    lines = [label]
+    for x, y in points:
+        lines.append(f"  {str(x):30s} {y:10.2f} {unit}")
+    return "\n".join(lines)
+
+
+def linear_fit(points: Sequence[tuple[float, float]]) -> tuple[float, float, float]:
+    """Least-squares line fit: returns (slope, intercept, r_squared).
+
+    Used by the loop-scaling experiment to verify the paper's 'rises
+    linearly to the number of function calls' claim.
+    """
+    n = len(points)
+    if n < 2:
+        raise ValueError("need at least two points for a fit")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    if sxx == 0:
+        raise ValueError("degenerate fit: all x values equal")
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in points)
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return slope, intercept, r_squared

@@ -1,0 +1,62 @@
+"""The paper's contribution: federated functions over FDBS + WfMS.
+
+Public surface:
+
+* :class:`~repro.core.mapping.MappingGraph` — the precedence graph
+  mapping one federated function to local functions (Fig. 1);
+* :class:`~repro.core.federated_function.FederatedFunction` — the
+  federated function specification (signature + mapping);
+* :mod:`repro.core.architectures` — the architecture spectrum and its
+  mapping-complexity capability matrix (Sect. 3 table);
+* compilers turning a mapping graph into each architecture's artefact:
+  :func:`~repro.core.compile_sql_udtf.compile_sql_udtf` (CREATE
+  FUNCTION text), :func:`~repro.core.compile_sql_udtf.compile_simple_select`
+  (the simple-UDTF-architecture application query),
+  :func:`~repro.core.compile_workflow.compile_workflow` (a process
+  definition), :func:`~repro.core.compile_procedural.compile_procedural`
+  (a procedural body);
+* :class:`~repro.core.server.IntegrationServer` — the assembled
+  three-tier middleware;
+* :mod:`repro.core.scenario` — the paper's purchasing scenario with all
+  named federated functions.
+"""
+
+from repro.core.mapping import (
+    Const,
+    FedInput,
+    HeterogeneityCase,
+    LocalCall,
+    LoopCall,
+    MappingGraph,
+    NodeOutput,
+    classify,
+)
+from repro.core.federated_function import FederatedFunction
+from repro.core.architectures import Architecture, supports, capability_matrix
+from repro.core.compile_sql_udtf import compile_simple_select, compile_sql_udtf
+from repro.core.compile_workflow import compile_workflow
+from repro.core.compile_procedural import compile_procedural
+from repro.core.server import IntegrationServer
+from repro.core.scenario import Scenario, build_scenario
+
+__all__ = [
+    "Architecture",
+    "Const",
+    "FedInput",
+    "FederatedFunction",
+    "HeterogeneityCase",
+    "IntegrationServer",
+    "LocalCall",
+    "LoopCall",
+    "MappingGraph",
+    "NodeOutput",
+    "Scenario",
+    "build_scenario",
+    "capability_matrix",
+    "classify",
+    "compile_procedural",
+    "compile_simple_select",
+    "compile_sql_udtf",
+    "compile_workflow",
+    "supports",
+]

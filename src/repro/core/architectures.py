@@ -1,0 +1,120 @@
+"""The architecture spectrum and its capability matrix (Sect. 2 + 3).
+
+:func:`supports` answers "can this architecture express this
+heterogeneity case?", and :func:`capability_matrix` reconstructs the
+paper's Sect. 3 summary table — including the footnote that the
+dependent cases rest on a product-specific behaviour ("not supported in
+general") and the cyclic row where the UDTF approach gives up.
+
+The enhanced *Java* (here: procedural) architecture goes beyond the
+paper's two-column table: host-language control structures make the
+cyclic case expressible there, which we mark as an extension.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.mapping import HeterogeneityCase
+
+
+class Architecture(enum.Enum):
+    """The integration architectures of Sect. 2."""
+
+    SIMPLE_UDTF = "simple UDTF"
+    ENHANCED_SQL_UDTF = "enhanced SQL UDTF"
+    ENHANCED_JAVA_UDTF = "enhanced Java UDTF"
+    WFMS = "WfMS"
+
+
+_SQL_MECHANISMS = {
+    HeterogeneityCase.TRIVIAL: "hidden behind the federated function's signature",
+    HeterogeneityCase.SIMPLE: "cast functions, supply of constant parameters",
+    HeterogeneityCase.INDEPENDENT: "join with selection",
+    HeterogeneityCase.DEPENDENT_LINEAR: (
+        "join with selection; execution order defined by input parameters*"
+    ),
+    HeterogeneityCase.DEPENDENT_1N: (
+        "join with selection; execution order defined by input parameters*"
+    ),
+    HeterogeneityCase.DEPENDENT_N1: (
+        "join with selection; execution order defined by input parameters*"
+    ),
+    HeterogeneityCase.DEPENDENT_CYCLIC: "not supported",
+    HeterogeneityCase.GENERAL: (
+        "join with selection; execution order defined by input parameters*"
+    ),
+}
+
+_WFMS_MECHANISMS = {
+    HeterogeneityCase.TRIVIAL: "hidden behind the federated function's signature",
+    HeterogeneityCase.SIMPLE: "helper functions",
+    HeterogeneityCase.INDEPENDENT: "parallel execution of activities",
+    HeterogeneityCase.DEPENDENT_LINEAR: "sequential execution of activities",
+    HeterogeneityCase.DEPENDENT_1N: "parallel and sequential execution of activities",
+    HeterogeneityCase.DEPENDENT_N1: "parallel and sequential execution of activities",
+    HeterogeneityCase.DEPENDENT_CYCLIC: "loop construct with sub-workflow",
+    HeterogeneityCase.GENERAL: "combination of control-flow constructs",
+}
+
+_PROCEDURAL_MECHANISMS = {
+    case: "host-language statements and control structures"
+    for case in HeterogeneityCase
+}
+
+
+def supports(architecture: Architecture, case: HeterogeneityCase) -> bool:
+    """Whether an architecture can express a heterogeneity case."""
+    if case is HeterogeneityCase.DEPENDENT_CYCLIC:
+        return architecture in (
+            Architecture.WFMS,
+            Architecture.ENHANCED_JAVA_UDTF,  # extension beyond the paper's table
+        )
+    return True
+
+
+def mechanism(architecture: Architecture, case: HeterogeneityCase) -> str:
+    """How an architecture implements a case (the table's cell text)."""
+    if architecture in (Architecture.SIMPLE_UDTF, Architecture.ENHANCED_SQL_UDTF):
+        return _SQL_MECHANISMS[case]
+    if architecture is Architecture.ENHANCED_JAVA_UDTF:
+        if case is HeterogeneityCase.DEPENDENT_CYCLIC:
+            return "host-language loop (extension beyond the paper's table)"
+        return _PROCEDURAL_MECHANISMS[case]
+    return _WFMS_MECHANISMS[case]
+
+
+#: The order the paper's table lists the cases in.
+TABLE_CASE_ORDER = [
+    HeterogeneityCase.TRIVIAL,
+    HeterogeneityCase.SIMPLE,
+    HeterogeneityCase.INDEPENDENT,
+    HeterogeneityCase.DEPENDENT_LINEAR,
+    HeterogeneityCase.DEPENDENT_1N,
+    HeterogeneityCase.DEPENDENT_N1,
+    HeterogeneityCase.DEPENDENT_CYCLIC,
+    HeterogeneityCase.GENERAL,
+]
+
+
+def capability_matrix(
+    architectures: list[Architecture] | None = None,
+) -> list[dict[str, str]]:
+    """Rows of the Sect. 3 table: case + one mechanism cell per
+    architecture (with 'not supported' where applicable)."""
+    chosen = architectures or [Architecture.ENHANCED_SQL_UDTF, Architecture.WFMS]
+    rows: list[dict[str, str]] = []
+    for case in TABLE_CASE_ORDER:
+        row = {"case": case.value}
+        for architecture in chosen:
+            cell = (
+                mechanism(architecture, case)
+                if supports(architecture, case)
+                else "not supported"
+            )
+            row[architecture.value] = cell
+        rows.append(row)
+    return rows
+
+
+FOOTNOTE = "* Not supported in general (product-specific behaviour)."

@@ -1,0 +1,68 @@
+"""Federated function specification.
+
+A federated function is a name, a SQL signature, and a mapping graph —
+"federated functions combining functionality of one or more application
+system calls" (paper, abstract).  The compilers in
+:mod:`repro.core.compile_sql_udtf`, :mod:`repro.core.compile_workflow`
+and :mod:`repro.core.compile_procedural` turn the same specification
+into each architecture's artefact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mapping import HeterogeneityCase, MappingGraph, classify
+from repro.errors import MappingGraphError
+from repro.fdbs.types import SqlType
+
+
+@dataclass
+class FederatedFunction:
+    """One federated function: signature plus mapping graph."""
+
+    name: str
+    params: list[tuple[str, SqlType]]
+    returns: list[tuple[str, SqlType]]
+    mapping: MappingGraph
+    description: str = ""
+
+    def validate(self) -> None:
+        """Check signature/mapping consistency."""
+        self.mapping.validate()
+        if len(self.returns) != len(self.mapping.outputs):
+            raise MappingGraphError(
+                f"federated function {self.name!r} declares "
+                f"{len(self.returns)} result column(s) but the mapping "
+                f"produces {len(self.mapping.outputs)}"
+            )
+        param_names = {n.upper() for n, _ in self.params}
+        for node in self.mapping.nodes:
+            for source in node.args.values():
+                self._check_fed_input(source, param_names, f"node {node.id!r}")
+        for output in self.mapping.outputs:
+            self._check_fed_input(output.source, param_names, f"output {output.name!r}")
+
+    def _check_fed_input(self, source, param_names: set[str], where: str) -> None:
+        from repro.core.mapping import FedInput
+
+        if isinstance(source, FedInput) and source.name.upper() not in param_names:
+            raise MappingGraphError(
+                f"{where} of {self.name!r} references unknown federated "
+                f"parameter {source.name!r}"
+            )
+
+    @property
+    def case(self) -> HeterogeneityCase:
+        """The heterogeneity case of this function's mapping."""
+        return classify(self.mapping)
+
+    def local_function_count(self) -> int:
+        """Static number of local-function call sites."""
+        return self.mapping.local_function_count()
+
+    def signature(self) -> str:
+        """Human-readable signature text."""
+        inner = ", ".join(f"{n} {t.render()}" for n, t in self.params)
+        outer = ", ".join(f"{n} {t.render()}" for n, t in self.returns)
+        return f"{self.name}({inner}) -> TABLE({outer})"

@@ -1,0 +1,192 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+The hierarchy deliberately mirrors the failure classes the paper talks
+about: SQL-level errors raised by the FDBS, restrictions of the UDTF
+architecture (one-statement bodies, no nesting, no cycles, CALL-only
+procedures), workflow-level failures, and encapsulation violations of the
+application systems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# --------------------------------------------------------------------------
+# FDBS / SQL errors
+# --------------------------------------------------------------------------
+
+
+class SqlError(ReproError):
+    """Base class for errors raised by the FDBS SQL engine."""
+
+
+class LexerError(SqlError):
+    """Invalid token in SQL text."""
+
+    def __init__(self, message: str, position: int, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+class ParseError(SqlError):
+    """SQL text does not conform to the supported dialect."""
+
+
+class CatalogError(SqlError):
+    """Unknown or duplicate catalog object (table, function, server...)."""
+
+
+class TypeError_(SqlError):
+    """SQL type-system violation (incompatible types, bad cast...).
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class PlanError(SqlError):
+    """The query cannot be planned (unresolved column, bad reference...)."""
+
+
+class ExecutionError(SqlError):
+    """Runtime failure while executing a plan."""
+
+
+class ConstraintError(SqlError):
+    """Integrity constraint violated (duplicate key, NOT NULL...)."""
+
+
+class AuthorizationError(SqlError):
+    """The current user lacks a required privilege."""
+
+
+# --- Restrictions reproduced from DB2 UDB v7.1 / the paper -----------------
+
+
+class RestrictionError(SqlError):
+    """Base for restrictions the paper's host DBMS imposes."""
+
+
+class OneStatementError(RestrictionError):
+    """A SQL function body may contain exactly one SQL statement."""
+
+
+class NestedTableFunctionError(RestrictionError):
+    """Table functions cannot be nested: ``TABLE(f(g(x)))`` is invalid."""
+
+
+class CyclicDependencyError(RestrictionError):
+    """UDTF parameter references form a cycle; not expressible in SQL."""
+
+
+class CallOnlyProcedureError(RestrictionError):
+    """Stored procedures can only be invoked by CALL, never in FROM."""
+
+
+class ReadOnlyFunctionError(RestrictionError):
+    """UDTFs support read access only; no insert/update/delete."""
+
+
+class FencedModeError(RestrictionError):
+    """A fenced UDTF tried to open an in-process database connection."""
+
+
+# --------------------------------------------------------------------------
+# WfMS errors
+# --------------------------------------------------------------------------
+
+
+class WorkflowError(ReproError):
+    """Base class for workflow-management-system errors."""
+
+
+class ProcessDefinitionError(WorkflowError):
+    """Malformed process model (dangling connector, unknown activity...)."""
+
+
+class FdlSyntaxError(ProcessDefinitionError):
+    """The FDL-like process definition text could not be parsed."""
+
+
+class ContainerError(WorkflowError):
+    """Container member missing or of the wrong type."""
+
+
+class NavigationError(WorkflowError):
+    """The navigator reached an inconsistent instance state."""
+
+
+class ActivityFailedError(WorkflowError):
+    """An activity's program raised; carries the failing activity name."""
+
+    def __init__(self, activity: str, cause: Exception):
+        super().__init__(f"activity {activity!r} failed: {cause}")
+        self.activity = activity
+        self.cause = cause
+
+
+# --------------------------------------------------------------------------
+# Application-system errors
+# --------------------------------------------------------------------------
+
+
+class ApplicationSystemError(ReproError):
+    """Base class for encapsulated application-system errors."""
+
+
+class EncapsulationError(ApplicationSystemError):
+    """Something tried to bypass the predefined-function interface."""
+
+
+class UnknownFunctionError(ApplicationSystemError):
+    """No local function with that name is exported."""
+
+
+class SignatureError(ApplicationSystemError):
+    """Arguments do not match the local function's signature."""
+
+
+# --------------------------------------------------------------------------
+# Integration / mapping errors
+# --------------------------------------------------------------------------
+
+
+class MappingError(ReproError):
+    """Base class for federated-function mapping errors."""
+
+
+class UnsupportedMappingError(MappingError):
+    """The mapping cannot be expressed in the selected architecture.
+
+    E.g. a cyclic dependency compiled for the enhanced SQL UDTF
+    architecture (the paper's Sect. 3 table marks it 'not supported').
+    """
+
+    def __init__(self, message: str, case: str | None = None):
+        super().__init__(message)
+        self.case = case
+
+
+class MappingGraphError(MappingError):
+    """The mapping graph itself is malformed."""
+
+
+# --------------------------------------------------------------------------
+# Simulation substrate errors
+# --------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for virtual-time / machine-model errors."""
+
+
+class ClockError(SimulationError):
+    """Virtual clock misuse (negative advance, nested run conflicts)."""
+
+
+class ProcessStateError(SimulationError):
+    """Simulated OS process used in the wrong state (not started, dead)."""

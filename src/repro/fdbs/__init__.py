@@ -1,0 +1,52 @@
+"""A from-scratch federated relational database engine.
+
+This package reproduces the *interface* properties of the paper's host
+DBMS (IBM DB2 UDB v7.1) that its architecture comparison rests on:
+
+* table functions referenced as ``TABLE(f(args)) AS alias`` in the FROM
+  clause, evaluated left to right with lateral parameter references to
+  earlier aliases only;
+* ``CREATE FUNCTION ... RETURNS TABLE (...) LANGUAGE SQL RETURN <stmt>``
+  with a *single-statement* body;
+* no nesting of table functions;
+* stored procedures invocable only via ``CALL``;
+* UDTFs are read-only;
+* fenced UDTF execution through the controller process;
+* SQL/MED-style foreign servers with nicknames and subquery pushdown.
+
+Public entry point: :class:`~repro.fdbs.engine.Database`.
+"""
+
+from repro.fdbs.engine import Database
+from repro.fdbs.types import (
+    SqlType,
+    BOOLEAN,
+    SMALLINT,
+    INTEGER,
+    BIGINT,
+    DECIMAL,
+    DOUBLE,
+    CHAR,
+    VARCHAR,
+    DATE,
+)
+from repro.fdbs.catalog import Catalog, ColumnDef, TableDef
+from repro.fdbs.storage import Table
+
+__all__ = [
+    "Database",
+    "SqlType",
+    "BOOLEAN",
+    "SMALLINT",
+    "INTEGER",
+    "BIGINT",
+    "DECIMAL",
+    "DOUBLE",
+    "CHAR",
+    "VARCHAR",
+    "DATE",
+    "Catalog",
+    "ColumnDef",
+    "TableDef",
+    "Table",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.fdbs`` — the interactive SQL shell."""
+
+import sys
+
+from repro.fdbs.shell import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,351 @@
+"""System catalog of the FDBS.
+
+Holds every named object: tables, nicknames, table functions (SQL and
+external), stored procedures, SQL/MED wrappers and servers.  Identifier
+resolution is case-insensitive (names are stored with their original
+spelling but keyed upper-cased), matching the dialect's unquoted
+identifier semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+from repro.errors import CatalogError
+from repro.fdbs.types import SqlType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fdbs import ast
+    from repro.fdbs.storage import Table
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """One column of a table or of a table-function result."""
+
+    name: str
+    type: SqlType
+    not_null: bool = False
+
+
+@dataclass
+class TableDef:
+    """A base table: schema plus its storage."""
+
+    name: str
+    columns: list[ColumnDef]
+    primary_key: list[str] = field(default_factory=list)
+    storage: "Table | None" = None
+
+    def column_index(self, name: str) -> int:
+        """Index of a column by case-insensitive name."""
+        target = name.upper()
+        for index, column in enumerate(self.columns):
+            if column.name.upper() == target:
+                return index
+        raise CatalogError(f"table {self.name!r} has no column {name!r}")
+
+    def has_column(self, name: str) -> bool:
+        """True if a column of that name exists."""
+        target = name.upper()
+        return any(c.name.upper() == target for c in self.columns)
+
+    @property
+    def column_names(self) -> list[str]:
+        """Column names in declaration order."""
+        return [c.name for c in self.columns]
+
+
+@dataclass(frozen=True)
+class FunctionParam:
+    """One declared parameter of a function or procedure."""
+
+    name: str
+    type: SqlType
+    mode: str = "IN"
+
+
+class FunctionKind:
+    """Discriminators for catalog function entries."""
+
+    SQL_TABLE = "sql table function"
+    EXTERNAL_TABLE = "external table function"
+
+
+@dataclass
+class SqlTableFunction:
+    """A ``LANGUAGE SQL`` I-UDTF: body is one SELECT statement."""
+
+    name: str
+    params: list[FunctionParam]
+    returns: list[ColumnDef]
+    body: "ast.Select"
+    deterministic: bool = False
+    """DETERMINISTIC functions may have repeated invocations with equal
+    arguments served from a per-statement cache (DB2-style)."""
+
+    kind: str = FunctionKind.SQL_TABLE
+
+
+@dataclass
+class ExternalTableFunction:
+    """An external (A-)UDTF backed by a registered callable.
+
+    ``implementation`` receives the positional argument values and must
+    return an iterable of row tuples matching ``returns``.  ``fenced``
+    external functions are executed through the fenced runtime (separate
+    process + RMI to the controller), reproducing DB2's security model.
+    """
+
+    name: str
+    params: list[FunctionParam]
+    returns: list[ColumnDef]
+    external_name: str
+    language: str = "JAVA"
+    fenced: bool = True
+    implementation: Callable[..., Iterable[Sequence[object]]] | None = None
+    deterministic: bool = False
+    """DETERMINISTIC functions may have repeated invocations with equal
+    arguments served from a per-statement cache (DB2-style)."""
+
+    kind: str = FunctionKind.EXTERNAL_TABLE
+
+
+@dataclass
+class ProcedureDef:
+    """A stored procedure (PSM body; CALL-only)."""
+
+    name: str
+    params: list[FunctionParam]
+    body: "list[ast.PsmStatement]"
+
+
+@dataclass
+class WrapperDef:
+    """A SQL/MED wrapper registration."""
+
+    name: str
+
+
+@dataclass
+class ServerDef:
+    """A SQL/MED foreign server using a wrapper.
+
+    ``endpoint`` is attached by the federation layer and points at the
+    remote database adapter the wrapper talks to.
+    """
+
+    name: str
+    wrapper: str
+    endpoint: object | None = None
+
+
+@dataclass
+class ViewDef:
+    """A view: a named, macro-expanded SELECT (definer rights)."""
+
+    name: str
+    columns: list[str] | None
+    body: "ast.Select"
+
+
+@dataclass
+class NicknameDef:
+    """A local name for a remote table on a foreign server."""
+
+    name: str
+    server: str
+    remote_name: str
+    columns: list[ColumnDef] = field(default_factory=list)
+
+
+TableFunction = SqlTableFunction | ExternalTableFunction
+
+
+class Catalog:
+    """All named objects of one database."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableDef] = {}
+        self._functions: dict[str, TableFunction] = {}
+        self._procedures: dict[str, ProcedureDef] = {}
+        self._wrappers: dict[str, WrapperDef] = {}
+        self._servers: dict[str, ServerDef] = {}
+        self._nicknames: dict[str, NicknameDef] = {}
+        self._views: dict[str, ViewDef] = {}
+
+    # -- tables -----------------------------------------------------------------
+
+    def add_table(self, table: TableDef) -> None:
+        """Register the object (duplicates rejected)."""
+        key = table.name.upper()
+        if key in self._tables or key in self._nicknames or key in self._views:
+            raise CatalogError(
+                f"table, view or nickname {table.name!r} already exists"
+            )
+        self._tables[key] = table
+
+    def get_table(self, name: str) -> TableDef:
+        """Look up the named object (raises CatalogError when missing)."""
+        try:
+            return self._tables[name.upper()]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        """True if the named object exists."""
+        return name.upper() in self._tables
+
+    def drop_table(self, name: str) -> TableDef:
+        """Remove and return the named object."""
+        try:
+            return self._tables.pop(name.upper())
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def tables(self) -> list[TableDef]:
+        """All registered objects of this kind."""
+        return list(self._tables.values())
+
+    # -- functions ---------------------------------------------------------------
+
+    def add_function(self, function: TableFunction) -> None:
+        """Register the object (duplicates rejected)."""
+        key = function.name.upper()
+        if key in self._functions:
+            raise CatalogError(f"function {function.name!r} already exists")
+        if key in self._procedures:
+            raise CatalogError(
+                f"{function.name!r} already names a procedure"
+            )
+        self._functions[key] = function
+
+    def get_function(self, name: str) -> TableFunction:
+        """Look up the named object (raises CatalogError when missing)."""
+        try:
+            return self._functions[name.upper()]
+        except KeyError:
+            raise CatalogError(f"unknown function {name!r}") from None
+
+    def has_function(self, name: str) -> bool:
+        """True if the named object exists."""
+        return name.upper() in self._functions
+
+    def drop_function(self, name: str) -> TableFunction:
+        """Remove and return the named object."""
+        try:
+            return self._functions.pop(name.upper())
+        except KeyError:
+            raise CatalogError(f"unknown function {name!r}") from None
+
+    def functions(self) -> list[TableFunction]:
+        """All registered objects of this kind."""
+        return list(self._functions.values())
+
+    # -- procedures ----------------------------------------------------------------
+
+    def add_procedure(self, procedure: ProcedureDef) -> None:
+        """Register the object (duplicates rejected)."""
+        key = procedure.name.upper()
+        if key in self._procedures:
+            raise CatalogError(f"procedure {procedure.name!r} already exists")
+        if key in self._functions:
+            raise CatalogError(f"{procedure.name!r} already names a function")
+        self._procedures[key] = procedure
+
+    def get_procedure(self, name: str) -> ProcedureDef:
+        """Look up the named object (raises CatalogError when missing)."""
+        try:
+            return self._procedures[name.upper()]
+        except KeyError:
+            raise CatalogError(f"unknown procedure {name!r}") from None
+
+    def has_procedure(self, name: str) -> bool:
+        """True if the named object exists."""
+        return name.upper() in self._procedures
+
+    # -- views ---------------------------------------------------------------------
+
+    def add_view(self, view: ViewDef) -> None:
+        """Register the object (duplicates rejected)."""
+        key = view.name.upper()
+        if key in self._views or key in self._tables or key in self._nicknames:
+            raise CatalogError(
+                f"table, view or nickname {view.name!r} already exists"
+            )
+        self._views[key] = view
+
+    def get_view(self, name: str) -> ViewDef:
+        """Look up the named object (raises CatalogError when missing)."""
+        try:
+            return self._views[name.upper()]
+        except KeyError:
+            raise CatalogError(f"unknown view {name!r}") from None
+
+    def has_view(self, name: str) -> bool:
+        """True if the named object exists."""
+        return name.upper() in self._views
+
+    def drop_view(self, name: str) -> ViewDef:
+        """Remove and return the named object."""
+        try:
+            return self._views.pop(name.upper())
+        except KeyError:
+            raise CatalogError(f"unknown view {name!r}") from None
+
+    def views(self) -> list[ViewDef]:
+        """All registered objects of this kind."""
+        return list(self._views.values())
+
+    # -- SQL/MED objects --------------------------------------------------------------
+
+    def add_wrapper(self, wrapper: WrapperDef) -> None:
+        """Register the object (duplicates rejected)."""
+        key = wrapper.name.upper()
+        if key in self._wrappers:
+            raise CatalogError(f"wrapper {wrapper.name!r} already exists")
+        self._wrappers[key] = wrapper
+
+    def get_wrapper(self, name: str) -> WrapperDef:
+        """Look up the named object (raises CatalogError when missing)."""
+        try:
+            return self._wrappers[name.upper()]
+        except KeyError:
+            raise CatalogError(f"unknown wrapper {name!r}") from None
+
+    def add_server(self, server: ServerDef) -> None:
+        """Register the object (duplicates rejected)."""
+        self.get_wrapper(server.wrapper)  # must exist
+        key = server.name.upper()
+        if key in self._servers:
+            raise CatalogError(f"server {server.name!r} already exists")
+        self._servers[key] = server
+
+    def get_server(self, name: str) -> ServerDef:
+        """Look up the named object (raises CatalogError when missing)."""
+        try:
+            return self._servers[name.upper()]
+        except KeyError:
+            raise CatalogError(f"unknown server {name!r}") from None
+
+    def add_nickname(self, nickname: NicknameDef) -> None:
+        """Register the object (duplicates rejected)."""
+        self.get_server(nickname.server)  # must exist
+        key = nickname.name.upper()
+        if key in self._nicknames or key in self._tables or key in self._views:
+            raise CatalogError(
+                f"table, view or nickname {nickname.name!r} already exists"
+            )
+        self._nicknames[key] = nickname
+
+    def get_nickname(self, name: str) -> NicknameDef:
+        """Look up the named object (raises CatalogError when missing)."""
+        try:
+            return self._nicknames[name.upper()]
+        except KeyError:
+            raise CatalogError(f"unknown nickname {name!r}") from None
+
+    def has_nickname(self, name: str) -> bool:
+        """True if the named object exists."""
+        return name.upper() in self._nicknames

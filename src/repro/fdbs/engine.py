@@ -1,0 +1,715 @@
+"""The Database façade: parse, plan, execute, DDL, DML, CALL.
+
+A :class:`Database` may run *costed* (with a
+:class:`~repro.sysmodel.machine.Machine`, charging the calibrated
+latencies — the integration FDBS of the experiments) or *free* (machine
+``None`` — the private databases embedded inside application systems,
+whose internal work is accounted through the local-function costs
+instead).
+
+Table-function execution is delegated to a pluggable
+:class:`FunctionRuntime`; the wrapper layer installs the fenced runtime
+that routes A-UDTFs through the controller and charges the Fig. 6 step
+costs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.errors import (
+    CatalogError,
+    ExecutionError,
+    PlanError,
+    ReadOnlyFunctionError,
+    ReproError,
+    SqlError,
+)
+from repro.fdbs import ast
+from repro.fdbs.authorization import (
+    SUPERUSER,
+    AuthorizationManager,
+    Privilege,
+    required_privileges,
+)
+from repro.fdbs.catalog import (
+    Catalog,
+    ColumnDef,
+    ExternalTableFunction,
+    FunctionParam,
+    NicknameDef,
+    ProcedureDef,
+    ServerDef,
+    SqlTableFunction,
+    TableDef,
+    TableFunction,
+    WrapperDef,
+)
+from repro.fdbs.executor import Plan
+from repro.fdbs.expr import (
+    ColumnSlot,
+    EvalContext,
+    ExpressionCompiler,
+    ParamScope,
+    RowLayout,
+)
+from repro.fdbs.federation import FederationLayer, RemoteEndpoint
+from repro.fdbs.functions import normalize_rows
+from repro.fdbs.parser import parse_statement
+from repro.fdbs.planner import Planner
+from repro.fdbs.procedures import ProcedureInterpreter
+from repro.fdbs.session import Result, StatementCache
+from repro.fdbs.storage import Table, UndoLog
+from repro.fdbs.types import coerce_into
+from repro.simtime.trace import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sysmodel.machine import Machine
+
+_MAX_FUNCTION_DEPTH = 32
+
+
+class FunctionRuntime:
+    """Default table-function runtime: direct in-process execution.
+
+    The integration server replaces this with the fenced runtime from
+    :mod:`repro.wrapper.udtf_runtime`, which charges the architecture's
+    latency costs and enforces the fenced-mode security model.
+    """
+
+    def __init__(self, database: "Database"):
+        self.database = database
+
+    def invoke(
+        self,
+        function: TableFunction,
+        args: list[object],
+        ctx: EvalContext,
+    ) -> list[tuple]:
+        """Dispatch to the SQL or external invocation path."""
+        if isinstance(function, SqlTableFunction):
+            return self.invoke_sql(function, args, ctx)
+        return self.invoke_external(function, args, ctx)
+
+    def invoke_sql(
+        self, function: SqlTableFunction, args: list[object], ctx: EvalContext
+    ) -> list[tuple]:
+        """Run a SQL I-UDTF body in-process."""
+        return self.database.run_sql_function(function, args, trace=ctx.trace)
+
+    def invoke_external(
+        self, function: ExternalTableFunction, args: list[object], ctx: EvalContext
+    ) -> list[tuple]:
+        """Run an external function's implementation in-process."""
+        return self.database.run_external_function(function, args)
+
+
+class Database:
+    """One database instance with its catalog, storage and runtimes."""
+
+    def __init__(self, name: str = "FDBS", machine: "Machine | None" = None):
+        self.name = name
+        self.machine = machine
+        self.catalog = Catalog()
+        self.statement_cache = StatementCache()
+        self.federation = FederationLayer(self)
+        self.function_runtime: FunctionRuntime = FunctionRuntime(self)
+        self._undo = UndoLog()
+        self._function_depth = 0
+        self._function_plan_cache: dict[str, Plan] = {}
+        self.statements_executed = 0
+        #: Predicate pushdown to remote SQL sources (set False for the
+        #: ablation bench; see repro.fdbs.pushdown).
+        self.pushdown_enabled = True
+        #: Index selection for equality conjuncts on base tables.
+        self.index_selection_enabled = True
+        #: Access control (the paper's Sect. 6 future-work item).
+        self.authorization = AuthorizationManager()
+        self.current_user = SUPERUSER
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        sql: str,
+        params: list[object] | None = None,
+        trace: TraceRecorder | None = None,
+    ) -> Result:
+        """Parse and execute one SQL statement."""
+        self.statements_executed += 1
+        if self.machine is not None:
+            self.machine.ensure_base_services()
+            self.machine.clock.advance(self.machine.costs.fdbs_query_base)
+        statement = self._parse_cached(sql)
+        return self._dispatch(statement, sql, params or [], trace)
+
+    def execute_script(self, sql: str) -> list[Result]:
+        """Execute a ';'-separated script; returns one Result per statement."""
+        from repro.fdbs.parser import parse_script
+
+        results = []
+        for statement in parse_script(sql):
+            results.append(self._dispatch(statement, statement.render(), [], None))
+        return results
+
+    def explain(self, sql: str) -> str:
+        """EXPLAIN-style plan tree for a SELECT statement."""
+        statement = parse_statement(sql)
+        if not isinstance(statement, ast.Select):
+            raise PlanError("EXPLAIN supports SELECT statements only")
+        return self._planner().plan_select(statement).explain()
+
+    def call_procedure(self, name: str, args: list[object]) -> dict[str, object]:
+        """CALL a stored procedure; returns its OUT/INOUT values."""
+        procedure = self.catalog.get_procedure(name)
+        return ProcedureInterpreter(self, procedure).call(args)
+
+    def attach_endpoint(self, server_name: str, endpoint: RemoteEndpoint) -> None:
+        """Attach the remote endpoint object to a created server."""
+        server = self.catalog.get_server(server_name)
+        server.endpoint = endpoint
+
+    def register_external_function(self, function: ExternalTableFunction) -> None:
+        """Register a pre-built external table function (A-UDTF)."""
+        self.catalog.add_function(function)
+        self._invalidate_plans()
+
+    def table_rows(self, name: str) -> list[tuple]:
+        """All rows of a base table (testing convenience)."""
+        table = self.catalog.get_table(name)
+        assert table.storage is not None
+        return table.storage.rows()
+
+    # ------------------------------------------------------------------
+    # Statement dispatch
+    # ------------------------------------------------------------------
+
+    def _parse_cached(self, sql: str) -> ast.Statement:
+        cached = self.statement_cache.get(sql)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        if self.machine is not None:
+            key = StatementCache.normalize(sql)
+            if not self.machine.warmth.statement_is_hot(key):
+                self.machine.clock.advance(self.machine.costs.plan_compile)
+                self.machine.warmth.note_statement(key)
+        statement = parse_statement(sql)
+        self.statement_cache.put(sql, statement)
+        return statement
+
+    def set_current_user(self, name: str) -> None:
+        """Switch the session user (must exist; SYSTEM is built in)."""
+        self.authorization.require_user(name)
+        self.current_user = name.upper()
+
+    def _enforce_authorization(self, statement: ast.Statement) -> None:
+        user = self.current_user
+        if user == SUPERUSER:
+            return
+        if isinstance(statement, ast.Explain):
+            statement = statement.query  # EXPLAIN needs the query's rights
+        if isinstance(
+            statement,
+            (
+                ast.Select,
+                ast.Insert,
+                ast.Update,
+                ast.Delete,
+                ast.Call,
+            ),
+        ):
+            for privilege, kind, name in required_privileges(statement, self.catalog):
+                if kind == "function" and not self.catalog.has_function(name):
+                    continue  # unknown names fail later with CatalogError
+                self.authorization.check(privilege, kind, name, user)
+            return
+        if isinstance(statement, (ast.Commit, ast.Rollback)):
+            return
+        # Everything else is DDL / grants: superuser only.
+        from repro.errors import AuthorizationError
+
+        raise AuthorizationError(
+            f"user {user!r} may not execute DDL or grant statements"
+        )
+
+    def _dispatch(
+        self,
+        statement: ast.Statement,
+        sql: str,
+        params: list[object],
+        trace: TraceRecorder | None,
+    ) -> Result:
+        self._enforce_authorization(statement)
+        if isinstance(statement, ast.Select):
+            return self._execute_select(statement, params, trace)
+        if isinstance(statement, ast.Explain):
+            plan = self._planner().plan_select(statement.query)
+            lines = plan.explain().splitlines()
+            return Result(
+                columns=["PLAN"],
+                rows=[(line,) for line in lines],
+                rowcount=len(lines),
+                statement_type="EXPLAIN",
+            )
+        if isinstance(statement, ast.CreateTable):
+            return self._execute_create_table(statement)
+        if isinstance(statement, ast.DropTable):
+            self.catalog.drop_table(statement.name)
+            self._invalidate_plans()
+            return Result(statement_type="DROP TABLE")
+        if isinstance(statement, ast.Insert):
+            return self._execute_insert(statement, params, trace)
+        if isinstance(statement, ast.Update):
+            return self._execute_update(statement, params)
+        if isinstance(statement, ast.Delete):
+            return self._execute_delete(statement, params)
+        if isinstance(statement, ast.CreateSqlFunction):
+            return self._execute_create_sql_function(statement)
+        if isinstance(statement, ast.CreateExternalFunction):
+            return self._execute_create_external_function(statement)
+        if isinstance(statement, ast.DropFunction):
+            self.catalog.drop_function(statement.name)
+            self._invalidate_plans()
+            return Result(statement_type="DROP FUNCTION")
+        if isinstance(statement, ast.CreateProcedure):
+            return self._execute_create_procedure(statement)
+        if isinstance(statement, ast.Call):
+            return self._execute_call(statement, params)
+        if isinstance(statement, ast.CreateWrapper):
+            self.catalog.add_wrapper(WrapperDef(statement.name))
+            return Result(statement_type="CREATE WRAPPER")
+        if isinstance(statement, ast.CreateServer):
+            self.catalog.add_server(ServerDef(statement.name, statement.wrapper))
+            return Result(statement_type="CREATE SERVER")
+        if isinstance(statement, ast.CreateNickname):
+            return self._execute_create_nickname(statement)
+        if isinstance(statement, ast.CreateView):
+            return self._execute_create_view(statement)
+        if isinstance(statement, ast.DropView):
+            self.catalog.drop_view(statement.name)
+            self._invalidate_plans()
+            return Result(statement_type="DROP VIEW")
+        if isinstance(statement, ast.CreateUser):
+            self.authorization.create_user(statement.name)
+            return Result(statement_type="CREATE USER")
+        if isinstance(statement, ast.Grant):
+            return self._execute_grant_revoke(statement, grant=True)
+        if isinstance(statement, ast.Revoke):
+            return self._execute_grant_revoke(statement, grant=False)
+        if isinstance(statement, ast.Commit):
+            self._undo.clear()
+            return Result(statement_type="COMMIT")
+        if isinstance(statement, ast.Rollback):
+            self._undo.rollback()
+            return Result(statement_type="ROLLBACK")
+        raise ExecutionError(f"unsupported statement {type(statement).__name__}")
+
+    def _invalidate_plans(self) -> None:
+        self.statement_cache.invalidate()
+        self._function_plan_cache.clear()
+
+    def _execute_grant_revoke(self, statement, grant: bool) -> Result:
+        kind = statement.kind or self._infer_object_kind(statement.object_name)
+        for privilege_name in statement.privileges:
+            privilege = Privilege(privilege_name.upper())
+            if grant:
+                self.authorization.grant(
+                    privilege, kind, statement.object_name, statement.grantee
+                )
+            else:
+                self.authorization.revoke(
+                    privilege, kind, statement.object_name, statement.grantee
+                )
+        return Result(statement_type="GRANT" if grant else "REVOKE")
+
+    def _infer_object_kind(self, name: str) -> str:
+        if self.catalog.has_function(name):
+            return "function"
+        if self.catalog.has_procedure(name):
+            return "procedure"
+        if (
+            self.catalog.has_table(name)
+            or self.catalog.has_nickname(name)
+            or self.catalog.has_view(name)
+        ):
+            return "table"
+        raise CatalogError(f"unknown object {name!r} in GRANT/REVOKE")
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+
+    def _planner(self, params: ParamScope | None = None) -> Planner:
+        machine = self.machine
+        return Planner(
+            self.catalog,
+            invoker=self._invoke_table_function,
+            remote_fetcher=self.federation.fetcher_for,
+            params=params,
+            costs=machine.costs if machine is not None else None,
+            charge=(machine.clock.advance if machine is not None else None),
+            enable_pushdown=self.pushdown_enabled,
+            pushdown_counter=self.federation,
+            enable_index_selection=self.index_selection_enabled,
+        )
+
+    def _invoke_table_function(
+        self, function: TableFunction, args: list[object], ctx: EvalContext
+    ) -> list[tuple]:
+        coerced = [
+            coerce_into(value, param.type)
+            for value, param in zip(args, function.params)
+        ]
+        rows = self.function_runtime.invoke(function, coerced, ctx)
+        return self._coerce_result_rows(function, rows)
+
+    def _coerce_result_rows(
+        self, function: TableFunction, rows: Iterable[tuple]
+    ) -> list[tuple]:
+        returns = function.returns
+        coerced: list[tuple] = []
+        for row in rows:
+            if len(row) != len(returns):
+                raise ExecutionError(
+                    f"function {function.name} declared {len(returns)} result "
+                    f"column(s) but produced a row of width {len(row)}"
+                )
+            coerced.append(
+                tuple(
+                    coerce_into(value, column.type)
+                    for value, column in zip(row, returns)
+                )
+            )
+        if self.machine is not None and coerced:
+            self.machine.clock.advance(
+                self.machine.costs.udtf_row_overhead * len(coerced)
+            )
+        return coerced
+
+    def _execute_select(
+        self,
+        statement: ast.Select,
+        params: list[object],
+        trace: TraceRecorder | None,
+    ) -> Result:
+        plan = self._planner().plan_select(statement)
+        ctx = EvalContext(params=params, trace=trace)
+        rows = list(plan.rows(ctx))
+        if self.machine is not None:
+            self.machine.clock.advance(self.machine.costs.fdbs_row_cost * len(rows))
+        return Result(
+            columns=[slot.name for slot in plan.schema],
+            rows=rows,
+            rowcount=len(rows),
+        )
+
+    def execute_select_ast(
+        self, statement: ast.Select, params: list[object] | None = None
+    ) -> Result:
+        """Execute an already-parsed SELECT (used by the PSM interpreter)."""
+        return self._execute_select(statement, params or [], None)
+
+    # ------------------------------------------------------------------
+    # Table functions
+    # ------------------------------------------------------------------
+
+    def run_sql_function(
+        self,
+        function: SqlTableFunction,
+        args: list[object],
+        trace: TraceRecorder | None = None,
+    ) -> list[tuple]:
+        """Execute the single-statement body of a SQL I-UDTF."""
+        if self._function_depth >= _MAX_FUNCTION_DEPTH:
+            raise ExecutionError(
+                f"table-function recursion deeper than {_MAX_FUNCTION_DEPTH} "
+                f"while invoking {function.name}"
+            )
+        plan = self._function_plan_cache.get(function.name.upper())
+        if plan is None:
+            if self.machine is not None:
+                key = f"FUNCTION:{function.name.upper()}"
+                if not self.machine.warmth.statement_is_hot(key):
+                    self.machine.clock.advance(self.machine.costs.plan_compile)
+                    self.machine.warmth.note_statement(key)
+            scope = ParamScope(
+                qualifier=function.name,
+                names={
+                    param.name.upper(): (index, param.type)
+                    for index, param in enumerate(function.params)
+                },
+            )
+            plan = self._planner(scope).plan_select(function.body)
+            if len(plan.schema) != len(function.returns):
+                raise PlanError(
+                    f"body of {function.name} produces {len(plan.schema)} "
+                    f"column(s), declaration says {len(function.returns)}"
+                )
+            self._function_plan_cache[function.name.upper()] = plan
+        self._function_depth += 1
+        try:
+            ctx = EvalContext(params=args, trace=trace)
+            return list(plan.rows(ctx))
+        finally:
+            self._function_depth -= 1
+
+    def run_external_function(
+        self, function: ExternalTableFunction, args: list[object]
+    ) -> list[tuple]:
+        """Execute an external function's registered implementation.
+
+        Backend failures surface as
+        :class:`~repro.errors.ExecutionError` — the statement fails with
+        an engine error, never with a raw implementation exception.
+        """
+        if function.implementation is None:
+            raise ExecutionError(
+                f"external function {function.name} ({function.external_name}) "
+                "has no implementation bound; use bind_external() or "
+                "register_external_function()"
+            )
+        try:
+            result = function.implementation(*args)
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise ExecutionError(
+                f"external function {function.name} failed: {exc}"
+            ) from exc
+        return normalize_rows(result, function.name)
+
+    def bind_external(
+        self, name: str, implementation: Callable[..., object]
+    ) -> None:
+        """Bind the implementation of a declared external function."""
+        function = self.catalog.get_function(name)
+        if not isinstance(function, ExternalTableFunction):
+            raise CatalogError(f"{name!r} is not an external function")
+        function.implementation = implementation
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    def _execute_create_table(self, statement: ast.CreateTable) -> Result:
+        columns = []
+        primary_key = list(statement.primary_key)
+        for spec in statement.columns:
+            columns.append(
+                ColumnDef(
+                    spec.name,
+                    spec.type,
+                    not_null=spec.not_null or spec.primary_key,
+                )
+            )
+            if spec.primary_key:
+                primary_key.append(spec.name)
+        if len(primary_key) != len({k.upper() for k in primary_key}):
+            raise CatalogError(
+                f"duplicate primary-key column in table {statement.name!r}"
+            )
+        table = TableDef(statement.name, columns, primary_key)
+        table.storage = Table(statement.name, columns, primary_key)
+        self.catalog.add_table(table)
+        self._invalidate_plans()
+        return Result(statement_type="CREATE TABLE")
+
+    def _execute_create_sql_function(self, statement: ast.CreateSqlFunction) -> Result:
+        function = SqlTableFunction(
+            name=statement.name,
+            params=[FunctionParam(p.name, p.type) for p in statement.params],
+            returns=[ColumnDef(n, t) for n, t in statement.returns_table],
+            body=statement.body,
+            deterministic=statement.deterministic,
+        )
+        self.catalog.add_function(function)
+        self._invalidate_plans()
+        return Result(statement_type="CREATE FUNCTION")
+
+    def _execute_create_external_function(
+        self, statement: ast.CreateExternalFunction
+    ) -> Result:
+        function = ExternalTableFunction(
+            name=statement.name,
+            params=[FunctionParam(p.name, p.type) for p in statement.params],
+            returns=[ColumnDef(n, t) for n, t in statement.returns_table],
+            external_name=statement.external_name,
+            language=statement.language,
+            fenced=statement.fenced,
+            deterministic=statement.deterministic,
+        )
+        self.catalog.add_function(function)
+        self._invalidate_plans()
+        return Result(statement_type="CREATE FUNCTION")
+
+    def _execute_create_procedure(self, statement: ast.CreateProcedure) -> Result:
+        procedure = ProcedureDef(
+            name=statement.name,
+            params=[FunctionParam(p.name, p.type, p.mode) for p in statement.params],
+            body=statement.body,
+        )
+        self.catalog.add_procedure(procedure)
+        return Result(statement_type="CREATE PROCEDURE")
+
+    def _execute_create_view(self, statement: ast.CreateView) -> Result:
+        from repro.fdbs.catalog import ViewDef
+
+        # Bind-time validation: the body must plan, and a declared
+        # column list must match the body's width.
+        plan = self._planner().plan_select(statement.body)
+        if statement.columns is not None and len(statement.columns) != len(
+            plan.schema
+        ):
+            raise PlanError(
+                f"view {statement.name!r} declares {len(statement.columns)} "
+                f"column(s) but its body produces {len(plan.schema)}"
+            )
+        self.catalog.add_view(
+            ViewDef(statement.name, statement.columns, statement.body)
+        )
+        self._invalidate_plans()
+        return Result(statement_type="CREATE VIEW")
+
+    def _execute_create_nickname(self, statement: ast.CreateNickname) -> Result:
+        nickname = NicknameDef(statement.name, statement.server, statement.remote_name)
+        self.catalog.add_nickname(nickname)
+        self.federation.resolve_columns(nickname)
+        self._invalidate_plans()
+        return Result(statement_type="CREATE NICKNAME")
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+
+    def _require_writable_target(self, name: str) -> TableDef:
+        if self.catalog.has_function(name):
+            raise ReadOnlyFunctionError(
+                f"{name!r} is a table function; UDTFs support read access "
+                "only — inserts, deletes and updates cannot be propagated"
+            )
+        if self.catalog.has_nickname(name):
+            raise ExecutionError(
+                f"nickname {name!r} is read-only in this reproduction"
+            )
+        if self.catalog.has_view(name):
+            raise ExecutionError(f"view {name!r} is read-only")
+        return self.catalog.get_table(name)
+
+    def _execute_insert(
+        self,
+        statement: ast.Insert,
+        params: list[object],
+        trace: TraceRecorder | None,
+    ) -> Result:
+        table = self._require_writable_target(statement.table)
+        assert table.storage is not None
+        if statement.columns is not None:
+            positions = [table.column_index(c) for c in statement.columns]
+        else:
+            positions = list(range(len(table.columns)))
+
+        if statement.source is not None:
+            source_result = self._execute_select(statement.source, params, trace)
+            incoming = source_result.rows
+            width = len(source_result.columns)
+        else:
+            assert statement.rows is not None
+            compiler = ExpressionCompiler(RowLayout([]))
+            ctx = EvalContext(params=params, trace=trace)
+            incoming = []
+            width = len(positions)
+            for row_exprs in statement.rows:
+                if len(row_exprs) != len(positions):
+                    raise ExecutionError(
+                        f"INSERT expects {len(positions)} values per row, "
+                        f"got {len(row_exprs)}"
+                    )
+                incoming.append(
+                    tuple(compiler.compile(e)((), ctx) for e in row_exprs)
+                )
+        if width != len(positions):
+            raise ExecutionError(
+                f"INSERT column count {len(positions)} does not match source "
+                f"width {width}"
+            )
+        count = 0
+        for incoming_row in incoming:
+            full_row: list[object] = [None] * len(table.columns)
+            for position, value in zip(positions, incoming_row):
+                full_row[position] = value
+            table.storage.insert(full_row, undo=self._undo)
+            count += 1
+        return Result(rowcount=count, statement_type="INSERT")
+
+    def _dml_layout(self, table: TableDef) -> RowLayout:
+        return RowLayout(
+            [ColumnSlot(table.name, c.name, c.type) for c in table.columns]
+        )
+
+    def _execute_update(self, statement: ast.Update, params: list[object]) -> Result:
+        table = self._require_writable_target(statement.table)
+        assert table.storage is not None
+        layout = self._dml_layout(table)
+        compiler = ExpressionCompiler(layout, subquery_compiler=self._subquery_for_dml)
+        ctx = EvalContext(params=params)
+        assignments = [
+            (table.column_index(column), compiler.compile(expr))
+            for column, expr in statement.assignments
+        ]
+        predicate = (
+            compiler.compile(statement.where) if statement.where is not None else None
+        )
+        touched: list[tuple[int, tuple]] = []
+        for rid, row in table.storage.scan():
+            if predicate is None or predicate(row, ctx) is True:
+                touched.append((rid, row))
+        for rid, row in touched:
+            new_row = list(row)
+            for position, expr in assignments:
+                new_row[position] = expr(row, ctx)
+            table.storage.update_rid(rid, new_row, undo=self._undo)
+        return Result(rowcount=len(touched), statement_type="UPDATE")
+
+    def _execute_delete(self, statement: ast.Delete, params: list[object]) -> Result:
+        table = self._require_writable_target(statement.table)
+        assert table.storage is not None
+        layout = self._dml_layout(table)
+        compiler = ExpressionCompiler(layout, subquery_compiler=self._subquery_for_dml)
+        ctx = EvalContext(params=params)
+        predicate = (
+            compiler.compile(statement.where) if statement.where is not None else None
+        )
+        doomed = [
+            rid
+            for rid, row in table.storage.scan()
+            if predicate is None or predicate(row, ctx) is True
+        ]
+        for rid in doomed:
+            table.storage.delete_rid(rid, undo=self._undo)
+        return Result(rowcount=len(doomed), statement_type="DELETE")
+
+    def _subquery_for_dml(self, select: ast.Select):
+        plan = self._planner().plan_select(select)
+
+        def run(ctx: EvalContext) -> list[tuple]:
+            return list(plan.rows(ctx))
+
+        return run
+
+    # ------------------------------------------------------------------
+    # CALL
+    # ------------------------------------------------------------------
+
+    def _execute_call(self, statement: ast.Call, params: list[object]) -> Result:
+        if self.catalog.has_function(statement.name):
+            raise SqlError(
+                f"{statement.name!r} is a function; reference it in a FROM "
+                "clause — CALL is only valid for stored procedures"
+            )
+        compiler = ExpressionCompiler(RowLayout([]))
+        ctx = EvalContext(params=params)
+        args = [compiler.compile(a)((), ctx) for a in statement.args]
+        out = self.call_procedure(statement.name, args)
+        return Result(out_params=out, statement_type="CALL")

@@ -1,0 +1,634 @@
+"""Volcano-style plan operators.
+
+Every operator exposes ``schema`` (a list of
+:class:`~repro.fdbs.expr.ColumnSlot`) and ``rows(ctx)`` yielding flat
+tuples.  Plans are built by :mod:`repro.fdbs.planner` and executed by
+the engine, which supplies the :class:`~repro.fdbs.expr.EvalContext`
+and the table-function invoker.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Protocol, Sequence
+
+from repro.errors import ExecutionError
+from repro.fdbs.catalog import TableFunction
+from repro.fdbs.expr import ColumnSlot, CompiledExpr, EvalContext, truthy
+from repro.fdbs.storage import Table
+
+
+class FunctionInvoker(Protocol):
+    """Invokes a catalog table function with evaluated argument values."""
+
+    def __call__(
+        self, function: TableFunction, args: list[object], ctx: EvalContext
+    ) -> list[tuple]: ...
+
+
+class Plan:
+    """Base class of executable plan operators."""
+
+    schema: list[ColumnSlot]
+
+    def rows(self, ctx: EvalContext) -> Iterator[tuple]:  # pragma: no cover
+        """Yield the operator's result rows."""
+        raise NotImplementedError
+
+    def explain(self, indent: int = 0) -> str:
+        """Human-readable plan tree (EXPLAIN-style)."""
+        pad = "  " * indent
+        lines = [pad + self._describe()]
+        for child in self._children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def _describe(self) -> str:
+        return type(self).__name__
+
+    def _children(self) -> list["Plan"]:
+        return []
+
+
+class UnitPlan(Plan):
+    """Produces exactly one empty row — the seed of a FROM-less SELECT
+    and of the lateral fold over the FROM list."""
+
+    def __init__(self) -> None:
+        self.schema = []
+
+    def rows(self, ctx: EvalContext) -> Iterator[tuple]:
+        """Yield the operator's result rows."""
+        yield ()
+
+    def _describe(self) -> str:
+        return "Unit"
+
+
+class TableScanPlan(Plan):
+    """Scan of a base table: full, or index-assisted.
+
+    The planner may attach an *index probe* — an equality conjunct
+    ``col = <constant>`` lifted from the WHERE clause — in which case
+    the scan resolves through the table's hash index instead of reading
+    every row (index selection, a small classic physical optimization).
+    """
+
+    def __init__(self, table: Table, schema: list[ColumnSlot], name: str):
+        self._table = table
+        self.schema = schema
+        self._name = name
+        self.index_probe: tuple[str, CompiledExpr] | None = None
+
+    def rows(self, ctx: EvalContext) -> Iterator[tuple]:
+        """Yield the operator's result rows."""
+        if self.index_probe is not None:
+            column, value_expr = self.index_probe
+            value = value_expr((), ctx)
+            if value is None:
+                return  # col = NULL never matches
+            yield from self._table.index_lookup(column, value)
+            return
+        for row in self._table.rows():
+            yield row
+
+    def _describe(self) -> str:
+        if self.index_probe is not None:
+            return f"IndexLookup({self._name}.{self.index_probe[0]})"
+        return f"TableScan({self._name})"
+
+
+class RemoteScanPlan(Plan):
+    """Scan of a nickname: the subquery is shipped to the remote server
+    through the federation layer.
+
+    ``pushed_predicates`` holds predicate texts the planner pushed down
+    (the paper's future-work 'query optimization' item); they travel in
+    the remote statement's WHERE clause.
+    """
+
+    def __init__(
+        self,
+        fetcher,
+        schema: list[ColumnSlot],
+        name: str,
+    ):
+        self.fetcher = fetcher
+        self.schema = schema
+        self._name = name
+        self.pushed_predicates: list[str] = []
+
+    def rows(self, ctx: EvalContext) -> Iterator[tuple]:
+        """Yield the operator's result rows."""
+        yield from self.fetcher.fetch(ctx, self.pushed_predicates)
+
+    def _describe(self) -> str:
+        if self.pushed_predicates:
+            pushed = " AND ".join(self.pushed_predicates)
+            return f"RemoteScan({self._name}, pushed: {pushed})"
+        return f"RemoteScan({self._name})"
+
+
+class SyscatScanPlan(Plan):
+    """Scan of a SYSCAT virtual table: rows are generated from the live
+    catalog at execution time, so DDL is immediately visible."""
+
+    def __init__(self, catalog, generator, schema: list[ColumnSlot], name: str):
+        self._catalog = catalog
+        self._generator = generator
+        self.schema = schema
+        self._name = name
+
+    def rows(self, ctx: EvalContext) -> Iterator[tuple]:
+        """Yield the operator's result rows."""
+        yield from self._generator(self._catalog)
+
+    def _describe(self) -> str:
+        return f"SyscatScan({self._name})"
+
+
+class CrossApplyPlan(Plan):
+    """Lateral fold step: for every left row, produce the rows of the
+    right side.  The right side is either *static* (a plan independent
+    of the left row) or *lateral* (a table function whose arguments are
+    evaluated against the current left row) — this is the executor
+    embodiment of DB2's left-to-right FROM-clause processing."""
+
+    def __init__(self, left: Plan, right: "RightSide"):
+        self.left = left
+        self.right = right
+        self.schema = left.schema + right.schema
+
+    def rows(self, ctx: EvalContext) -> Iterator[tuple]:
+        """Yield the operator's result rows."""
+        for left_row in self.left.rows(ctx):
+            for right_row in self.right.rows_for(left_row, ctx):
+                yield left_row + right_row
+
+    def _describe(self) -> str:
+        return "CrossApply"
+
+    def _children(self) -> list[Plan]:
+        children: list[Plan] = [self.left]
+        inner = getattr(self.right, "plan", None)
+        if isinstance(inner, Plan):
+            children.append(inner)
+        return children
+
+
+class RightSide:
+    """Right input of a :class:`CrossApplyPlan`."""
+
+    schema: list[ColumnSlot]
+
+    def rows_for(self, left_row: tuple, ctx: EvalContext) -> Iterable[tuple]:
+        """Rows of the right side for one left row."""
+        raise NotImplementedError  # pragma: no cover
+
+
+class StaticRightSide(RightSide):
+    """A right side independent of the left row (plain cross join)."""
+
+    def __init__(self, plan: Plan):
+        self.plan = plan
+        self.schema = plan.schema
+        self._cache: list[tuple] | None = None
+
+    def rows_for(self, left_row: tuple, ctx: EvalContext) -> Iterable[tuple]:
+        """Rows of the right side for one left row."""
+        if self._cache is None:
+            self._cache = list(self.plan.rows(ctx))
+        return self._cache
+
+
+class TableFunctionRightSide(RightSide):
+    """A lateral table-function call.
+
+    ``arg_exprs`` are compiled against the layout of everything to the
+    *left* of this FROM item (plus the statement's parameter scope) —
+    exactly the paper's "execution order defined by input parameters".
+
+    ``composition_cost``/``charge`` model the result-set composition of
+    *independent* branches ("join with selection"): composing a branch
+    that does not depend on the running row costs extra work, which is
+    why the UDTF architecture loses the paper's parallel-vs-sequential
+    comparison while the WfMS wins it.
+    """
+
+    def __init__(
+        self,
+        function: TableFunction,
+        arg_exprs: list[CompiledExpr],
+        schema: list[ColumnSlot],
+        invoker: FunctionInvoker,
+        alias: str,
+        composition_cost: float = 0.0,
+        charge: Callable[[float], None] | None = None,
+    ):
+        self.function = function
+        self.arg_exprs = arg_exprs
+        self.schema = schema
+        self.invoker = invoker
+        self.alias = alias
+        self.composition_cost = composition_cost
+        self.charge = charge
+        # DETERMINISTIC-function optimization (extension, cf. the
+        # paper's [10]): repeated invocations with equal arguments are
+        # served from this cache for the lifetime of the plan — the
+        # declaration's contract is that results never change per args.
+        self._result_cache: dict[tuple, list[tuple]] = {}
+        self.invocations = 0
+        self.cache_hits = 0
+
+    def rows_for(self, left_row: tuple, ctx: EvalContext) -> Iterable[tuple]:
+        """Rows of the right side for one left row."""
+        if self.composition_cost and self.charge is not None:
+            self.charge(self.composition_cost)
+        args = [expr(left_row, ctx) for expr in self.arg_exprs]
+        if self.function.deterministic:
+            try:
+                key = tuple(args)
+                cached = self._result_cache.get(key)
+            except TypeError:  # unhashable argument value
+                key = None
+                cached = None
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+            self.invocations += 1
+            rows = self.invoker(self.function, args, ctx)
+            if key is not None:
+                self._result_cache[key] = rows
+            return rows
+        self.invocations += 1
+        return self.invoker(self.function, args, ctx)
+
+
+class NestedLoopJoinPlan(Plan):
+    """INNER / LEFT OUTER / CROSS join with an optional ON predicate."""
+
+    def __init__(
+        self,
+        left: Plan,
+        right: Plan,
+        kind: str,
+        predicate: CompiledExpr | None,
+    ):
+        if kind not in ("INNER", "LEFT OUTER", "CROSS"):
+            raise ExecutionError(f"unsupported join kind {kind!r}")
+        self.left = left
+        self.right = right
+        self.kind = kind
+        self.predicate = predicate
+        self.schema = left.schema + right.schema
+
+    def rows(self, ctx: EvalContext) -> Iterator[tuple]:
+        """Yield the operator's result rows."""
+        right_rows = list(self.right.rows(ctx))
+        null_right = (None,) * len(self.right.schema)
+        for left_row in self.left.rows(ctx):
+            matched = False
+            for right_row in right_rows:
+                combined = left_row + right_row
+                if self.predicate is None or truthy(self.predicate(combined, ctx)):
+                    matched = True
+                    yield combined
+            if not matched and self.kind == "LEFT OUTER":
+                yield left_row + null_right
+
+    def _describe(self) -> str:
+        return f"NestedLoopJoin({self.kind})"
+
+    def _children(self) -> list[Plan]:
+        return [self.left, self.right]
+
+
+class FilterPlan(Plan):
+    """WHERE / HAVING filter."""
+
+    def __init__(self, input_plan: Plan, predicate: CompiledExpr, label: str = "Filter"):
+        self.input = input_plan
+        self.predicate = predicate
+        self.schema = input_plan.schema
+        self._label = label
+
+    def rows(self, ctx: EvalContext) -> Iterator[tuple]:
+        """Yield the operator's result rows."""
+        for row in self.input.rows(ctx):
+            if truthy(self.predicate(row, ctx)):
+                yield row
+
+    def _describe(self) -> str:
+        return self._label
+
+    def _children(self) -> list[Plan]:
+        return [self.input]
+
+
+class ProjectPlan(Plan):
+    """Computes the select list (plus hidden sort keys, if any)."""
+
+    def __init__(
+        self,
+        input_plan: Plan,
+        exprs: list[CompiledExpr],
+        schema: list[ColumnSlot],
+    ):
+        self.input = input_plan
+        self.exprs = exprs
+        self.schema = schema
+
+    def rows(self, ctx: EvalContext) -> Iterator[tuple]:
+        """Yield the operator's result rows."""
+        for row in self.input.rows(ctx):
+            yield tuple(expr(row, ctx) for expr in self.exprs)
+
+    def _describe(self) -> str:
+        return f"Project({', '.join(s.name for s in self.schema)})"
+
+    def _children(self) -> list[Plan]:
+        return [self.input]
+
+
+class AggregateSpec:
+    """One aggregate computation: function name and input expression."""
+
+    def __init__(self, name: str, arg: CompiledExpr | None, distinct: bool = False):
+        self.name = name.upper()
+        self.arg = arg  # None means COUNT(*)
+        self.distinct = distinct
+
+    def new_state(self) -> "_AggState":
+        """Fresh running state for one group."""
+        return _AggState(self)
+
+
+class _AggState:
+    """Running state of one aggregate within one group."""
+
+    def __init__(self, spec: AggregateSpec):
+        self.spec = spec
+        self.count = 0
+        self.total: object = None
+        self.best: object = None
+        self.seen: set | None = set() if spec.distinct else None
+
+    def update(self, row: tuple, ctx: EvalContext) -> None:
+        if self.spec.arg is None:  # COUNT(*)
+            self.count += 1
+            return
+        value = self.spec.arg(row, ctx)
+        if value is None:
+            return
+        if self.seen is not None:
+            if value in self.seen:
+                return
+            self.seen.add(value)
+        self.count += 1
+        name = self.spec.name
+        if name in ("SUM", "AVG"):
+            self.total = value if self.total is None else self.total + value
+        elif name == "MIN":
+            self.best = value if self.best is None or value < self.best else self.best
+        elif name == "MAX":
+            self.best = value if self.best is None or value > self.best else self.best
+
+    def result(self) -> object:
+        name = self.spec.name
+        if name == "COUNT":
+            return self.count
+        if name == "SUM":
+            return self.total
+        if name == "AVG":
+            if self.count == 0:
+                return None
+            total = self.total
+            if isinstance(total, int):
+                # SQL: AVG over integers keeps integer semantics in DB2;
+                # we return a float for usability and document it.
+                return total / self.count
+            return total / self.count  # type: ignore[operator]
+        if name in ("MIN", "MAX"):
+            return self.best
+        raise ExecutionError(f"unknown aggregate {name}")  # pragma: no cover
+
+
+class AggregatePlan(Plan):
+    """Hash aggregation over optional group keys.
+
+    Output rows are ``group_values + aggregate_results`` matching the
+    synthetic post-aggregate layout the planner compiles select items
+    against.
+    """
+
+    def __init__(
+        self,
+        input_plan: Plan,
+        group_exprs: list[CompiledExpr],
+        aggregates: list[AggregateSpec],
+        schema: list[ColumnSlot],
+    ):
+        self.input = input_plan
+        self.group_exprs = group_exprs
+        self.aggregates = aggregates
+        self.schema = schema
+
+    def rows(self, ctx: EvalContext) -> Iterator[tuple]:
+        """Yield the operator's result rows."""
+        groups: dict[tuple, list[_AggState]] = {}
+        order: list[tuple] = []
+        for row in self.input.rows(ctx):
+            key = tuple(expr(row, ctx) for expr in self.group_exprs)
+            states = groups.get(key)
+            if states is None:
+                states = [spec.new_state() for spec in self.aggregates]
+                groups[key] = states
+                order.append(key)
+            for state in states:
+                state.update(row, ctx)
+        if not groups and not self.group_exprs:
+            # Global aggregate over an empty input still yields one row.
+            states = [spec.new_state() for spec in self.aggregates]
+            yield tuple(state.result() for state in states)
+            return
+        for key in order:
+            yield key + tuple(state.result() for state in groups[key])
+
+    def _describe(self) -> str:
+        return f"Aggregate(groups={len(self.group_exprs)}, aggs={len(self.aggregates)})"
+
+    def _children(self) -> list[Plan]:
+        return [self.input]
+
+
+class SortPlan(Plan):
+    """Sorts on key extractors over the input rows.
+
+    Keys are either integer positions or callables ``(row, ctx) ->
+    value`` (used for ORDER BY expressions compiled against the output
+    schema).
+    """
+
+    def __init__(
+        self,
+        input_plan: Plan,
+        keys: list[tuple[int | Callable[[tuple, EvalContext], object], bool]],
+    ):
+        self.input = input_plan
+        self.keys = keys  # (position or extractor, ascending)
+        self.schema = input_plan.schema
+
+    def rows(self, ctx: EvalContext) -> Iterator[tuple]:
+        """Yield the operator's result rows."""
+        materialised = list(self.input.rows(ctx))
+        # Stable multi-key sort: apply keys right-to-left.
+        for key, ascending in reversed(self.keys):
+            if isinstance(key, int):
+                extractor = lambda row, _pos=key: _SortKey(row[_pos])
+            else:
+                extractor = lambda row, _fn=key: _SortKey(_fn(row, ctx))
+            materialised.sort(key=extractor, reverse=not ascending)
+        yield from materialised
+
+    def _describe(self) -> str:
+        return "Sort"
+
+    def _children(self) -> list[Plan]:
+        return [self.input]
+
+
+class _SortKey:
+    """Ordering wrapper: NULLs sort last ascending, comparable values
+    compare naturally."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object):
+        self.value = value
+
+    def __lt__(self, other: "_SortKey") -> bool:
+        a, b = self.value, other.value
+        if a is None:
+            return False
+        if b is None:
+            return True
+        return a < b  # type: ignore[operator]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _SortKey) and self.value == other.value
+
+
+class CutPlan(Plan):
+    """Trims hidden trailing sort-key columns after sorting."""
+
+    def __init__(self, input_plan: Plan, width: int, schema: list[ColumnSlot]):
+        self.input = input_plan
+        self.width = width
+        self.schema = schema
+
+    def rows(self, ctx: EvalContext) -> Iterator[tuple]:
+        """Yield the operator's result rows."""
+        for row in self.input.rows(ctx):
+            yield row[: self.width]
+
+    def _describe(self) -> str:
+        return f"Cut({self.width})"
+
+    def _children(self) -> list[Plan]:
+        return [self.input]
+
+
+class DistinctPlan(Plan):
+    """Removes duplicate rows, preserving first occurrence."""
+
+    def __init__(self, input_plan: Plan):
+        self.input = input_plan
+        self.schema = input_plan.schema
+
+    def rows(self, ctx: EvalContext) -> Iterator[tuple]:
+        """Yield the operator's result rows."""
+        seen: set[tuple] = set()
+        for row in self.input.rows(ctx):
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+    def _describe(self) -> str:
+        return "Distinct"
+
+    def _children(self) -> list[Plan]:
+        return [self.input]
+
+
+class LimitPlan(Plan):
+    """FETCH FIRST n ROWS ONLY."""
+
+    def __init__(self, input_plan: Plan, limit: int):
+        self.input = input_plan
+        self.limit = limit
+        self.schema = input_plan.schema
+
+    def rows(self, ctx: EvalContext) -> Iterator[tuple]:
+        """Yield the operator's result rows."""
+        if self.limit <= 0:
+            return
+        produced = 0
+        for row in self.input.rows(ctx):
+            yield row
+            produced += 1
+            if produced >= self.limit:
+                return
+
+    def _describe(self) -> str:
+        return f"Limit({self.limit})"
+
+    def _children(self) -> list[Plan]:
+        return [self.input]
+
+
+class UnionPlan(Plan):
+    """UNION / UNION ALL of equally wide branches."""
+
+    def __init__(self, branches: Sequence[Plan], all_: bool):
+        if not branches:
+            raise ExecutionError("UNION requires at least one branch")
+        widths = {len(b.schema) for b in branches}
+        if len(widths) != 1:
+            raise ExecutionError("UNION branches must have the same column count")
+        self.branches = list(branches)
+        self.all = all_
+        self.schema = self.branches[0].schema
+
+    def rows(self, ctx: EvalContext) -> Iterator[tuple]:
+        """Yield the operator's result rows."""
+        if self.all:
+            for branch in self.branches:
+                yield from branch.rows(ctx)
+            return
+        seen: set[tuple] = set()
+        for branch in self.branches:
+            for row in branch.rows(ctx):
+                if row not in seen:
+                    seen.add(row)
+                    yield row
+
+    def _describe(self) -> str:
+        return f"Union(all={self.all})"
+
+    def _children(self) -> list[Plan]:
+        return self.branches
+
+
+class ValuesPlan(Plan):
+    """A constant row source (used by INSERT ... VALUES planning)."""
+
+    def __init__(self, rows_exprs: list[list[CompiledExpr]], schema: list[ColumnSlot]):
+        self._rows_exprs = rows_exprs
+        self.schema = schema
+
+    def rows(self, ctx: EvalContext) -> Iterator[tuple]:
+        """Yield the operator's result rows."""
+        for row_exprs in self._rows_exprs:
+            yield tuple(expr((), ctx) for expr in row_exprs)
+
+    def _describe(self) -> str:
+        return f"Values({len(self._rows_exprs)})"

@@ -1,0 +1,752 @@
+"""Expression compilation and evaluation with SQL NULL semantics.
+
+Expressions are compiled once per statement into Python closures over a
+*row layout* (the flat tuple the executor threads through the plan) and
+an :class:`EvalContext` (statement parameters plus a subquery runner).
+Three-valued logic is represented with Python ``None`` as SQL NULL.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from decimal import Decimal
+from typing import Callable
+
+from repro.errors import ExecutionError, PlanError, TypeError_
+from repro.fdbs import ast
+from repro.fdbs.types import (
+    BIGINT,
+    BOOLEAN,
+    DOUBLE,
+    INTEGER,
+    SqlType,
+    VARCHAR,
+    cast_value,
+    common_supertype,
+    explicitly_castable,
+    infer_type,
+    parse_type,
+)
+
+AGGREGATE_NAMES = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+#: Type keywords usable as cast-style scalar functions, e.g. ``BIGINT(x)``
+#: from the paper's simple case.
+CAST_FUNCTION_NAMES = frozenset(
+    {"SMALLINT", "INT", "INTEGER", "BIGINT", "DOUBLE", "FLOAT", "CHAR", "VARCHAR", "DECIMAL"}
+)
+
+
+@dataclass(frozen=True)
+class ColumnSlot:
+    """One column of the executor's flat row layout."""
+
+    alias: str | None
+    name: str
+    type: SqlType | None
+
+
+class RowLayout:
+    """Resolves qualified / unqualified names to row positions."""
+
+    def __init__(self, slots: list[ColumnSlot]):
+        self.slots = slots
+
+    def extend(self, more: list[ColumnSlot]) -> "RowLayout":
+        """A new layout with extra trailing slots."""
+        return RowLayout(self.slots + more)
+
+    def resolve(self, qualifier: str | None, name: str) -> tuple[int, ColumnSlot] | None:
+        """Find the unique slot for a reference; None if not found.
+
+        Raises :class:`~repro.errors.PlanError` on ambiguity.
+        """
+        target = name.upper()
+        qual = qualifier.upper() if qualifier else None
+        matches = [
+            (index, slot)
+            for index, slot in enumerate(self.slots)
+            if slot.name.upper() == target
+            and (qual is None or (slot.alias or "").upper() == qual)
+        ]
+        if not matches:
+            return None
+        if len(matches) > 1:
+            shown = qualifier + "." + name if qualifier else name
+            raise PlanError(f"ambiguous column reference {shown!r}")
+        return matches[0]
+
+    def aliases(self) -> set[str]:
+        """Upper-cased correlation names present in the layout."""
+        return {(s.alias or "").upper() for s in self.slots if s.alias}
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+
+@dataclass
+class ParamScope:
+    """Named parameters visible to an expression.
+
+    In an I-UDTF body, parameters are referenced qualified with the
+    *function name* (``BuySuppComp.SupplierNo``) or unqualified; both
+    resolve here.  ``qualifier`` is the function name, or None for
+    top-level statements (which only see positional ``?`` markers).
+    """
+
+    qualifier: str | None = None
+    names: dict[str, tuple[int, SqlType | None]] = field(default_factory=dict)
+
+    def resolve(self, qualifier: str | None, name: str) -> tuple[int, SqlType | None] | None:
+        """(index, type) of a visible parameter, or None."""
+        if qualifier is not None:
+            if self.qualifier is None or qualifier.upper() != self.qualifier.upper():
+                return None
+        return self.names.get(name.upper())
+
+
+class EvalContext:
+    """Runtime context for compiled expressions."""
+
+    def __init__(
+        self,
+        params: list[object] | None = None,
+        subquery_runner: Callable[[ast.Select], list[tuple]] | None = None,
+        trace: object | None = None,
+    ):
+        self.params = params or []
+        self.subquery_runner = subquery_runner
+        #: Optional TraceRecorder threaded through to function invocations.
+        self.trace = trace
+
+    def run_subquery(self, select: ast.Select) -> list[tuple]:
+        """Execute an uncorrelated subquery via the runner hook."""
+        if self.subquery_runner is None:
+            raise ExecutionError("subqueries are not available in this context")
+        return self.subquery_runner(select)
+
+
+EvalFn = Callable[[tuple, EvalContext], object]
+
+
+@dataclass
+class CompiledExpr:
+    """A compiled expression: an eval closure plus its inferred type."""
+
+    fn: EvalFn
+    type: SqlType | None
+    source: ast.Expression
+
+    def __call__(self, row: tuple, ctx: EvalContext) -> object:
+        return self.fn(row, ctx)
+
+
+# ---------------------------------------------------------------------------
+# Scalar builtins
+# ---------------------------------------------------------------------------
+
+
+def _builtin_upper(v):
+    return None if v is None else str(v).upper()
+
+
+def _builtin_lower(v):
+    return None if v is None else str(v).lower()
+
+
+def _builtin_length(v):
+    return None if v is None else len(str(v))
+
+
+def _builtin_abs(v):
+    return None if v is None else abs(v)
+
+
+def _builtin_mod(a, b):
+    if a is None or b is None:
+        return None
+    if b == 0:
+        raise ExecutionError("division by zero in MOD")
+    return a % b
+
+def _builtin_substr(s, start, length=None):
+    if s is None or start is None:
+        return None
+    begin = max(int(start) - 1, 0)
+    if length is None:
+        return str(s)[begin:]
+    return str(s)[begin : begin + int(length)]
+
+
+def _builtin_trim(s):
+    return None if s is None else str(s).strip()
+
+
+def _builtin_round(v, digits=0):
+    if v is None:
+        return None
+    return round(v, int(digits or 0))
+
+
+def _builtin_floor(v):
+    import math
+
+    return None if v is None else math.floor(v)
+
+
+def _builtin_ceil(v):
+    import math
+
+    return None if v is None else math.ceil(v)
+
+
+def _builtin_coalesce(*args):
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+def _builtin_nullif(a, b):
+    if a is None:
+        return None
+    return None if a == b else a
+
+
+def _builtin_concat(a, b):
+    if a is None or b is None:
+        return None
+    return str(a) + str(b)
+
+
+_BUILTINS: dict[str, tuple[Callable[..., object], tuple[int, int], SqlType | None]] = {
+    # name -> (callable, (min_args, max_args), result type or None=dynamic)
+    "UPPER": (_builtin_upper, (1, 1), None),
+    "UCASE": (_builtin_upper, (1, 1), None),
+    "LOWER": (_builtin_lower, (1, 1), None),
+    "LCASE": (_builtin_lower, (1, 1), None),
+    "LENGTH": (_builtin_length, (1, 1), INTEGER),
+    "ABS": (_builtin_abs, (1, 1), None),
+    "MOD": (_builtin_mod, (2, 2), None),
+    "SUBSTR": (_builtin_substr, (2, 3), None),
+    "TRIM": (_builtin_trim, (1, 1), None),
+    "ROUND": (_builtin_round, (1, 2), None),
+    "FLOOR": (_builtin_floor, (1, 1), BIGINT),
+    "CEIL": (_builtin_ceil, (1, 1), BIGINT),
+    "CEILING": (_builtin_ceil, (1, 1), BIGINT),
+    "COALESCE": (_builtin_coalesce, (1, 99), None),
+    "VALUE": (_builtin_coalesce, (1, 99), None),
+    "NULLIF": (_builtin_nullif, (2, 2), None),
+    "CONCAT": (_builtin_concat, (2, 2), None),
+}
+
+
+def is_aggregate_call(expr: ast.Expression) -> bool:
+    """True for COUNT/SUM/AVG/MIN/MAX calls."""
+    return isinstance(expr, ast.FunctionCall) and expr.name.upper() in AGGREGATE_NAMES
+
+
+def contains_aggregate(expr: ast.Expression) -> bool:
+    """True if any node below ``expr`` is an aggregate call."""
+    if is_aggregate_call(expr):
+        return True
+    for child in _children(expr):
+        if contains_aggregate(child):
+            return True
+    return False
+
+
+def _children(expr: ast.Expression) -> list[ast.Expression]:
+    if isinstance(expr, ast.BinaryOp):
+        return [expr.left, expr.right]
+    if isinstance(expr, ast.UnaryOp):
+        return [expr.operand]
+    if isinstance(expr, ast.FunctionCall):
+        return list(expr.args)
+    if isinstance(expr, ast.Cast):
+        return [expr.operand]
+    if isinstance(expr, ast.IsNull):
+        return [expr.operand]
+    if isinstance(expr, ast.InList):
+        return [expr.operand, *expr.items]
+    if isinstance(expr, (ast.InSubquery,)):
+        return [expr.operand]
+    if isinstance(expr, ast.Like):
+        return [expr.operand, expr.pattern]
+    if isinstance(expr, ast.Between):
+        return [expr.operand, expr.low, expr.high]
+    if isinstance(expr, ast.Case):
+        children = [] if expr.operand is None else [expr.operand]
+        for when in expr.whens:
+            children.extend([when.condition, when.result])
+        if expr.else_result is not None:
+            children.append(expr.else_result)
+        return children
+    return []
+
+
+def like_to_regex(pattern: str) -> re.Pattern:
+    """Translate a SQL LIKE pattern to an anchored regex."""
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("^" + "".join(out) + "$", re.DOTALL)
+
+
+# ---------------------------------------------------------------------------
+# Compiler
+# ---------------------------------------------------------------------------
+
+
+class ExpressionCompiler:
+    """Compiles AST expressions against a layout and parameter scope."""
+
+    def __init__(
+        self,
+        layout: RowLayout,
+        params: ParamScope | None = None,
+        subquery_compiler: Callable[[ast.Select], Callable[[EvalContext], list[tuple]]] | None = None,
+        table_function_names: Callable[[str], bool] | None = None,
+    ):
+        self.layout = layout
+        self.params = params or ParamScope()
+        self.subquery_compiler = subquery_compiler
+        self.table_function_names = table_function_names
+
+    def compile(self, expr: ast.Expression) -> CompiledExpr:
+        """Compile one expression tree."""
+        method = getattr(self, "_compile_" + type(expr).__name__.lower(), None)
+        if method is None:
+            raise PlanError(f"unsupported expression: {expr.render()}")
+        return method(expr)
+
+    # -- leaves -----------------------------------------------------------------
+
+    def _compile_literal(self, expr: ast.Literal) -> CompiledExpr:
+        value = expr.value
+        inferred = None if value is None else infer_type(value)
+        return CompiledExpr(lambda row, ctx: value, inferred, expr)
+
+    def _compile_columnref(self, expr: ast.ColumnRef) -> CompiledExpr:
+        resolved = self.layout.resolve(expr.qualifier, expr.name)
+        if resolved is not None:
+            index, slot = resolved
+            return CompiledExpr(lambda row, ctx: row[index], slot.type, expr)
+        param = self.params.resolve(expr.qualifier, expr.name)
+        if param is not None:
+            pindex, ptype = param
+            return CompiledExpr(lambda row, ctx: ctx.params[pindex], ptype, expr)
+        shown = expr.render()
+        if expr.qualifier and expr.qualifier.upper() in self.layout.aliases():
+            raise PlanError(f"unknown column {shown!r}")
+        raise PlanError(f"cannot resolve reference {shown!r}")
+
+    def _compile_parameter(self, expr: ast.Parameter) -> CompiledExpr:
+        index = expr.index
+
+        def fetch(row: tuple, ctx: EvalContext) -> object:
+            if index >= len(ctx.params):
+                raise ExecutionError(
+                    f"statement parameter ?{index + 1} was not bound"
+                )
+            return ctx.params[index]
+
+        return CompiledExpr(fetch, None, expr)
+
+    def _compile_star(self, expr: ast.Star) -> CompiledExpr:
+        raise PlanError("'*' is only valid in a select list or COUNT(*)")
+
+    # -- operators ------------------------------------------------------------------
+
+    def _compile_binaryop(self, expr: ast.BinaryOp) -> CompiledExpr:
+        op = expr.op.upper()
+        if op in ("AND", "OR"):
+            return self._compile_logical(expr, op)
+        left = self.compile(expr.left)
+        right = self.compile(expr.right)
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            return self._compile_comparison(expr, op, left, right)
+        if op == "||":
+            def concat(row, ctx):
+                a = left(row, ctx)
+                b = right(row, ctx)
+                if a is None or b is None:
+                    return None
+                return str(a) + str(b)
+
+            return CompiledExpr(concat, VARCHAR(), expr)
+        if op in ("+", "-", "*", "/"):
+            result_type = self._numeric_result(left.type, right.type)
+
+            def arith(row, ctx, _op=op):
+                a = left(row, ctx)
+                b = right(row, ctx)
+                if a is None or b is None:
+                    return None
+                _check_number(a, expr.left)
+                _check_number(b, expr.right)
+                if _op == "+":
+                    return a + b
+                if _op == "-":
+                    return a - b
+                if _op == "*":
+                    return a * b
+                if b == 0:
+                    raise ExecutionError("division by zero")
+                if isinstance(a, int) and isinstance(b, int):
+                    # SQL integer division truncates toward zero.
+                    quotient = abs(a) // abs(b)
+                    return quotient if (a >= 0) == (b >= 0) else -quotient
+                return a / b
+
+            return CompiledExpr(arith, result_type, expr)
+        raise PlanError(f"unsupported operator {expr.op!r}")
+
+    def _numeric_result(self, a: SqlType | None, b: SqlType | None) -> SqlType | None:
+        if a is None or b is None:
+            return None
+        try:
+            return common_supertype(a, b)
+        except TypeError_:
+            raise PlanError(
+                f"operands of arithmetic must be numeric, got {a} and {b}"
+            ) from None
+
+    def _compile_logical(self, expr: ast.BinaryOp, op: str) -> CompiledExpr:
+        left = self.compile(expr.left)
+        right = self.compile(expr.right)
+        if op == "AND":
+
+            def and_(row, ctx):
+                a = _as_bool(left(row, ctx))
+                if a is False:
+                    return False
+                b = _as_bool(right(row, ctx))
+                if b is False:
+                    return False
+                if a is None or b is None:
+                    return None
+                return True
+
+            return CompiledExpr(and_, BOOLEAN, expr)
+
+        def or_(row, ctx):
+            a = _as_bool(left(row, ctx))
+            if a is True:
+                return True
+            b = _as_bool(right(row, ctx))
+            if b is True:
+                return True
+            if a is None or b is None:
+                return None
+            return False
+
+        return CompiledExpr(or_, BOOLEAN, expr)
+
+    def _compile_comparison(
+        self, expr: ast.BinaryOp, op: str, left: CompiledExpr, right: CompiledExpr
+    ) -> CompiledExpr:
+        def compare(row, ctx):
+            a = left(row, ctx)
+            b = right(row, ctx)
+            if a is None or b is None:
+                return None
+            a, b = _align(a, b, expr)
+            if op == "=":
+                return a == b
+            if op == "<>":
+                return a != b
+            if op == "<":
+                return a < b
+            if op == "<=":
+                return a <= b
+            if op == ">":
+                return a > b
+            return a >= b
+
+        return CompiledExpr(compare, BOOLEAN, expr)
+
+    def _compile_unaryop(self, expr: ast.UnaryOp) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        if expr.op.upper() == "NOT":
+
+            def not_(row, ctx):
+                value = _as_bool(operand(row, ctx))
+                return None if value is None else not value
+
+            return CompiledExpr(not_, BOOLEAN, expr)
+
+        def negate(row, ctx):
+            value = operand(row, ctx)
+            if value is None:
+                return None
+            _check_number(value, expr.operand)
+            return -value
+
+        return CompiledExpr(negate, operand.type, expr)
+
+    # -- predicates ------------------------------------------------------------------
+
+    def _compile_isnull(self, expr: ast.IsNull) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        negated = expr.negated
+
+        def isnull(row, ctx):
+            value = operand(row, ctx)
+            return (value is not None) if negated else (value is None)
+
+        return CompiledExpr(isnull, BOOLEAN, expr)
+
+    def _compile_inlist(self, expr: ast.InList) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        items = [self.compile(i) for i in expr.items]
+        negated = expr.negated
+
+        def in_list(row, ctx):
+            value = operand(row, ctx)
+            if value is None:
+                return None
+            saw_null = False
+            for item in items:
+                candidate = item(row, ctx)
+                if candidate is None:
+                    saw_null = True
+                elif candidate == value:
+                    return not negated
+            if saw_null:
+                return None
+            return negated
+
+        return CompiledExpr(in_list, BOOLEAN, expr)
+
+    def _compile_insubquery(self, expr: ast.InSubquery) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        runner = self._compile_subquery(expr.subquery)
+        negated = expr.negated
+
+        def in_subquery(row, ctx):
+            value = operand(row, ctx)
+            if value is None:
+                return None
+            rows = runner(ctx)
+            saw_null = False
+            for candidate in rows:
+                if len(candidate) != 1:
+                    raise ExecutionError("IN subquery must return one column")
+                if candidate[0] is None:
+                    saw_null = True
+                elif candidate[0] == value:
+                    return not negated
+            if saw_null:
+                return None
+            return negated
+
+        return CompiledExpr(in_subquery, BOOLEAN, expr)
+
+    def _compile_exists(self, expr: ast.Exists) -> CompiledExpr:
+        runner = self._compile_subquery(expr.subquery)
+        negated = expr.negated
+
+        def exists(row, ctx):
+            result = bool(runner(ctx))
+            return not result if negated else result
+
+        return CompiledExpr(exists, BOOLEAN, expr)
+
+    def _compile_scalarsubquery(self, expr: ast.ScalarSubquery) -> CompiledExpr:
+        runner = self._compile_subquery(expr.subquery)
+
+        def scalar(row, ctx):
+            rows = runner(ctx)
+            if not rows:
+                return None
+            if len(rows) > 1:
+                raise ExecutionError("scalar subquery returned more than one row")
+            if len(rows[0]) != 1:
+                raise ExecutionError("scalar subquery must return one column")
+            return rows[0][0]
+
+        return CompiledExpr(scalar, None, expr)
+
+    def _compile_subquery(self, select: ast.Select) -> Callable[[EvalContext], list[tuple]]:
+        if self.subquery_compiler is not None:
+            return self.subquery_compiler(select)
+
+        def runtime(ctx: EvalContext) -> list[tuple]:
+            return ctx.run_subquery(select)
+
+        return runtime
+
+    def _compile_like(self, expr: ast.Like) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        pattern = self.compile(expr.pattern)
+        negated = expr.negated
+        static: re.Pattern | None = None
+        if isinstance(expr.pattern, ast.Literal) and isinstance(expr.pattern.value, str):
+            static = like_to_regex(expr.pattern.value)
+
+        def like(row, ctx):
+            value = operand(row, ctx)
+            if value is None:
+                return None
+            if static is not None:
+                regex = static
+            else:
+                pat = pattern(row, ctx)
+                if pat is None:
+                    return None
+                regex = like_to_regex(str(pat))
+            matched = regex.match(str(value)) is not None
+            return not matched if negated else matched
+
+        return CompiledExpr(like, BOOLEAN, expr)
+
+    def _compile_between(self, expr: ast.Between) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        low = self.compile(expr.low)
+        high = self.compile(expr.high)
+        negated = expr.negated
+
+        def between(row, ctx):
+            value = operand(row, ctx)
+            lo = low(row, ctx)
+            hi = high(row, ctx)
+            if value is None or lo is None or hi is None:
+                return None
+            result = lo <= value <= hi
+            return not result if negated else result
+
+        return CompiledExpr(between, BOOLEAN, expr)
+
+    def _compile_case(self, expr: ast.Case) -> CompiledExpr:
+        operand = self.compile(expr.operand) if expr.operand is not None else None
+        whens = [
+            (self.compile(w.condition), self.compile(w.result)) for w in expr.whens
+        ]
+        else_result = (
+            self.compile(expr.else_result) if expr.else_result is not None else None
+        )
+        result_type: SqlType | None = None
+        for _, result in whens:
+            if result.type is not None:
+                result_type = result.type
+                break
+
+        def case(row, ctx):
+            if operand is not None:
+                needle = operand(row, ctx)
+                for condition, result in whens:
+                    if needle is not None and condition(row, ctx) == needle:
+                        return result(row, ctx)
+            else:
+                for condition, result in whens:
+                    if _as_bool(condition(row, ctx)) is True:
+                        return result(row, ctx)
+            return None if else_result is None else else_result(row, ctx)
+
+        return CompiledExpr(case, result_type, expr)
+
+    # -- casts and calls -----------------------------------------------------------------
+
+    def _compile_cast(self, expr: ast.Cast) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        target = expr.target
+        if operand.type is not None and not explicitly_castable(operand.type, target):
+            raise PlanError(f"cannot cast {operand.type} to {target}")
+
+        def cast(row, ctx):
+            value = operand(row, ctx)
+            source = operand.type if operand.type is not None else (
+                infer_type(value) if value is not None else target
+            )
+            return cast_value(value, source, target)
+
+        return CompiledExpr(cast, target, expr)
+
+    def _compile_functioncall(self, expr: ast.FunctionCall) -> CompiledExpr:
+        name = expr.name.upper()
+        if name in AGGREGATE_NAMES:
+            raise PlanError(
+                f"aggregate function {expr.name} is not allowed in this context"
+            )
+        if self.table_function_names is not None and self.table_function_names(expr.name):
+            from repro.errors import NestedTableFunctionError
+
+            raise NestedTableFunctionError(
+                f"table function {expr.name!r} cannot be used as a scalar "
+                "expression; nesting of functions is not supported — reference "
+                "it in the FROM clause instead"
+            )
+        if name in CAST_FUNCTION_NAMES:
+            # DB2-style cast functions: BIGINT(x), INTEGER(x), VARCHAR(x)...
+            if len(expr.args) != 1:
+                raise PlanError(f"cast function {expr.name} takes one argument")
+            cast = ast.Cast(expr.args[0], parse_type(name))
+            return self._compile_cast(cast)
+        if name not in _BUILTINS:
+            raise PlanError(f"unknown scalar function {expr.name!r}")
+        fn, (min_args, max_args), result_type = _BUILTINS[name]
+        if not (min_args <= len(expr.args) <= max_args):
+            raise PlanError(
+                f"function {expr.name} expects {min_args}..{max_args} arguments, "
+                f"got {len(expr.args)}"
+            )
+        args = [self.compile(a) for a in expr.args]
+
+        def call(row, ctx):
+            return fn(*[a(row, ctx) for a in args])
+
+        return CompiledExpr(call, result_type, expr)
+
+
+# ---------------------------------------------------------------------------
+# Runtime helpers
+# ---------------------------------------------------------------------------
+
+
+def _as_bool(value: object) -> bool | None:
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return value
+    raise ExecutionError(f"expected a boolean condition, got {value!r}")
+
+
+def _check_number(value: object, node: ast.Expression) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float, Decimal)):
+        raise ExecutionError(
+            f"expected a numeric value from {node.render()}, got {value!r}"
+        )
+
+
+def _align(a: object, b: object, node: ast.Expression) -> tuple[object, object]:
+    """Make two comparison operands comparable or raise."""
+    if isinstance(a, bool) or isinstance(b, bool):
+        if isinstance(a, bool) and isinstance(b, bool):
+            return a, b
+        raise ExecutionError(f"cannot compare boolean with non-boolean in {node.render()}")
+    numeric_a = isinstance(a, (int, float, Decimal))
+    numeric_b = isinstance(b, (int, float, Decimal))
+    if numeric_a and numeric_b:
+        if isinstance(a, Decimal) or isinstance(b, Decimal):
+            return Decimal(str(a)), Decimal(str(b))
+        return a, b
+    if isinstance(a, str) and isinstance(b, str):
+        # CHAR padding is ignored in comparisons, DB2-style.
+        return a.rstrip(), b.rstrip()
+    if type(a) is type(b):
+        return a, b
+    raise ExecutionError(
+        f"cannot compare {type(a).__name__} with {type(b).__name__} in {node.render()}"
+    )
+
+
+def truthy(value: object) -> bool:
+    """WHERE-clause semantics: NULL and FALSE filter the row out."""
+    return value is True

@@ -1,0 +1,109 @@
+"""Helpers for registering external table functions (A-UDTFs).
+
+An external table function pairs a SQL signature with a Python
+implementation.  :func:`make_external_function` builds the catalog entry
+directly; :func:`external_table_function` is the decorator form used by
+the application-system adapters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import SignatureError
+from repro.fdbs.catalog import ColumnDef, ExternalTableFunction, FunctionParam
+from repro.fdbs.types import SqlType
+
+
+def make_external_function(
+    name: str,
+    params: Sequence[tuple[str, SqlType]],
+    returns: Sequence[tuple[str, SqlType]],
+    implementation: Callable[..., Iterable[Sequence[object]]],
+    external_name: str | None = None,
+    language: str = "JAVA",
+    fenced: bool = True,
+    deterministic: bool = False,
+) -> ExternalTableFunction:
+    """Build an :class:`ExternalTableFunction` catalog entry.
+
+    ``implementation`` receives one positional argument per declared
+    parameter and returns an iterable of row tuples (scalar results may
+    be returned as a bare value, a 1-tuple, or a single row).
+    """
+    return ExternalTableFunction(
+        name=name,
+        params=[FunctionParam(n, t) for n, t in params],
+        returns=[ColumnDef(n, t) for n, t in returns],
+        external_name=external_name or f"python:{name}",
+        language=language,
+        fenced=fenced,
+        deterministic=deterministic,
+        implementation=normalize_rows_fn(implementation, name),
+    )
+
+
+def normalize_rows_fn(
+    implementation: Callable[..., object], name: str
+) -> Callable[..., list[tuple]]:
+    """Wrap an implementation so it always yields a list of row tuples."""
+
+    def wrapper(*args: object) -> list[tuple]:
+        result = implementation(*args)
+        return normalize_rows(result, name)
+
+    wrapper.__name__ = getattr(implementation, "__name__", name)
+    return wrapper
+
+
+def normalize_rows(result: object, name: str) -> list[tuple]:
+    """Normalise an implementation's return value to a list of tuples.
+
+    Accepted shapes: ``None`` (empty), a scalar (one single-column row),
+    a tuple (one row), or an iterable of scalars / tuples.
+    """
+    if result is None:
+        return []
+    if isinstance(result, tuple):
+        return [result]
+    if isinstance(result, (str, bytes, int, float, bool)):
+        return [(result,)]
+    if isinstance(result, dict):
+        raise SignatureError(
+            f"table function {name!r} returned a dict; return rows as tuples"
+        )
+    try:
+        iterator = iter(result)  # type: ignore[arg-type]
+    except TypeError:
+        return [(result,)]
+    rows: list[tuple] = []
+    for item in iterator:
+        if isinstance(item, tuple):
+            rows.append(item)
+        elif isinstance(item, list):
+            rows.append(tuple(item))
+        else:
+            rows.append((item,))
+    return rows
+
+
+def external_table_function(
+    name: str,
+    params: Sequence[tuple[str, SqlType]],
+    returns: Sequence[tuple[str, SqlType]],
+    fenced: bool = True,
+):
+    """Decorator building an :class:`ExternalTableFunction` from a
+    Python callable::
+
+        @external_table_function("GetQuality",
+                                 params=[("SupplierNo", INTEGER)],
+                                 returns=[("Qual", INTEGER)])
+        def get_quality(supplier_no):
+            return quality_for(supplier_no)
+    """
+
+    def decorate(fn: Callable[..., object]) -> ExternalTableFunction:
+        return make_external_function(name, params, returns, fn, fenced=fenced)
+
+    return decorate

@@ -1,0 +1,796 @@
+"""Query planner: AST → executable plan.
+
+The FROM clause is planned as a *lateral fold*, left to right, exactly
+like the paper's host DBMS: each ``TABLE (f(args)) AS a`` item may
+reference columns of items to its left (and the enclosing function's
+parameters), never items to its right.  A forward reference produces a
+:class:`~repro.errors.PlanError`; a *mutual* reference between two table
+functions produces :class:`~repro.errors.CyclicDependencyError` — the
+formal reason the paper's Sect. 3 table marks the cyclic case "not
+supported" for the UDTF architecture.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import (
+    CallOnlyProcedureError,
+    CatalogError,
+    CyclicDependencyError,
+    PlanError,
+    TypeError_,
+)
+from repro.fdbs import ast
+from repro.fdbs.catalog import Catalog, ColumnDef, NicknameDef
+from repro.fdbs.executor import (
+    AggregatePlan,
+    AggregateSpec,
+    CrossApplyPlan,
+    CutPlan,
+    DistinctPlan,
+    FilterPlan,
+    FunctionInvoker,
+    LimitPlan,
+    NestedLoopJoinPlan,
+    Plan,
+    ProjectPlan,
+    RemoteScanPlan,
+    SortPlan,
+    StaticRightSide,
+    TableFunctionRightSide,
+    TableScanPlan,
+    UnionPlan,
+    UnitPlan,
+)
+from repro.fdbs.expr import (
+    ColumnSlot,
+    CompiledExpr,
+    EvalContext,
+    ExpressionCompiler,
+    ParamScope,
+    RowLayout,
+    contains_aggregate,
+    is_aggregate_call,
+)
+from repro.fdbs.types import implicitly_castable
+
+RemoteFetcher = Callable[
+    [NicknameDef], tuple[Callable[[EvalContext], list[tuple]], list[ColumnDef]]
+]
+
+
+class Planner:
+    """Plans SELECT statements against a catalog."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        invoker: FunctionInvoker,
+        remote_fetcher: RemoteFetcher | None = None,
+        params: ParamScope | None = None,
+        costs: "object | None" = None,
+        charge: Callable[[float], None] | None = None,
+        enable_pushdown: bool = True,
+        pushdown_counter=None,
+        enable_index_selection: bool = True,
+    ):
+        self.catalog = catalog
+        self.invoker = invoker
+        self.remote_fetcher = remote_fetcher
+        self.params = params or ParamScope()
+        #: Cost model + charge hook for composition overheads (None for
+        #: cost-free databases, e.g. app-system internals).
+        self.costs = costs
+        self.charge = charge
+        #: Predicate pushdown to remote scans (the Database's setting).
+        self.enable_pushdown = enable_pushdown
+        self.pushdown_counter = pushdown_counter
+        #: Index selection for local equality conjuncts.
+        self.enable_index_selection = enable_index_selection
+        self._view_stack: list[str] = []
+
+    # -- public API -----------------------------------------------------------
+
+    def plan_select(self, select: ast.Select) -> Plan:
+        """Plan a full SELECT including UNION branches and ORDER BY."""
+        if not select.union:
+            # Single query block: ORDER BY may also reference columns
+            # that are not in the select list (hidden sort keys).
+            return self._plan_query_block(select, top_level=True)
+        plan = self._plan_query_block(select)
+        branches = [plan]
+        for _, branch_ast in select.union:
+            branches.append(self._plan_query_block(branch_ast))
+        all_ = all(is_all for is_all, _ in select.union)
+        if any(is_all for is_all, _ in select.union) and not all_:
+            raise PlanError("mixing UNION and UNION ALL is not supported")
+        plan = UnionPlan(branches, all_)
+        if select.order_by:
+            plan = self._plan_order_by(plan, select)
+        if select.limit is not None:
+            plan = LimitPlan(plan, select.limit)
+        return plan
+
+    # -- query block -------------------------------------------------------------
+
+    def _plan_query_block(self, select: ast.Select, top_level: bool = False) -> Plan:
+        plan, layout, remote_candidates, local_scans = self._plan_from(select)
+        compiler = self._compiler(layout)
+
+        where = select.where
+        if where is not None and contains_aggregate(where):
+            raise PlanError("aggregates are not allowed in WHERE")
+        if self.enable_pushdown and remote_candidates:
+            from repro.fdbs.pushdown import push_predicates
+
+            where = push_predicates(where, remote_candidates, self.pushdown_counter)
+        if self.enable_index_selection and local_scans and where is not None:
+            where = self._select_indexes(where, layout, local_scans)
+        if where is not None:
+            plan = FilterPlan(plan, compiler.compile(where), "Filter(WHERE)")
+
+        items = self._expand_stars(select.items, layout)
+        needs_aggregate = (
+            bool(select.group_by)
+            or any(contains_aggregate(item.expr) for item in items)
+            or (select.having is not None and contains_aggregate(select.having))
+        )
+        if select.having is not None and not needs_aggregate:
+            raise PlanError("HAVING requires GROUP BY or aggregates")
+
+        if needs_aggregate:
+            plan, layout, items, having = self._plan_aggregate(
+                plan, layout, compiler, select, items
+            )
+            compiler = self._compiler(layout)
+            if having is not None:
+                plan = FilterPlan(plan, compiler.compile(having), "Filter(HAVING)")
+
+        exprs: list[CompiledExpr] = []
+        schema: list[ColumnSlot] = []
+        for position, item in enumerate(items):
+            compiled = compiler.compile(item.expr)
+            exprs.append(compiled)
+            # Keep the source alias on plain column projections so ORDER BY
+            # may still use qualified names after projection.
+            alias = None
+            if isinstance(item.expr, ast.ColumnRef) and item.alias is None:
+                resolved = layout.resolve(item.expr.qualifier, item.expr.name)
+                if resolved is not None:
+                    alias = resolved[1].alias
+            schema.append(
+                ColumnSlot(alias, self._output_name(item, position), compiled.type)
+            )
+
+        if top_level and select.order_by:
+            plan = self._project_and_sort(plan, layout, exprs, schema, select)
+        else:
+            plan = ProjectPlan(plan, exprs, schema)
+
+        if select.distinct:
+            plan = DistinctPlan(plan)
+        if top_level and select.limit is not None:
+            plan = LimitPlan(plan, select.limit)
+        return plan
+
+    def _project_and_sort(
+        self,
+        plan: Plan,
+        layout: RowLayout,
+        exprs: list[CompiledExpr],
+        schema: list[ColumnSlot],
+        select: ast.Select,
+    ) -> Plan:
+        """Projection + ORDER BY for a single query block.
+
+        Sort keys resolve against the *output* schema first (select
+        aliases, qualified projections) and fall back to the input
+        layout as hidden trailing columns — which is how ``SELECT name
+        FROM t ORDER BY relia`` works without projecting ``relia``.
+        """
+        width = len(schema)
+        output_layout = RowLayout(schema)
+        out_compiler = self._compiler(output_layout)
+        keys: list[tuple] = []
+        hidden: list[CompiledExpr] = []
+        for order_item in select.order_by:
+            expr = order_item.expr
+            if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                index = expr.value - 1
+                if not (0 <= index < width):
+                    raise PlanError(
+                        f"ORDER BY position {expr.value} is out of range"
+                    )
+                keys.append((index, order_item.ascending))
+                continue
+            try:
+                compiled = out_compiler.compile(expr)
+                keys.append((compiled.fn, order_item.ascending))
+                continue
+            except PlanError:
+                pass
+            # Hidden sort key over the pre-projection layout.
+            if select.distinct:
+                raise PlanError(
+                    "ORDER BY over non-selected columns cannot be combined "
+                    "with DISTINCT"
+                )
+            compiled = self._compiler(layout).compile(expr)
+            keys.append((width + len(hidden), order_item.ascending))
+            hidden.append(compiled)
+        if hidden:
+            extended_schema = schema + [
+                ColumnSlot(None, f"$k{index}", compiled.type)
+                for index, compiled in enumerate(hidden)
+            ]
+            plan = ProjectPlan(plan, exprs + hidden, extended_schema)
+            plan = SortPlan(plan, keys)
+            return CutPlan(plan, width, schema)
+        plan = ProjectPlan(plan, exprs, schema)
+        return SortPlan(plan, keys)
+
+    def _expand_stars(
+        self, items: list[ast.SelectItem], layout: RowLayout
+    ) -> list[ast.SelectItem]:
+        """Expand ``*`` and ``alias.*`` select items into column refs."""
+        expanded: list[ast.SelectItem] = []
+        for item in items:
+            if not isinstance(item.expr, ast.Star):
+                expanded.append(item)
+                continue
+            qualifier = item.expr.qualifier
+            if qualifier is not None and qualifier.upper() not in layout.aliases():
+                raise PlanError(f"unknown correlation name {qualifier!r} in select list")
+            matched = False
+            for slot in layout.slots:
+                if qualifier is None or (slot.alias or "").upper() == qualifier.upper():
+                    expanded.append(
+                        ast.SelectItem(ast.ColumnRef(slot.alias, slot.name))
+                    )
+                    matched = True
+            if not matched:
+                raise PlanError("'*' found nothing to expand in the FROM clause")
+        return expanded
+
+    def _output_name(self, item: ast.SelectItem, position: int) -> str:
+        if item.alias:
+            return item.alias
+        if isinstance(item.expr, ast.ColumnRef):
+            return item.expr.name
+        return f"COL{position + 1}"
+
+    def _compiler(self, layout: RowLayout) -> ExpressionCompiler:
+        return ExpressionCompiler(
+            layout,
+            params=self.params,
+            subquery_compiler=self._compile_subquery,
+            table_function_names=self.catalog.has_function,
+        )
+
+    def _compile_subquery(
+        self, select: ast.Select
+    ) -> Callable[[EvalContext], list[tuple]]:
+        subplan = self.plan_select(select)
+
+        def run(ctx: EvalContext) -> list[tuple]:
+            return list(subplan.rows(ctx))
+
+        return run
+
+    # -- FROM ----------------------------------------------------------------------
+
+    def _plan_from(
+        self, select: ast.Select
+    ) -> tuple[Plan, RowLayout, dict[str, RemoteScanPlan], dict[str, TableScanPlan]]:
+        plan: Plan = UnitPlan()
+        layout = RowLayout([])
+        seen_aliases: set[str] = set()
+        remote_candidates: dict[str, RemoteScanPlan] = {}
+        local_scans: dict[str, TableScanPlan] = {}
+        items = select.from_items
+        for position, item in enumerate(items):
+            right, right_schema = self._plan_from_item(item, layout, items, position)
+            alias_names = {
+                (slot.alias or "").upper() for slot in right_schema if slot.alias
+            }
+            duplicate = alias_names & seen_aliases
+            if duplicate:
+                raise PlanError(
+                    f"duplicate correlation name {sorted(duplicate)[0]!r} in FROM"
+                )
+            seen_aliases |= alias_names
+            # Only top-level (comma) remote scans are pushdown targets;
+            # scans nested under explicit joins keep predicates local.
+            if isinstance(right, StaticRightSide) and isinstance(
+                right.plan, RemoteScanPlan
+            ):
+                for alias in alias_names:
+                    remote_candidates[alias] = right.plan
+            if isinstance(right, StaticRightSide) and isinstance(
+                right.plan, TableScanPlan
+            ):
+                for alias in alias_names:
+                    local_scans[alias] = right.plan
+            plan = CrossApplyPlan(plan, right)
+            layout = layout.extend(right_schema)
+        return plan, layout, remote_candidates, local_scans
+
+    def _select_indexes(
+        self,
+        where: ast.Expression,
+        layout: RowLayout,
+        local_scans: "dict[str, TableScanPlan]",
+    ) -> ast.Expression | None:
+        """Lift ``col = <constant>`` conjuncts into hash-index probes.
+
+        Restricted to numeric columns (character comparisons ignore CHAR
+        padding, which an exact-match hash probe would not) and one
+        probe per scan.
+        """
+        from repro.fdbs.pushdown import recombine, split_conjuncts
+
+        remaining: list[ast.Expression] = []
+        for conjunct in split_conjuncts(where):
+            probe = self._as_index_probe(conjunct, layout, local_scans)
+            if probe is None:
+                remaining.append(conjunct)
+                continue
+            scan, column, value_expr = probe
+            scan.index_probe = (column, value_expr)
+        return recombine(remaining)
+
+    def _as_index_probe(self, conjunct, layout, local_scans):
+        from repro.fdbs.types import is_numeric
+
+        if not (
+            isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="
+        ):
+            return None
+        sides = [conjunct.left, conjunct.right]
+        for ref, value in (sides, reversed(sides)):
+            if not isinstance(ref, ast.ColumnRef):
+                continue
+            if not isinstance(value, (ast.Literal, ast.Parameter)):
+                continue
+            if isinstance(value, ast.Literal) and value.value is None:
+                continue
+            resolved = None
+            try:
+                resolved = layout.resolve(ref.qualifier, ref.name)
+            except PlanError:
+                return None  # ambiguous: leave for the normal filter
+            if resolved is None:
+                return None
+            _, slot = resolved
+            alias = (slot.alias or "").upper()
+            scan = local_scans.get(alias)
+            if scan is None or scan.index_probe is not None:
+                return None
+            if slot.type is None or not is_numeric(slot.type):
+                return None
+            value_expr = ExpressionCompiler(RowLayout([]), params=self.params).compile(
+                value
+            )
+            return scan, slot.name, value_expr
+        return None
+
+    def _plan_from_item(
+        self,
+        item: ast.FromItem,
+        layout: RowLayout,
+        all_items: list[ast.FromItem],
+        position: int,
+    ):
+        if isinstance(item, ast.TableFunctionRef):
+            return self._plan_table_function(item, layout, all_items, position)
+        if isinstance(item, ast.TableRef):
+            return self._static_side(self._plan_table_ref(item))
+        if isinstance(item, ast.SubquerySource):
+            subplan = self.plan_select(item.select)
+            schema = [
+                ColumnSlot(item.alias, slot.name, slot.type) for slot in subplan.schema
+            ]
+            return self._static_side(_Reschema(subplan, schema))
+        if isinstance(item, ast.Join):
+            return self._static_side(self._plan_join(item))
+        raise PlanError(f"unsupported FROM item: {item!r}")  # pragma: no cover
+
+    def _static_side(self, plan: Plan):
+        return StaticRightSide(plan), plan.schema
+
+    def _plan_table_ref(self, item: ast.TableRef) -> Plan:
+        alias = item.alias or item.name
+        if self.catalog.has_view(item.name):
+            return self._plan_view(item.name, alias)
+        if self.catalog.has_table(item.name):
+            table_def = self.catalog.get_table(item.name)
+            if table_def.storage is None:
+                raise PlanError(f"table {item.name!r} has no storage attached")
+            schema = [
+                ColumnSlot(alias, column.name, column.type)
+                for column in table_def.columns
+            ]
+            return TableScanPlan(table_def.storage, schema, item.name)
+        if self.catalog.has_nickname(item.name):
+            if self.remote_fetcher is None:
+                raise PlanError("no federation layer available for nicknames")
+            nickname = self.catalog.get_nickname(item.name)
+            fetcher, columns = self.remote_fetcher(nickname)
+            schema = [ColumnSlot(alias, c.name, c.type) for c in columns]
+            return RemoteScanPlan(fetcher, schema, item.name)
+        if self.catalog.has_function(item.name):
+            raise PlanError(
+                f"{item.name!r} is a table function; reference it as "
+                f"TABLE ({item.name}(...)) AS {alias}"
+            )
+        if self.catalog.has_procedure(item.name):
+            raise CallOnlyProcedureError(
+                f"{item.name!r} is a stored procedure; procedures can only be "
+                "invoked by a CALL statement and cannot appear in a FROM clause"
+            )
+        from repro.fdbs.syscat import is_syscat_table, syscat_definition
+
+        if is_syscat_table(item.name):
+            from repro.fdbs.executor import SyscatScanPlan
+
+            columns, generator = syscat_definition(item.name)
+            schema = [ColumnSlot(alias, c.name, c.type) for c in columns]
+            return SyscatScanPlan(self.catalog, generator, schema, item.name.upper())
+        raise CatalogError(f"unknown table {item.name!r}")
+
+    def _plan_view(self, name: str, alias: str) -> Plan:
+        """Macro-expand a view reference (with a recursion guard)."""
+        key = name.upper()
+        if key in self._view_stack:
+            chain = " -> ".join(self._view_stack + [key])
+            raise PlanError(f"cyclic view definition: {chain}")
+        view = self.catalog.get_view(name)
+        self._view_stack.append(key)
+        try:
+            subplan = self.plan_select(view.body)
+        finally:
+            self._view_stack.pop()
+        names = view.columns or [slot.name for slot in subplan.schema]
+        if len(names) != len(subplan.schema):
+            raise PlanError(
+                f"view {view.name!r} declares {len(names)} column(s) but its "
+                f"body produces {len(subplan.schema)}"
+            )
+        schema = [
+            ColumnSlot(alias, column_name, slot.type)
+            for column_name, slot in zip(names, subplan.schema)
+        ]
+        return _Reschema(subplan, schema)
+
+    def _plan_join(self, item: ast.Join) -> Plan:
+        left = self._plan_join_side(item.left)
+        right = self._plan_join_side(item.right)
+        combined = RowLayout(left.schema + right.schema)
+        predicate = None
+        if item.on is not None:
+            predicate = self._compiler(combined).compile(item.on)
+        elif item.kind != "CROSS":
+            raise PlanError(f"{item.kind} JOIN requires an ON condition")
+        return NestedLoopJoinPlan(left, right, item.kind, predicate)
+
+    def _plan_join_side(self, item: ast.FromItem) -> Plan:
+        if isinstance(item, ast.TableRef):
+            return self._plan_table_ref(item)
+        if isinstance(item, ast.SubquerySource):
+            subplan = self.plan_select(item.select)
+            schema = [
+                ColumnSlot(item.alias, slot.name, slot.type) for slot in subplan.schema
+            ]
+            return _Reschema(subplan, schema)
+        if isinstance(item, ast.Join):
+            return self._plan_join(item)
+        if isinstance(item, ast.TableFunctionRef):
+            raise PlanError(
+                "table functions cannot appear inside an explicit JOIN; list "
+                "them as comma-separated FROM items (processed left to right)"
+            )
+        raise PlanError(f"unsupported join operand: {item!r}")  # pragma: no cover
+
+    # -- table functions -----------------------------------------------------------
+
+    def _plan_table_function(
+        self,
+        item: ast.TableFunctionRef,
+        layout: RowLayout,
+        all_items: list[ast.FromItem],
+        position: int,
+    ):
+        name = item.function_name
+        if self.catalog.has_procedure(name):
+            raise CallOnlyProcedureError(
+                f"{name!r} is a stored procedure; procedures can only be invoked "
+                "by a CALL statement and cannot appear in a FROM clause"
+            )
+        if self.catalog.has_table(name):
+            raise PlanError(f"{name!r} is a table, not a table function")
+        function = self.catalog.get_function(name)
+        if len(item.args) != len(function.params):
+            raise PlanError(
+                f"function {function.name} expects {len(function.params)} "
+                f"arguments, got {len(item.args)}"
+            )
+        compiler = self._compiler(layout)
+        arg_exprs: list[CompiledExpr] = []
+        for arg_ast, param in zip(item.args, function.params):
+            try:
+                compiled = compiler.compile(arg_ast)
+            except PlanError as exc:
+                raise self._diagnose_forward_reference(
+                    exc, arg_ast, item, all_items, position
+                ) from None
+            if compiled.type is not None and not implicitly_castable(
+                compiled.type, param.type
+            ):
+                raise TypeError_(
+                    f"argument {param.name} of {function.name} expects "
+                    f"{param.type}, got {compiled.type}"
+                )
+            arg_exprs.append(compiled)
+        assert item.alias is not None  # parser enforces the correlation name
+        schema = [
+            ColumnSlot(item.alias, column.name, column.type)
+            for column in function.returns
+        ]
+        # An *independent* branch (no lateral references) that is not the
+        # first FROM item must be composed with the running result set —
+        # the paper's "join with selection" overhead of the UDTF approach.
+        lateral = any(
+            layout.resolve(ref.qualifier, ref.name) is not None
+            for arg in item.args
+            for ref in _column_refs(arg)
+        )
+        composition_cost = 0.0
+        if not lateral and position > 0 and self.costs is not None:
+            composition_cost = self.costs.join_composition
+        side = TableFunctionRightSide(
+            function,
+            arg_exprs,
+            schema,
+            self.invoker,
+            item.alias,
+            composition_cost=composition_cost,
+            charge=self.charge,
+        )
+        return side, schema
+
+    def _diagnose_forward_reference(
+        self,
+        original: PlanError,
+        arg_ast: ast.Expression,
+        item: ast.TableFunctionRef,
+        all_items: list[ast.FromItem],
+        position: int,
+    ) -> PlanError:
+        """Turn an unresolved reference into the DB2-faithful diagnosis:
+        forward reference (left-to-right violation) or cyclic dependency."""
+        later_aliases = {
+            (other.alias or "").upper(): other
+            for other in all_items[position + 1 :]
+            if isinstance(other, ast.TableFunctionRef) and other.alias
+        }
+        for ref in _column_refs(arg_ast):
+            qualifier = (ref.qualifier or "").upper()
+            target = later_aliases.get(qualifier)
+            if target is None:
+                continue
+            my_alias = (item.alias or "").upper()
+            if any(
+                (back.qualifier or "").upper() == my_alias
+                for arg in target.args
+                for back in _column_refs(arg)
+            ):
+                return CyclicDependencyError(
+                    f"cyclic dependency between table functions "
+                    f"{item.alias!r} and {target.alias!r}: cycles cannot be "
+                    "expressed in the UDTF approach (no loop construct in SQL)"
+                )
+            return PlanError(
+                f"table function argument references {ref.render()!r}, which is "
+                "defined later in the FROM clause; the FROM clause is processed "
+                "left to right, so inputs must come from earlier items"
+            )
+        return original
+
+    # -- aggregation ------------------------------------------------------------------
+
+    def _plan_aggregate(
+        self,
+        plan: Plan,
+        layout: RowLayout,
+        compiler: ExpressionCompiler,
+        select: ast.Select,
+        items: list[ast.SelectItem],
+    ):
+        group_renders = [expr.render() for expr in select.group_by]
+        aggregates: list[ast.FunctionCall] = []
+        agg_renders: list[str] = []
+
+        def collect(expr: ast.Expression) -> None:
+            for call in _aggregate_calls(expr):
+                render = call.render()
+                if render not in agg_renders:
+                    agg_renders.append(render)
+                    aggregates.append(call)
+
+        for item in items:
+            collect(item.expr)
+        if select.having is not None:
+            collect(select.having)
+        for order_item in select.order_by:
+            collect(order_item.expr)
+
+        group_compiled = [compiler.compile(e) for e in select.group_by]
+        agg_specs: list[AggregateSpec] = []
+        for call in aggregates:
+            name = call.name.upper()
+            if len(call.args) == 1 and isinstance(call.args[0], ast.Star):
+                if name != "COUNT":
+                    raise PlanError(f"{call.name}(*) is only valid for COUNT")
+                agg_specs.append(AggregateSpec(name, None, call.distinct))
+            elif len(call.args) == 1:
+                if contains_aggregate(call.args[0]):
+                    raise PlanError("aggregates cannot be nested")
+                agg_specs.append(
+                    AggregateSpec(name, compiler.compile(call.args[0]), call.distinct)
+                )
+            else:
+                raise PlanError(f"aggregate {call.name} takes exactly one argument")
+
+        post_schema = [
+            ColumnSlot(None, f"$g{index}", compiled.type)
+            for index, compiled in enumerate(group_compiled)
+        ] + [
+            ColumnSlot(None, f"$a{index}", None) for index in range(len(agg_specs))
+        ]
+        agg_plan = AggregatePlan(plan, group_compiled, agg_specs, post_schema)
+        post_layout = RowLayout(post_schema)
+
+        replacement: dict[str, ast.Expression] = {}
+        for index, render in enumerate(group_renders):
+            replacement[render] = ast.ColumnRef(None, f"$g{index}")
+        for index, render in enumerate(agg_renders):
+            replacement[render] = ast.ColumnRef(None, f"$a{index}")
+
+        new_items = []
+        for position, item in enumerate(items):
+            # Preserve the user-visible output name: the synthetic $g/$a
+            # references must not leak into the result columns.
+            alias = item.alias or self._output_name(item, position)
+            new_items.append(
+                ast.SelectItem(_replace(item.expr, replacement), alias)
+            )
+        having = (
+            _replace(select.having, replacement) if select.having is not None else None
+        )
+        # ORDER BY items are rewritten in place for _plan_order_by to pick up.
+        for order_item in select.order_by:
+            order_item.expr = _replace(order_item.expr, replacement)
+        return agg_plan, post_layout, new_items, having
+
+    # -- ORDER BY ---------------------------------------------------------------------
+
+    def _plan_order_by(self, plan: Plan, select: ast.Select) -> Plan:
+        """Sort on extended rows: output columns plus hidden key columns."""
+        output_schema = plan.schema
+        output_layout = RowLayout(output_schema)
+        compiler = self._compiler(output_layout)
+        width = len(output_schema)
+        extra_exprs: list[CompiledExpr] = []
+        key_positions: list[tuple[int, bool]] = []
+        for order_item in select.order_by:
+            expr = order_item.expr
+            if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                index = expr.value - 1
+                if not (0 <= index < width):
+                    raise PlanError(
+                        f"ORDER BY position {expr.value} is out of range"
+                    )
+                key_positions.append((index, order_item.ascending))
+                continue
+            compiled = compiler.compile(expr)
+            key_positions.append((width + len(extra_exprs), order_item.ascending))
+            extra_exprs.append(compiled)
+        if extra_exprs:
+            identity = [
+                _slot_ref(index, slot) for index, slot in enumerate(output_schema)
+            ]
+            extended_schema = output_schema + [
+                ColumnSlot(None, f"$k{index}", expr.type)
+                for index, expr in enumerate(extra_exprs)
+            ]
+            plan = ProjectPlan(plan, identity + extra_exprs, extended_schema)
+        plan = SortPlan(plan, key_positions)
+        if extra_exprs:
+            plan = CutPlan(plan, width, output_schema)
+        return plan
+
+
+class _Reschema(Plan):
+    """Renames the schema of a subplan (derived-table aliasing)."""
+
+    def __init__(self, inner: Plan, schema: list[ColumnSlot]):
+        self.inner = inner
+        self.schema = schema
+
+    def rows(self, ctx: EvalContext):
+        return self.inner.rows(ctx)
+
+    def _describe(self) -> str:
+        return "Reschema"
+
+    def _children(self) -> list[Plan]:
+        return [self.inner]
+
+
+def _slot_ref(index: int, slot: ColumnSlot) -> CompiledExpr:
+    return CompiledExpr(
+        lambda row, ctx, _i=index: row[_i], slot.type, ast.ColumnRef(None, slot.name)
+    )
+
+
+def _column_refs(expr: ast.Expression):
+    """Yield every ColumnRef in an expression tree."""
+    from repro.fdbs.expr import _children  # reuse the walker
+
+    if isinstance(expr, ast.ColumnRef):
+        yield expr
+    for child in _children(expr):
+        yield from _column_refs(child)
+
+
+def _aggregate_calls(expr: ast.Expression):
+    """Yield top-most aggregate calls in an expression tree."""
+    from repro.fdbs.expr import _children
+
+    if is_aggregate_call(expr):
+        yield expr  # type: ignore[misc]
+        return
+    for child in _children(expr):
+        yield from _aggregate_calls(child)
+
+
+def _replace(expr: ast.Expression, mapping: dict[str, ast.Expression]) -> ast.Expression:
+    """Structurally replace subtrees whose rendering appears in ``mapping``."""
+    render = expr.render()
+    if render in mapping:
+        return mapping[render]
+    import copy
+
+    clone = copy.copy(expr)
+    if isinstance(clone, ast.BinaryOp):
+        clone.left = _replace(clone.left, mapping)
+        clone.right = _replace(clone.right, mapping)
+    elif isinstance(clone, ast.UnaryOp):
+        clone.operand = _replace(clone.operand, mapping)
+    elif isinstance(clone, ast.FunctionCall):
+        clone.args = [_replace(a, mapping) for a in clone.args]
+    elif isinstance(clone, ast.Cast):
+        clone.operand = _replace(clone.operand, mapping)
+    elif isinstance(clone, ast.IsNull):
+        clone.operand = _replace(clone.operand, mapping)
+    elif isinstance(clone, ast.InList):
+        clone.operand = _replace(clone.operand, mapping)
+        clone.items = [_replace(i, mapping) for i in clone.items]
+    elif isinstance(clone, ast.Like):
+        clone.operand = _replace(clone.operand, mapping)
+        clone.pattern = _replace(clone.pattern, mapping)
+    elif isinstance(clone, ast.Between):
+        clone.operand = _replace(clone.operand, mapping)
+        clone.low = _replace(clone.low, mapping)
+        clone.high = _replace(clone.high, mapping)
+    elif isinstance(clone, ast.Case):
+        if clone.operand is not None:
+            clone.operand = _replace(clone.operand, mapping)
+        clone.whens = [
+            ast.CaseWhen(_replace(w.condition, mapping), _replace(w.result, mapping))
+            for w in clone.whens
+        ]
+        if clone.else_result is not None:
+            clone.else_result = _replace(clone.else_result, mapping)
+    return clone

@@ -1,0 +1,149 @@
+"""Predicate pushdown to remote SQL sources.
+
+The paper leaves "query optimization" as future work (Sect. 6); this
+module implements the classic first step for the federation side:
+conjuncts of the WHERE clause that reference exactly one nickname's
+columns — and contain only operations a plain SQL source understands —
+are rendered to SQL text and shipped inside the remote statement,
+instead of filtering locally after transferring every row.
+
+Safety rules:
+
+* only scans in the top-level (comma) FROM list are candidates; scans
+  under an explicit OUTER JOIN keep their conjuncts local (pushing them
+  below a LEFT JOIN would change NULL-padding semantics);
+* a conjunct must reference at least one column of the target scan and
+  nothing else (no other aliases, no statement parameters, no
+  subqueries, no user-defined functions);
+* allowed node types: literals, column refs, comparisons, arithmetic,
+  AND/OR/NOT, IS NULL, IN lists, LIKE, BETWEEN.
+"""
+
+from __future__ import annotations
+
+from repro.fdbs import ast
+from repro.fdbs.executor import RemoteScanPlan
+
+
+def split_conjuncts(expr: ast.Expression) -> list[ast.Expression]:
+    """Flatten a tree of ANDs into its conjuncts."""
+    if isinstance(expr, ast.BinaryOp) and expr.op.upper() == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def recombine(conjuncts: list[ast.Expression]) -> ast.Expression | None:
+    """AND the conjuncts back together (None when empty)."""
+    if not conjuncts:
+        return None
+    combined = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        combined = ast.BinaryOp("AND", combined, conjunct)
+    return combined
+
+
+_PUSHABLE_OPS = frozenset(
+    {"=", "<>", "<", "<=", ">", ">=", "+", "-", "*", "/", "AND", "OR", "||"}
+)
+
+
+def referenced_qualifiers(expr: ast.Expression) -> set[str] | None:
+    """Upper-cased qualifiers of all column refs; None when the
+    expression contains something that cannot ship (parameter,
+    subquery, function call, unqualified column...)."""
+    if isinstance(expr, ast.Literal):
+        return set()
+    if isinstance(expr, ast.ColumnRef):
+        if expr.qualifier is None:
+            return None  # ambiguous without the local layout; keep local
+        return {expr.qualifier.upper()}
+    if isinstance(expr, ast.BinaryOp):
+        if expr.op.upper() not in _PUSHABLE_OPS:
+            return None
+        return _merge(referenced_qualifiers(expr.left), referenced_qualifiers(expr.right))
+    if isinstance(expr, ast.UnaryOp):
+        return referenced_qualifiers(expr.operand)
+    if isinstance(expr, ast.IsNull):
+        return referenced_qualifiers(expr.operand)
+    if isinstance(expr, ast.InList):
+        result = referenced_qualifiers(expr.operand)
+        for item in expr.items:
+            result = _merge(result, referenced_qualifiers(item))
+        return result
+    if isinstance(expr, ast.Like):
+        return _merge(
+            referenced_qualifiers(expr.operand), referenced_qualifiers(expr.pattern)
+        )
+    if isinstance(expr, ast.Between):
+        result = _merge(
+            referenced_qualifiers(expr.operand), referenced_qualifiers(expr.low)
+        )
+        return _merge(result, referenced_qualifiers(expr.high))
+    # Parameters, subqueries, CASE, casts, function calls: keep local.
+    return None
+
+
+def _merge(a: set[str] | None, b: set[str] | None) -> set[str] | None:
+    if a is None or b is None:
+        return None
+    return a | b
+
+
+def strip_qualifiers(expr: ast.Expression) -> ast.Expression:
+    """Clone the expression with all column qualifiers removed (the
+    remote statement scans a single table)."""
+    import copy
+
+    if isinstance(expr, ast.ColumnRef):
+        return ast.ColumnRef(None, expr.name)
+    clone = copy.copy(expr)
+    if isinstance(clone, ast.BinaryOp):
+        clone.left = strip_qualifiers(clone.left)
+        clone.right = strip_qualifiers(clone.right)
+    elif isinstance(clone, ast.UnaryOp):
+        clone.operand = strip_qualifiers(clone.operand)
+    elif isinstance(clone, ast.IsNull):
+        clone.operand = strip_qualifiers(clone.operand)
+    elif isinstance(clone, ast.InList):
+        clone.operand = strip_qualifiers(clone.operand)
+        clone.items = [strip_qualifiers(i) for i in clone.items]
+    elif isinstance(clone, ast.Like):
+        clone.operand = strip_qualifiers(clone.operand)
+        clone.pattern = strip_qualifiers(clone.pattern)
+    elif isinstance(clone, ast.Between):
+        clone.operand = strip_qualifiers(clone.operand)
+        clone.low = strip_qualifiers(clone.low)
+        clone.high = strip_qualifiers(clone.high)
+    return clone
+
+
+def push_predicates(
+    where: ast.Expression | None,
+    candidates: dict[str, RemoteScanPlan],
+    counter=None,
+) -> ast.Expression | None:
+    """Push eligible conjuncts into their remote scans.
+
+    ``candidates`` maps upper-cased FROM aliases to their scans.
+    Returns the remaining local WHERE expression (None if everything was
+    pushed).  ``counter`` (a FederationLayer, optional) gets its
+    ``predicates_pushed`` statistic bumped.
+    """
+    if where is None or not candidates:
+        return where
+    remaining: list[ast.Expression] = []
+    for conjunct in split_conjuncts(where):
+        qualifiers = referenced_qualifiers(conjunct)
+        if (
+            qualifiers is not None
+            and len(qualifiers) == 1
+            and next(iter(qualifiers)) in candidates
+        ):
+            alias = next(iter(qualifiers))
+            scan = candidates[alias]
+            scan.pushed_predicates.append(strip_qualifiers(conjunct).render())
+            if counter is not None:
+                counter.predicates_pushed += 1
+        else:
+            remaining.append(conjunct)
+    return recombine(remaining)

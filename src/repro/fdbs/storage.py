@@ -1,0 +1,235 @@
+"""Heap storage with primary-key enforcement, hash indexes and undo.
+
+Rows are tuples in definition column order.  Every mutation can record
+an undo entry into an active :class:`UndoLog`, which the session layer
+uses to implement ROLLBACK.  Row identifiers (rids) are stable for the
+lifetime of a row; deleted slots are tombstoned.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from repro.errors import ConstraintError, ExecutionError
+from repro.fdbs.catalog import ColumnDef
+from repro.fdbs.types import coerce_into
+
+
+Row = tuple
+
+
+class UndoLog:
+    """Collects inverse operations for one transaction."""
+
+    def __init__(self) -> None:
+        self._entries: list[Callable[[], None]] = []
+
+    def record(self, undo: Callable[[], None]) -> None:
+        """Append one inverse operation."""
+        self._entries.append(undo)
+
+    def rollback(self) -> None:
+        """Apply all undo entries in reverse order, then clear."""
+        while self._entries:
+            self._entries.pop()()
+
+    def clear(self) -> None:
+        """Forget all undo entries (commit)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class HashIndex:
+    """A non-unique hash index over one column position."""
+
+    def __init__(self, position: int):
+        self.position = position
+        self._buckets: dict[object, set[int]] = {}
+
+    def add(self, rid: int, row: Row) -> None:
+        """Index one row under its key value."""
+        self._buckets.setdefault(row[self.position], set()).add(rid)
+
+    def remove(self, rid: int, row: Row) -> None:
+        """Drop one row from its key bucket."""
+        bucket = self._buckets.get(row[self.position])
+        if bucket is not None:
+            bucket.discard(rid)
+            if not bucket:
+                del self._buckets[row[self.position]]
+
+    def lookup(self, value: object) -> set[int]:
+        """Rids whose key equals ``value``."""
+        return set(self._buckets.get(value, ()))
+
+
+class Table:
+    """One heap table with optional primary key and secondary indexes."""
+
+    def __init__(self, name: str, columns: Sequence[ColumnDef], primary_key: Sequence[str] = ()):
+        self.name = name
+        self.columns = list(columns)
+        self.primary_key = [k for k in primary_key]
+        self._rows: list[Row | None] = []
+        self._live = 0
+        self._pk_positions = [self._position(k) for k in self.primary_key]
+        self._pk_index: dict[tuple, int] = {}
+        self._indexes: dict[str, HashIndex] = {}
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _position(self, column: str) -> int:
+        target = column.upper()
+        for index, col in enumerate(self.columns):
+            if col.name.upper() == target:
+                return index
+        raise ExecutionError(f"table {self.name!r} has no column {column!r}")
+
+    def _pk_key(self, row: Row) -> tuple:
+        return tuple(row[p] for p in self._pk_positions)
+
+    def _coerce(self, values: Sequence[object]) -> Row:
+        if len(values) != len(self.columns):
+            raise ExecutionError(
+                f"table {self.name!r} expects {len(self.columns)} values, "
+                f"got {len(values)}"
+            )
+        row = []
+        for value, column in zip(values, self.columns):
+            coerced = coerce_into(value, column.type)
+            if coerced is None and column.not_null:
+                raise ConstraintError(
+                    f"column {column.name!r} of table {self.name!r} is NOT NULL"
+                )
+            row.append(coerced)
+        return tuple(row)
+
+    # -- mutations -------------------------------------------------------------------
+
+    def insert(self, values: Sequence[object], undo: UndoLog | None = None) -> int:
+        """Insert one row; returns its rid."""
+        row = self._coerce(values)
+        if self._pk_positions:
+            key = self._pk_key(row)
+            if any(part is None for part in key):
+                raise ConstraintError(
+                    f"primary key of table {self.name!r} cannot contain NULL"
+                )
+            if key in self._pk_index:
+                raise ConstraintError(
+                    f"duplicate primary key {key!r} in table {self.name!r}"
+                )
+        rid = len(self._rows)
+        self._rows.append(row)
+        self._live += 1
+        if self._pk_positions:
+            self._pk_index[self._pk_key(row)] = rid
+        for index in self._indexes.values():
+            index.add(rid, row)
+        if undo is not None:
+            undo.record(lambda: self._undo_insert(rid))
+        return rid
+
+    def _undo_insert(self, rid: int) -> None:
+        row = self._rows[rid]
+        if row is None:  # pragma: no cover - defensive
+            return
+        self._detach(rid, row)
+
+    def _detach(self, rid: int, row: Row) -> None:
+        self._rows[rid] = None
+        self._live -= 1
+        if self._pk_positions:
+            self._pk_index.pop(self._pk_key(row), None)
+        for index in self._indexes.values():
+            index.remove(rid, row)
+
+    def _attach(self, rid: int, row: Row) -> None:
+        self._rows[rid] = row
+        self._live += 1
+        if self._pk_positions:
+            self._pk_index[self._pk_key(row)] = rid
+        for index in self._indexes.values():
+            index.add(rid, row)
+
+    def delete_rid(self, rid: int, undo: UndoLog | None = None) -> None:
+        """Delete the row at ``rid``."""
+        row = self._row_at(rid)
+        self._detach(rid, row)
+        if undo is not None:
+            undo.record(lambda: self._attach(rid, row))
+
+    def update_rid(
+        self, rid: int, values: Sequence[object], undo: UndoLog | None = None
+    ) -> None:
+        """Replace the row at ``rid`` with new values."""
+        old = self._row_at(rid)
+        new = self._coerce(values)
+        if self._pk_positions:
+            new_key = self._pk_key(new)
+            if any(part is None for part in new_key):
+                raise ConstraintError(
+                    f"primary key of table {self.name!r} cannot contain NULL"
+                )
+            existing = self._pk_index.get(new_key)
+            if existing is not None and existing != rid:
+                raise ConstraintError(
+                    f"duplicate primary key {new_key!r} in table {self.name!r}"
+                )
+        self._detach(rid, old)
+        self._attach(rid, new)
+        if undo is not None:
+
+            def revert() -> None:
+                self._detach(rid, new)
+                self._attach(rid, old)
+
+            undo.record(revert)
+
+    def _row_at(self, rid: int) -> Row:
+        if not (0 <= rid < len(self._rows)):
+            raise ExecutionError(f"invalid rid {rid} for table {self.name!r}")
+        row = self._rows[rid]
+        if row is None:
+            raise ExecutionError(f"rid {rid} of table {self.name!r} is deleted")
+        return row
+
+    # -- access ----------------------------------------------------------------------
+
+    def scan(self) -> Iterator[tuple[int, Row]]:
+        """Yield (rid, row) for every live row."""
+        for rid, row in enumerate(self._rows):
+            if row is not None:
+                yield rid, row
+
+    def rows(self) -> list[Row]:
+        """All live rows (materialised)."""
+        return [row for row in self._rows if row is not None]
+
+    def lookup_pk(self, key: tuple) -> Row | None:
+        """Fetch one row by primary-key value tuple."""
+        if not self._pk_positions:
+            raise ExecutionError(f"table {self.name!r} has no primary key")
+        rid = self._pk_index.get(key)
+        return None if rid is None else self._rows[rid]
+
+    def create_index(self, column: str) -> HashIndex:
+        """Create (or return) a hash index over ``column``."""
+        key = column.upper()
+        if key in self._indexes:
+            return self._indexes[key]
+        index = HashIndex(self._position(column))
+        for rid, row in self.scan():
+            index.add(rid, row)
+        self._indexes[key] = index
+        return index
+
+    def index_lookup(self, column: str, value: object) -> list[Row]:
+        """Rows whose ``column`` equals ``value`` via the hash index."""
+        index = self.create_index(column)
+        return [self._rows[rid] for rid in sorted(index.lookup(value))]  # type: ignore[misc]
+
+    def __len__(self) -> int:
+        return self._live

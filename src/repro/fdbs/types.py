@@ -1,0 +1,344 @@
+"""SQL type system of the FDBS dialect.
+
+Covers the types the paper's examples use (INT, BIGINT, VARCHAR) plus
+the usual relational companions, with a DB2-flavoured cast lattice:
+implicit *promotion* along the numeric ladder and between character
+types, explicit casts everywhere a sensible conversion exists.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from dataclasses import dataclass
+from decimal import Decimal, InvalidOperation
+
+from repro.errors import TypeError_
+
+
+class TypeFamily(enum.Enum):
+    """Coarse type families used by the cast rules."""
+
+    BOOLEAN = "boolean"
+    NUMERIC = "numeric"
+    CHARACTER = "character"
+    DATETIME = "datetime"
+
+
+@dataclass(frozen=True)
+class SqlType:
+    """A concrete SQL type, possibly parameterised (length / precision).
+
+    Instances are immutable and comparable; ``VARCHAR(20)`` equals
+    ``VARCHAR(20)`` but not ``VARCHAR(10)``.  Use :func:`parse_type` to
+    build one from SQL text.
+    """
+
+    name: str
+    family: TypeFamily
+    length: int | None = None
+    precision: int | None = None
+    scale: int | None = None
+    # Position on the numeric promotion ladder (higher wins in implicit
+    # promotion); None for non-numeric types.
+    ladder: int | None = None
+
+    def render(self) -> str:
+        """SQL text for this type."""
+        if self.name in ("CHAR", "VARCHAR") and self.length is not None:
+            return f"{self.name}({self.length})"
+        if self.name == "DECIMAL" and self.precision is not None:
+            return f"DECIMAL({self.precision}, {self.scale or 0})"
+        return self.name
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+BOOLEAN = SqlType("BOOLEAN", TypeFamily.BOOLEAN)
+SMALLINT = SqlType("SMALLINT", TypeFamily.NUMERIC, ladder=1)
+INTEGER = SqlType("INTEGER", TypeFamily.NUMERIC, ladder=2)
+BIGINT = SqlType("BIGINT", TypeFamily.NUMERIC, ladder=3)
+DOUBLE = SqlType("DOUBLE", TypeFamily.NUMERIC, ladder=5)
+DATE = SqlType("DATE", TypeFamily.DATETIME)
+
+
+def DECIMAL(precision: int = 31, scale: int = 0) -> SqlType:
+    """A DECIMAL(p, s) type (ladder between BIGINT and DOUBLE)."""
+    if not (1 <= precision <= 31):
+        raise TypeError_(f"DECIMAL precision must be in 1..31, got {precision}")
+    if not (0 <= scale <= precision):
+        raise TypeError_(
+            f"DECIMAL scale must be in 0..precision, got {scale} (p={precision})"
+        )
+    return SqlType(
+        "DECIMAL", TypeFamily.NUMERIC, precision=precision, scale=scale, ladder=4
+    )
+
+
+def CHAR(length: int = 1) -> SqlType:
+    """A fixed-length CHAR(n) type."""
+    if length < 1:
+        raise TypeError_(f"CHAR length must be >= 1, got {length}")
+    return SqlType("CHAR", TypeFamily.CHARACTER, length=length)
+
+
+def VARCHAR(length: int = 255) -> SqlType:
+    """A VARCHAR(n) type."""
+    if length < 1:
+        raise TypeError_(f"VARCHAR length must be >= 1, got {length}")
+    return SqlType("VARCHAR", TypeFamily.CHARACTER, length=length)
+
+
+_SIMPLE_TYPES = {
+    "BOOLEAN": BOOLEAN,
+    "SMALLINT": SMALLINT,
+    "INT": INTEGER,
+    "INTEGER": INTEGER,
+    "BIGINT": BIGINT,
+    "LONG": BIGINT,  # the paper speaks of an INT -> LONG conversion
+    "DOUBLE": DOUBLE,
+    "FLOAT": DOUBLE,
+    "DATE": DATE,
+}
+
+
+def parse_type(name: str, *params: int) -> SqlType:
+    """Build a :class:`SqlType` from a type keyword and its parameters."""
+    upper = name.upper()
+    if upper in _SIMPLE_TYPES:
+        if params:
+            raise TypeError_(f"type {upper} takes no parameters")
+        return _SIMPLE_TYPES[upper]
+    if upper == "CHAR" or upper == "CHARACTER":
+        return CHAR(params[0]) if params else CHAR()
+    if upper == "VARCHAR":
+        return VARCHAR(params[0]) if params else VARCHAR()
+    if upper in ("DECIMAL", "DEC", "NUMERIC"):
+        if len(params) == 0:
+            return DECIMAL()
+        if len(params) == 1:
+            return DECIMAL(params[0])
+        return DECIMAL(params[0], params[1])
+    raise TypeError_(f"unknown SQL type {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Cast / promotion rules
+# ---------------------------------------------------------------------------
+
+
+def is_numeric(t: SqlType) -> bool:
+    """True for the numeric type family."""
+    return t.family is TypeFamily.NUMERIC
+
+
+def is_character(t: SqlType) -> bool:
+    """True for the character type family."""
+    return t.family is TypeFamily.CHARACTER
+
+
+def implicitly_castable(source: SqlType, target: SqlType) -> bool:
+    """True if ``source`` values may silently flow into ``target`` slots.
+
+    Implicit casts are promotions only: up the numeric ladder, between
+    character types, and identity.  Anything lossy requires an explicit
+    CAST, as in the paper's simple case (INT -> LONG is a promotion, so
+    ``BIGINT(...)`` is merely making it visible).
+    """
+    if source == target:
+        return True
+    if is_numeric(source) and is_numeric(target):
+        assert source.ladder is not None and target.ladder is not None
+        return source.ladder <= target.ladder
+    if is_character(source) and is_character(target):
+        return True
+    return False
+
+
+def explicitly_castable(source: SqlType, target: SqlType) -> bool:
+    """True if ``CAST(source AS target)`` is allowed at all."""
+    if implicitly_castable(source, target):
+        return True
+    if is_numeric(source) and is_numeric(target):
+        return True  # demotions allowed explicitly
+    if is_character(source) and (is_numeric(target) or target is DATE):
+        return True
+    if (is_numeric(source) or source is DATE) and is_character(target):
+        return True
+    if source is BOOLEAN and is_character(target):
+        return True
+    return False
+
+
+def common_supertype(a: SqlType, b: SqlType) -> SqlType:
+    """The promotion target for mixing ``a`` and ``b`` in an expression."""
+    if a == b:
+        return a
+    if is_numeric(a) and is_numeric(b):
+        assert a.ladder is not None and b.ladder is not None
+        return a if a.ladder >= b.ladder else b
+    if is_character(a) and is_character(b):
+        length = max(a.length or 0, b.length or 0)
+        return VARCHAR(length if length > 0 else 255)
+    raise TypeError_(f"no common supertype of {a} and {b}")
+
+
+def cast_value(value: object, source: SqlType, target: SqlType) -> object:
+    """Convert a Python runtime value from ``source`` to ``target``.
+
+    NULL (Python ``None``) casts to NULL of any type.  Raises
+    :class:`~repro.errors.TypeError_` when the cast is not allowed or the
+    value does not convert (e.g. ``CAST('abc' AS INT)``).
+    """
+    if value is None:
+        return None
+    if not explicitly_castable(source, target):
+        raise TypeError_(f"cannot cast {source} to {target}")
+    try:
+        if target.family is TypeFamily.NUMERIC:
+            return _to_numeric(value, target)
+        if target.family is TypeFamily.CHARACTER:
+            return _to_character(value, source, target)
+        if target is DATE:
+            return _to_date(value)
+        if target is BOOLEAN:
+            if isinstance(value, bool):
+                return value
+            raise TypeError_(f"cannot cast {value!r} to BOOLEAN")
+    except (ValueError, InvalidOperation) as exc:
+        raise TypeError_(f"value {value!r} does not convert to {target}: {exc}")
+    raise TypeError_(f"unsupported cast target {target}")  # pragma: no cover
+
+
+def _to_numeric(value: object, target: SqlType) -> object:
+    if isinstance(value, bool):
+        raise TypeError_("cannot cast BOOLEAN to a numeric type")
+    if isinstance(value, str):
+        value = value.strip()
+    if target.name == "DOUBLE":
+        return float(value)  # type: ignore[arg-type]
+    if target.name == "DECIMAL":
+        dec = Decimal(str(value))
+        if target.scale is not None:
+            quantum = Decimal(1).scaleb(-target.scale)
+            dec = dec.quantize(quantum)
+        return dec
+    # integer targets truncate toward zero, DB2-style
+    if isinstance(value, str):
+        number = Decimal(value)
+    else:
+        number = Decimal(str(value))
+    integral = int(number.to_integral_value(rounding="ROUND_DOWN"))
+    _check_integer_range(integral, target)
+    return integral
+
+
+_INT_RANGES = {
+    "SMALLINT": (-(2**15), 2**15 - 1),
+    "INTEGER": (-(2**31), 2**31 - 1),
+    "BIGINT": (-(2**63), 2**63 - 1),
+}
+
+
+def _check_integer_range(value: int, target: SqlType) -> None:
+    low, high = _INT_RANGES[target.name]
+    if not (low <= value <= high):
+        raise TypeError_(f"value {value} out of range for {target.name}")
+
+
+def _to_character(value: object, source: SqlType, target: SqlType) -> str:
+    if isinstance(value, bool):
+        text = "TRUE" if value else "FALSE"
+    elif isinstance(value, datetime.date):
+        text = value.isoformat()
+    else:
+        text = str(value)
+    if target.length is not None and len(text) > target.length:
+        if source.family is TypeFamily.CHARACTER:
+            text = text[: target.length]  # truncation, DB2-style
+        else:
+            raise TypeError_(
+                f"value {text!r} too long for {target.render()} "
+                f"(length {len(text)})"
+            )
+    if target.name == "CHAR" and target.length is not None:
+        text = text.ljust(target.length)
+    return text
+
+
+def _to_date(value: object) -> datetime.date:
+    if isinstance(value, datetime.date):
+        return value
+    if isinstance(value, str):
+        return datetime.date.fromisoformat(value.strip())
+    raise TypeError_(f"cannot cast {value!r} to DATE")
+
+
+def python_value_matches(value: object, t: SqlType) -> bool:
+    """Cheap runtime check that a Python value inhabits a SQL type."""
+    if value is None:
+        return True
+    if t is BOOLEAN:
+        return isinstance(value, bool)
+    if t.family is TypeFamily.NUMERIC:
+        if isinstance(value, bool):
+            return False
+        if t.name == "DOUBLE":
+            return isinstance(value, (int, float, Decimal))
+        if t.name == "DECIMAL":
+            return isinstance(value, (int, Decimal))
+        return isinstance(value, int)
+    if t.family is TypeFamily.CHARACTER:
+        return isinstance(value, str)
+    if t is DATE:
+        return isinstance(value, datetime.date)
+    return False  # pragma: no cover
+
+
+def coerce_into(value: object, t: SqlType) -> object:
+    """Coerce a Python value into column type ``t`` on insert/bind.
+
+    Accepts values already of the right shape and applies implicit
+    promotions (e.g. int into DOUBLE); rejects everything else.
+    """
+    if value is None:
+        return None
+    if python_value_matches(value, t):
+        if t.family is TypeFamily.CHARACTER and t.length is not None:
+            text = str(value)
+            if len(text) > t.length:
+                raise TypeError_(
+                    f"value {text!r} too long for {t.render()} (length {len(text)})"
+                )
+            if t.name == "CHAR":
+                return text.ljust(t.length)
+            return text
+        if t.name == "DOUBLE":
+            return float(value)  # type: ignore[arg-type]
+        if isinstance(value, int) and t.name in _INT_RANGES:
+            _check_integer_range(value, t)
+        return value
+    inferred = infer_type(value)
+    if implicitly_castable(inferred, t):
+        return cast_value(value, inferred, t)
+    raise TypeError_(f"value {value!r} ({inferred}) does not fit column type {t}")
+
+
+def infer_type(value: object) -> SqlType:
+    """Best-effort SQL type of a Python literal value."""
+    if value is None:
+        raise TypeError_("cannot infer a type for NULL")
+    if isinstance(value, bool):
+        return BOOLEAN
+    if isinstance(value, int):
+        return INTEGER if -(2**31) <= value <= 2**31 - 1 else BIGINT
+    if isinstance(value, float):
+        return DOUBLE
+    if isinstance(value, Decimal):
+        return DECIMAL()
+    if isinstance(value, str):
+        return VARCHAR(max(1, len(value)))
+    if isinstance(value, datetime.date):
+        return DATE
+    raise TypeError_(f"no SQL type for Python value {value!r}")

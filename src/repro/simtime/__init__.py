@@ -1,0 +1,16 @@
+"""Deterministic virtual-time substrate.
+
+The paper measures elapsed time on an IBM DB2 + MQSeries Workflow testbed.
+We replace wall-clock time with a :class:`~repro.simtime.clock.VirtualClock`
+that every simulated component charges against, and a calibrated
+:class:`~repro.simtime.costs.CostModel` holding the per-step constants.
+Benchmarks therefore reproduce the *shape* of the paper's measurements
+deterministically on any machine.
+"""
+
+from repro.simtime.clock import VirtualClock
+from repro.simtime.costs import CostModel
+from repro.simtime.rng import JitterSource
+from repro.simtime.trace import Span, TraceRecorder
+
+__all__ = ["VirtualClock", "CostModel", "JitterSource", "Span", "TraceRecorder"]

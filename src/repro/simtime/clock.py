@@ -1,0 +1,143 @@
+"""A deterministic, monotonically advancing virtual clock.
+
+All simulated latencies in the reproduction are expressed in *simulated
+milliseconds* (``su`` in DESIGN.md) charged against one shared clock.
+Components never sleep; they call :meth:`VirtualClock.advance`.
+
+The clock also supports *marks* — cheap checkpoints used by the trace
+recorder to attribute elapsed spans to the paper's step names (Fig. 6) —
+and *frozen sections* used by the workflow engine's critical-path
+scheduler, which computes branch finish times itself and then advances
+the shared clock once by the makespan.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ClockError
+
+
+class VirtualClock:
+    """Monotonic virtual clock measured in simulated milliseconds."""
+
+    def __init__(self, start: float = 0.0, jitter=None):
+        if start < 0:
+            raise ClockError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+        self._frozen = 0
+        self._capture: "ClockCapture | None" = None
+        #: Optional JitterSource applied to every advance() delta —
+        #: deterministic measurement noise for the averaging paths.
+        self.jitter = jitter
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in simulated milliseconds."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Advance the clock by ``delta`` ms and return the new time.
+
+        Raises :class:`~repro.errors.ClockError` for negative deltas and
+        ignores advances while the clock is frozen (the freezer is
+        accounting for the time itself).  While a capture is active the
+        delta accumulates into the capture instead of moving the clock.
+        """
+        if delta < 0:
+            raise ClockError(f"cannot advance clock by negative delta {delta!r}")
+        if self.jitter is not None and delta > 0:
+            delta = self.jitter.jitter(delta)
+        if self._capture is not None:
+            self._capture.total += delta
+            return self._now
+        if self._frozen:
+            return self._now
+        self._now += delta
+        return self._now
+
+    @property
+    def capturing(self) -> bool:
+        """True while a capture is active."""
+        return self._capture is not None
+
+    def capture_total(self) -> float:
+        """Accumulated total of the active capture (0.0 when none)."""
+        return self._capture.total if self._capture is not None else 0.0
+
+    def capture(self) -> "ClockCapture":
+        """Context manager measuring cost without advancing the clock.
+
+        Used by the workflow navigator: each activity's execution cost is
+        captured, branch finish times are computed with critical-path
+        scheduling, and the clock is advanced once by the makespan —
+        which is how parallel activities overlap in virtual time.
+        Captures cannot nest.
+        """
+        return ClockCapture(self)
+
+    def advance_to(self, when: float) -> float:
+        """Advance the clock to absolute time ``when`` (never backwards)."""
+        if when < self._now:
+            raise ClockError(
+                f"cannot move clock backwards from {self._now!r} to {when!r}"
+            )
+        if not self._frozen:
+            self._now = when
+        return self._now
+
+    # -- frozen sections ---------------------------------------------------
+
+    def freeze(self) -> None:
+        """Suspend implicit advances (re-entrant)."""
+        self._frozen += 1
+
+    def unfreeze(self) -> None:
+        """Re-enable implicit advances."""
+        if self._frozen == 0:
+            raise ClockError("unfreeze() without matching freeze()")
+        self._frozen -= 1
+
+    @property
+    def frozen(self) -> bool:
+        """True while a frozen section is active."""
+        return self._frozen > 0
+
+    class _FrozenSection:
+        def __init__(self, clock: "VirtualClock"):
+            self._clock = clock
+
+        def __enter__(self) -> "VirtualClock":
+            self._clock.freeze()
+            return self._clock
+
+        def __exit__(self, *exc) -> None:
+            self._clock.unfreeze()
+
+    def frozen_section(self) -> "VirtualClock._FrozenSection":
+        """Context manager during which ``advance()`` calls are no-ops.
+
+        Used by schedulers that account for elapsed time themselves (e.g.
+        parallel workflow branches) while still executing real component
+        code that would otherwise double-charge the clock.
+        """
+        return VirtualClock._FrozenSection(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " frozen" if self._frozen else ""
+        return f"<VirtualClock now={self._now:.3f}{state}>"
+
+
+class ClockCapture:
+    """Accumulates suppressed clock advances; see VirtualClock.capture."""
+
+    def __init__(self, clock: VirtualClock):
+        self._clock = clock
+        self.total = 0.0
+
+    def __enter__(self) -> "ClockCapture":
+        if self._clock._capture is not None:
+            raise ClockError("clock captures cannot nest")
+        self._clock._capture = self
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._clock._capture = None

@@ -1,0 +1,36 @@
+"""Seeded jitter for simulated latencies.
+
+Real middleware latencies are noisy; the paper averages repeated calls.
+We add small, *deterministic* multiplicative jitter so that repeated
+measurements exercise the averaging code paths in the benchmark harness
+without making results machine-dependent.  Jitter defaults to zero for
+unit tests (exact assertions) and is switched on by the harness.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class JitterSource:
+    """Deterministic multiplicative jitter around 1.0.
+
+    ``amplitude`` is the half-width of the uniform factor range:
+    ``amplitude=0.05`` yields factors in ``[0.95, 1.05]``.
+    """
+
+    def __init__(self, seed: int = 0, amplitude: float = 0.0):
+        if amplitude < 0 or amplitude >= 1:
+            raise ValueError(f"amplitude must be in [0, 1), got {amplitude!r}")
+        self._rng = random.Random(seed)
+        self.amplitude = amplitude
+
+    def factor(self) -> float:
+        """Next jitter factor; exactly 1.0 when amplitude is zero."""
+        if self.amplitude == 0.0:
+            return 1.0
+        return 1.0 + self._rng.uniform(-self.amplitude, self.amplitude)
+
+    def jitter(self, value: float) -> float:
+        """Apply the next factor to ``value``."""
+        return value * self.factor()

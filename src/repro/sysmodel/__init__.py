@@ -1,0 +1,23 @@
+"""Simulated OS and middleware substrate.
+
+Models the processes of the paper's testbed — the FDBS server, the WfMS
+server, the controller, the fenced UDTF processes, the application
+systems and the JVMs the workflow engine boots per activity — together
+with the RMI hops between them.  Every state change charges latency to a
+shared :class:`~repro.simtime.VirtualClock`, which is how the cold /
+warm / hot behaviour of Sect. 4 arises.
+"""
+
+from repro.sysmodel.process import JavaVirtualMachine, OsProcess, ProcessState
+from repro.sysmodel.rmi import RmiChannel
+from repro.sysmodel.controller import Controller
+from repro.sysmodel.machine import Machine
+
+__all__ = [
+    "OsProcess",
+    "JavaVirtualMachine",
+    "ProcessState",
+    "RmiChannel",
+    "Controller",
+    "Machine",
+]

@@ -1,0 +1,120 @@
+"""The simulated machine hosting the whole integration environment.
+
+One :class:`Machine` owns the shared virtual clock, the cost model, the
+warmth state, and every long-lived process of the testbed: the FDBS
+server, the WfMS server, the controller, and the application systems.
+Processes are started lazily — the first federated-function call after
+:meth:`Machine.boot` pays the service-start penalties, reproducing the
+paper's boot / warm / hot comparison (Sect. 4, ¶3).
+"""
+
+from __future__ import annotations
+
+from repro.simtime.clock import VirtualClock
+from repro.simtime.costs import CostModel, DEFAULT_COSTS, Warmth
+from repro.simtime.rng import JitterSource
+from repro.sysmodel.controller import Controller
+from repro.sysmodel.process import OsProcess
+from repro.sysmodel.rmi import RmiChannel
+
+
+class Machine:
+    """Hosting environment for the FDBS + WfMS integration server."""
+
+    def __init__(
+        self,
+        costs: CostModel | None = None,
+        controller_enabled: bool = True,
+        jitter: JitterSource | None = None,
+    ):
+        self.costs = costs if costs is not None else DEFAULT_COSTS
+        self.jitter = jitter if jitter is not None else JitterSource()
+        self.clock = VirtualClock(
+            jitter=self.jitter if self.jitter.amplitude > 0 else None
+        )
+        self.warmth = Warmth()
+
+        self.fdbs_process = OsProcess("fdbs-server", self.clock, self.costs.fdbs_boot)
+        self.wfms_process = OsProcess(
+            "wfms-server", self.clock, self.costs.wf_server_boot
+        )
+        self.controller = Controller(self.clock, self.costs, controller_enabled)
+        self.appsys_processes: dict[str, OsProcess] = {}
+
+        self.udtf_rmi = RmiChannel(
+            "udtf-controller",
+            self.clock,
+            call_cost=self.costs.rmi_call,
+            return_cost=self.costs.rmi_return,
+        )
+        self.wf_rmi = RmiChannel(
+            "udtf-wfms",
+            self.clock,
+            call_cost=self.costs.wf_rmi_call,
+            return_cost=self.costs.wf_rmi_return,
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def register_appsys(self, name: str) -> OsProcess:
+        """Create (stopped) the process hosting one application system."""
+        if name in self.appsys_processes:
+            return self.appsys_processes[name]
+        process = OsProcess(f"appsys:{name}", self.clock, self.costs.appsys_boot)
+        self.appsys_processes[name] = process
+        return process
+
+    def boot(self) -> None:
+        """(Re)boot the machine: stop everything and forget all caches.
+
+        Costs are charged lazily when the first call touches each
+        process, which is exactly how the paper's 'initial function
+        calls are the slowest' behaviour arises.
+        """
+        for process in self._all_processes():
+            if process.running:
+                process.stop()
+        self.warmth.reset()
+
+    def ensure_base_services(self) -> bool:
+        """Start the FDBS and controller if cold; True if any start ran."""
+        started = self.fdbs_process.ensure_running()
+        if self.controller.enabled:
+            started = self.controller.ensure_running() or started
+        if started:
+            self.warmth.machine_cold = False
+        return started
+
+    def ensure_wfms(self) -> bool:
+        """Start the WfMS server if cold; True if a start ran."""
+        return self.wfms_process.ensure_running()
+
+    def ensure_appsys(self, name: str) -> bool:
+        """Start one application-system process if cold."""
+        if name not in self.appsys_processes:
+            self.register_appsys(name)
+        return self.appsys_processes[name].ensure_running()
+
+    def _all_processes(self) -> list[OsProcess]:
+        return [
+            self.fdbs_process,
+            self.wfms_process,
+            self.controller,
+            *self.appsys_processes.values(),
+        ]
+
+    # -- convenience ----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.clock.now
+
+    def charge(self, amount: float) -> None:
+        """Charge latency to the clock (jitter is applied by the clock
+        itself when a jitter source is configured)."""
+        self.clock.advance(amount)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        running = [p.name for p in self._all_processes() if p.running]
+        return f"<Machine t={self.clock.now:.1f} running={running}>"

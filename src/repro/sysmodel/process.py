@@ -1,0 +1,91 @@
+"""Simulated OS processes and JVMs.
+
+A process is a named entity with a lifecycle; starting one charges its
+start cost to the virtual clock.  The model is intentionally small: the
+paper's performance story only needs *when* a process start is paid
+(boot vs. per call vs. never) and *how expensive* it is.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ProcessStateError
+from repro.simtime.clock import VirtualClock
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle states of a simulated process."""
+
+    STOPPED = "stopped"
+    RUNNING = "running"
+
+
+class OsProcess:
+    """A simulated operating-system process.
+
+    ``start_cost`` is charged to the clock when the process transitions
+    from STOPPED to RUNNING.  ``ensure_running`` is the common idiom:
+    lazily start on first use, free afterwards — this is what makes the
+    first call after machine boot the slowest (Sect. 4, ¶3).
+    """
+
+    def __init__(self, name: str, clock: VirtualClock, start_cost: float):
+        self.name = name
+        self._clock = clock
+        self.start_cost = start_cost
+        self.state = ProcessState.STOPPED
+        self.start_count = 0
+
+    @property
+    def running(self) -> bool:
+        """True while the process is RUNNING."""
+        return self.state is ProcessState.RUNNING
+
+    def start(self) -> None:
+        """Start the process, charging its start cost."""
+        if self.state is ProcessState.RUNNING:
+            raise ProcessStateError(f"process {self.name!r} is already running")
+        self._clock.advance(self.start_cost)
+        self.state = ProcessState.RUNNING
+        self.start_count += 1
+
+    def ensure_running(self) -> bool:
+        """Start the process if needed; return True if a start occurred."""
+        if self.running:
+            return False
+        self.start()
+        return True
+
+    def stop(self) -> None:
+        """Stop the process (free — teardown time is not modelled)."""
+        if self.state is ProcessState.STOPPED:
+            raise ProcessStateError(f"process {self.name!r} is not running")
+        self.state = ProcessState.STOPPED
+
+    def require_running(self) -> None:
+        """Raise unless the process is running."""
+        if not self.running:
+            raise ProcessStateError(f"process {self.name!r} is not running")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<OsProcess {self.name} {self.state.value}>"
+
+
+class JavaVirtualMachine(OsProcess):
+    """A JVM: an OS process whose start cost is the JVM boot time.
+
+    The WfMS boots a *fresh* JVM for every activity program — the paper
+    identifies this as the dominant cost of the workflow architecture
+    ("the workflow architecture requires the start of a new Java program
+    for each single activity including the booting of the Java virtual
+    machine").
+    """
+
+    def __init__(self, name: str, clock: VirtualClock, boot_cost: float):
+        super().__init__(name, clock, start_cost=boot_cost)
+
+    @property
+    def boot_cost(self) -> float:
+        """The JVM's start cost."""
+        return self.start_cost

@@ -1,0 +1,55 @@
+"""Simulated RMI channels between processes.
+
+The paper's prototypes use Java RMI between the fenced UDTF processes
+and the controller, and between the connecting UDTF and the workflow
+client.  Only the latency of the hops matters here; the channel charges
+``call_cost`` before invoking the remote callable and ``return_cost``
+after it returns.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.simtime.clock import VirtualClock
+from repro.simtime.trace import TraceRecorder, maybe_span
+
+
+class RmiChannel:
+    """A costed request/response channel between two simulated processes."""
+
+    def __init__(
+        self,
+        name: str,
+        clock: VirtualClock,
+        call_cost: float,
+        return_cost: float,
+    ):
+        self.name = name
+        self._clock = clock
+        self.call_cost = call_cost
+        self.return_cost = return_cost
+        self.call_count = 0
+
+    def invoke(
+        self,
+        remote: Callable[..., Any],
+        *args: Any,
+        trace: TraceRecorder | None = None,
+        call_label: str | None = None,
+        return_label: str | None = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Invoke ``remote(*args, **kwargs)`` across the channel.
+
+        Charges the call hop, runs the remote side (which charges its own
+        costs), then charges the return hop.  Optional trace labels let
+        callers attribute the hops to the paper's Fig. 6 step names.
+        """
+        self.call_count += 1
+        with maybe_span(trace, call_label or f"rmi call:{self.name}"):
+            self._clock.advance(self.call_cost)
+        result = remote(*args, **kwargs)
+        with maybe_span(trace, return_label or f"rmi return:{self.name}"):
+            self._clock.advance(self.return_cost)
+        return result

@@ -1,0 +1,21 @@
+"""The UDTF architecture family (paper, Sect. 2).
+
+* :mod:`repro.udtf.access` — A-UDTFs: one fenced table function per
+  local function (the building block of every UDTF architecture);
+* :mod:`repro.udtf.sql_iudtf` — SQL I-UDTFs: federated functions whose
+  body is a *single* SQL statement (enhanced SQL UDTF architecture);
+* :mod:`repro.udtf.procedural` — procedural I-UDTFs, the stand-in for
+  the paper's Java I-UDTFs: a host-language callable issuing as many
+  SQL statements as needed (enhanced Java UDTF architecture).
+"""
+
+from repro.udtf.access import register_access_udtfs
+from repro.udtf.sql_iudtf import create_sql_iudtf
+from repro.udtf.procedural import ProceduralConnection, register_procedural_iudtf
+
+__all__ = [
+    "register_access_udtfs",
+    "create_sql_iudtf",
+    "ProceduralConnection",
+    "register_procedural_iudtf",
+]

@@ -1,0 +1,48 @@
+"""A production-workflow management system (MQSeries-Workflow-like).
+
+Implements the concepts the paper's coupling relies on: process
+definitions made of program/helper/block activities wired by control
+connectors (with transition conditions) and data mappings over typed
+input/output containers; do-until loop blocks for cyclic mappings;
+parallel execution of independent activities; an FDL-like text format;
+and a navigator that schedules activities in virtual time (parallel
+branches overlap — the reason the WfMS wins the paper's parallel-vs-
+sequential comparison).
+"""
+
+from repro.wfms.model import (
+    Activity,
+    BlockActivity,
+    Constant,
+    ContainerType,
+    Container,
+    ControlConnector,
+    FromActivityOutput,
+    FromProcessInput,
+    HelperActivity,
+    ProcessDefinition,
+    ProgramActivity,
+)
+from repro.wfms.builder import ProcessBuilder
+from repro.wfms.engine import WorkflowEngine
+from repro.wfms.programs import LocalFunctionProgram, ProgramRegistry
+from repro.wfms.api import WfmsClient
+
+__all__ = [
+    "Activity",
+    "BlockActivity",
+    "Constant",
+    "Container",
+    "ContainerType",
+    "ControlConnector",
+    "FromActivityOutput",
+    "FromProcessInput",
+    "HelperActivity",
+    "ProcessBuilder",
+    "ProcessDefinition",
+    "ProgramActivity",
+    "ProgramRegistry",
+    "LocalFunctionProgram",
+    "WfmsClient",
+    "WorkflowEngine",
+]

@@ -1,0 +1,59 @@
+"""Audit trail: ordered event log of workflow execution.
+
+Production workflow systems persist an audit trail of every state
+transition; the reproduction keeps it in memory.  Events carry the
+virtual timestamp, which the tests use to assert scheduling properties
+(parallel activities share start times, loop iterations are ordered).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One audit record."""
+
+    timestamp: float
+    process: str
+    activity: str | None
+    event: str
+    detail: str = ""
+
+
+class AuditTrail:
+    """Append-only audit event log."""
+
+    def __init__(self) -> None:
+        self.events: list[AuditEvent] = []
+
+    def record(
+        self,
+        timestamp: float,
+        process: str,
+        event: str,
+        activity: str | None = None,
+        detail: str = "",
+    ) -> None:
+        """Append one audit event."""
+        self.events.append(AuditEvent(timestamp, process, activity, event, detail))
+
+    def for_process(self, process: str) -> list[AuditEvent]:
+        """Events of one process, in order."""
+        return [e for e in self.events if e.process.upper() == process.upper()]
+
+    def for_activity(self, activity: str) -> list[AuditEvent]:
+        """Events of one activity, in order."""
+        return [
+            e
+            for e in self.events
+            if e.activity is not None and e.activity.upper() == activity.upper()
+        ]
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,176 @@
+"""Fluent builder for process definitions.
+
+Used by :mod:`repro.core.compile_workflow` to turn mapping graphs into
+workflow processes, and by tests/examples that author processes in
+Python instead of FDL.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProcessDefinitionError
+from repro.fdbs.types import SqlType
+from repro.wfms.model import (
+    BlockActivity,
+    Condition,
+    Constant,
+    ContainerType,
+    ControlConnector,
+    DataSource,
+    FromActivityOutput,
+    FromProcessInput,
+    HelperActivity,
+    ProcessDefinition,
+    ProgramActivity,
+)
+
+
+def container_type(name: str, members: list[tuple[str, SqlType]]) -> ContainerType:
+    """Build a container type from a (name, type) list."""
+    return ContainerType(name, tuple(members))
+
+
+class ProcessBuilder:
+    """Accumulates a :class:`ProcessDefinition` step by step."""
+
+    def __init__(
+        self,
+        name: str,
+        inputs: list[tuple[str, SqlType]],
+        outputs: list[tuple[str, SqlType]],
+    ):
+        self._definition = ProcessDefinition(
+            name=name,
+            input_type=container_type(f"{name}_IN", inputs),
+            output_type=container_type(f"{name}_OUT", outputs),
+        )
+
+    # -- sources ---------------------------------------------------------------
+
+    @staticmethod
+    def from_input(member: str) -> FromProcessInput:
+        """Source: a process input member."""
+        return FromProcessInput(member)
+
+    @staticmethod
+    def from_activity(activity: str, member: str) -> FromActivityOutput:
+        """Source: another activity's output member."""
+        return FromActivityOutput(activity, member)
+
+    @staticmethod
+    def constant(value: object) -> Constant:
+        """Source: a constant value."""
+        return Constant(value)
+
+    # -- activities ---------------------------------------------------------------
+
+    def program_activity(
+        self,
+        name: str,
+        program: str,
+        inputs: list[tuple[str, SqlType]],
+        outputs: list[tuple[str, SqlType]],
+        input_map: dict[str, DataSource],
+        max_retries: int = 0,
+    ) -> "ProcessBuilder":
+        """Add a program activity (one local-function call)."""
+        self._definition.activities.append(
+            ProgramActivity(
+                name=name,
+                input_type=container_type(f"{name}_IN", inputs),
+                output_type=container_type(f"{name}_OUT", outputs),
+                input_map=dict(input_map),
+                program=program,
+                max_retries=max_retries,
+            )
+        )
+        return self
+
+    def helper_activity(
+        self,
+        name: str,
+        helper: str,
+        inputs: list[tuple[str, SqlType]],
+        outputs: list[tuple[str, SqlType]],
+        input_map: dict[str, DataSource],
+    ) -> "ProcessBuilder":
+        """Add a helper activity (type conversion / composition)."""
+        self._definition.activities.append(
+            HelperActivity(
+                name=name,
+                input_type=container_type(f"{name}_IN", inputs),
+                output_type=container_type(f"{name}_OUT", outputs),
+                input_map=dict(input_map),
+                helper=helper,
+            )
+        )
+        return self
+
+    def block_activity(
+        self,
+        name: str,
+        subprocess: ProcessDefinition,
+        input_map: dict[str, DataSource],
+        until: Condition | None = None,
+        carry: dict[str, str] | None = None,
+        outputs: list[tuple[str, SqlType]] | None = None,
+        max_iterations: int = 10_000,
+        collect_rows: bool = False,
+    ) -> "ProcessBuilder":
+        """Add a (do-until) block activity wrapping ``subprocess``."""
+        output_type = (
+            container_type(f"{name}_OUT", outputs)
+            if outputs is not None
+            else subprocess.output_type
+        )
+        self._definition.activities.append(
+            BlockActivity(
+                name=name,
+                input_type=subprocess.input_type,
+                output_type=output_type,
+                input_map=dict(input_map),
+                subprocess=subprocess,
+                until=until,
+                carry=dict(carry or {}),
+                max_iterations=max_iterations,
+                collect_rows=collect_rows,
+            )
+        )
+        return self
+
+    # -- control flow -----------------------------------------------------------------
+
+    def connect(
+        self, source: str, target: str, condition: Condition | None = None
+    ) -> "ProcessBuilder":
+        """Add a control connector (precedence edge)."""
+        self._definition.connectors.append(
+            ControlConnector(source, target, condition)
+        )
+        return self
+
+    def sequence(self, *names: str) -> "ProcessBuilder":
+        """Chain activities into a sequential control path."""
+        if len(names) < 2:
+            raise ProcessDefinitionError("sequence() needs at least two activities")
+        for source, target in zip(names, names[1:]):
+            self.connect(source, target)
+        return self
+
+    # -- output ----------------------------------------------------------------------
+
+    def map_output(self, member: str, source: DataSource) -> "ProcessBuilder":
+        """Map a process output member from an activity output / input /
+        constant."""
+        self._definition.output_map[member] = source
+        return self
+
+    def result_rows_from(self, activity: str) -> "ProcessBuilder":
+        """Declare the activity whose attached row set is the process's
+        table-valued result (multi-row federated functions)."""
+        self._definition.rows_from = activity
+        return self
+
+    def build(self) -> ProcessDefinition:
+        """Validate and return the process definition."""
+        self._definition.validate()
+        return self._definition

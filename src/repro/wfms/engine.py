@@ -1,0 +1,396 @@
+"""The workflow engine: navigator, scheduler, container plumbing.
+
+Execution model (matching the paper's observations):
+
+* every **program activity** boots a fresh JVM and handles its input
+  and output containers — the dominant per-activity cost;
+* **helper activities** run inside the engine (container cost only);
+* **independent activities overlap**: the navigator computes each
+  activity's earliest start from its predecessors' finish times and
+  advances the shared virtual clock once by the resulting makespan
+  (critical-path scheduling), which is why the parallel variant of a
+  mapping is faster than the sequential one on the WfMS — and only
+  there;
+* **do-until blocks** iterate their sub-process sequentially, giving the
+  linear loop scaling of the paper's AllCompNames measurement;
+* transition conditions that evaluate to false put the target activity
+  (and transitively its successors) on a **dead path** (SKIPPED).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ActivityFailedError, ContainerError, NavigationError
+from repro.simtime.trace import TraceRecorder, maybe_span
+from repro.sysmodel.machine import Machine
+from repro.wfms.audit import AuditTrail
+from repro.wfms.instance import (
+    ActivityInstance,
+    ActivityState,
+    ProcessInstance,
+    ProcessState,
+)
+from repro.wfms.model import (
+    Activity,
+    BlockActivity,
+    Constant,
+    Container,
+    FromActivityOutput,
+    FromActivityRows,
+    FromAnyActivity,
+    FromProcessInput,
+    HelperActivity,
+    ProcessDefinition,
+    ProgramActivity,
+)
+from repro.wfms.programs import ProgramRegistry
+
+
+class WorkflowEngine:
+    """Executes process definitions against a program registry."""
+
+    #: How many finished/failed instances the engine remembers.
+    INSTANCE_HISTORY_LIMIT = 256
+
+    def __init__(self, registry: ProgramRegistry, machine: Machine | None = None):
+        self.registry = registry
+        self.machine = machine
+        self.audit = AuditTrail()
+        self.processes_run = 0
+        self.instances: list[ProcessInstance] = []
+        self._next_instance_id = 1
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run_process(
+        self,
+        definition: ProcessDefinition,
+        inputs: dict[str, object],
+        trace: TraceRecorder | None = None,
+    ) -> ProcessInstance:
+        """Create and navigate one process instance to completion."""
+        definition.validate()
+        self.processes_run += 1
+        input_container = definition.input_type.new_container().fill(inputs)
+        instance = ProcessInstance(
+            definition, input_container, instance_id=self._next_instance_id
+        )
+        self._next_instance_id += 1
+        self.instances.append(instance)
+        if len(self.instances) > self.INSTANCE_HISTORY_LIMIT:
+            del self.instances[: -self.INSTANCE_HISTORY_LIMIT]
+        instance.state = ProcessState.RUNNING
+        instance.start_time = self._now()
+        self.audit.record(self._now(), definition.name, "process started")
+        try:
+            self._navigate(instance, trace)
+        except ActivityFailedError as exc:
+            instance.state = ProcessState.FAILED
+            instance.error = exc
+            instance.finish_time = self._now()
+            self.audit.record(
+                self._now(), definition.name, "process failed", detail=str(exc)
+            )
+            raise
+        instance.state = ProcessState.FINISHED
+        instance.finish_time = self._now()
+        self.audit.record(self._now(), definition.name, "process finished")
+        return instance
+
+    # ------------------------------------------------------------------
+    # Navigation
+    # ------------------------------------------------------------------
+
+    def _now(self) -> float:
+        return self.machine.clock.now if self.machine is not None else 0.0
+
+    def _navigate(self, instance: ProcessInstance, trace: TraceRecorder | None) -> None:
+        definition = instance.definition
+        parallel = self.machine is not None and not self.machine.clock.capturing
+        t0 = self._now()
+        finish_times: dict[str, float] = {}
+
+        order = definition.topological_order()
+        durations: dict[str, float] = {}
+        for activity in order:
+            ai = ActivityInstance(activity.name)
+            instance.activities[activity.name.upper()] = ai
+            if self._on_dead_path(instance, activity):
+                ai.state = ActivityState.SKIPPED
+                self.audit.record(
+                    self._now(), definition.name, "activity skipped", activity.name
+                )
+                continue
+
+            # Serial navigator work per activity.
+            with maybe_span(trace, "Workflow"):
+                self._charge(self._nav_cost())
+            ai.input = self._build_input(instance, activity)
+            ai.state = ActivityState.RUNNING
+            self.audit.record(
+                self._now(), definition.name, "activity started", activity.name
+            )
+            try:
+                output, cost = self._execute_activity(activity, ai)
+            except ActivityFailedError:
+                ai.state = ActivityState.FAILED
+                self.audit.record(
+                    self._now(), definition.name, "activity failed", activity.name
+                )
+                raise
+            ai.output = output
+            ai.state = ActivityState.FINISHED
+            durations[activity.name.upper()] = cost
+
+            if parallel:
+                start = t0
+                for connector in definition.predecessors(activity.name):
+                    pred = instance.activity(connector.source)
+                    if pred.state is ActivityState.FINISHED:
+                        assert pred.finish_time is not None
+                        start = max(start, pred.finish_time)
+                ai.start_time = start
+                ai.finish_time = start + cost
+                finish_times[activity.name.upper()] = ai.finish_time
+            else:
+                ai.start_time = self._now() - cost
+                ai.finish_time = self._now()
+            self.audit.record(
+                ai.finish_time if ai.finish_time is not None else self._now(),
+                definition.name,
+                "activity finished",
+                activity.name,
+            )
+
+        if parallel and finish_times:
+            makespan_end = max(finish_times.values())
+            nav_now = self._now()  # navigation costs already moved the clock
+            target = max(makespan_end, t0) + (nav_now - t0)
+            start_activities = nav_now
+            self.machine.clock.advance_to(max(target, nav_now))
+            if trace is not None and self._now() > start_activities:
+                trace.add_leaf("Process activities", start_activities, self._now())
+
+        self._fill_process_output(instance)
+
+    def _nav_cost(self) -> float:
+        return self.machine.costs.wf_navigation if self.machine is not None else 0.0
+
+    def _charge(self, amount: float) -> None:
+        if self.machine is not None and amount:
+            self.machine.clock.advance(amount)
+
+    def _on_dead_path(self, instance: ProcessInstance, activity: Activity) -> bool:
+        """Whether the activity sits on a dead path.
+
+        AND-join (default): any dead inbound connector kills it.
+        OR-join: it runs as long as at least one inbound path is alive —
+        the merge side of conditional routing.
+        """
+        connectors = instance.definition.predecessors(activity.name)
+        if not connectors:
+            return False
+        alive = 0
+        for connector in connectors:
+            source = instance.activity(connector.source)
+            dead = source.state in (ActivityState.SKIPPED, ActivityState.FAILED)
+            if not dead and connector.condition is not None:
+                dead = source.output is None or not connector.condition.evaluate(
+                    source.output
+                )
+            if dead:
+                if activity.join == "AND":
+                    return True
+            else:
+                alive += 1
+        return alive == 0
+
+    # ------------------------------------------------------------------
+    # Data plumbing
+    # ------------------------------------------------------------------
+
+    def _build_input(self, instance: ProcessInstance, activity: Activity) -> Container:
+        container = activity.input_type.new_container()
+        for member, source in activity.input_map.items():
+            if isinstance(source, FromActivityRows):
+                producer = instance.activity(source.activity)
+                if producer.output is None:
+                    raise NavigationError(
+                        f"{activity.name}: producer {source.activity!r} has "
+                        "no output yet (check the control connectors)"
+                    )
+                container.attachments[member.upper()] = list(producer.output.rows or [])
+                continue
+            container.set(member, self._resolve(instance, source, activity.name))
+        return container
+
+    def _resolve(self, instance: ProcessInstance, source, where: str) -> object:
+        if isinstance(source, FromAnyActivity):
+            for choice in source.choices:
+                producer = instance.activities.get(choice.activity.upper())
+                if (
+                    producer is not None
+                    and producer.state is ActivityState.FINISHED
+                    and producer.output is not None
+                ):
+                    return producer.output.get(choice.member)
+            raise NavigationError(
+                f"{where}: no finished producer among "
+                f"{[c.activity for c in source.choices]}"
+            )
+        if isinstance(source, Constant):
+            return source.value
+        if isinstance(source, FromProcessInput):
+            return instance.input.get(source.member)
+        if isinstance(source, FromActivityOutput):
+            producer = instance.activity(source.activity)
+            if producer.output is None:
+                raise NavigationError(
+                    f"{where}: producer activity {source.activity!r} has no "
+                    "output yet (check the control connectors)"
+                )
+            return producer.output.get(source.member)
+        raise NavigationError(f"{where}: unsupported data source {source!r}")
+
+    def _fill_process_output(self, instance: ProcessInstance) -> None:
+        output = instance.definition.output_type.new_container()
+        for member, source in instance.definition.output_map.items():
+            if isinstance(source, FromActivityOutput):
+                producer = instance.activities.get(source.activity.upper())
+                if producer is not None and producer.state is ActivityState.SKIPPED:
+                    # Dead path: the member stays unset (MQWF leaves
+                    # output-container members empty on skipped paths).
+                    continue
+            output.set(member, self._resolve(instance, source, "process output"))
+        rows_from = instance.definition.rows_from
+        if rows_from is not None:
+            producer = instance.activity(rows_from)
+            if producer.state is ActivityState.FINISHED:
+                assert producer.output is not None
+                output.rows = producer.output.rows
+            else:
+                output.rows = []
+        instance.output = output
+
+    # ------------------------------------------------------------------
+    # Activity execution
+    # ------------------------------------------------------------------
+
+    def _execute_activity(
+        self, activity: Activity, ai: ActivityInstance
+    ) -> tuple[Container, float]:
+        """Run one activity; returns (output container, virtual cost)."""
+        assert ai.input is not None
+        if self.machine is None:
+            outputs = self._run_body(activity, ai)
+            return self._as_output(activity, outputs), 0.0
+        clock = self.machine.clock
+        if clock.capturing:
+            # Nested (inside a block iteration): charge straight through.
+            before = clock.capture_total()
+            outputs = self._run_body(activity, ai)
+            return self._as_output(activity, outputs), clock.capture_total() - before
+        with clock.capture() as captured:
+            outputs = self._run_body(activity, ai)
+        return self._as_output(activity, outputs), captured.total
+
+    def _run_body(self, activity: Activity, ai: ActivityInstance) -> dict[str, object]:
+        assert ai.input is not None
+        inputs = ai.input.as_dict()
+        if ai.input.attachments:
+            inputs.update(ai.input.attachments)
+        if isinstance(activity, ProgramActivity):
+            program = self.registry.program(activity.program)
+            attempts = activity.max_retries + 1
+            for attempt in range(1, attempts + 1):
+                if self.machine is not None:
+                    # Fresh JVM per attempt + container handling: the
+                    # paper's dominant workflow cost, paid per retry too.
+                    self.machine.clock.advance(self.machine.costs.wf_activity_jvm)
+                    self.machine.clock.advance(
+                        self.machine.costs.wf_activity_container
+                    )
+                try:
+                    return self._invoke(program, activity.name, inputs)
+                except ActivityFailedError:
+                    if attempt == attempts:
+                        raise
+                    self.audit.record(
+                        self._now(),
+                        "-",
+                        "activity retried",
+                        activity.name,
+                        detail=f"attempt {attempt} of {attempts}",
+                    )
+            raise AssertionError("unreachable")  # pragma: no cover
+        if isinstance(activity, HelperActivity):
+            if self.machine is not None:
+                self.machine.clock.advance(self.machine.costs.wf_activity_container)
+            helper = self.registry.helper(activity.helper)
+            return self._invoke(helper, activity.name, inputs)
+        if isinstance(activity, BlockActivity):
+            return self._run_block(activity, ai, inputs)
+        raise NavigationError(f"unsupported activity kind {type(activity).__name__}")
+
+    def _invoke(self, fn, activity_name: str, inputs: dict[str, object]) -> dict[str, object]:
+        try:
+            return fn(inputs)
+        except ActivityFailedError:
+            raise
+        except Exception as exc:
+            raise ActivityFailedError(activity_name, exc) from exc
+
+    def _run_block(
+        self, activity: BlockActivity, ai: ActivityInstance, inputs: dict[str, object]
+    ) -> dict[str, object]:
+        """Do-until loop: iterate the sub-process until the condition
+        holds on its output (at least one iteration)."""
+        assert activity.subprocess is not None
+        sub_inputs = dict(inputs)
+        last_output: Container | None = None
+        collected: list[tuple] = []
+        iterations = 0
+        while True:
+            sub_instance = self.run_process(activity.subprocess, sub_inputs)
+            iterations += 1
+            last_output = sub_instance.output
+            assert last_output is not None
+            if activity.collect_rows and last_output.rows is not None:
+                collected.extend(last_output.rows)
+            if activity.until is None or activity.until.evaluate(last_output):
+                break
+            if iterations >= activity.max_iterations:
+                raise ActivityFailedError(
+                    activity.name,
+                    NavigationError(
+                        f"do-until block exceeded {activity.max_iterations} "
+                        "iterations"
+                    ),
+                )
+            for input_member, output_member in activity.carry.items():
+                sub_inputs[input_member] = last_output.get(output_member)
+        ai.iterations = iterations
+        result = last_output.as_dict()
+        if activity.collect_rows:
+            result["ROWS"] = collected
+        return result
+
+    def _as_output(self, activity: Activity, values: dict[str, object]) -> Container:
+        container = activity.output_type.new_container()
+        upper = {k.upper(): v for k, v in values.items()}
+        if "ROWS" in upper:
+            rows = upper.pop("ROWS")
+            container.rows = list(rows) if rows is not None else []
+        for name, _ in activity.output_type.members:
+            if name.upper() in upper:
+                container.set(name, upper[name.upper()])
+        # Unset members stay unset; reading them raises ContainerError,
+        # which is the honest failure mode for a mis-wired mapping.
+        extra = set(upper) - {n.upper() for n, _ in activity.output_type.members}
+        if extra:
+            raise ContainerError(
+                f"activity {activity.name!r} produced unknown output "
+                f"member(s) {sorted(extra)}"
+            )
+        return container

@@ -1,0 +1,555 @@
+"""FDL-like textual process definition format.
+
+MQSeries Workflow processes were authored in FDL; this module gives the
+reproduction an equivalent plain-text format with a parser and a
+serializer (round-trip safe), e.g.::
+
+    PROCESS GetSuppQual
+      INPUT (SupplierName VARCHAR(40))
+      OUTPUT (Qual INTEGER)
+
+      PROGRAM_ACTIVITY GetSupplierNo
+        PROGRAM 'purchasing.GetSupplierNo'
+        INPUT (SupplierName VARCHAR(40))
+        OUTPUT (SupplierNo INTEGER)
+        MAP SupplierName FROM PROCESS.SupplierName
+      END_ACTIVITY
+
+      PROGRAM_ACTIVITY GetQuality
+        PROGRAM 'stock.GetQuality'
+        INPUT (SupplierNo INTEGER)
+        OUTPUT (Qual INTEGER)
+        MAP SupplierNo FROM GetSupplierNo.SupplierNo
+      END_ACTIVITY
+
+      CONTROL FROM GetSupplierNo TO GetQuality
+      MAP_OUTPUT Qual FROM GetQuality.Qual
+    END_PROCESS
+
+Comments start with ``#``.  A document may define several processes;
+``BLOCK_ACTIVITY`` bodies reference sub-processes by name (defined in
+the same document or supplied via ``library``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import FdlSyntaxError
+from repro.fdbs.types import SqlType, parse_type
+from repro.wfms.model import (
+    Activity,
+    BlockActivity,
+    Condition,
+    Constant,
+    ContainerType,
+    ControlConnector,
+    DataSource,
+    FromActivityOutput,
+    FromActivityRows,
+    FromAnyActivity,
+    FromProcessInput,
+    HelperActivity,
+    ProcessDefinition,
+    ProgramActivity,
+)
+
+_MEMBER_LIST = re.compile(r"^\((.*)\)$", re.DOTALL)
+_IDENT = r"[A-Za-z_][A-Za-z0-9_]*"
+
+
+def _parse_members(text: str, line_no: int) -> tuple[tuple[str, SqlType], ...]:
+    match = _MEMBER_LIST.match(text.strip())
+    if not match:
+        raise FdlSyntaxError(f"line {line_no}: expected '(name TYPE, ...)', got {text!r}")
+    inner = match.group(1).strip()
+    if not inner:
+        return ()
+    members: list[tuple[str, SqlType]] = []
+    for part in _split_top_level(inner):
+        tokens = part.strip().split(None, 1)
+        if len(tokens) != 2:
+            raise FdlSyntaxError(
+                f"line {line_no}: expected 'name TYPE' in member list, got {part!r}"
+            )
+        name, type_text = tokens
+        members.append((name, _parse_type_text(type_text.strip(), line_no)))
+    return tuple(members)
+
+
+def _split_top_level(text: str) -> list[str]:
+    """Split on commas not inside parentheses."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+def _parse_type_text(text: str, line_no: int) -> SqlType:
+    match = re.match(rf"^({_IDENT})\s*(?:\(\s*(\d+)\s*(?:,\s*(\d+)\s*)?\))?$", text)
+    if not match:
+        raise FdlSyntaxError(f"line {line_no}: bad type {text!r}")
+    name, p1, p2 = match.groups()
+    params = [int(p) for p in (p1, p2) if p is not None]
+    return parse_type(name, *params)
+
+
+def _parse_literal(text: str, line_no: int) -> object:
+    text = text.strip()
+    if text.startswith("'") and text.endswith("'") and len(text) >= 2:
+        return text[1:-1].replace("''", "'")
+    if text.upper() == "NULL":
+        return None
+    if text.upper() == "TRUE":
+        return True
+    if text.upper() == "FALSE":
+        return False
+    try:
+        if "." in text or "e" in text or "E" in text:
+            return float(text)
+        return int(text)
+    except ValueError:
+        raise FdlSyntaxError(f"line {line_no}: bad literal {text!r}") from None
+
+
+def _parse_source(text: str, line_no: int) -> DataSource:
+    text = text.strip()
+    if text.upper().startswith("CONSTANT "):
+        return Constant(_parse_literal(text[9:], line_no))
+    any_match = re.match(
+        rf"^FROM_ANY\s+({_IDENT}\.{_IDENT}(?:\s*\|\s*{_IDENT}\.{_IDENT})*)$",
+        text,
+        re.IGNORECASE,
+    )
+    if any_match:
+        choices = []
+        for part in any_match.group(1).split("|"):
+            owner, member = part.strip().split(".")
+            choices.append(FromActivityOutput(owner, member))
+        return FromAnyActivity(tuple(choices))
+    rows_match = re.match(rf"^ROWS_FROM\s+({_IDENT})$", text, re.IGNORECASE)
+    if rows_match:
+        return FromActivityRows(rows_match.group(1))
+    match = re.match(rf"^FROM\s+({_IDENT})\.({_IDENT})$", text, re.IGNORECASE)
+    if not match:
+        raise FdlSyntaxError(
+            f"line {line_no}: expected 'FROM <Activity>.<Member>', "
+            f"'FROM PROCESS.<Member>', 'ROWS_FROM <Activity>' or "
+            f"'CONSTANT <literal>', got {text!r}"
+        )
+    owner, member = match.groups()
+    if owner.upper() == "PROCESS":
+        return FromProcessInput(member)
+    return FromActivityOutput(owner, member)
+
+
+def _parse_condition(text: str, line_no: int) -> Condition:
+    match = re.match(
+        rf"^({_IDENT})\s*(<>|<=|>=|=|<|>)\s*(.+)$", text.strip()
+    )
+    if not match:
+        raise FdlSyntaxError(f"line {line_no}: bad condition {text!r}")
+    member, op, literal = match.groups()
+    return Condition(member, op, _parse_literal(literal, line_no))
+
+
+class _Lines:
+    """Comment-stripped, non-empty source lines with positions."""
+
+    def __init__(self, text: str):
+        self.items: list[tuple[int, str]] = []
+        for number, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if line:
+                self.items.append((number, line))
+        self.pos = 0
+
+    def peek(self) -> tuple[int, str] | None:
+        return self.items[self.pos] if self.pos < len(self.items) else None
+
+    def next(self) -> tuple[int, str]:
+        item = self.peek()
+        if item is None:
+            raise FdlSyntaxError("unexpected end of FDL document")
+        self.pos += 1
+        return item
+
+
+def parse_fdl(
+    text: str, library: dict[str, ProcessDefinition] | None = None
+) -> dict[str, ProcessDefinition]:
+    """Parse an FDL document into process definitions keyed by name.
+
+    ``library`` supplies already-known processes that BLOCK_ACTIVITY
+    bodies may reference in addition to those defined in the document.
+    """
+    lines = _Lines(text)
+    known: dict[str, ProcessDefinition] = {
+        k.upper(): v for k, v in (library or {}).items()
+    }
+    parsed: dict[str, ProcessDefinition] = {}
+    while lines.peek() is not None:
+        definition = _parse_process(lines, known)
+        parsed[definition.name] = definition
+        known[definition.name.upper()] = definition
+    if not parsed:
+        raise FdlSyntaxError("FDL document defines no process")
+    return parsed
+
+
+def _keyword_rest(line: str, keyword: str) -> str | None:
+    if line.upper() == keyword:
+        return ""
+    if line.upper().startswith(keyword + " "):
+        return line[len(keyword) + 1 :].strip()
+    return None
+
+
+def _parse_process(
+    lines: _Lines, known: dict[str, ProcessDefinition]
+) -> ProcessDefinition:
+    line_no, line = lines.next()
+    name = _keyword_rest(line, "PROCESS")
+    if not name:
+        raise FdlSyntaxError(f"line {line_no}: expected 'PROCESS <name>', got {line!r}")
+
+    input_members: tuple[tuple[str, SqlType], ...] | None = None
+    output_members: tuple[tuple[str, SqlType], ...] | None = None
+    activities: list[Activity] = []
+    connectors: list[ControlConnector] = []
+    output_map: dict[str, DataSource] = {}
+
+    while True:
+        line_no, line = lines.next()
+        upper = line.upper()
+        if upper == "END_PROCESS":
+            break
+        rest = _keyword_rest(line, "INPUT")
+        if rest is not None:
+            input_members = _parse_members(rest, line_no)
+            continue
+        rest = _keyword_rest(line, "OUTPUT")
+        if rest is not None:
+            output_members = _parse_members(rest, line_no)
+            continue
+        rest = _keyword_rest(line, "PROGRAM_ACTIVITY")
+        if rest is not None:
+            activities.append(_parse_activity(lines, rest, line_no, "PROGRAM"))
+            continue
+        rest = _keyword_rest(line, "HELPER_ACTIVITY")
+        if rest is not None:
+            activities.append(_parse_activity(lines, rest, line_no, "HELPER"))
+            continue
+        rest = _keyword_rest(line, "BLOCK_ACTIVITY")
+        if rest is not None:
+            activities.append(_parse_block(lines, rest, line_no, known))
+            continue
+        rest = _keyword_rest(line, "CONTROL")
+        if rest is not None:
+            connectors.append(_parse_control(rest, line_no))
+            continue
+        rest = _keyword_rest(line, "MAP_OUTPUT")
+        if rest is not None:
+            member, source = _parse_map(rest, line_no)
+            output_map[member] = source
+            continue
+        raise FdlSyntaxError(f"line {line_no}: unexpected {line!r} in PROCESS body")
+
+    if input_members is None or output_members is None:
+        raise FdlSyntaxError(
+            f"process {name!r} needs both INPUT (...) and OUTPUT (...) clauses"
+        )
+    definition = ProcessDefinition(
+        name=name,
+        input_type=ContainerType(f"{name}_IN", input_members),
+        output_type=ContainerType(f"{name}_OUT", output_members),
+        activities=activities,
+        connectors=connectors,
+        output_map=output_map,
+    )
+    definition.validate()
+    return definition
+
+
+def _parse_map(rest: str, line_no: int) -> tuple[str, DataSource]:
+    tokens = rest.split(None, 1)
+    if len(tokens) != 2:
+        raise FdlSyntaxError(f"line {line_no}: expected 'MAP <member> FROM ...'")
+    return tokens[0], _parse_source(tokens[1], line_no)
+
+
+def _parse_control(rest: str, line_no: int) -> ControlConnector:
+    match = re.match(
+        rf"^FROM\s+({_IDENT})\s+TO\s+({_IDENT})(?:\s+WHEN\s+(.+))?$",
+        rest,
+        re.IGNORECASE,
+    )
+    if not match:
+        raise FdlSyntaxError(
+            f"line {line_no}: expected 'CONTROL FROM <a> TO <b> [WHEN <cond>]'"
+        )
+    source, target, condition_text = match.groups()
+    condition = (
+        _parse_condition(condition_text, line_no) if condition_text else None
+    )
+    return ControlConnector(source, target, condition)
+
+
+def _parse_activity(
+    lines: _Lines, name: str, start_line: int, kind: str
+) -> Activity:
+    program: str | None = None
+    inputs: tuple[tuple[str, SqlType], ...] = ()
+    outputs: tuple[tuple[str, SqlType], ...] = ()
+    input_map: dict[str, DataSource] = {}
+    max_retries = 0
+    join = "AND"
+    while True:
+        line_no, line = lines.next()
+        if line.upper() == "END_ACTIVITY":
+            break
+        rest = _keyword_rest(line, kind)  # PROGRAM '<id>' / HELPER '<id>'
+        if rest is not None:
+            literal = _parse_literal(rest, line_no)
+            if not isinstance(literal, str):
+                raise FdlSyntaxError(
+                    f"line {line_no}: {kind} expects a quoted identifier"
+                )
+            program = literal
+            continue
+        rest = _keyword_rest(line, "INPUT")
+        if rest is not None:
+            inputs = _parse_members(rest, line_no)
+            continue
+        rest = _keyword_rest(line, "OUTPUT")
+        if rest is not None:
+            outputs = _parse_members(rest, line_no)
+            continue
+        rest = _keyword_rest(line, "RETRIES")
+        if rest is not None:
+            try:
+                max_retries = int(rest)
+            except ValueError:
+                raise FdlSyntaxError(
+                    f"line {line_no}: RETRIES expects an integer"
+                ) from None
+            continue
+        rest = _keyword_rest(line, "JOIN")
+        if rest is not None:
+            if rest.upper() not in ("AND", "OR"):
+                raise FdlSyntaxError(f"line {line_no}: JOIN expects AND or OR")
+            join = rest.upper()
+            continue
+        rest = _keyword_rest(line, "MAP")
+        if rest is not None:
+            member, source = _parse_map(rest, line_no)
+            input_map[member] = source
+            continue
+        raise FdlSyntaxError(f"line {line_no}: unexpected {line!r} in activity body")
+    if program is None:
+        raise FdlSyntaxError(
+            f"activity {name!r} (line {start_line}) is missing its {kind} clause"
+        )
+    common = dict(
+        name=name,
+        input_type=ContainerType(f"{name}_IN", inputs),
+        output_type=ContainerType(f"{name}_OUT", outputs),
+        input_map=input_map,
+        join=join,
+    )
+    if kind == "PROGRAM":
+        return ProgramActivity(program=program, max_retries=max_retries, **common)
+    return HelperActivity(helper=program, **common)
+
+
+def _parse_block(
+    lines: _Lines,
+    name: str,
+    start_line: int,
+    known: dict[str, ProcessDefinition],
+) -> BlockActivity:
+    subprocess_name: str | None = None
+    until: Condition | None = None
+    carry: dict[str, str] = {}
+    input_map: dict[str, DataSource] = {}
+    outputs: tuple[tuple[str, SqlType], ...] | None = None
+    while True:
+        line_no, line = lines.next()
+        if line.upper() == "END_ACTIVITY":
+            break
+        rest = _keyword_rest(line, "SUBPROCESS")
+        if rest is not None:
+            subprocess_name = rest
+            continue
+        rest = _keyword_rest(line, "UNTIL")
+        if rest is not None:
+            until = _parse_condition(rest, line_no)
+            continue
+        rest = _keyword_rest(line, "CARRY")
+        if rest is not None:
+            match = re.match(rf"^({_IDENT})\s+FROM\s+({_IDENT})$", rest, re.IGNORECASE)
+            if not match:
+                raise FdlSyntaxError(
+                    f"line {line_no}: expected 'CARRY <input> FROM <output>'"
+                )
+            carry[match.group(1)] = match.group(2)
+            continue
+        rest = _keyword_rest(line, "OUTPUT")
+        if rest is not None:
+            outputs = _parse_members(rest, line_no)
+            continue
+        rest = _keyword_rest(line, "MAP")
+        if rest is not None:
+            member, source = _parse_map(rest, line_no)
+            input_map[member] = source
+            continue
+        raise FdlSyntaxError(f"line {line_no}: unexpected {line!r} in block body")
+    if subprocess_name is None:
+        raise FdlSyntaxError(
+            f"block activity {name!r} (line {start_line}) needs a SUBPROCESS"
+        )
+    subprocess = known.get(subprocess_name.upper())
+    if subprocess is None:
+        raise FdlSyntaxError(
+            f"block activity {name!r} references unknown process "
+            f"{subprocess_name!r} (define it earlier or pass it via library)"
+        )
+    return BlockActivity(
+        name=name,
+        input_type=subprocess.input_type,
+        output_type=(
+            ContainerType(f"{name}_OUT", outputs)
+            if outputs is not None
+            else subprocess.output_type
+        ),
+        input_map=input_map,
+        subprocess=subprocess,
+        until=until,
+        carry=carry,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Serializer
+# ---------------------------------------------------------------------------
+
+
+def _render_members(members: tuple[tuple[str, SqlType], ...]) -> str:
+    return "(" + ", ".join(f"{n} {t.render()}" for n, t in members) + ")"
+
+
+def _render_literal(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    return str(value)
+
+
+def _render_source(source: DataSource) -> str:
+    if isinstance(source, Constant):
+        return f"CONSTANT {_render_literal(source.value)}"
+    if isinstance(source, FromAnyActivity):
+        choices = " | ".join(
+            f"{c.activity}.{c.member}" for c in source.choices
+        )
+        return f"FROM_ANY {choices}"
+    if isinstance(source, FromProcessInput):
+        return f"FROM PROCESS.{source.member}"
+    if isinstance(source, FromActivityRows):
+        return f"ROWS_FROM {source.activity}"
+    assert isinstance(source, FromActivityOutput)
+    return f"FROM {source.activity}.{source.member}"
+
+
+def to_fdl(definition: ProcessDefinition) -> str:
+    """Serialize a process definition (and its sub-processes) to FDL.
+
+    Sub-processes referenced by block activities are emitted first, so
+    the document re-parses standalone.
+    """
+    chunks: list[str] = []
+    emitted: set[str] = set()
+
+    def emit(process: ProcessDefinition) -> None:
+        for activity in process.activities:
+            if isinstance(activity, BlockActivity) and activity.subprocess:
+                if activity.subprocess.name.upper() not in emitted:
+                    emit(activity.subprocess)
+        if process.name.upper() in emitted:
+            return
+        emitted.add(process.name.upper())
+        chunks.append(_render_process(process))
+
+    emit(definition)
+    return "\n\n".join(chunks) + "\n"
+
+
+def _render_process(process: ProcessDefinition) -> str:
+    out: list[str] = [f"PROCESS {process.name}"]
+    out.append(f"  INPUT {_render_members(process.input_type.members)}")
+    out.append(f"  OUTPUT {_render_members(process.output_type.members)}")
+    for activity in process.activities:
+        out.append("")
+        out.extend(_render_activity(activity))
+    if process.connectors:
+        out.append("")
+    for connector in process.connectors:
+        line = f"  CONTROL FROM {connector.source} TO {connector.target}"
+        if connector.condition is not None:
+            line += f" WHEN {connector.condition.render()}"
+        out.append(line)
+    for member, source in process.output_map.items():
+        out.append(f"  MAP_OUTPUT {member} {_render_source(source)}")
+    out.append("END_PROCESS")
+    return "\n".join(out)
+
+
+def _render_activity(activity: Activity) -> list[str]:
+    out: list[str] = []
+    if isinstance(activity, ProgramActivity):
+        out.append(f"  PROGRAM_ACTIVITY {activity.name}")
+        out.append(f"    PROGRAM {_render_literal(activity.program)}")
+        if activity.max_retries:
+            out.append(f"    RETRIES {activity.max_retries}")
+        if activity.join != "AND":
+            out.append(f"    JOIN {activity.join}")
+    elif isinstance(activity, HelperActivity):
+        out.append(f"  HELPER_ACTIVITY {activity.name}")
+        out.append(f"    HELPER {_render_literal(activity.helper)}")
+    elif isinstance(activity, BlockActivity):
+        out.append(f"  BLOCK_ACTIVITY {activity.name}")
+        assert activity.subprocess is not None
+        out.append(f"    SUBPROCESS {activity.subprocess.name}")
+        if activity.until is not None:
+            out.append(f"    UNTIL {activity.until.render()}")
+        for input_member, output_member in activity.carry.items():
+            out.append(f"    CARRY {input_member} FROM {output_member}")
+        for member, source in activity.input_map.items():
+            out.append(f"    MAP {member} {_render_source(source)}")
+        out.append("  END_ACTIVITY")
+        return out
+    else:  # pragma: no cover - defensive
+        raise FdlSyntaxError(f"cannot serialize activity {activity!r}")
+    if activity.input_type.members:
+        out.append(f"    INPUT {_render_members(activity.input_type.members)}")
+    if activity.output_type.members:
+        out.append(f"    OUTPUT {_render_members(activity.output_type.members)}")
+    for member, source in activity.input_map.items():
+        out.append(f"    MAP {member} {_render_source(source)}")
+    out.append("  END_ACTIVITY")
+    return out

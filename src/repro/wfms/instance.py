@@ -1,0 +1,80 @@
+"""Process and activity instances: runtime state of one workflow run."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import NavigationError
+from repro.wfms.model import Container, ProcessDefinition
+
+
+class ActivityState(enum.Enum):
+    """Lifecycle of one activity instance (MQWF-flavoured subset)."""
+
+    READY = "ready"
+    RUNNING = "running"
+    FINISHED = "finished"
+    SKIPPED = "skipped"  # dead path: an inbound transition was false
+    FAILED = "failed"
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of one process instance."""
+
+    CREATED = "created"
+    RUNNING = "running"
+    FINISHED = "finished"
+    FAILED = "failed"
+
+
+@dataclass
+class ActivityInstance:
+    """Runtime record of one activity within a process instance."""
+
+    name: str
+    state: ActivityState = ActivityState.READY
+    start_time: float | None = None
+    finish_time: float | None = None
+    input: Container | None = None
+    output: Container | None = None
+    iterations: int = 0  # >1 only for do-until blocks
+
+    @property
+    def duration(self) -> float:
+        """Virtual elapsed time of the activity."""
+        if self.start_time is None or self.finish_time is None:
+            raise NavigationError(f"activity {self.name!r} has no recorded times")
+        return self.finish_time - self.start_time
+
+
+@dataclass
+class ProcessInstance:
+    """Runtime record of one workflow execution."""
+
+    definition: ProcessDefinition
+    input: Container
+    instance_id: int = 0
+    state: ProcessState = ProcessState.CREATED
+    output: Container | None = None
+    activities: dict[str, ActivityInstance] = field(default_factory=dict)
+    start_time: float | None = None
+    finish_time: float | None = None
+    error: Exception | None = None
+
+    def activity(self, name: str) -> ActivityInstance:
+        """The activity instance named ``name``."""
+        try:
+            return self.activities[name.upper()]
+        except KeyError:
+            raise NavigationError(
+                f"no activity instance {name!r} in process "
+                f"{self.definition.name!r}"
+            ) from None
+
+    @property
+    def makespan(self) -> float:
+        """Virtual elapsed time of the whole instance."""
+        if self.start_time is None or self.finish_time is None:
+            raise NavigationError("process instance has no recorded times")
+        return self.finish_time - self.start_time

@@ -1,0 +1,157 @@
+"""Graphviz (DOT) export of workflow processes.
+
+The paper's Fig. 1 draws the BuySuppComp precedence graph; this module
+regenerates such figures for any process definition::
+
+    from repro.wfms.viz import to_dot
+    open("buysuppcomp.dot", "w").write(to_dot(process))
+    # dot -Tsvg buysuppcomp.dot > buysuppcomp.svg
+
+Program activities render as boxes, helper activities as ellipses,
+blocks as double octagons (with their sub-process in a cluster), data
+sources as dashed edges from an input node, and transition conditions
+as edge labels.
+"""
+
+from __future__ import annotations
+
+from repro.wfms.model import (
+    BlockActivity,
+    Constant,
+    FromActivityOutput,
+    FromActivityRows,
+    FromProcessInput,
+    HelperActivity,
+    ProcessDefinition,
+    ProgramActivity,
+)
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', r"\"") + '"'
+
+
+def _node_id(process: str, activity: str) -> str:
+    return _quote(f"{process}.{activity}")
+
+
+def to_dot(definition: ProcessDefinition, include_data_edges: bool = True) -> str:
+    """Render one process (and nested sub-processes) as a DOT digraph."""
+    lines: list[str] = [
+        "digraph workflow {",
+        "  rankdir=TB;",
+        '  node [fontname="Helvetica"];',
+    ]
+    lines.extend(_render_process(definition, include_data_edges, top=True))
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _render_process(
+    definition: ProcessDefinition, include_data_edges: bool, top: bool
+) -> list[str]:
+    name = definition.name
+    lines: list[str] = []
+    indent = "  "
+    input_node = _quote(f"{name}.__input__")
+    output_node = _quote(f"{name}.__output__")
+    members = ", ".join(definition.input_type.member_names())
+    lines.append(
+        f"{indent}{input_node} [shape=parallelogram, "
+        f"label={_quote(f'{name}({members})')}];"
+    )
+
+    for activity in definition.activities:
+        node = _node_id(name, activity.name)
+        if isinstance(activity, ProgramActivity):
+            label = f"{activity.name}\\n[{activity.program}]"
+            lines.append(f"{indent}{node} [shape=box, label={_quote(label)}];")
+        elif isinstance(activity, HelperActivity):
+            label = f"{activity.name}\\n(helper)"
+            lines.append(f"{indent}{node} [shape=ellipse, label={_quote(label)}];")
+        elif isinstance(activity, BlockActivity):
+            until = activity.until.render() if activity.until else "once"
+            label = f"{activity.name}\\n(do-until {until})"
+            lines.append(
+                f"{indent}{node} [shape=doubleoctagon, label={_quote(label)}];"
+            )
+            assert activity.subprocess is not None
+            lines.append(f"{indent}subgraph cluster_{activity.subprocess.name} {{")
+            lines.append(f"{indent}  label={_quote(activity.subprocess.name)};")
+            lines.append(f"{indent}  style=dashed;")
+            for inner in _render_process(
+                activity.subprocess, include_data_edges, top=False
+            ):
+                lines.append("  " + inner)
+            lines.append(f"{indent}}}")
+            first = activity.subprocess.topological_order()
+            if first:
+                lines.append(
+                    f"{indent}{node} -> "
+                    f"{_node_id(activity.subprocess.name, first[0].name)} "
+                    f"[style=dotted, label=iterates];"
+                )
+
+    for connector in definition.connectors:
+        edge = (
+            f"{indent}{_node_id(name, connector.source)} -> "
+            f"{_node_id(name, connector.target)}"
+        )
+        if connector.condition is not None:
+            edge += f" [label={_quote(connector.condition.render())}]"
+        lines.append(edge + ";")
+
+    if include_data_edges:
+        for activity in definition.activities:
+            node = _node_id(name, activity.name)
+            for member, source in activity.input_map.items():
+                if isinstance(source, FromProcessInput):
+                    lines.append(
+                        f"{indent}{input_node} -> {node} "
+                        f"[style=dashed, label={_quote(member)}];"
+                    )
+                elif isinstance(source, Constant):
+                    const_node = _quote(f"{name}.{activity.name}.{member}.const")
+                    lines.append(
+                        f"{indent}{const_node} [shape=plaintext, "
+                        f"label={_quote(repr(source.value))}];"
+                    )
+                    lines.append(
+                        f"{indent}{const_node} -> {node} "
+                        f"[style=dashed, label={_quote(member)}];"
+                    )
+                elif isinstance(source, FromActivityRows):
+                    lines.append(
+                        f"{indent}{_node_id(name, source.activity)} -> {node} "
+                        f"[style=dashed, label={_quote(member + ' (rows)')}];"
+                    )
+                # FromActivityOutput data edges usually coincide with
+                # control connectors; draw them only when no control
+                # edge exists (keeps Fig. 1 readable).
+                elif isinstance(source, FromActivityOutput):
+                    has_control = any(
+                        c.source.upper() == source.activity.upper()
+                        and c.target.upper() == activity.name.upper()
+                        for c in definition.connectors
+                    )
+                    if not has_control:
+                        lines.append(
+                            f"{indent}{_node_id(name, source.activity)} -> {node} "
+                            f"[style=dashed, label={_quote(member)}];"
+                        )
+
+    terminal = [
+        activity.name
+        for activity in definition.activities
+        if not definition.successors(activity.name)
+    ]
+    lines.append(
+        f"{indent}{output_node} [shape=parallelogram, "
+        f"label={_quote('output: ' + ', '.join(definition.output_type.member_names()))}];"
+    )
+    for activity_name in terminal:
+        lines.append(
+            f"{indent}{_node_id(name, activity_name)} -> {output_node} "
+            f"[style=dashed];"
+        )
+    return lines

@@ -1,0 +1,26 @@
+"""The SQL/MED-style coupling layer between FDBS and WfMS.
+
+Three pieces, matching the paper's Sect. 2 and the measurement setup of
+Sect. 4:
+
+* :mod:`repro.wrapper.med` — wrapper / foreign-server abstractions
+  following the SQL/MED draft the paper cites;
+* :mod:`repro.wrapper.udtf_runtime` — the *fenced* table-function
+  runtime: every UDTF invocation runs isolated from the database
+  process and reaches local functions (or the WfMS) through RMI and the
+  controller, charging the Fig. 6 step costs;
+* :mod:`repro.wrapper.wfms_wrapper` — the unified wrapper that makes a
+  workflow process look like a federated function to the FDBS.
+"""
+
+from repro.wrapper.med import ForeignFunctionWrapper, MedRegistry
+from repro.wrapper.udtf_runtime import FencedFunctionRuntime, FencedUdtfContext
+from repro.wrapper.wfms_wrapper import WfmsWrapper
+
+__all__ = [
+    "ForeignFunctionWrapper",
+    "MedRegistry",
+    "FencedFunctionRuntime",
+    "FencedUdtfContext",
+    "WfmsWrapper",
+]

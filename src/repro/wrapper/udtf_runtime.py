@@ -1,0 +1,202 @@
+"""The fenced UDTF runtime.
+
+DB2's security restriction (paper, Sect. 4): a UDTF may not connect to
+a database on the same server from its own process, so every UDTF runs
+*fenced* and reaches local functions — or the WfMS — through an RMI hop
+to the controller.  This runtime replaces the default in-process
+:class:`~repro.fdbs.engine.FunctionRuntime` of the integration FDBS and
+charges exactly the step costs of the paper's Fig. 6 breakdown:
+
+UDTF architecture (per federated-function call with *n* A-UDTFs)::
+
+    Start I-UDTF        once      udtf_start_integration
+    Prepare A-UDTFs     n times   udtf_prepare_access
+    RMI calls           n times   rmi_call
+    controller runs     n times   controller_dispatch
+    Process activities  n times   local function work (in the app system)
+    Finish A-UDTFs      n times   udtf_finish_access
+    RMI returns         n times   rmi_return
+    Finish I-UDTF       once      udtf_finish_integration
+
+WfMS architecture (per federated-function call)::
+
+    Start UDTF                          wf_udtf_start
+    Process UDTF                        wf_udtf_process
+    RMI call / RMI return               wf_rmi_call / wf_rmi_return
+    Controller                          controller_wfms_brokerage
+    Start workflows and Java environment, Process activities, Workflow
+                                        (charged inside the WfMS client)
+    Finish UDTF                         wf_udtf_finish
+
+With the controller disabled (the paper's ablation) the RMI hops and
+controller costs vanish on both paths.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FencedModeError
+from repro.fdbs.catalog import ExternalTableFunction, SqlTableFunction
+from repro.fdbs.engine import Database, FunctionRuntime
+from repro.fdbs.expr import EvalContext
+from repro.simtime.trace import TraceRecorder, maybe_span
+from repro.sysmodel.machine import Machine
+
+#: Catalog language tag marking the connecting UDTF of the WfMS coupling.
+WFMS_LANGUAGE = "WFMS"
+
+from repro.udtf.procedural import PROCEDURAL_LANGUAGE  # noqa: E402
+
+
+class FencedUdtfContext:
+    """Execution context handed to fenced UDTF implementations.
+
+    Its only job is to enforce the fenced-mode security model: an
+    implementation that tries to open an in-process connection to the
+    hosting database gets :class:`~repro.errors.FencedModeError`, which
+    is precisely why the controller exists.
+    """
+
+    def __init__(self, database: Database):
+        self._database = database
+
+    def connect_in_process(self) -> Database:
+        """Always raises FencedModeError (the security rule)."""
+        raise FencedModeError(
+            "fenced UDTFs cannot connect to the hosting database from their "
+            "own process; route the request through the controller"
+        )
+
+
+class FencedFunctionRuntime(FunctionRuntime):
+    """Cost-charging, controller-routed table-function runtime."""
+
+    def __init__(self, database: Database, machine: Machine):
+        super().__init__(database)
+        self.machine = machine
+        self.fenced_invocations = 0
+
+    # -- SQL I-UDTFs -------------------------------------------------------------
+
+    def invoke_sql(
+        self, function: SqlTableFunction, args: list[object], ctx: EvalContext
+    ) -> list[tuple]:
+        """I-UDTF path: start/finish costs around the SQL body."""
+        trace = ctx.trace
+        self.fenced_invocations += 1
+        costs = self.machine.costs
+        with maybe_span(trace, "Start I-UDTF"):
+            self.machine.clock.advance(costs.udtf_start_integration)
+        rows = self.database.run_sql_function(function, args, trace=trace)
+        with maybe_span(trace, "Finish I-UDTF"):
+            self.machine.clock.advance(costs.udtf_finish_integration)
+        return rows
+
+    # -- external functions ----------------------------------------------------------
+
+    def invoke_external(
+        self, function: ExternalTableFunction, args: list[object], ctx: EvalContext
+    ) -> list[tuple]:
+        """Dispatch by language tag: WfMS, procedural, or A-UDTF."""
+        language = function.language.upper()
+        if language == WFMS_LANGUAGE:
+            return self._invoke_wfms(function, args, ctx.trace)
+        if language == PROCEDURAL_LANGUAGE:
+            return self._invoke_procedural(function, args, ctx.trace)
+        return self._invoke_access_udtf(function, args, ctx.trace)
+
+    def _invoke_procedural(
+        self,
+        function: ExternalTableFunction,
+        args: list[object],
+        trace: TraceRecorder | None,
+    ) -> list[tuple]:
+        """A procedural ("Java") I-UDTF: integration-UDTF start/finish
+        around a multi-statement body; each inner statement and A-UDTF
+        pays its own way."""
+        self.fenced_invocations += 1
+        costs = self.machine.costs
+        with maybe_span(trace, "Start I-UDTF"):
+            self.machine.clock.advance(costs.udtf_start_integration)
+        from repro.fdbs.functions import normalize_rows
+
+        assert function.implementation is not None
+        rows = normalize_rows(
+            function.implementation(*args, trace=trace), function.name
+        )
+        with maybe_span(trace, "Finish I-UDTF"):
+            self.machine.clock.advance(costs.udtf_finish_integration)
+        return rows
+
+    def _invoke_access_udtf(
+        self,
+        function: ExternalTableFunction,
+        args: list[object],
+        trace: TraceRecorder | None,
+    ) -> list[tuple]:
+        """One A-UDTF call: fenced process, RMI, controller dispatch."""
+        self.fenced_invocations += 1
+        costs = self.machine.costs
+
+        def run() -> list[tuple]:
+            # The local function's own work — Fig. 6's 'Process
+            # activities' row of the UDTF approach.
+            with maybe_span(trace, "Process activities"):
+                return self.database.run_external_function(function, args)
+
+        if function.fenced:
+            with maybe_span(trace, "Prepare A-UDTFs"):
+                self.machine.clock.advance(costs.udtf_prepare_access)
+        controller = self.machine.controller
+        if function.fenced and controller.enabled:
+            rows = self.machine.udtf_rmi.invoke(
+                lambda: controller.dispatch(run, trace=trace, label="controller runs"),
+                trace=trace,
+                call_label="RMI calls",
+                return_label="RMI returns",
+            )
+        else:
+            # Unfenced function, or the paper's hypothetical prototype
+            # without the controller: call straight through.
+            rows = run()
+        if function.fenced:
+            with maybe_span(trace, "Finish A-UDTFs"):
+                self.machine.clock.advance(costs.udtf_finish_access)
+        return rows
+
+    def _invoke_wfms(
+        self,
+        function: ExternalTableFunction,
+        args: list[object],
+        trace: TraceRecorder | None,
+    ) -> list[tuple]:
+        """The connecting UDTF of the WfMS architecture."""
+        self.fenced_invocations += 1
+        costs = self.machine.costs
+        with maybe_span(trace, "Start UDTF"):
+            self.machine.clock.advance(costs.wf_udtf_start)
+        with maybe_span(trace, "Process UDTF"):
+            self.machine.clock.advance(costs.wf_udtf_process)
+        if function.implementation is None:
+            return self.database.run_external_function(function, args)  # raises
+
+        def start() -> list[tuple]:
+            # WfMS connecting functions take the trace so the workflow
+            # client can attribute its own Fig. 6 steps.
+            from repro.fdbs.functions import normalize_rows
+
+            return normalize_rows(
+                function.implementation(*args, trace=trace), function.name
+            )
+        controller = self.machine.controller
+        if controller.enabled:
+            rows = self.machine.wf_rmi.invoke(
+                lambda: controller.broker_workflow(start, trace=trace),
+                trace=trace,
+                call_label="RMI call",
+                return_label="RMI return",
+            )
+        else:
+            rows = start()
+        with maybe_span(trace, "Finish UDTF"):
+            self.machine.clock.advance(costs.wf_udtf_finish)
+        return rows

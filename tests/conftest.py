@@ -1,0 +1,45 @@
+"""Shared fixtures.
+
+Scenario construction is the expensive part (three populated
+application systems per architecture), so architecture scenarios are
+module-scoped where mutation does not matter and function-scoped where
+it does (warmth-sensitive tests build their own).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.appsys.datagen import generate_enterprise_data
+from repro.core.architectures import Architecture
+from repro.core.scenario import build_scenario
+
+
+@pytest.fixture(scope="session")
+def data():
+    """The shared deterministic enterprise universe."""
+    return generate_enterprise_data()
+
+
+@pytest.fixture(scope="module")
+def wfms_scenario(data):
+    """A WfMS-architecture scenario (module-scoped; warmth accumulates)."""
+    return build_scenario(Architecture.WFMS, data=data)
+
+
+@pytest.fixture(scope="module")
+def sql_udtf_scenario(data):
+    """An enhanced-SQL-UDTF scenario (module-scoped)."""
+    return build_scenario(Architecture.ENHANCED_SQL_UDTF, data=data)
+
+
+@pytest.fixture(scope="module")
+def procedural_scenario(data):
+    """An enhanced-Java(procedural)-UDTF scenario (module-scoped)."""
+    return build_scenario(Architecture.ENHANCED_JAVA_UDTF, data=data)
+
+
+@pytest.fixture(scope="module")
+def simple_scenario(data):
+    """A simple-UDTF scenario (module-scoped)."""
+    return build_scenario(Architecture.SIMPLE_UDTF, data=data)

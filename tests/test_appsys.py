@@ -1,0 +1,192 @@
+"""Application systems: encapsulation, signatures, scenario functions."""
+
+import pytest
+
+from repro.appsys import (
+    ProductDataManagementSystem,
+    PurchasingSystem,
+    StockKeepingSystem,
+    generate_enterprise_data,
+)
+from repro.appsys.purchasing import compute_grade, decide
+from repro.errors import EncapsulationError, SignatureError, UnknownFunctionError
+from repro.simtime.costs import DEFAULT_COSTS
+from repro.sysmodel.machine import Machine
+
+
+@pytest.fixture(scope="module")
+def systems(data):
+    return (
+        StockKeepingSystem(None, data),
+        PurchasingSystem(None, data),
+        ProductDataManagementSystem(None, data),
+    )
+
+
+class TestEncapsulation:
+    def test_database_attribute_raises(self, systems):
+        for system in systems:
+            with pytest.raises(EncapsulationError):
+                _ = system.database
+
+    def test_functions_are_the_only_access_path(self, systems):
+        stock, _, _ = systems
+        assert stock.call("GetQuality", 1234) == [(8,)]
+
+
+class TestSignatures:
+    def test_unknown_function_rejected(self, systems):
+        with pytest.raises(UnknownFunctionError):
+            systems[0].call("NoSuchFn")
+
+    def test_wrong_arity_rejected(self, systems):
+        with pytest.raises(SignatureError):
+            systems[0].call("GetQuality", 1, 2)
+
+    def test_argument_coercion(self, systems):
+        # ints flow into INTEGER params; strings do not.
+        with pytest.raises(Exception):
+            systems[0].call("GetQuality", "not a number")
+
+    def test_signature_rendering(self, systems):
+        stock = systems[0]
+        text = stock.function("GetNumber").signature()
+        assert "GetNumber(SupplierNo INTEGER, CompNo INTEGER)" in text
+
+    def test_catalog_summary_lists_all(self, systems):
+        summary = systems[0].catalog_summary()
+        for fn in systems[0].functions():
+            assert fn.name in summary
+
+
+class TestStockKeeping:
+    def test_get_quality_pinned_supplier(self, systems):
+        assert systems[0].call("GetQuality", 1234) == [(8,)]
+
+    def test_get_quality_unknown_supplier_empty(self, systems):
+        assert systems[0].call("GetQuality", 99999) == []
+
+    def test_get_number(self, systems, data):
+        record = next(r for r in data.stock if r.supplier_no == 1234)
+        rows = systems[0].call("GetNumber", 1234, record.comp_no)
+        assert rows == [(record.number,)]
+
+    def test_get_supplier_returns_primary(self, systems, data):
+        rows = systems[0].call("GetSupplier", 1)
+        candidates = {r.supplier_no for r in data.stock if r.comp_no == 1}
+        assert rows[0][0] == min(candidates)
+
+    def test_get_stock_components_table_valued(self, systems, data):
+        rows = systems[0].call("GetStockComponents", 1234)
+        expected = sorted(
+            (r.comp_no, r.number) for r in data.stock if r.supplier_no == 1234
+        )
+        assert rows == expected
+
+
+class TestPurchasing:
+    def test_reliability(self, systems):
+        assert systems[1].call("GetReliability", 1234) == [(7,)]
+
+    def test_supplier_no_by_name_roundtrip(self, systems):
+        number = systems[1].call("GetSupplierNo", "ACME Industrial")[0][0]
+        assert number == 1234
+        assert systems[1].call("GetSupplierName", number) == [("ACME Industrial",)]
+
+    def test_grade_formula(self):
+        assert compute_grade(8, 7) == (2 * 8 + 7 + 1) // 3
+        assert compute_grade(None, 7) is None
+        assert 1 <= compute_grade(1, 1) <= 10
+        assert compute_grade(10, 10) == 10
+
+    def test_decide_thresholds(self):
+        assert decide(8, 1) == "BUY"
+        assert decide(5, 1) == "NEGOTIATE"
+        assert decide(2, 1) == "REJECT"
+        assert decide(8, None) == "UNKNOWN COMPONENT"
+        assert decide(None, 1) == "NO GRADE"
+
+    def test_discount_lookup_is_filtered_and_ordered(self, systems, data):
+        rows = systems[1].call("GetCompSupp4Discount", 20)
+        expected = sorted(
+            (o.comp_no, o.supplier_no) for o in data.discounts if o.discount >= 20
+        )
+        assert rows == expected
+
+
+class TestPdm:
+    def test_comp_no_and_name_roundtrip(self, systems):
+        number = systems[2].call("GetCompNo", "gearbox")[0][0]
+        assert number == 1
+        assert systems[2].call("GetCompName", number) == [("gearbox",)]
+
+    def test_sub_components(self, systems, data):
+        rows = systems[2].call("GetSubCompNo", 1)
+        expected = sorted((sub,) for comp, sub in data.bom if comp == 1)
+        assert rows == expected
+        assert rows  # gearbox is guaranteed sub-components
+
+    def test_max_comp_no(self, systems, data):
+        assert systems[2].call("GetMaxCompNo")[0][0] == len(data.components)
+
+
+class TestCosts:
+    def test_call_charges_local_function_cost(self):
+        machine = Machine()
+        stock = StockKeepingSystem(machine, generate_enterprise_data())
+        machine.ensure_appsys("stock")
+        before = machine.clock.now
+        stock.call("GetQuality", 1234)
+        elapsed = machine.clock.now - before
+        assert elapsed >= DEFAULT_COSTS.local_function_base
+
+    def test_first_call_pays_appsys_boot(self):
+        machine = Machine()
+        stock = StockKeepingSystem(machine, generate_enterprise_data())
+        before = machine.clock.now
+        stock.call("GetQuality", 1234)
+        first = machine.clock.now - before
+        before = machine.clock.now
+        stock.call("GetQuality", 1234)
+        second = machine.clock.now - before
+        assert first - second == pytest.approx(DEFAULT_COSTS.appsys_boot)
+
+    def test_call_count_tracked(self, systems):
+        stock = systems[0]
+        before = stock.call_count
+        stock.call("GetQuality", 1234)
+        assert stock.call_count == before + 1
+
+
+class TestDatagen:
+    def test_deterministic_for_same_seed(self):
+        a = generate_enterprise_data(seed=5)
+        b = generate_enterprise_data(seed=5)
+        assert a.suppliers == b.suppliers
+        assert a.stock == b.stock
+        assert a.bom == b.bom
+
+    def test_different_seeds_differ(self):
+        a = generate_enterprise_data(seed=1)
+        b = generate_enterprise_data(seed=2)
+        assert a.stock != b.stock
+
+    def test_pinned_entities(self, data):
+        assert data.supplier_by_no(1234).name == "ACME Industrial"
+        assert data.component_by_name("gearbox").comp_no == 1
+
+    def test_every_component_stocked(self, data):
+        stocked = {r.comp_no for r in data.stock}
+        assert {c.comp_no for c in data.components} <= stocked
+
+    def test_bom_is_acyclic_by_construction(self, data):
+        assert all(comp < sub for comp, sub in data.bom)
+
+    def test_size_parameters_respected(self):
+        small = generate_enterprise_data(n_suppliers=3, n_components=5)
+        assert len(small.suppliers) == 3
+        assert len(small.components) == 5
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            generate_enterprise_data(n_suppliers=1)

@@ -1,0 +1,23 @@
+"""The `python -m repro.bench` command-line entry point."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+def test_single_experiment(capsys):
+    assert main(["E8"]) == 0
+    out = capsys.readouterr().out
+    assert "E8" in out and "parallel" in out
+
+
+def test_lowercase_ids_accepted(capsys):
+    assert main(["e2"]) == 0
+    assert "mapping complexity" in capsys.readouterr().out
+
+
+def test_unknown_id_rejected(capsys):
+    assert main(["E99"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+    assert "available" in err

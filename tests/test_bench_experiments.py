@@ -1,0 +1,214 @@
+"""Experiment drivers reproduce the paper's qualitative shapes.
+
+These are the repository's regression net for the reproduction claims;
+the benchmarks print the full tables, these tests pin the shapes.
+"""
+
+import pytest
+
+from repro.bench import experiments as exp
+from repro.bench.harness import measure_hot, measure_situations
+from repro.bench.report import format_percent, format_table, linear_fit
+from repro.core.architectures import Architecture
+
+
+@pytest.fixture(scope="module")
+def fig5(data):
+    return exp.exp_fig5(data=data)
+
+
+@pytest.fixture(scope="module")
+def fig6(data):
+    return exp.exp_fig6(data=data)
+
+
+class TestMappingMatrix:
+    def test_only_cyclic_row_unsupported_for_sql_udtf(self):
+        result = exp.exp_mapping_matrix()
+        udtf = Architecture.ENHANCED_SQL_UDTF.value
+        unsupported = [r.function for r in result.rows if r.cells[udtf] == "not supported"]
+        assert unsupported == ["AllCompNames"]
+
+    def test_wfms_supports_everything(self):
+        result = exp.exp_mapping_matrix()
+        wfms = Architecture.WFMS.value
+        assert all(r.cells[wfms] != "not supported" for r in result.rows)
+
+    def test_render_contains_paper_cells(self):
+        text = exp.render_mapping_matrix(exp.exp_mapping_matrix())
+        assert "join with selection" in text
+        assert "loop construct with sub-workflow" in text
+        assert "not supported" in text
+
+
+class TestFig5:
+    def test_udtf_wins_everywhere(self, fig5):
+        assert all(p.udtf < p.wfms for p in fig5.points)
+
+    def test_anchor_ratio_is_about_three(self, fig5):
+        anchor = next(p for p in fig5.points if p.function == "GetNoSuppComp")
+        assert anchor.ratio == pytest.approx(3.0, abs=0.15)
+
+    def test_wfms_rises_more_steeply_with_function_count(self, fig5):
+        """'processing times do not rise as intensely for the UDTF
+        approach as for the workflow approach' — compare slopes over the
+        sequential cases."""
+        one = next(p for p in fig5.points if p.function == "GibKompNr")
+        three = next(p for p in fig5.points if p.function == "GetNoSuppComp")
+        wfms_rise = three.wfms - one.wfms
+        udtf_rise = three.udtf - one.udtf
+        assert wfms_rise > udtf_rise
+
+    def test_no_crossover_in_the_sweep(self, fig5):
+        assert fig5.max_ratio < 5.0
+        assert min(p.ratio for p in fig5.points) > 1.0
+
+    def test_render(self, fig5):
+        text = exp.render_fig5(fig5)
+        assert "GetNoSuppComp" in text and "WfMS/UDTF" in text
+
+
+class TestFig6:
+    def test_wfms_portions_match_paper(self, fig6):
+        portions = {label: frac for label, _, frac in fig6.wfms.steps}
+        paper = {
+            "Start UDTF": 0.09,
+            "Process UDTF": 0.11,
+            "RMI call": 0.03,
+            "Start workflows and Java environment": 0.10,
+            "Process activities": 0.51,
+            "Workflow": 0.09,
+            "Controller": 0.05,
+            "RMI return": 0.00,
+            "Finish UDTF": 0.02,
+        }
+        for label, expected in paper.items():
+            assert portions[label] == pytest.approx(expected, abs=0.02), label
+
+    def test_udtf_portions_match_paper(self, fig6):
+        portions = {label: frac for label, _, frac in fig6.udtf.steps}
+        paper = {
+            "Start I-UDTF": 0.11,
+            "Prepare A-UDTFs": 0.28,
+            "RMI calls": 0.24,
+            "controller runs": 0.00,
+            "Process activities": 0.06,
+            "Finish A-UDTFs": 0.21,
+            "RMI returns": 0.01,
+            "Finish I-UDTF": 0.09,
+        }
+        for label, expected in paper.items():
+            assert portions[label] == pytest.approx(expected, abs=0.02), label
+
+    def test_totals_anchor_ratio(self, fig6):
+        assert fig6.wfms.total / fig6.udtf.total == pytest.approx(3.0, abs=0.15)
+
+    def test_unattributed_time_is_negligible(self, fig6):
+        assert fig6.wfms.unattributed / fig6.wfms.total < 0.02
+        assert fig6.udtf.unattributed / fig6.udtf.total < 0.02
+
+    def test_render(self, fig6):
+        text = exp.render_fig6(fig6)
+        assert "Workflow approach" in text and "UDTF approach" in text
+        assert "51%" in text  # the paper's headline cell
+
+
+class TestControllerAblation:
+    @pytest.fixture(scope="class")
+    def ablation(self, data):
+        return exp.exp_controller_ablation(data=data)
+
+    def test_decreases_match_paper(self, ablation):
+        assert ablation.wfms_decrease == pytest.approx(0.08, abs=0.02)
+        assert ablation.udtf_decrease == pytest.approx(0.25, abs=0.02)
+
+    def test_ratio_widens_toward_3_7(self, ablation):
+        assert ablation.ratio_without > ablation.ratio_with
+        assert ablation.ratio_without == pytest.approx(3.7, abs=0.15)
+
+    def test_render(self, ablation):
+        assert "without" in exp.render_controller_ablation(ablation)
+
+
+class TestLoopScaling:
+    @pytest.fixture(scope="class")
+    def scaling(self):
+        return exp.exp_cyclic_scaling()
+
+    def test_linear_fit_is_near_perfect(self, scaling):
+        assert scaling.r_squared > 0.999
+
+    def test_strictly_increasing(self, scaling):
+        times = [t for _, t in scaling.points]
+        assert times == sorted(times)
+        assert scaling.slope > 0
+
+    def test_render(self, scaling):
+        assert "linear fit" in exp.render_cyclic_scaling(scaling)
+
+
+class TestParallelVsSequential:
+    @pytest.fixture(scope="class")
+    def result(self, data):
+        return exp.exp_parallel_vs_sequential(data=data)
+
+    def test_wfms_profits_from_parallelism(self, result):
+        assert result.wfms_parallel < result.wfms_sequential
+
+    def test_udtf_shows_contrary_result(self, result):
+        assert result.udtf_parallel > result.udtf_sequential
+
+    def test_render(self, result):
+        assert "parallel" in exp.render_parallel_vs_sequential(result)
+
+
+class TestBootWarmHot:
+    def test_cold_warm_hot_ordering(self, data):
+        result = exp.exp_boot_warm_hot(data=data)
+        for timings in result.timings.values():
+            for timing in timings:
+                assert timing.cold > timing.warm_other > timing.hot
+
+    def test_render(self, data):
+        text = exp.render_boot_warm_hot(exp.exp_boot_warm_hot(data=data))
+        assert "after boot" in text
+
+
+class TestHarness:
+    def test_measure_hot_is_deterministic_without_jitter(self, sql_udtf_scenario):
+        measurement = measure_hot(sql_udtf_scenario, "GibKompNr")
+        assert measurement.minimum == measurement.maximum == measurement.mean
+
+    def test_measure_situations_orders_warmth(self, data):
+        from repro.core.scenario import build_scenario
+
+        scenario = build_scenario(Architecture.WFMS, data=data)
+        timing = measure_situations(scenario, "GetSuppQual")
+        assert timing.cold > timing.warm_other > timing.hot
+
+
+class TestReportHelpers:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 4]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # all same width
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_percent_rounds(self):
+        assert format_percent(0.506) == "51%"
+        assert format_percent(0.004) == "0%"
+
+    def test_linear_fit_recovers_exact_line(self):
+        slope, intercept, r2 = linear_fit([(1, 12.0), (2, 14.0), (5, 20.0)])
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(10.0)
+        assert r2 == pytest.approx(1.0)
+
+    def test_linear_fit_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            linear_fit([(1, 1.0)])
+        with pytest.raises(ValueError):
+            linear_fit([(1, 1.0), (1, 2.0)])

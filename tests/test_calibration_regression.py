@@ -1,0 +1,40 @@
+"""Calibration regression guard.
+
+The whole reproduction hangs off one calibrated cost profile
+(DESIGN.md Sect. 6).  This test pins the anchor's absolute virtual
+numbers so an accidental change to any cost constant — or to a charging
+path — is caught here first, with a pointer to re-derive the profile.
+"""
+
+import pytest
+
+from repro.bench.harness import measure_hot
+from repro.core.architectures import Architecture
+from repro.core.scenario import build_scenario
+
+
+@pytest.fixture(scope="module")
+def anchor_times(data):
+    wfms = build_scenario(Architecture.WFMS, data=data)
+    udtf = build_scenario(Architecture.ENHANCED_SQL_UDTF, data=data)
+    return (
+        measure_hot(wfms, "GetNoSuppComp").mean,
+        measure_hot(udtf, "GetNoSuppComp").mean,
+    )
+
+
+def test_wfms_anchor_absolute(anchor_times):
+    wfms, _ = anchor_times
+    # ≈300 su: see the derivation table in simtime/costs.py.
+    assert wfms == pytest.approx(302.9, abs=1.0)
+
+
+def test_udtf_anchor_absolute(anchor_times):
+    _, udtf = anchor_times
+    # ≈100 su: see the derivation table in simtime/costs.py.
+    assert udtf == pytest.approx(101.8, abs=1.0)
+
+
+def test_anchor_ratio(anchor_times):
+    wfms, udtf = anchor_times
+    assert wfms / udtf == pytest.approx(2.97, abs=0.05)

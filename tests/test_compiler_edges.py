@@ -1,0 +1,138 @@
+"""Compiler edge cases and fine-grained calibration checks."""
+
+import pytest
+
+from repro.appsys import (
+    ProductDataManagementSystem,
+    PurchasingSystem,
+    StockKeepingSystem,
+)
+from repro.bench.harness import measure_hot
+from repro.core.compile_procedural import compile_procedural
+from repro.core.compile_workflow import compile_workflow
+from repro.core.federated_function import FederatedFunction
+from repro.core.mapping import (
+    FedInput,
+    JoinCondition,
+    LocalCall,
+    MappingGraph,
+    NodeOutput,
+    OutputSpec,
+)
+from repro.errors import UnsupportedMappingError
+from repro.fdbs.types import INTEGER
+from repro.simtime.costs import DEFAULT_COSTS
+from repro.wfms.programs import ProgramRegistry
+
+
+@pytest.fixture(scope="module")
+def resolver(data):
+    systems = {
+        s.name: s
+        for s in (
+            StockKeepingSystem(None, data),
+            PurchasingSystem(None, data),
+            ProductDataManagementSystem(None, data),
+        )
+    }
+    return lambda system, function: systems[system].function(function)
+
+
+def three_branch_join_fed():
+    """Joins across three branches: more than the composition helpers
+    support."""
+    nodes = [
+        LocalCall("A", "pdm", "GetSubCompNo", {"CompNo": FedInput("X")}),
+        LocalCall("B", "pdm", "GetSubCompNo", {"CompNo": FedInput("X")}),
+        LocalCall("C", "pdm", "GetSubCompNo", {"CompNo": FedInput("X")}),
+    ]
+    return FederatedFunction(
+        name="TriJoin",
+        params=[("X", INTEGER)],
+        returns=[("A", INTEGER), ("B", INTEGER)],
+        mapping=MappingGraph(
+            nodes=nodes,
+            outputs=[
+                OutputSpec("A", NodeOutput("A", "SubCompNo")),
+                OutputSpec("B", NodeOutput("B", "SubCompNo")),
+            ],
+            joins=[
+                JoinCondition(NodeOutput("A", "SubCompNo"), NodeOutput("B", "SubCompNo")),
+                JoinCondition(NodeOutput("B", "SubCompNo"), NodeOutput("C", "SubCompNo")),
+            ],
+        ),
+    )
+
+
+def test_workflow_compiler_rejects_three_branch_joins(resolver):
+    with pytest.raises(UnsupportedMappingError, match="two branches"):
+        compile_workflow(three_branch_join_fed(), resolver, ProgramRegistry())
+
+
+def test_procedural_compiler_rejects_three_branch_joins(resolver):
+    body = compile_procedural(three_branch_join_fed(), resolver)
+    # The rejection surfaces when projecting (the compile is lazy there).
+    from repro.udtf.procedural import ProceduralConnection
+    from repro.fdbs.engine import Database
+    from repro.udtf.access import register_access_udtfs
+    from repro.appsys import ProductDataManagementSystem
+
+    db = Database("tri")
+    register_access_udtfs(db, ProductDataManagementSystem())
+    with pytest.raises(UnsupportedMappingError):
+        body(ProceduralConnection(db), 1)
+
+
+def test_sql_compiler_handles_three_branch_joins(resolver):
+    """The SQL architecture has no such limit: joins are just WHERE."""
+    from repro.core.compile_sql_udtf import compile_sql_udtf
+
+    ddl = compile_sql_udtf(three_branch_join_fed(), resolver)
+    assert ddl.count("=") >= 2
+
+
+class TestHelperActivityCost:
+    def test_simple_case_pays_exactly_one_helper(self, data):
+        """GetNumberSupp1234 = GibKompNr's shape + one cast helper:
+        the WfMS delta must be exactly container handling + navigation."""
+        from repro.core.architectures import Architecture
+        from repro.core.scenario import build_scenario
+
+        scenario = build_scenario(Architecture.WFMS, data=data)
+        trivial = measure_hot(scenario, "GibKompNr").mean
+        simple = measure_hot(scenario, "GetNumberSupp1234").mean
+        expected_delta = (
+            DEFAULT_COSTS.wf_activity_container + DEFAULT_COSTS.wf_navigation
+        )
+        assert simple - trivial == pytest.approx(expected_delta, abs=0.1)
+
+    def test_udtf_architecture_has_no_helper_activities(self, data):
+        """On the SQL side the cast is an expression: both one-call
+        functions cost the same."""
+        from repro.core.architectures import Architecture
+        from repro.core.scenario import build_scenario
+
+        scenario = build_scenario(Architecture.ENHANCED_SQL_UDTF, data=data)
+        trivial = measure_hot(scenario, "GibKompNr").mean
+        simple = measure_hot(scenario, "GetNumberSupp1234").mean
+        assert simple == pytest.approx(trivial, abs=0.1)
+
+
+def test_wfms_table_valued_trace_covers_call(data):
+    """The parallel 'Process activities' window also appears for
+    table-valued (join-composed) federated functions."""
+    from repro.core.architectures import Architecture
+    from repro.core.scenario import build_scenario
+    from repro.simtime.trace import TraceRecorder
+
+    scenario = build_scenario(Architecture.WFMS, data=data)
+    scenario.call("GetSubCompDiscounts", 1, 5)
+    trace = TraceRecorder(scenario.server.machine.clock)
+    with trace.span("TOTAL"):
+        rows = scenario.call("GetSubCompDiscounts", 1, 5, trace=trace)
+    assert rows  # non-empty result
+    totals = trace.totals_by_name()
+    assert totals.get("Process activities", 0) > 0
+    # Attribution is nearly complete (unaccounted < 3% of the total).
+    attributed = sum(v for k, v in totals.items() if k != "TOTAL")
+    assert attributed / trace.total() > 0.97

@@ -1,0 +1,188 @@
+"""The three compilers: SQL, workflow, procedural — one mapping, three
+artefacts, identical results."""
+
+import pytest
+
+from repro.appsys import (
+    ProductDataManagementSystem,
+    PurchasingSystem,
+    StockKeepingSystem,
+)
+from repro.core.compile_procedural import compile_procedural
+from repro.core.compile_sql_udtf import compile_simple_select, compile_sql_udtf
+from repro.core.compile_workflow import compile_workflow
+from repro.core.scenario import scenario_functions
+from repro.errors import MappingGraphError, UnsupportedMappingError
+from repro.fdbs.parser import parse_statement
+from repro.fdbs import ast
+from repro.wfms.model import BlockActivity, HelperActivity, ProgramActivity
+from repro.wfms.programs import ProgramRegistry
+
+
+@pytest.fixture(scope="module")
+def systems(data):
+    return {
+        s.name: s
+        for s in (
+            StockKeepingSystem(None, data),
+            PurchasingSystem(None, data),
+            ProductDataManagementSystem(None, data),
+        )
+    }
+
+
+@pytest.fixture(scope="module")
+def resolver(systems):
+    return lambda system, function: systems[system].function(function)
+
+
+@pytest.fixture(scope="module")
+def feds():
+    return {f.name: f for f in scenario_functions()}
+
+
+class TestSqlCompiler:
+    def test_buysuppcomp_matches_paper_shape(self, feds, resolver):
+        ddl = compile_sql_udtf(feds["BuySuppComp"], resolver)
+        statement = parse_statement(ddl)
+        assert isinstance(statement, ast.CreateSqlFunction)
+        body = statement.body
+        # Five TABLE(...) references, in dependency order, DP last.
+        aliases = [f.alias for f in body.from_items]
+        assert len(aliases) == 5
+        assert aliases[-1] == "DP"
+        assert "BuySuppComp.SupplierNo" in ddl
+        assert "TABLE (DecidePurchase(GG.Grade, GCN.No)) AS DP" in ddl
+
+    def test_simple_case_emits_constant_and_cast(self, feds, resolver):
+        ddl = compile_sql_udtf(feds["GetNumberSupp1234"], resolver)
+        assert "GetNumber(1234, GetNumberSupp1234.CompNo)" in ddl
+        assert "BIGINT(GN.Number)" in ddl
+
+    def test_independent_case_emits_join_predicate(self, feds, resolver):
+        ddl = compile_sql_udtf(feds["GetSubCompDiscounts"], resolver)
+        assert "WHERE GSCD.SubCompNo = GCS4D.CompNo" in ddl
+
+    def test_cyclic_case_unsupported(self, feds, resolver):
+        with pytest.raises(UnsupportedMappingError) as excinfo:
+            compile_sql_udtf(feds["AllCompNames"], resolver)
+        assert excinfo.value.case == "dependent: cyclic"
+
+    def test_simple_select_binding_order(self, feds, resolver):
+        sql, binding = compile_simple_select(feds["BuySuppComp"], resolver)
+        assert sql.startswith("SELECT")
+        assert "CREATE FUNCTION" not in sql
+        assert binding == ["SupplierNo", "SupplierNo", "CompName"]
+        assert sql.count("?") == 3
+
+    def test_unwired_parameter_rejected(self, feds, resolver):
+        import copy
+
+        fed = copy.deepcopy(feds["GetSuppQual"])
+        fed.mapping.nodes[0].args.clear()
+        with pytest.raises(MappingGraphError, match="does not wire"):
+            compile_sql_udtf(fed, resolver)
+
+
+class TestWorkflowCompiler:
+    def compile(self, fed, resolver):
+        return compile_workflow(fed, resolver, ProgramRegistry())
+
+    def test_buysuppcomp_structure(self, feds, resolver):
+        process = self.compile(feds["BuySuppComp"], resolver)
+        programs = [a for a in process.activities if isinstance(a, ProgramActivity)]
+        assert len(programs) == 5
+        edges = {(c.source, c.target) for c in process.connectors}
+        assert ("GQ", "GG") in edges and ("GR", "GG") in edges
+        assert ("GG", "DP") in edges and ("GCN", "DP") in edges
+        # GQ, GR, GCN have no incoming edges: they run in parallel.
+        targets = {t for _, t in edges}
+        assert {"GQ", "GR", "GCN"} & targets == set()
+
+    def test_simple_case_gets_cast_helper_activity(self, feds, resolver):
+        process = self.compile(feds["GetNumberSupp1234"], resolver)
+        helpers = [a for a in process.activities if isinstance(a, HelperActivity)]
+        assert len(helpers) == 1
+        assert helpers[0].name == "CastNumber"
+
+    def test_constant_supplied_to_input_container(self, feds, resolver):
+        from repro.wfms.model import Constant
+
+        process = self.compile(feds["GetNumberSupp1234"], resolver)
+        activity = process.activity("GN")
+        assert activity.input_map["SupplierNo"] == Constant(1234)
+
+    def test_independent_join_becomes_composition_helper(self, feds, resolver):
+        process = self.compile(feds["GetSubCompDiscounts"], resolver)
+        assert process.has_activity("CombineResults")
+        assert process.rows_from == "CombineResults"
+
+    def test_cyclic_case_becomes_do_until_block(self, feds, resolver):
+        process = self.compile(feds["AllCompNames"], resolver)
+        blocks = [a for a in process.activities if isinstance(a, BlockActivity)]
+        assert len(blocks) == 1
+        block = blocks[0]
+        assert block.until is not None
+        assert block.collect_rows
+        assert block.carry == {"CompNo": "NextValue"}
+        assert block.subprocess is not None
+        assert block.subprocess.has_activity("Advance")
+
+    def test_compiled_process_validates(self, feds, resolver):
+        for fed in feds.values():
+            self.compile(fed, resolver).validate()
+
+
+class TestProceduralCompiler:
+    def test_cyclic_case_supported_by_host_loop(self, feds, resolver):
+        body = compile_procedural(feds["AllCompNames"], resolver)
+        assert callable(body)
+
+    def test_body_name_carries_function_name(self, feds, resolver):
+        body = compile_procedural(feds["BuySuppComp"], resolver)
+        assert body.__name__ == "procedural_BuySuppComp"
+
+
+class TestCrossArchitectureEquivalence:
+    """The same federated function must return identical rows through
+    every architecture that supports it (results, not timings)."""
+
+    CALLS = {
+        "GibKompNr": ("gearbox",),
+        "GetNumberSupp1234": (1,),
+        "GetSuppQual": ("ACME Industrial",),
+        "GetSuppQualRelia": (1234,),
+        "GetSubCompDiscounts": (1, 5),
+        "GetSuppGrade": (1234,),
+        "GetSuppQualReliaByName": ("ACME Industrial",),
+        "GetNoSuppComp": ("gearbox",),
+        "BuySuppComp": (1234, "gearbox"),
+        "AllCompNames": (1, 5),
+    }
+
+    @pytest.mark.parametrize("name", sorted(CALLS))
+    def test_identical_rows_across_architectures(
+        self,
+        name,
+        simple_scenario,
+        sql_udtf_scenario,
+        procedural_scenario,
+        wfms_scenario,
+    ):
+        args = self.CALLS[name]
+        results = {}
+        for scenario in (
+            simple_scenario,
+            sql_udtf_scenario,
+            procedural_scenario,
+            wfms_scenario,
+        ):
+            if name.upper() in scenario.skipped:
+                continue
+            results[scenario.server.architecture] = sorted(
+                scenario.call(name, *args)
+            )
+        assert len(results) >= 2
+        reference = next(iter(results.values()))
+        for architecture, rows in results.items():
+            assert rows == reference, architecture

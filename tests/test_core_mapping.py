@@ -1,0 +1,203 @@
+"""Mapping graphs: validation and heterogeneity classification."""
+
+import pytest
+
+from repro.core.mapping import (
+    Const,
+    FedInput,
+    HeterogeneityCase,
+    JoinCondition,
+    LocalCall,
+    LoopCall,
+    MappingGraph,
+    NodeOutput,
+    OutputSpec,
+    classify,
+)
+from repro.errors import MappingGraphError
+from repro.fdbs.types import BIGINT
+
+
+def call(node_id, args=None):
+    return LocalCall(node_id, "sys", "Fn", args or {})
+
+
+def out(name="O", source=None, cast=None):
+    return OutputSpec(name, source or NodeOutput("A", "X"), cast)
+
+
+class TestValidation:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(MappingGraphError, match="at least one call"):
+            MappingGraph(outputs=[out()]).validate()
+
+    def test_missing_outputs_rejected(self):
+        with pytest.raises(MappingGraphError, match="output"):
+            MappingGraph(nodes=[call("A")]).validate()
+
+    def test_duplicate_node_id_rejected(self):
+        graph = MappingGraph(nodes=[call("A"), call("a")], outputs=[out()])
+        with pytest.raises(MappingGraphError, match="duplicate"):
+            graph.validate()
+
+    def test_unknown_node_reference_rejected(self):
+        graph = MappingGraph(
+            nodes=[call("A", {"p": NodeOutput("ghost", "X")})], outputs=[out()]
+        )
+        with pytest.raises(MappingGraphError, match="ghost"):
+            graph.validate()
+
+    def test_cycle_between_calls_rejected(self):
+        graph = MappingGraph(
+            nodes=[
+                call("A", {"p": NodeOutput("B", "X")}),
+                call("B", {"p": NodeOutput("A", "X")}),
+            ],
+            outputs=[out()],
+        )
+        with pytest.raises(MappingGraphError, match="cycle"):
+            graph.validate()
+
+    def test_join_references_checked(self):
+        graph = MappingGraph(
+            nodes=[call("A"), call("B")],
+            outputs=[out()],
+            joins=[JoinCondition(NodeOutput("A", "X"), NodeOutput("ghost", "Y"))],
+        )
+        with pytest.raises(MappingGraphError):
+            graph.validate()
+
+    def test_loop_counter_must_not_be_wired(self):
+        graph = MappingGraph(
+            nodes=[
+                LoopCall(
+                    "L", "sys", "Fn", counter_param="I",
+                    args={"I": FedInput("X")},
+                )
+            ],
+            outputs=[out(source=NodeOutput("L", "X"))],
+        )
+        with pytest.raises(MappingGraphError, match="counter"):
+            graph.validate()
+
+    def test_topological_order(self):
+        graph = MappingGraph(
+            nodes=[
+                call("C", {"p": NodeOutput("B", "X")}),
+                call("B", {"p": NodeOutput("A", "X")}),
+                call("A"),
+            ],
+            outputs=[out(source=NodeOutput("C", "X"))],
+        )
+        order = [n.id for n in graph.topological_order()]
+        assert order.index("A") < order.index("B") < order.index("C")
+
+
+class TestClassification:
+    def test_trivial(self):
+        graph = MappingGraph(
+            nodes=[call("A", {"p": FedInput("X")})],
+            outputs=[out(source=NodeOutput("A", "X"))],
+        )
+        assert classify(graph) is HeterogeneityCase.TRIVIAL
+
+    def test_simple_via_cast(self):
+        graph = MappingGraph(
+            nodes=[call("A", {"p": FedInput("X")})],
+            outputs=[out(source=NodeOutput("A", "X"), cast=BIGINT)],
+        )
+        assert classify(graph) is HeterogeneityCase.SIMPLE
+
+    def test_simple_via_constant(self):
+        graph = MappingGraph(
+            nodes=[call("A", {"p": Const(1234)})],
+            outputs=[out(source=NodeOutput("A", "X"))],
+        )
+        assert classify(graph) is HeterogeneityCase.SIMPLE
+
+    def test_independent(self):
+        graph = MappingGraph(
+            nodes=[call("A", {"p": FedInput("X")}), call("B", {"p": FedInput("X")})],
+            outputs=[out(source=NodeOutput("A", "X"))],
+        )
+        assert classify(graph) is HeterogeneityCase.INDEPENDENT
+
+    def test_linear(self):
+        graph = MappingGraph(
+            nodes=[
+                call("A", {"p": FedInput("X")}),
+                call("B", {"p": NodeOutput("A", "X")}),
+            ],
+            outputs=[out(source=NodeOutput("B", "X"))],
+        )
+        assert classify(graph) is HeterogeneityCase.DEPENDENT_LINEAR
+
+    def test_one_to_n(self):
+        graph = MappingGraph(
+            nodes=[
+                call("A", {"p": FedInput("X")}),
+                call("B", {"p": FedInput("X")}),
+                call("C", {"p": NodeOutput("A", "X"), "q": NodeOutput("B", "X")}),
+            ],
+            outputs=[out(source=NodeOutput("C", "X"))],
+        )
+        assert classify(graph) is HeterogeneityCase.DEPENDENT_1N
+
+    def test_n_to_one(self):
+        graph = MappingGraph(
+            nodes=[
+                call("A", {"p": FedInput("X")}),
+                call("B", {"p": NodeOutput("A", "X")}),
+                call("C", {"p": NodeOutput("A", "X")}),
+            ],
+            outputs=[out(source=NodeOutput("B", "X"))],
+        )
+        assert classify(graph) is HeterogeneityCase.DEPENDENT_N1
+
+    def test_cyclic_via_loop_node(self):
+        graph = MappingGraph(
+            nodes=[LoopCall("L", "sys", "Fn", counter_param="I")],
+            outputs=[out(source=NodeOutput("L", "X"))],
+        )
+        assert classify(graph) is HeterogeneityCase.DEPENDENT_CYCLIC
+
+    def test_general_mixed_shape(self):
+        # chain into a fan-in whose producers are not all independent
+        graph = MappingGraph(
+            nodes=[
+                call("A", {"p": FedInput("X")}),
+                call("B", {"p": NodeOutput("A", "X")}),
+                call("C", {"p": NodeOutput("A", "X"), "q": NodeOutput("B", "X")}),
+            ],
+            outputs=[out(source=NodeOutput("C", "X"))],
+        )
+        assert classify(graph) is HeterogeneityCase.GENERAL
+
+    def test_two_disjoint_chains_are_general(self):
+        graph = MappingGraph(
+            nodes=[
+                call("A", {"p": FedInput("X")}),
+                call("B", {"p": NodeOutput("A", "X")}),
+                call("C", {"p": FedInput("X")}),
+                call("D", {"p": NodeOutput("C", "X")}),
+            ],
+            outputs=[out(source=NodeOutput("B", "X"))],
+        )
+        assert classify(graph) is HeterogeneityCase.GENERAL
+
+
+class TestMetrics:
+    def test_local_function_count(self):
+        graph = MappingGraph(
+            nodes=[call("A"), LoopCall("L", "s", "f", counter_param="I")],
+            outputs=[out(source=NodeOutput("A", "X"))],
+        )
+        assert graph.local_function_count() == 2
+
+    def test_has_loop_and_helpers(self):
+        graph = MappingGraph(
+            nodes=[call("A", {"p": Const(1)})],
+            outputs=[out(source=NodeOutput("A", "X"))],
+        )
+        assert graph.has_helpers()
+        assert not graph.has_loop()

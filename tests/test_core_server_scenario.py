@@ -1,0 +1,141 @@
+"""Integration server, architecture matrix, scenario deployment."""
+
+import pytest
+
+from repro.core.architectures import (
+    Architecture,
+    FOOTNOTE,
+    capability_matrix,
+    mechanism,
+    supports,
+)
+from repro.core.mapping import HeterogeneityCase
+from repro.core.scenario import build_scenario, scenario_functions
+from repro.errors import MappingError, UnsupportedMappingError
+
+
+class TestCapabilityMatrix:
+    def test_cyclic_only_wfms_and_procedural(self):
+        cyclic = HeterogeneityCase.DEPENDENT_CYCLIC
+        assert supports(Architecture.WFMS, cyclic)
+        assert supports(Architecture.ENHANCED_JAVA_UDTF, cyclic)
+        assert not supports(Architecture.ENHANCED_SQL_UDTF, cyclic)
+        assert not supports(Architecture.SIMPLE_UDTF, cyclic)
+
+    def test_everything_else_supported_everywhere(self):
+        for case in HeterogeneityCase:
+            if case is HeterogeneityCase.DEPENDENT_CYCLIC:
+                continue
+            for architecture in Architecture:
+                assert supports(architecture, case)
+
+    def test_matrix_matches_paper_cells(self):
+        rows = {row["case"]: row for row in capability_matrix()}
+        udtf, wfms = Architecture.ENHANCED_SQL_UDTF.value, Architecture.WFMS.value
+        assert rows["trivial"][udtf] == rows["trivial"][wfms]
+        assert "cast functions" in rows["simple"][udtf]
+        assert rows["simple"][wfms] == "helper functions"
+        assert rows["independent"][udtf] == "join with selection"
+        assert rows["independent"][wfms] == "parallel execution of activities"
+        assert rows["dependent: cyclic"][udtf] == "not supported"
+        assert rows["dependent: cyclic"][wfms] == "loop construct with sub-workflow"
+        assert "*" in rows["dependent: linear"][udtf]  # the paper's footnote
+        assert "Not supported in general" in FOOTNOTE
+
+    def test_mechanism_for_procedural_cyclic_marked_as_extension(self):
+        text = mechanism(
+            Architecture.ENHANCED_JAVA_UDTF, HeterogeneityCase.DEPENDENT_CYCLIC
+        )
+        assert "extension" in text
+
+
+class TestScenarioFunctions:
+    def test_expected_cases(self):
+        cases = {f.name: f.case.value for f in scenario_functions()}
+        assert cases["GibKompNr"] == "trivial"
+        assert cases["GetNumberSupp1234"] == "simple"
+        assert cases["GetSuppQual"] == "dependent: linear"
+        assert cases["GetSuppQualRelia"] == "independent"
+        assert cases["GetSubCompDiscounts"] == "independent"
+        assert cases["GetSuppGrade"] == "dependent: (1:n)"
+        assert cases["GetSuppQualReliaByName"] == "dependent: (n:1)"
+        assert cases["GetNoSuppComp"] == "general"
+        assert cases["BuySuppComp"] == "general"
+        assert cases["AllCompNames"] == "dependent: cyclic"
+
+    def test_local_function_counts(self):
+        counts = {f.name: f.local_function_count() for f in scenario_functions()}
+        assert counts["GibKompNr"] == 1
+        assert counts["GetNoSuppComp"] == 3  # the Fig. 6 anchor
+        assert counts["BuySuppComp"] == 5  # Fig. 1
+
+    def test_all_validate(self):
+        for fed in scenario_functions():
+            fed.validate()
+            assert fed.signature().startswith(fed.name)
+
+
+class TestIntegrationServer:
+    def test_cyclic_skipped_on_sql_architecture(self, sql_udtf_scenario):
+        assert "ALLCOMPNAMES" in sql_udtf_scenario.skipped
+        assert "cyclic" in sql_udtf_scenario.skipped["ALLCOMPNAMES"]
+
+    def test_nothing_skipped_on_wfms(self, wfms_scenario):
+        assert wfms_scenario.skipped == {}
+
+    def test_call_of_undeployed_function_rejected(self, wfms_scenario):
+        with pytest.raises(MappingError, match="not deployed"):
+            wfms_scenario.server.call("Ghost")
+
+    def test_deploy_unsupported_raises(self, data):
+        scenario = build_scenario(Architecture.ENHANCED_SQL_UDTF, data=data)
+        fed = next(f for f in scenario_functions() if f.name == "AllCompNames")
+        with pytest.raises(UnsupportedMappingError):
+            scenario.server.deploy(fed)
+
+    def test_call_sql_shows_application_view(self, wfms_scenario, simple_scenario):
+        # WfMS / I-UDTF architectures: one simple select per call.
+        assert wfms_scenario.server.call_sql("BuySuppComp") == (
+            "SELECT * FROM TABLE (BuySuppComp(?, ?)) AS R"
+        )
+        # Simple architecture: the full composed statement leaks into
+        # the application ("the integration logic is hidden within the
+        # application code").
+        text = simple_scenario.server.call_sql("BuySuppComp")
+        assert "DecidePurchase" in text and "GetQuality" in text
+
+    def test_resolver_rejects_unknown_system(self, wfms_scenario):
+        with pytest.raises(MappingError):
+            wfms_scenario.server.resolver("nonexistent", "F")
+
+    def test_elapsed_helper_returns_result_and_time(self, wfms_scenario):
+        rows, elapsed = wfms_scenario.server.elapsed(
+            wfms_scenario.call, "GibKompNr", "gearbox"
+        )
+        assert rows == [(1,)]
+        assert elapsed > 0
+
+    def test_boot_resets_warmth(self, data):
+        scenario = build_scenario(Architecture.WFMS, data=data)
+        scenario.call("GibKompNr", "gearbox")
+        _, hot = scenario.server.elapsed(scenario.call, "GibKompNr", "gearbox")
+        scenario.server.boot()
+        _, cold = scenario.server.elapsed(scenario.call, "GibKompNr", "gearbox")
+        assert cold > hot
+
+    def test_mixed_query_combines_federated_function_with_audtf(
+        self, sql_udtf_scenario
+    ):
+        """Federated functions remain composable with other functions in
+        one statement — the property that rules out CALL-only PSM."""
+        result = sql_udtf_scenario.server.fdbs.execute(
+            "SELECT B.Answer, GQ.Qual "
+            "FROM TABLE (BuySuppComp(1234, 'gearbox')) AS B, "
+            "TABLE (GetQuality(1234)) AS GQ"
+        )
+        assert result.rows == [("BUY", 8)]
+
+    def test_sql_med_registry_populated(self, wfms_scenario):
+        med = wfms_scenario.server.med
+        assert "WFMS_WRAPPER" in med.wrappers
+        assert "WFMS_SERVER" in med.servers

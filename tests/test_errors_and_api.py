@@ -1,0 +1,105 @@
+"""Exception hierarchy and the top-level public API surface."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestHierarchy:
+    def test_every_error_is_a_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_restriction_errors_are_sql_errors(self):
+        for cls in (
+            errors.OneStatementError,
+            errors.NestedTableFunctionError,
+            errors.CyclicDependencyError,
+            errors.CallOnlyProcedureError,
+            errors.ReadOnlyFunctionError,
+            errors.FencedModeError,
+        ):
+            assert issubclass(cls, errors.RestrictionError)
+            assert issubclass(cls, errors.SqlError)
+
+    def test_catching_the_base_class_works_end_to_end(self):
+        from repro.fdbs.engine import Database
+
+        db = Database("x")
+        with pytest.raises(errors.ReproError):
+            db.execute("SELECT * FROM nonexistent")
+
+    def test_activity_failed_carries_cause(self):
+        cause = ValueError("boom")
+        error = errors.ActivityFailedError("A1", cause)
+        assert error.activity == "A1"
+        assert error.cause is cause
+        assert "A1" in str(error)
+
+    def test_lexer_error_carries_position(self):
+        error = errors.LexerError("bad", position=5, line=2, column=3)
+        assert (error.position, error.line, error.column) == (5, 2, 3)
+
+    def test_unsupported_mapping_carries_case(self):
+        error = errors.UnsupportedMappingError("no", case="dependent: cyclic")
+        assert error.case == "dependent: cyclic"
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_quickstart_surface(self, data):
+        scenario = repro.build_scenario(repro.Architecture.WFMS, data=data)
+        assert scenario.call("GibKompNr", "gearbox") == [(1,)]
+
+    def test_capability_matrix_reachable_from_top_level(self):
+        rows = repro.capability_matrix()
+        assert any(row["case"] == "dependent: cyclic" for row in rows)
+
+    def test_classify_reachable_from_top_level(self, data):
+        scenario = repro.build_scenario(
+            repro.Architecture.ENHANCED_SQL_UDTF, data=data
+        )
+        fed = scenario.function("BuySuppComp")
+        assert repro.classify(fed.mapping).value == "general"
+
+
+class TestJitter:
+    def test_jittered_measurements_average_near_deterministic(self, data):
+        from repro.bench.harness import measure_hot
+        from repro.core.scenario import build_scenario
+        from repro.simtime.rng import JitterSource
+
+        exact = build_scenario(repro.Architecture.ENHANCED_SQL_UDTF, data=data)
+        noisy = build_scenario(
+            repro.Architecture.ENHANCED_SQL_UDTF,
+            data=data,
+            jitter=JitterSource(seed=11, amplitude=0.05),
+        )
+        baseline = measure_hot(exact, "GetNoSuppComp").mean
+        jittered = measure_hot(noisy, "GetNoSuppComp", repeats=25)
+        assert jittered.maximum - jittered.minimum > 0.5  # real noise
+        assert jittered.mean == pytest.approx(baseline, rel=0.05)
+
+    def test_same_seed_reproduces_noisy_runs(self, data):
+        from repro.bench.harness import measure_hot
+        from repro.core.scenario import build_scenario
+        from repro.simtime.rng import JitterSource
+
+        runs = []
+        for _ in range(2):
+            scenario = build_scenario(
+                repro.Architecture.WFMS,
+                data=data,
+                jitter=JitterSource(seed=7, amplitude=0.03),
+            )
+            runs.append(measure_hot(scenario, "GetSuppQual", repeats=5).runs)
+        assert runs[0] == runs[1]

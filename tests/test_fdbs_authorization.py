@@ -1,0 +1,189 @@
+"""Access control (the paper's Sect. 6 future-work extension)."""
+
+import pytest
+
+from repro.errors import AuthorizationError, CatalogError
+from repro.fdbs.authorization import (
+    PUBLIC,
+    SUPERUSER,
+    AuthorizationManager,
+    Privilege,
+)
+from repro.fdbs.engine import Database
+from repro.fdbs.functions import make_external_function
+from repro.fdbs.types import INTEGER
+
+
+@pytest.fixture()
+def db():
+    database = Database("auth")
+    database.execute("CREATE TABLE t (v INT)")
+    database.execute("INSERT INTO t VALUES (1), (2)")
+    database.register_external_function(
+        make_external_function("F", [("x", INTEGER)], [("y", INTEGER)], lambda x: x)
+    )
+    database.execute(
+        "CREATE PROCEDURE p (OUT v INT) LANGUAGE SQL BEGIN SET v = 1; END"
+    )
+    database.execute("CREATE USER alice")
+    database.execute("CREATE USER bob")
+    return database
+
+
+class TestManager:
+    def test_superuser_has_everything(self):
+        manager = AuthorizationManager()
+        assert manager.is_granted(Privilege.SELECT, "table", "t", SUPERUSER)
+
+    def test_grant_then_check(self):
+        manager = AuthorizationManager()
+        manager.create_user("alice")
+        assert not manager.is_granted(Privilege.SELECT, "table", "t", "alice")
+        manager.grant(Privilege.SELECT, "table", "t", "alice")
+        manager.check(Privilege.SELECT, "table", "t", "ALICE")  # case-insensitive
+
+    def test_revoke(self):
+        manager = AuthorizationManager()
+        manager.create_user("alice")
+        manager.grant(Privilege.SELECT, "table", "t", "alice")
+        manager.revoke(Privilege.SELECT, "table", "t", "alice")
+        with pytest.raises(AuthorizationError):
+            manager.check(Privilege.SELECT, "table", "t", "alice")
+
+    def test_public_grant_applies_to_everyone(self):
+        manager = AuthorizationManager()
+        manager.create_user("alice")
+        manager.grant(Privilege.EXECUTE, "function", "F", PUBLIC)
+        assert manager.is_granted(Privilege.EXECUTE, "function", "F", "alice")
+
+    def test_privilege_kind_mismatch_rejected(self):
+        manager = AuthorizationManager()
+        manager.create_user("a")
+        with pytest.raises(CatalogError):
+            manager.grant(Privilege.EXECUTE, "table", "t", "a")
+        with pytest.raises(CatalogError):
+            manager.grant(Privilege.SELECT, "function", "f", "a")
+
+    def test_grant_to_unknown_user_rejected(self):
+        with pytest.raises(CatalogError):
+            AuthorizationManager().grant(Privilege.SELECT, "table", "t", "ghost")
+
+    def test_duplicate_or_reserved_user_rejected(self):
+        manager = AuthorizationManager()
+        manager.create_user("alice")
+        with pytest.raises(CatalogError):
+            manager.create_user("ALICE")
+        with pytest.raises(CatalogError):
+            manager.create_user("public")
+
+
+class TestEngineEnforcement:
+    def test_select_requires_select_privilege(self, db):
+        db.set_current_user("alice")
+        with pytest.raises(AuthorizationError, match="SELECT on table 't'"):
+            db.execute("SELECT * FROM t")
+
+    def test_granted_select_works(self, db):
+        db.execute("GRANT SELECT ON t TO alice")
+        db.set_current_user("alice")
+        assert len(db.execute("SELECT * FROM t").rows) == 2
+
+    def test_function_requires_execute(self, db):
+        db.execute("GRANT SELECT ON t TO alice")
+        db.set_current_user("alice")
+        with pytest.raises(AuthorizationError, match="EXECUTE"):
+            db.execute("SELECT * FROM t, TABLE (F(v)) AS r")
+        db.set_current_user("SYSTEM")
+        db.execute("GRANT EXECUTE ON FUNCTION F TO alice")
+        db.set_current_user("alice")
+        assert db.execute("SELECT r.y FROM t, TABLE (F(v)) AS r").rowcount == 2
+
+    def test_subquery_objects_checked(self, db):
+        db.execute("CREATE TABLE u (w INT)")
+        db.execute("GRANT SELECT ON u TO alice")
+        db.set_current_user("alice")
+        with pytest.raises(AuthorizationError, match="table 't'"):
+            db.execute("SELECT w FROM u WHERE w IN (SELECT v FROM t)")
+
+    def test_dml_privileges_are_separate(self, db):
+        db.execute("GRANT SELECT, INSERT ON t TO alice")
+        db.set_current_user("alice")
+        db.execute("INSERT INTO t VALUES (3)")
+        with pytest.raises(AuthorizationError, match="DELETE"):
+            db.execute("DELETE FROM t")
+        with pytest.raises(AuthorizationError, match="UPDATE"):
+            db.execute("UPDATE t SET v = 0")
+
+    def test_call_requires_execute_on_procedure(self, db):
+        db.set_current_user("bob")
+        with pytest.raises(AuthorizationError):
+            db.execute("CALL p()")
+        db.set_current_user("SYSTEM")
+        db.execute("GRANT EXECUTE ON PROCEDURE p TO bob")
+        db.set_current_user("bob")
+        assert db.execute("CALL p()").out_params == {"v": 1}
+
+    def test_ddl_is_superuser_only(self, db):
+        db.set_current_user("alice")
+        with pytest.raises(AuthorizationError, match="DDL"):
+            db.execute("CREATE TABLE evil (x INT)")
+        with pytest.raises(AuthorizationError):
+            db.execute("GRANT SELECT ON t TO alice")
+
+    def test_revoke_takes_effect(self, db):
+        db.execute("GRANT SELECT ON t TO alice")
+        db.execute("REVOKE SELECT ON t FROM alice")
+        db.set_current_user("alice")
+        with pytest.raises(AuthorizationError):
+            db.execute("SELECT * FROM t")
+
+    def test_public_grant_via_sql(self, db):
+        db.execute("GRANT SELECT ON TABLE t TO PUBLIC")
+        db.set_current_user("bob")
+        assert len(db.execute("SELECT * FROM t").rows) == 2
+
+    def test_unknown_user_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.set_current_user("ghost")
+
+    def test_grant_on_unknown_object_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("GRANT SELECT ON nothing TO alice")
+
+
+class TestDefinerRights:
+    def test_sql_function_body_runs_with_definer_rights(self, db):
+        """EXECUTE on the federated function suffices; the body's
+        A-UDTFs and tables stay hidden — the paper's encapsulation at
+        the integration server's top interface."""
+        db.execute(
+            "CREATE FUNCTION Wrapped (x INT) RETURNS TABLE (y INT) "
+            "LANGUAGE SQL RETURN SELECT r.y FROM TABLE (F(Wrapped.x)) AS r"
+        )
+        db.execute("GRANT EXECUTE ON FUNCTION Wrapped TO alice")
+        db.set_current_user("alice")
+        # no grant on F itself:
+        assert db.execute("SELECT * FROM TABLE (Wrapped(7)) AS w").rows == [(7,)]
+        with pytest.raises(AuthorizationError):
+            db.execute("SELECT * FROM TABLE (F(7)) AS f")
+
+
+class TestFederatedFunctionAuthorization:
+    def test_grant_execute_on_connecting_udtf(self, data):
+        from repro.core.architectures import Architecture
+        from repro.core.scenario import build_scenario
+
+        scenario = build_scenario(Architecture.WFMS, data=data)
+        fdbs = scenario.server.fdbs
+        fdbs.execute("CREATE USER clerk")
+        fdbs.execute("GRANT EXECUTE ON FUNCTION BuySuppComp TO clerk")
+        fdbs.set_current_user("clerk")
+        try:
+            rows = fdbs.execute(
+                "SELECT * FROM TABLE (BuySuppComp(1234, 'gearbox')) AS B"
+            ).rows
+            assert rows == [("BUY",)]
+            with pytest.raises(AuthorizationError):
+                fdbs.execute("SELECT * FROM TABLE (GetQuality(1234)) AS Q")
+        finally:
+            fdbs.set_current_user("SYSTEM")

@@ -1,0 +1,126 @@
+"""Catalog object management."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.fdbs.catalog import (
+    Catalog,
+    ColumnDef,
+    ExternalTableFunction,
+    FunctionParam,
+    NicknameDef,
+    ProcedureDef,
+    ServerDef,
+    SqlTableFunction,
+    TableDef,
+    WrapperDef,
+)
+from repro.fdbs.parser import parse_statement
+from repro.fdbs.types import INTEGER
+
+
+def table(name="t"):
+    return TableDef(name, [ColumnDef("a", INTEGER), ColumnDef("b", INTEGER)])
+
+
+def function(name="f"):
+    body = parse_statement("SELECT 1 AS x")
+    return SqlTableFunction(
+        name, [FunctionParam("p", INTEGER)], [ColumnDef("x", INTEGER)], body
+    )
+
+
+def test_table_lookup_is_case_insensitive():
+    catalog = Catalog()
+    catalog.add_table(table("Suppliers"))
+    assert catalog.get_table("SUPPLIERS").name == "Suppliers"
+    assert catalog.has_table("suppliers")
+
+
+def test_duplicate_table_rejected():
+    catalog = Catalog()
+    catalog.add_table(table("T"))
+    with pytest.raises(CatalogError):
+        catalog.add_table(table("t"))
+
+
+def test_unknown_table_rejected():
+    with pytest.raises(CatalogError):
+        Catalog().get_table("missing")
+
+
+def test_drop_table():
+    catalog = Catalog()
+    catalog.add_table(table())
+    catalog.drop_table("T")
+    assert not catalog.has_table("t")
+
+
+def test_column_index_and_names():
+    t = table()
+    assert t.column_index("B") == 1
+    assert t.column_names == ["a", "b"]
+    with pytest.raises(CatalogError):
+        t.column_index("zzz")
+
+
+def test_function_registration():
+    catalog = Catalog()
+    catalog.add_function(function("GetQuality"))
+    assert catalog.has_function("getquality")
+    assert catalog.get_function("GETQUALITY").name == "GetQuality"
+
+
+def test_function_procedure_namespace_clash_rejected():
+    catalog = Catalog()
+    catalog.add_function(function("x"))
+    with pytest.raises(CatalogError):
+        catalog.add_procedure(ProcedureDef("X", [], []))
+    catalog2 = Catalog()
+    catalog2.add_procedure(ProcedureDef("y", [], []))
+    with pytest.raises(CatalogError):
+        catalog2.add_function(function("Y"))
+
+
+def test_drop_function():
+    catalog = Catalog()
+    catalog.add_function(function())
+    catalog.drop_function("F")
+    assert not catalog.has_function("f")
+
+
+def test_external_function_defaults():
+    fn = ExternalTableFunction(
+        "A", [], [ColumnDef("x", INTEGER)], external_name="e"
+    )
+    assert fn.fenced
+    assert fn.implementation is None
+
+
+def test_server_requires_wrapper():
+    catalog = Catalog()
+    with pytest.raises(CatalogError):
+        catalog.add_server(ServerDef("s", "missing_wrapper"))
+    catalog.add_wrapper(WrapperDef("w"))
+    catalog.add_server(ServerDef("s", "w"))
+    assert catalog.get_server("S").wrapper == "w"
+
+
+def test_nickname_requires_server_and_unique_name():
+    catalog = Catalog()
+    catalog.add_wrapper(WrapperDef("w"))
+    catalog.add_server(ServerDef("s", "w"))
+    catalog.add_table(table("local_t"))
+    with pytest.raises(CatalogError):
+        catalog.add_nickname(NicknameDef("local_t", "s", "r"))  # clashes
+    catalog.add_nickname(NicknameDef("n", "s", "r"))
+    assert catalog.get_nickname("N").remote_name == "r"
+
+
+def test_nickname_and_table_share_namespace():
+    catalog = Catalog()
+    catalog.add_wrapper(WrapperDef("w"))
+    catalog.add_server(ServerDef("s", "w"))
+    catalog.add_nickname(NicknameDef("n", "s", "r"))
+    with pytest.raises(CatalogError):
+        catalog.add_table(table("N"))

@@ -1,0 +1,110 @@
+"""DETERMINISTIC table functions: the foreign-function optimization
+extension (cf. Chaudhuri/Shim, the paper's [10])."""
+
+import pytest
+
+from repro.fdbs import ast
+from repro.fdbs.engine import Database
+from repro.fdbs.functions import make_external_function
+from repro.fdbs.parser import parse_statement
+from repro.fdbs.types import INTEGER
+from repro.sysmodel.machine import Machine
+
+
+def make_db(machine=None, deterministic=False):
+    db = Database("det", machine=machine)
+    calls = {"n": 0}
+
+    def impl(x):
+        calls["n"] += 1
+        return x * 2
+
+    db.register_external_function(
+        make_external_function(
+            "F", [("x", INTEGER)], [("y", INTEGER)], impl,
+            deterministic=deterministic,
+        )
+    )
+    db.execute("CREATE TABLE seeds (s INT)")
+    db.execute("INSERT INTO seeds VALUES (1), (1), (1), (2)")
+    return db, calls
+
+
+class TestParsing:
+    def test_deterministic_clause_parsed(self):
+        stmt = parse_statement(
+            "CREATE FUNCTION f (x INT) RETURNS TABLE (y INT) "
+            "LANGUAGE JAVA EXTERNAL NAME 'e' FENCED DETERMINISTIC"
+        )
+        assert isinstance(stmt, ast.CreateExternalFunction)
+        assert stmt.deterministic
+
+    def test_not_deterministic_is_the_default(self):
+        stmt = parse_statement(
+            "CREATE FUNCTION f (x INT) RETURNS TABLE (y INT) "
+            "LANGUAGE JAVA EXTERNAL NAME 'e' NOT DETERMINISTIC"
+        )
+        assert not stmt.deterministic
+
+    def test_sql_function_deterministic(self):
+        stmt = parse_statement(
+            "CREATE FUNCTION f (x INT) RETURNS TABLE (y INT) DETERMINISTIC "
+            "LANGUAGE SQL RETURN SELECT f.x + 0 AS y"
+        )
+        assert isinstance(stmt, ast.CreateSqlFunction)
+        assert stmt.deterministic
+
+    def test_render_round_trip(self):
+        text = (
+            "CREATE FUNCTION f (x INTEGER) RETURNS TABLE (y INTEGER) "
+            "LANGUAGE JAVA EXTERNAL NAME 'e' FENCED DETERMINISTIC"
+        )
+        assert parse_statement(parse_statement(text).render()).deterministic
+
+
+class TestCaching:
+    def test_non_deterministic_reinvokes_per_row(self):
+        db, calls = make_db(deterministic=False)
+        db.execute("SELECT r.y FROM seeds, TABLE (F(s)) AS r")
+        assert calls["n"] == 4
+
+    def test_deterministic_caches_equal_arguments(self):
+        db, calls = make_db(deterministic=True)
+        result = db.execute("SELECT r.y FROM seeds, TABLE (F(s)) AS r")
+        assert calls["n"] == 2  # distinct argument values only
+        assert sorted(result.rows) == [(2,), (2,), (2,), (4,)]
+
+    def test_cache_saves_fenced_invocation_costs(self):
+        machine_plain = Machine()
+        plain, _ = make_db(machine_plain, deterministic=False)
+        machine_det = Machine()
+        det, _ = make_db(machine_det, deterministic=True)
+        from repro.wrapper.udtf_runtime import FencedFunctionRuntime
+
+        plain.function_runtime = FencedFunctionRuntime(plain, machine_plain)
+        det.function_runtime = FencedFunctionRuntime(det, machine_det)
+        sql = "SELECT r.y FROM seeds, TABLE (F(s)) AS r"
+
+        def hot(db, machine):
+            db.execute(sql)
+            start = machine.clock.now
+            db.execute(sql)
+            return machine.clock.now - start
+
+        slow = hot(plain, machine_plain)
+        fast = hot(det, machine_det)
+        # Two of four fenced invocations are served from the cache.
+        per_invocation = (
+            machine_det.costs.udtf_prepare_access
+            + machine_det.costs.rmi_call
+            + machine_det.costs.controller_dispatch
+            + machine_det.costs.udtf_finish_access
+            + machine_det.costs.rmi_return
+        )
+        assert slow - fast >= 2 * per_invocation * 0.95
+
+    def test_results_identical_with_and_without_caching(self):
+        plain, _ = make_db(deterministic=False)
+        cached, _ = make_db(deterministic=True)
+        sql = "SELECT s, r.y FROM seeds, TABLE (F(s)) AS r ORDER BY s, r.y"
+        assert plain.execute(sql).rows == cached.execute(sql).rows

@@ -1,0 +1,119 @@
+"""INSERT / UPDATE / DELETE / transactions through the engine."""
+
+import pytest
+
+from repro.errors import ConstraintError, ExecutionError
+from repro.fdbs.engine import Database
+
+
+@pytest.fixture()
+def db():
+    database = Database("dml")
+    database.execute(
+        "CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(20), score INT)"
+    )
+    return database
+
+
+def test_insert_values_rowcount(db):
+    result = db.execute("INSERT INTO t VALUES (1, 'a', 10), (2, 'b', 20)")
+    assert result.rowcount == 2
+    assert len(db.execute("SELECT * FROM t").rows) == 2
+
+
+def test_insert_with_column_list_fills_missing_with_null(db):
+    db.execute("INSERT INTO t (id, name) VALUES (1, 'a')")
+    assert db.execute("SELECT score FROM t").rows == [(None,)]
+
+
+def test_insert_with_reordered_columns(db):
+    db.execute("INSERT INTO t (score, id, name) VALUES (5, 1, 'a')")
+    assert db.execute("SELECT id, name, score FROM t").rows == [(1, "a", 5)]
+
+
+def test_insert_select(db):
+    db.execute("INSERT INTO t VALUES (1, 'a', 10)")
+    db.execute("CREATE TABLE u (id INT, name VARCHAR(20), score INT)")
+    db.execute("INSERT INTO u SELECT id + 100, name, score FROM t")
+    assert db.execute("SELECT id FROM u").rows == [(101,)]
+
+
+def test_insert_width_mismatch_rejected(db):
+    with pytest.raises(ExecutionError):
+        db.execute("INSERT INTO t (id, name) VALUES (1, 'a', 3)")
+
+
+def test_insert_duplicate_pk_rejected(db):
+    db.execute("INSERT INTO t VALUES (1, 'a', 10)")
+    with pytest.raises(ConstraintError):
+        db.execute("INSERT INTO t VALUES (1, 'b', 20)")
+
+
+def test_insert_with_parameters(db):
+    db.execute("INSERT INTO t VALUES (?, ?, ?)", params=[1, "bound", 3])
+    assert db.execute("SELECT name FROM t").rows == [("bound",)]
+
+
+def test_update_with_where(db):
+    db.execute("INSERT INTO t VALUES (1, 'a', 10), (2, 'b', 20)")
+    result = db.execute("UPDATE t SET score = score + 1 WHERE id = 2")
+    assert result.rowcount == 1
+    assert db.execute("SELECT score FROM t WHERE id = 2").scalar() == 21
+
+
+def test_update_all_rows(db):
+    db.execute("INSERT INTO t VALUES (1, 'a', 10), (2, 'b', 20)")
+    assert db.execute("UPDATE t SET score = 0").rowcount == 2
+
+
+def test_update_sees_pre_update_values(db):
+    db.execute("INSERT INTO t VALUES (1, 'a', 1), (2, 'b', 2)")
+    db.execute("UPDATE t SET score = score * 10 WHERE score < 10")
+    assert db.execute("SELECT SUM(score) FROM t").scalar() == 30
+
+
+def test_delete_with_where(db):
+    db.execute("INSERT INTO t VALUES (1, 'a', 10), (2, 'b', 20)")
+    assert db.execute("DELETE FROM t WHERE score > 15").rowcount == 1
+    assert db.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+
+def test_delete_all(db):
+    db.execute("INSERT INTO t VALUES (1, 'a', 10)")
+    db.execute("DELETE FROM t")
+    assert db.execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+
+def test_update_with_scalar_subquery(db):
+    db.execute("INSERT INTO t VALUES (1, 'a', 10), (2, 'b', 20)")
+    db.execute("UPDATE t SET score = (SELECT MAX(score) FROM t) WHERE id = 1")
+    assert db.execute("SELECT score FROM t WHERE id = 1").scalar() == 20
+
+
+class TestTransactions:
+    def test_rollback_undoes_since_last_commit(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'a', 10)")
+        db.execute("COMMIT")
+        db.execute("INSERT INTO t VALUES (2, 'b', 20)")
+        db.execute("UPDATE t SET score = 0 WHERE id = 1")
+        db.execute("ROLLBACK")
+        assert db.execute("SELECT * FROM t").rows == [(1, "a", 10)]
+
+    def test_commit_makes_changes_permanent(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'a', 10)")
+        db.execute("COMMIT WORK")
+        db.execute("ROLLBACK")
+        assert len(db.execute("SELECT * FROM t").rows) == 1
+
+    def test_rollback_of_delete(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'a', 10)")
+        db.execute("COMMIT")
+        db.execute("DELETE FROM t")
+        db.execute("ROLLBACK")
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+
+def test_drop_table_removes_catalog_entry(db):
+    db.execute("DROP TABLE t")
+    with pytest.raises(Exception):
+        db.execute("SELECT * FROM t")

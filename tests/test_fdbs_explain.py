@@ -1,0 +1,63 @@
+"""EXPLAIN as a SQL statement."""
+
+import pytest
+
+from repro.errors import AuthorizationError
+from repro.fdbs.engine import Database
+from repro.fdbs.functions import make_external_function
+from repro.fdbs.types import INTEGER
+
+
+@pytest.fixture()
+def db():
+    database = Database("explain")
+    database.execute("CREATE TABLE t (v INT)")
+    database.execute("INSERT INTO t VALUES (1), (2)")
+    database.register_external_function(
+        make_external_function("F", [("x", INTEGER)], [("y", INTEGER)], lambda x: x)
+    )
+    return database
+
+
+def test_explain_returns_plan_rows(db):
+    result = db.execute("EXPLAIN SELECT v FROM t WHERE v > 1 ORDER BY v")
+    assert result.columns == ["PLAN"]
+    text = "\n".join(row[0] for row in result.rows)
+    assert "TableScan(t)" in text
+    assert "Filter(WHERE)" in text
+    assert "Sort" in text
+
+
+def test_explain_does_not_execute_functions(db):
+    calls = {"n": 0}
+
+    def counting(x):
+        calls["n"] += 1
+        return x
+
+    db.bind_external("F", counting)
+    db.execute("EXPLAIN SELECT r.y FROM t, TABLE (F(v)) AS r")
+    assert calls["n"] == 0
+
+
+def test_explain_shows_cross_apply_for_table_functions(db):
+    result = db.execute("EXPLAIN SELECT r.y FROM t, TABLE (F(v)) AS r")
+    text = "\n".join(row[0] for row in result.rows)
+    assert "CrossApply" in text
+
+
+def test_explain_requires_query_privileges(db):
+    db.execute("CREATE USER alice")
+    db.set_current_user("alice")
+    try:
+        with pytest.raises(AuthorizationError):
+            db.execute("EXPLAIN SELECT v FROM t")
+    finally:
+        db.set_current_user("SYSTEM")
+
+
+def test_explain_render_round_trip(db):
+    from repro.fdbs.parser import parse_statement
+
+    statement = parse_statement("EXPLAIN SELECT v FROM t")
+    assert parse_statement(statement.render()).render() == statement.render()

@@ -1,0 +1,227 @@
+"""Expression evaluation: NULL semantics, builtins, predicates."""
+
+import pytest
+
+from repro.errors import ExecutionError, PlanError
+from repro.fdbs.expr import (
+    ColumnSlot,
+    EvalContext,
+    ExpressionCompiler,
+    ParamScope,
+    RowLayout,
+    like_to_regex,
+    truthy,
+)
+from repro.fdbs.parser import parse_expression
+from repro.fdbs.types import INTEGER, VARCHAR
+
+
+def evaluate(text, row=(), layout=None, params=None, scope=None):
+    compiler = ExpressionCompiler(layout or RowLayout([]), params=scope)
+    compiled = compiler.compile(parse_expression(text))
+    return compiled(row, EvalContext(params=params or []))
+
+
+LAYOUT = RowLayout(
+    [
+        ColumnSlot("t", "a", INTEGER),
+        ColumnSlot("t", "b", INTEGER),
+        ColumnSlot("u", "name", VARCHAR(20)),
+    ]
+)
+
+
+class TestArithmetic:
+    def test_basic(self):
+        assert evaluate("1 + 2 * 3") == 7
+        assert evaluate("(1 + 2) * 3") == 9
+        assert evaluate("-5 + 2") == -3
+
+    def test_integer_division_truncates_toward_zero(self):
+        assert evaluate("7 / 2") == 3
+        assert evaluate("-7 / 2") == -3
+
+    def test_float_division(self):
+        assert evaluate("7.0 / 2") == 3.5
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExecutionError, match="division by zero"):
+            evaluate("1 / 0")
+
+    def test_null_propagates(self):
+        assert evaluate("1 + NULL") is None
+        assert evaluate("NULL * 3") is None
+
+    def test_non_numeric_operand_rejected_at_plan_time(self):
+        with pytest.raises(PlanError, match="must be numeric"):
+            evaluate("'a' + 1")
+
+    def test_non_numeric_untyped_operand_rejected_at_runtime(self):
+        # A parameter marker has no static type; the check moves to runtime.
+        with pytest.raises(ExecutionError):
+            evaluate("? + 1", params=["a"])
+
+
+class TestComparisons:
+    def test_basic(self):
+        assert evaluate("1 < 2") is True
+        assert evaluate("2 <= 2") is True
+        assert evaluate("3 <> 4") is True
+        assert evaluate("'a' = 'a'") is True
+
+    def test_null_comparison_is_unknown(self):
+        assert evaluate("1 = NULL") is None
+        assert evaluate("NULL <> NULL") is None
+
+    def test_char_padding_ignored(self):
+        assert evaluate("'a  ' = 'a'") is True
+
+    def test_cross_family_comparison_rejected(self):
+        with pytest.raises(ExecutionError):
+            evaluate("1 = 'a'")
+
+
+class TestThreeValuedLogic:
+    def test_and_kleene(self):
+        assert evaluate("TRUE AND NULL") is None
+        assert evaluate("FALSE AND NULL") is False
+        assert evaluate("TRUE AND TRUE") is True
+
+    def test_or_kleene(self):
+        assert evaluate("TRUE OR NULL") is True
+        assert evaluate("FALSE OR NULL") is None
+
+    def test_not_null(self):
+        assert evaluate("NOT (1 = NULL)") is None
+
+    def test_truthy_where_semantics(self):
+        assert truthy(True)
+        assert not truthy(False)
+        assert not truthy(None)
+
+
+class TestPredicates:
+    def test_is_null(self):
+        assert evaluate("NULL IS NULL") is True
+        assert evaluate("1 IS NOT NULL") is True
+
+    def test_in_list(self):
+        assert evaluate("2 IN (1, 2, 3)") is True
+        assert evaluate("9 NOT IN (1, 2)") is True
+
+    def test_in_list_with_null_is_unknown(self):
+        assert evaluate("9 IN (1, NULL)") is None
+        assert evaluate("1 IN (1, NULL)") is True
+
+    def test_between(self):
+        assert evaluate("2 BETWEEN 1 AND 3") is True
+        assert evaluate("5 NOT BETWEEN 1 AND 3") is True
+        assert evaluate("NULL BETWEEN 1 AND 3") is None
+
+    def test_like(self):
+        assert evaluate("'gearbox' LIKE 'gear%'") is True
+        assert evaluate("'gearbox' LIKE '_earbox'") is True
+        assert evaluate("'gearbox' NOT LIKE 'x%'") is True
+        assert evaluate("NULL LIKE 'a%'") is None
+
+    def test_like_escapes_regex_metacharacters(self):
+        assert evaluate("'a.b' LIKE 'a.b'") is True
+        assert evaluate("'axb' LIKE 'a.b'") is False
+
+    def test_like_to_regex(self):
+        assert like_to_regex("a%").match("abc")
+        assert not like_to_regex("a%").match("bc")
+
+
+class TestCase:
+    def test_searched(self):
+        assert evaluate("CASE WHEN 1 > 2 THEN 'x' ELSE 'y' END") == "y"
+
+    def test_simple(self):
+        assert evaluate("CASE 2 WHEN 1 THEN 'a' WHEN 2 THEN 'b' END") == "b"
+
+    def test_no_match_without_else_is_null(self):
+        assert evaluate("CASE WHEN FALSE THEN 1 END") is None
+
+
+class TestBuiltins:
+    def test_string_functions(self):
+        assert evaluate("UPPER('ab')") == "AB"
+        assert evaluate("LOWER('AB')") == "ab"
+        assert evaluate("LENGTH('abc')") == 3
+        assert evaluate("SUBSTR('gearbox', 1, 4)") == "gear"
+        assert evaluate("TRIM('  x ')") == "x"
+        assert evaluate("CONCAT('a', 'b')") == "ab"
+
+    def test_numeric_functions(self):
+        assert evaluate("ABS(-3)") == 3
+        assert evaluate("MOD(7, 3)") == 1
+        assert evaluate("ROUND(3.456, 1)") == pytest.approx(3.5)
+        assert evaluate("FLOOR(3.7)") == 3
+        assert evaluate("CEIL(3.2)") == 4
+
+    def test_null_handling_functions(self):
+        assert evaluate("COALESCE(NULL, NULL, 5)") == 5
+        assert evaluate("NULLIF(1, 1)") is None
+        assert evaluate("NULLIF(1, 2)") == 1
+
+    def test_null_in_null_out(self):
+        assert evaluate("UPPER(NULL)") is None
+        assert evaluate("ABS(NULL)") is None
+
+    def test_mod_by_zero_rejected(self):
+        with pytest.raises(ExecutionError):
+            evaluate("MOD(1, 0)")
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(PlanError, match="unknown scalar function"):
+            evaluate("FROBNICATE(1)")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(PlanError):
+            evaluate("ABS(1, 2)")
+
+    def test_cast_function_names(self):
+        assert evaluate("BIGINT('12')") == 12
+        assert evaluate("VARCHAR(42)") == "42"
+        assert evaluate("DOUBLE(3)") == 3.0
+
+
+class TestColumnsAndParams:
+    def test_qualified_resolution(self):
+        assert evaluate("t.a + t.b", row=(1, 2, "x"), layout=LAYOUT) == 3
+
+    def test_unqualified_unique_resolution(self):
+        assert evaluate("name", row=(1, 2, "x"), layout=LAYOUT) == "x"
+
+    def test_unknown_reference_rejected(self):
+        with pytest.raises(PlanError, match="cannot resolve"):
+            evaluate("zzz", layout=LAYOUT)
+
+    def test_unknown_column_under_known_alias(self):
+        with pytest.raises(PlanError, match="unknown column"):
+            evaluate("t.zzz", layout=LAYOUT)
+
+    def test_ambiguous_reference_rejected(self):
+        ambiguous = RowLayout(
+            [ColumnSlot("a", "x", INTEGER), ColumnSlot("b", "x", INTEGER)]
+        )
+        with pytest.raises(PlanError, match="ambiguous"):
+            evaluate("x", layout=ambiguous)
+
+    def test_function_parameter_scope(self):
+        scope = ParamScope("BuySuppComp", {"SUPPLIERNO": (0, INTEGER)})
+        assert evaluate("BuySuppComp.SupplierNo", params=[1234], scope=scope) == 1234
+        assert evaluate("SupplierNo", params=[1234], scope=scope) == 1234
+
+    def test_wrong_qualifier_for_parameter_rejected(self):
+        scope = ParamScope("F", {"X": (0, INTEGER)})
+        with pytest.raises(PlanError):
+            evaluate("G.X", params=[1], scope=scope)
+
+    def test_positional_parameter(self):
+        assert evaluate("? + 1", params=[41]) == 42
+
+    def test_unbound_positional_parameter_rejected(self):
+        with pytest.raises(ExecutionError):
+            evaluate("?")

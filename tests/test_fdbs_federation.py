@@ -1,0 +1,108 @@
+"""SQL/MED federation: wrappers, servers, nicknames, pushdown."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.fdbs.engine import Database
+from repro.fdbs.federation import DatabaseEndpoint
+from repro.sysmodel.machine import Machine
+
+
+def make_remote():
+    remote = Database("remote-orders")
+    remote.execute(
+        "CREATE TABLE orders (order_no INT PRIMARY KEY, comp_no INT, qty INT)"
+    )
+    remote.execute("INSERT INTO orders VALUES (1, 1, 100), (2, 2, 50), (3, 1, 25)")
+    return remote
+
+
+@pytest.fixture()
+def federated():
+    local = Database("fdbs")
+    remote = make_remote()
+    local.execute("CREATE WRAPPER sql_wrapper")
+    local.execute("CREATE SERVER order_server WRAPPER sql_wrapper")
+    local.attach_endpoint("order_server", DatabaseEndpoint(remote))
+    local.execute("CREATE NICKNAME remote_orders FOR order_server.orders")
+    return local, remote
+
+
+def test_nickname_scan_fetches_remote_rows(federated):
+    local, _ = federated
+    result = local.execute("SELECT * FROM remote_orders ORDER BY order_no")
+    assert result.columns == ["order_no", "comp_no", "qty"]
+    assert len(result.rows) == 3
+
+
+def test_nickname_schema_resolved_from_remote(federated):
+    local, _ = federated
+    nickname = local.catalog.get_nickname("remote_orders")
+    assert [c.name for c in nickname.columns] == ["order_no", "comp_no", "qty"]
+
+
+def test_local_predicates_apply_to_remote_rows(federated):
+    local, _ = federated
+    result = local.execute(
+        "SELECT order_no FROM remote_orders WHERE comp_no = 1 ORDER BY order_no"
+    )
+    assert result.rows == [(1,), (3,)]
+
+
+def test_join_local_with_remote(federated):
+    local, _ = federated
+    local.execute("CREATE TABLE comps (comp_no INT, name VARCHAR(20))")
+    local.execute("INSERT INTO comps VALUES (1, 'gearbox'), (2, 'axle')")
+    result = local.execute(
+        "SELECT c.name, SUM(r.qty) AS total FROM comps AS c, remote_orders AS r "
+        "WHERE c.comp_no = r.comp_no GROUP BY c.name ORDER BY c.name"
+    )
+    assert result.rows == [("axle", 50), ("gearbox", 125)]
+
+
+def test_remote_updates_visible_on_next_scan(federated):
+    local, remote = federated
+    remote.execute("INSERT INTO orders VALUES (4, 2, 10)")
+    assert local.execute("SELECT COUNT(*) FROM remote_orders").scalar() == 4
+
+
+def test_nicknames_are_read_only(federated):
+    local, _ = federated
+    with pytest.raises(Exception, match="read-only"):
+        local.execute("DELETE FROM remote_orders")
+
+
+def test_server_without_endpoint_rejected():
+    local = Database("fdbs")
+    local.execute("CREATE WRAPPER w")
+    local.execute("CREATE SERVER s WRAPPER w")
+    with pytest.raises(CatalogError, match="endpoint"):
+        local.execute("CREATE NICKNAME n FOR s.whatever")
+
+
+def test_server_requires_existing_wrapper():
+    local = Database("fdbs")
+    with pytest.raises(CatalogError):
+        local.execute("CREATE SERVER s WRAPPER missing")
+
+
+def test_pushdown_charges_roundtrip_cost():
+    machine = Machine()
+    local = Database("fdbs", machine=machine)
+    remote = make_remote()
+    local.execute("CREATE WRAPPER w")
+    local.execute("CREATE SERVER s WRAPPER w")
+    local.attach_endpoint("s", DatabaseEndpoint(remote))
+    local.execute("CREATE NICKNAME n FOR s.orders")
+    local.execute("SELECT * FROM n")  # warm the statement cache
+    before = machine.clock.now
+    local.execute("SELECT * FROM n")
+    elapsed = machine.clock.now - before
+    assert elapsed >= machine.costs.remote_sql_roundtrip
+
+
+def test_pushdown_counter_increments(federated):
+    local, _ = federated
+    before = local.federation.pushdown_count
+    local.execute("SELECT * FROM remote_orders")
+    assert local.federation.pushdown_count == before + 1

@@ -1,0 +1,100 @@
+"""SQL tokenizer behaviour."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.fdbs.lexer import TokenType, tokenize
+
+
+def kinds(sql):
+    return [(t.type, t.value) for t in tokenize(sql) if t.type is not TokenType.EOF]
+
+
+def test_keywords_are_case_insensitive():
+    assert kinds("select")[0] == (TokenType.KEYWORD, "SELECT")
+    assert kinds("SeLeCt")[0] == (TokenType.KEYWORD, "SELECT")
+
+
+def test_identifiers_preserve_case():
+    assert kinds("SupplierNo")[0] == (TokenType.IDENTIFIER, "SupplierNo")
+
+
+def test_soft_keywords_are_identifiers():
+    for word in ("name", "first", "rows", "only", "work"):
+        assert kinds(word)[0][0] is TokenType.IDENTIFIER
+
+
+def test_integer_and_float_literals():
+    assert kinds("42")[0] == (TokenType.NUMBER, "42")
+    assert kinds("3.14")[0] == (TokenType.NUMBER, "3.14")
+    assert kinds("1e3")[0] == (TokenType.NUMBER, "1e3")
+    assert kinds("2.5E-2")[0] == (TokenType.NUMBER, "2.5E-2")
+
+
+def test_string_literal_with_escaped_quote():
+    tokens = kinds("'O''Hara'")
+    assert tokens[0] == (TokenType.STRING, "O'Hara")
+
+
+def test_unterminated_string_rejected():
+    with pytest.raises(LexerError):
+        tokenize("'open")
+
+
+def test_delimited_identifier():
+    tokens = kinds('"Weird Name"')
+    assert tokens[0] == (TokenType.IDENTIFIER, "Weird Name")
+
+
+def test_empty_delimited_identifier_rejected():
+    with pytest.raises(LexerError):
+        tokenize('""')
+
+
+def test_two_char_operators():
+    values = [v for _, v in kinds("a <> b <= c >= d || e != f")]
+    assert "<>" in values and "<=" in values and ">=" in values
+    assert "||" in values and "!=" in values
+
+
+def test_line_comment_skipped():
+    tokens = kinds("SELECT -- comment text\n 1")
+    assert [v for _, v in tokens] == ["SELECT", "1"]
+
+
+def test_block_comment_skipped():
+    tokens = kinds("SELECT /* multi\nline */ 1")
+    assert [v for _, v in tokens] == ["SELECT", "1"]
+
+
+def test_unterminated_block_comment_rejected():
+    with pytest.raises(LexerError):
+        tokenize("SELECT /* never closed")
+
+
+def test_parameter_marker():
+    assert kinds("?")[0][0] is TokenType.PARAMETER
+
+
+def test_unexpected_character_reports_position():
+    with pytest.raises(LexerError) as excinfo:
+        tokenize("SELECT @")
+    assert "line 1" in str(excinfo.value)
+
+
+def test_qualified_name_tokenization():
+    values = [v for _, v in kinds("GQ.Qual")]
+    assert values == ["GQ", ".", "Qual"]
+
+
+def test_eof_token_always_present():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].type is TokenType.EOF
+
+
+def test_positions_track_lines():
+    tokens = tokenize("SELECT\n  name")
+    name_token = tokens[1]
+    assert name_token.line == 2
+    assert name_token.column == 3

@@ -1,0 +1,299 @@
+"""Parser coverage: statements, expressions, reproduced restrictions."""
+
+import pytest
+
+from repro.errors import OneStatementError, ParseError
+from repro.fdbs import ast
+from repro.fdbs.parser import parse_expression, parse_script, parse_statement
+from repro.fdbs.types import BIGINT, INTEGER, VARCHAR
+
+
+class TestSelect:
+    def test_minimal_select(self):
+        stmt = parse_statement("SELECT 1")
+        assert isinstance(stmt, ast.Select)
+        assert stmt.items[0].expr.value == 1  # type: ignore[attr-defined]
+
+    def test_select_star(self):
+        stmt = parse_statement("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+
+    def test_qualified_star(self):
+        stmt = parse_statement("SELECT a.* FROM t AS a")
+        star = stmt.items[0].expr
+        assert isinstance(star, ast.Star)
+        assert star.qualifier == "a"
+
+    def test_aliases_with_and_without_as(self):
+        stmt = parse_statement("SELECT x AS a, y b FROM t")
+        assert stmt.items[0].alias == "a"
+        assert stmt.items[1].alias == "b"
+
+    def test_where_group_having_order(self):
+        stmt = parse_statement(
+            "SELECT c, COUNT(*) FROM t WHERE x > 1 GROUP BY c "
+            "HAVING COUNT(*) > 2 ORDER BY c DESC"
+        )
+        assert stmt.where is not None
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].ascending is False
+
+    def test_fetch_first_rows_only(self):
+        stmt = parse_statement("SELECT x FROM t FETCH FIRST 5 ROWS ONLY")
+        assert stmt.limit == 5
+
+    def test_limit_synonym(self):
+        assert parse_statement("SELECT x FROM t LIMIT 3").limit == 3
+
+    def test_union_all(self):
+        stmt = parse_statement("SELECT 1 UNION ALL SELECT 2 UNION ALL SELECT 3")
+        assert len(stmt.union) == 2
+        assert all(is_all for is_all, _ in stmt.union)
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT x FROM t").distinct
+
+    def test_paper_table_function_reference(self):
+        stmt = parse_statement(
+            "SELECT GQ.Qual FROM TABLE (GetQuality(SupplierNo)) AS GQ"
+        )
+        ref = stmt.from_items[0]
+        assert isinstance(ref, ast.TableFunctionRef)
+        assert ref.function_name == "GetQuality"
+        assert ref.alias == "GQ"
+
+    def test_correlation_name_mandatory_for_table_function(self):
+        # DB2 v7.1 behaviour the paper points out explicitly.
+        with pytest.raises(ParseError, match="correlation name"):
+            parse_statement("SELECT 1 FROM TABLE (F(1))")
+
+    def test_paper_buysuppcomp_query_parses(self):
+        stmt = parse_statement(
+            """
+            SELECT DP.Answer
+            FROM TABLE (GetQuality(SupplierNo)) AS GQ,
+                 TABLE (GetReliability(SupplierNo)) AS GR,
+                 TABLE (GetGrade(GQ.Qual, GR.Relia)) AS GG,
+                 TABLE (GetCompNo(CompName)) AS GCN,
+                 TABLE (DecidePurchase(GG.Grade, GCN.No)) AS DP
+            """
+        )
+        assert len(stmt.from_items) == 5
+
+    def test_joins(self):
+        stmt = parse_statement(
+            "SELECT * FROM a INNER JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y"
+        )
+        join = stmt.from_items[0]
+        assert isinstance(join, ast.Join)
+        assert join.kind == "LEFT OUTER"
+        assert isinstance(join.left, ast.Join)
+
+    def test_cross_join(self):
+        stmt = parse_statement("SELECT * FROM a CROSS JOIN b")
+        assert stmt.from_items[0].kind == "CROSS"
+
+    def test_derived_table_needs_alias(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT * FROM (SELECT 1)")
+
+    def test_derived_table(self):
+        stmt = parse_statement("SELECT * FROM (SELECT 1 AS x) AS d")
+        assert isinstance(stmt.from_items[0], ast.SubquerySource)
+
+
+class TestExpressions:
+    def test_precedence_arithmetic(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.render() == "(1 + (2 * 3))"
+
+    def test_precedence_logic(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert expr.render() == "((a = 1) OR ((b = 2) AND (c = 3)))"
+
+    def test_not_in_between_like(self):
+        assert isinstance(parse_expression("x NOT IN (1, 2)"), ast.InList)
+        assert isinstance(parse_expression("x NOT LIKE 'a%'"), ast.Like)
+        between = parse_expression("x NOT BETWEEN 1 AND 2")
+        assert isinstance(between, ast.Between)
+        assert between.negated
+
+    def test_is_null(self):
+        expr = parse_expression("x IS NOT NULL")
+        assert isinstance(expr, ast.IsNull)
+        assert expr.negated
+
+    def test_case_searched(self):
+        expr = parse_expression("CASE WHEN a > 1 THEN 'x' ELSE 'y' END")
+        assert isinstance(expr, ast.Case)
+        assert expr.operand is None
+
+    def test_case_simple(self):
+        expr = parse_expression("CASE a WHEN 1 THEN 'x' END")
+        assert expr.operand is not None
+
+    def test_cast_and_cast_function(self):
+        cast = parse_expression("CAST(x AS BIGINT)")
+        assert isinstance(cast, ast.Cast)
+        assert cast.target is BIGINT
+        call = parse_expression("BIGINT(x)")
+        assert isinstance(call, ast.FunctionCall)
+
+    def test_scalar_subquery_and_exists(self):
+        assert isinstance(parse_expression("(SELECT 1)"), ast.ScalarSubquery)
+        assert isinstance(parse_expression("EXISTS (SELECT 1)"), ast.Exists)
+
+    def test_in_subquery(self):
+        expr = parse_expression("x IN (SELECT y FROM t)")
+        assert isinstance(expr, ast.InSubquery)
+
+    def test_unary_minus_and_double_negative(self):
+        assert parse_expression("-x").render() == "(-x)"
+        assert parse_expression("- -1").render() == "(-(-1))"
+
+    def test_string_concat(self):
+        expr = parse_expression("a || b")
+        assert isinstance(expr, ast.BinaryOp)
+        assert expr.op == "||"
+
+    def test_parameter_markers_indexed(self):
+        stmt = parse_statement("SELECT * FROM t WHERE a = ? AND b = ?")
+        markers = []
+
+        def walk(expr):
+            if isinstance(expr, ast.Parameter):
+                markers.append(expr.index)
+            if isinstance(expr, ast.BinaryOp):
+                walk(expr.left)
+                walk(expr.right)
+
+        walk(stmt.where)
+        assert markers == [0, 1]
+
+
+class TestDdlDml:
+    def test_create_table_with_constraints(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (a INT NOT NULL PRIMARY KEY, b VARCHAR(10) DEFAULT 'x')"
+        )
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.columns[0].primary_key
+        assert stmt.columns[1].default is not None
+
+    def test_create_table_composite_key(self):
+        stmt = parse_statement("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))")
+        assert stmt.primary_key == ["a", "b"]
+
+    def test_insert_values_multi_row(self):
+        stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, ast.Insert)
+        assert len(stmt.rows) == 2
+
+    def test_insert_select(self):
+        stmt = parse_statement("INSERT INTO t SELECT * FROM s")
+        assert stmt.source is not None
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE t SET a = 1, b = b + 1 WHERE c = 2")
+        assert isinstance(stmt, ast.Update)
+        assert len(stmt.assignments) == 2
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, ast.Delete)
+
+    def test_drop(self):
+        assert isinstance(parse_statement("DROP TABLE t"), ast.DropTable)
+        assert isinstance(parse_statement("DROP FUNCTION f"), ast.DropFunction)
+
+    def test_commit_rollback(self):
+        assert isinstance(parse_statement("COMMIT WORK"), ast.Commit)
+        assert isinstance(parse_statement("ROLLBACK"), ast.Rollback)
+
+
+class TestFunctionsAndProcedures:
+    def test_paper_create_function(self):
+        stmt = parse_statement(
+            """
+            CREATE FUNCTION GetSuppQual (SupplierName VARCHAR) RETURNS TABLE (Qual INT)
+            LANGUAGE SQL RETURN
+            SELECT GQ.Qual
+            FROM TABLE (GetSupplierNo(GetSuppQual.SupplierName)) AS GSN,
+                 TABLE (GetQuality(GSN.SupplierNo)) AS GQ
+            """
+        )
+        assert isinstance(stmt, ast.CreateSqlFunction)
+        assert stmt.params[0].name == "SupplierName"
+        assert stmt.returns_table[0][1] is INTEGER
+
+    def test_sql_function_body_block_rejected(self):
+        # The paper's one-statement restriction.
+        with pytest.raises(OneStatementError):
+            parse_statement(
+                "CREATE FUNCTION f (x INT) RETURNS TABLE (y INT) "
+                "LANGUAGE SQL BEGIN SET y = 1; END"
+            )
+
+    def test_external_function(self):
+        stmt = parse_statement(
+            "CREATE FUNCTION f (x INT) RETURNS TABLE (y INT) "
+            "LANGUAGE JAVA EXTERNAL NAME 'pkg.Cls' FENCED"
+        )
+        assert isinstance(stmt, ast.CreateExternalFunction)
+        assert stmt.external_name == "pkg.Cls"
+        assert stmt.fenced
+
+    def test_create_procedure_with_control_flow(self):
+        stmt = parse_statement(
+            """
+            CREATE PROCEDURE p (IN n INT, OUT total INT) LANGUAGE SQL BEGIN
+              DECLARE i INT DEFAULT 0;
+              SET total = 0;
+              WHILE i < n DO
+                SET total = total + i;
+                SET i = i + 1;
+              END WHILE;
+              IF total > 10 THEN SET total = 10; ELSE SET total = total; END IF;
+            END
+            """
+        )
+        assert isinstance(stmt, ast.CreateProcedure)
+        kinds = [type(s).__name__ for s in stmt.body]
+        assert "PsmWhile" in kinds and "PsmIf" in kinds
+
+    def test_call_statement(self):
+        stmt = parse_statement("CALL p(1, 'x')")
+        assert isinstance(stmt, ast.Call)
+        assert len(stmt.args) == 2
+
+
+class TestFederationDdl:
+    def test_create_wrapper_server_nickname(self):
+        script = parse_script(
+            "CREATE WRAPPER w; CREATE SERVER s WRAPPER w; "
+            "CREATE NICKNAME n FOR s.remote_t"
+        )
+        assert isinstance(script[0], ast.CreateWrapper)
+        assert isinstance(script[1], ast.CreateServer)
+        nickname = script[2]
+        assert isinstance(nickname, ast.CreateNickname)
+        assert nickname.remote_name == "remote_t"
+
+
+class TestErrors:
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_statement("SELECT 1 SELECT 2")
+
+    def test_script_splits_statements(self):
+        statements = parse_script("SELECT 1; SELECT 2;")
+        assert len(statements) == 2
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError, match=r"line \d+"):
+            parse_statement("SELECT FROM")
+
+    def test_empty_case_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("CASE END")

@@ -1,0 +1,240 @@
+"""End-to-end SELECT execution against the engine."""
+
+import pytest
+
+from repro.errors import CatalogError, PlanError
+from repro.fdbs.engine import Database
+
+
+@pytest.fixture()
+def db():
+    database = Database("q")
+    database.execute_script(
+        """
+        CREATE TABLE suppliers (sno INT PRIMARY KEY, name VARCHAR(30), relia INT);
+        INSERT INTO suppliers VALUES
+            (1, 'ACME', 7), (2, 'Globex', 9), (3, 'Initech', 4), (4, 'Stark', 9);
+        CREATE TABLE parts (pno INT PRIMARY KEY, sno INT, price INT);
+        INSERT INTO parts VALUES (10, 1, 100), (11, 1, 250), (12, 2, 80), (13, 9, 5)
+        """
+    )
+    return database
+
+
+def q(db, sql, params=None):
+    return db.execute(sql, params=params)
+
+
+def test_projection_and_aliases(db):
+    result = q(db, "SELECT name AS n, relia FROM suppliers WHERE sno = 1")
+    assert result.columns == ["n", "relia"]
+    assert result.rows == [("ACME", 7)]
+
+
+def test_star_expansion(db):
+    result = q(db, "SELECT * FROM suppliers WHERE sno = 2")
+    assert result.columns == ["sno", "name", "relia"]
+
+
+def test_qualified_star(db):
+    result = q(db, "SELECT s.*, p.price FROM suppliers AS s, parts AS p "
+                   "WHERE s.sno = p.sno AND p.pno = 12")
+    assert result.rows == [(2, "Globex", 9, 80)]
+
+
+def test_where_filters(db):
+    result = q(db, "SELECT name FROM suppliers WHERE relia >= 7 ORDER BY name")
+    assert result.rows == [("ACME",), ("Globex",), ("Stark",)]
+
+
+def test_order_by_desc_and_positional(db):
+    by_name = q(db, "SELECT name, relia FROM suppliers ORDER BY relia DESC, name")
+    assert by_name.rows[0][1] == 9
+    positional = q(db, "SELECT name, relia FROM suppliers ORDER BY 2 DESC, 1")
+    assert positional.rows == by_name.rows
+
+
+def test_order_by_nulls_sort_last_ascending(db):
+    db.execute("INSERT INTO suppliers VALUES (9, 'Null Co', NULL)")
+    result = q(db, "SELECT relia FROM suppliers ORDER BY relia")
+    assert result.rows[-1] == (None,)
+
+
+def test_fetch_first(db):
+    result = q(db, "SELECT sno FROM suppliers ORDER BY sno FETCH FIRST 2 ROWS ONLY")
+    assert result.rows == [(1,), (2,)]
+
+
+def test_distinct(db):
+    result = q(db, "SELECT DISTINCT relia FROM suppliers ORDER BY relia")
+    assert result.rows == [(4,), (7,), (9,)]
+
+
+def test_cross_product_via_comma(db):
+    result = q(db, "SELECT COUNT(*) FROM suppliers, parts")
+    assert result.scalar() == 16
+
+
+def test_inner_join(db):
+    result = q(
+        db,
+        "SELECT s.name, p.pno FROM suppliers AS s INNER JOIN parts AS p "
+        "ON s.sno = p.sno ORDER BY p.pno",
+    )
+    assert result.rows == [("ACME", 10), ("ACME", 11), ("Globex", 12)]
+
+
+def test_left_outer_join_pads_nulls(db):
+    result = q(
+        db,
+        "SELECT s.name, p.pno FROM suppliers AS s LEFT OUTER JOIN parts AS p "
+        "ON s.sno = p.sno WHERE s.sno = 3",
+    )
+    assert result.rows == [("Initech", None)]
+
+
+def test_join_without_on_rejected(db):
+    with pytest.raises(PlanError, match="requires an ON"):
+        q(db, "SELECT * FROM suppliers INNER JOIN parts")
+
+
+def test_derived_table(db):
+    result = q(
+        db,
+        "SELECT d.name FROM (SELECT name, relia FROM suppliers WHERE relia > 8) "
+        "AS d ORDER BY d.name",
+    )
+    assert result.rows == [("Globex",), ("Stark",)]
+
+
+def test_union_removes_duplicates(db):
+    result = q(
+        db,
+        "SELECT relia FROM suppliers UNION SELECT relia FROM suppliers "
+        "ORDER BY relia",
+    )
+    assert result.rows == [(4,), (7,), (9,)]
+
+
+def test_union_all_keeps_duplicates(db):
+    result = q(db, "SELECT 1 UNION ALL SELECT 1")
+    assert result.rows == [(1,), (1,)]
+
+
+def test_union_width_mismatch_rejected(db):
+    with pytest.raises(Exception):
+        q(db, "SELECT 1 UNION SELECT 1, 2")
+
+
+def test_scalar_subquery(db):
+    result = q(db, "SELECT name FROM suppliers WHERE relia = "
+                   "(SELECT MAX(relia) FROM suppliers) ORDER BY name")
+    assert result.rows == [("Globex",), ("Stark",)]
+
+
+def test_in_subquery(db):
+    result = q(db, "SELECT name FROM suppliers WHERE sno IN "
+                   "(SELECT sno FROM parts) ORDER BY name")
+    assert result.rows == [("ACME",), ("Globex",)]
+
+
+def test_exists_subquery(db):
+    result = q(db, "SELECT COUNT(*) FROM suppliers WHERE EXISTS "
+                   "(SELECT 1 FROM parts WHERE price > 1000)")
+    assert result.scalar() == 0
+
+
+def test_case_expression_in_select(db):
+    result = q(
+        db,
+        "SELECT name, CASE WHEN relia >= 7 THEN 'good' ELSE 'poor' END AS verdict "
+        "FROM suppliers WHERE sno IN (1, 3) ORDER BY name",
+    )
+    assert result.rows == [("ACME", "good"), ("Initech", "poor")]
+
+
+def test_parameters_bind_positionally(db):
+    result = q(db, "SELECT name FROM suppliers WHERE relia > ? AND sno < ?",
+               params=[6, 2])
+    assert result.rows == [("ACME",)]
+
+
+def test_unknown_table_rejected(db):
+    with pytest.raises(CatalogError):
+        q(db, "SELECT * FROM nonexistent")
+
+
+def test_duplicate_alias_rejected(db):
+    with pytest.raises(PlanError, match="duplicate correlation name"):
+        q(db, "SELECT * FROM suppliers AS x, parts AS x")
+
+
+def test_select_without_from(db):
+    assert q(db, "SELECT 40 + 2").scalar() == 42
+
+
+def test_explain_produces_plan_tree(db):
+    text = db.explain("SELECT name FROM suppliers WHERE relia > 5 ORDER BY name")
+    assert "TableScan(suppliers)" in text
+    assert "Sort" in text
+
+
+class TestAggregates:
+    def test_global_aggregates(self, db):
+        result = q(db, "SELECT COUNT(*), SUM(relia), MIN(relia), MAX(relia), "
+                       "AVG(relia) FROM suppliers")
+        assert result.rows == [(4, 29, 4, 9, 29 / 4)]
+
+    def test_count_ignores_nulls_count_star_does_not(self, db):
+        db.execute("INSERT INTO suppliers VALUES (5, 'N', NULL)")
+        result = q(db, "SELECT COUNT(*), COUNT(relia) FROM suppliers")
+        assert result.rows == [(5, 4)]
+
+    def test_group_by(self, db):
+        result = q(db, "SELECT relia, COUNT(*) AS c FROM suppliers "
+                       "GROUP BY relia ORDER BY relia")
+        assert result.rows == [(4, 1), (7, 1), (9, 2)]
+
+    def test_having(self, db):
+        result = q(db, "SELECT relia, COUNT(*) AS c FROM suppliers "
+                       "GROUP BY relia HAVING COUNT(*) > 1")
+        assert result.rows == [(9, 2)]
+
+    def test_aggregate_over_expression(self, db):
+        assert q(db, "SELECT SUM(relia * 2) FROM suppliers").scalar() == 58
+
+    def test_expression_over_aggregate(self, db):
+        assert q(db, "SELECT MAX(relia) - MIN(relia) FROM suppliers").scalar() == 5
+
+    def test_count_distinct(self, db):
+        assert q(db, "SELECT COUNT(DISTINCT relia) FROM suppliers").scalar() == 3
+
+    def test_global_aggregate_on_empty_input(self, db):
+        result = q(db, "SELECT COUNT(*), SUM(relia) FROM suppliers WHERE sno > 99")
+        assert result.rows == [(0, None)]
+
+    def test_group_by_on_empty_input_yields_no_rows(self, db):
+        result = q(db, "SELECT relia, COUNT(*) FROM suppliers WHERE sno > 99 "
+                       "GROUP BY relia")
+        assert result.rows == []
+
+    def test_aggregate_in_where_rejected(self, db):
+        with pytest.raises(PlanError, match="not allowed in WHERE"):
+            q(db, "SELECT 1 FROM suppliers WHERE COUNT(*) > 1")
+
+    def test_having_without_aggregate_rejected(self, db):
+        with pytest.raises(PlanError):
+            q(db, "SELECT name FROM suppliers HAVING name = 'ACME'")
+
+    def test_nested_aggregates_rejected(self, db):
+        with pytest.raises(PlanError, match="nested"):
+            q(db, "SELECT SUM(COUNT(*)) FROM suppliers")
+
+    def test_order_by_aggregate(self, db):
+        result = q(db, "SELECT relia, COUNT(*) FROM suppliers GROUP BY relia "
+                       "ORDER BY COUNT(*) DESC, relia")
+        assert result.rows[0] == (9, 2)
+
+    def test_non_grouped_column_rejected(self, db):
+        with pytest.raises(PlanError):
+            q(db, "SELECT name, COUNT(*) FROM suppliers GROUP BY relia")

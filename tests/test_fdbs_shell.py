@@ -1,0 +1,96 @@
+"""The interactive SQL shell (stream-driven)."""
+
+import io
+
+import pytest
+
+from repro.fdbs.engine import Database
+from repro.fdbs.shell import Shell, build_database
+
+
+def run_shell(script: str, database: Database | None = None) -> str:
+    shell = Shell(database or Database("shell-test"))
+    out = io.StringIO()
+    shell.run(io.StringIO(script), out)
+    return out.getvalue()
+
+
+def test_select_prints_table_and_rowcount():
+    out = run_shell("SELECT 1 AS one, 'x' AS label;\n.quit\n")
+    assert "one" in out and "label" in out
+    assert "(1 row" in out
+
+
+def test_multiline_statement():
+    out = run_shell("SELECT\n  40 + 2 AS v\n;\n.quit\n")
+    assert "42" in out
+
+
+def test_ddl_and_dml_feedback():
+    out = run_shell(
+        "CREATE TABLE t (a INT);\nINSERT INTO t VALUES (1), (2);\n.quit\n"
+    )
+    assert "CREATE TABLE ok" in out
+    assert "2 row(s) affected" in out
+
+
+def test_error_does_not_kill_shell():
+    out = run_shell("SELECT * FROM missing;\nSELECT 5;\n.quit\n")
+    assert "error:" in out
+    assert "5" in out
+    assert out.rstrip().endswith("bye")
+
+
+def test_call_prints_out_params():
+    db = Database("shell-call")
+    db.execute(
+        "CREATE PROCEDURE p (IN a INT, OUT b INT) LANGUAGE SQL BEGIN "
+        "SET b = a * 2; END"
+    )
+    out = run_shell("CALL p(21);\n.quit\n", db)
+    assert "OUT: {'b': 42}" in out
+
+
+def test_dot_tables_and_functions():
+    db = Database("shell-meta")
+    db.execute("CREATE TABLE t (a INT)")
+    out = run_shell(".tables\n.functions\n.quit\n", db)
+    assert "t" in out
+
+
+def test_dot_time_toggle():
+    from repro.sysmodel.machine import Machine
+
+    db = Database("shell-time", machine=Machine())
+    out = run_shell("SELECT 1;\n.time off\nSELECT 1;\n.quit\n", db)
+    assert out.count(" su)") == 1
+
+
+def test_dot_user_switch_and_denial():
+    db = Database("shell-auth")
+    db.execute("CREATE TABLE t (a INT)")
+    db.execute("CREATE USER alice")
+    out = run_shell(".user alice\nSELECT * FROM t;\n.quit\n", db)
+    assert "user is now ALICE" in out
+    assert "error:" in out and "SELECT on table" in out
+
+
+def test_unknown_dot_command():
+    out = run_shell(".wat\n.quit\n")
+    assert "unknown command" in out
+
+
+def test_eof_exits_cleanly():
+    out = run_shell("SELECT 1;\n")  # no .quit, stream just ends
+    assert out.rstrip().endswith("bye")
+
+
+def test_build_database_scenario():
+    fdbs = build_database("sql")
+    rows = fdbs.execute("SELECT * FROM TABLE (GibKompNr('gearbox')) AS G").rows
+    assert rows == [(1,)]
+
+
+def test_build_database_unknown_scenario():
+    with pytest.raises(SystemExit):
+        build_database("nope")

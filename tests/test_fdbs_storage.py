@@ -1,0 +1,180 @@
+"""Heap storage: constraints, indexes, undo."""
+
+import pytest
+
+from repro.errors import ConstraintError, ExecutionError
+from repro.fdbs.catalog import ColumnDef
+from repro.fdbs.storage import Table, UndoLog
+from repro.fdbs.types import INTEGER, VARCHAR
+
+
+def make_table(primary_key=("id",)):
+    columns = [
+        ColumnDef("id", INTEGER, not_null=True),
+        ColumnDef("name", VARCHAR(20)),
+        ColumnDef("score", INTEGER),
+    ]
+    return Table("t", columns, primary_key)
+
+
+def test_insert_and_scan():
+    table = make_table()
+    table.insert((1, "a", 10))
+    table.insert((2, "b", 20))
+    assert table.rows() == [(1, "a", 10), (2, "b", 20)]
+    assert len(table) == 2
+
+
+def test_insert_coerces_values():
+    table = make_table()
+    with pytest.raises(Exception):
+        table.insert((1, 5, 10))  # 5 is not a string
+
+
+def test_wrong_arity_rejected():
+    table = make_table()
+    with pytest.raises(ExecutionError):
+        table.insert((1, "a"))
+
+
+def test_duplicate_primary_key_rejected():
+    table = make_table()
+    table.insert((1, "a", 10))
+    with pytest.raises(ConstraintError):
+        table.insert((1, "b", 20))
+
+
+def test_null_primary_key_rejected():
+    table = make_table()
+    with pytest.raises(ConstraintError):
+        table.insert((None, "a", 10))
+
+
+def test_not_null_enforced():
+    table = make_table(primary_key=())
+    with pytest.raises(ConstraintError):
+        table.insert((None, "a", 1))
+
+
+def test_composite_primary_key():
+    table = Table(
+        "t2",
+        [ColumnDef("a", INTEGER, True), ColumnDef("b", INTEGER, True)],
+        ("a", "b"),
+    )
+    table.insert((1, 1))
+    table.insert((1, 2))
+    with pytest.raises(ConstraintError):
+        table.insert((1, 1))
+
+
+def test_lookup_pk():
+    table = make_table()
+    table.insert((7, "x", 1))
+    assert table.lookup_pk((7,)) == (7, "x", 1)
+    assert table.lookup_pk((8,)) is None
+
+
+def test_lookup_pk_without_key_rejected():
+    table = make_table(primary_key=())
+    with pytest.raises(ExecutionError):
+        table.lookup_pk((1,))
+
+
+def test_delete_frees_pk():
+    table = make_table()
+    rid = table.insert((1, "a", 10))
+    table.delete_rid(rid)
+    assert len(table) == 0
+    table.insert((1, "again", 5))  # pk reusable
+
+
+def test_delete_twice_rejected():
+    table = make_table()
+    rid = table.insert((1, "a", 10))
+    table.delete_rid(rid)
+    with pytest.raises(ExecutionError):
+        table.delete_rid(rid)
+
+
+def test_update_rid():
+    table = make_table()
+    rid = table.insert((1, "a", 10))
+    table.update_rid(rid, (1, "b", 99))
+    assert table.rows() == [(1, "b", 99)]
+
+
+def test_update_to_conflicting_pk_rejected():
+    table = make_table()
+    table.insert((1, "a", 10))
+    rid = table.insert((2, "b", 20))
+    with pytest.raises(ConstraintError):
+        table.update_rid(rid, (1, "b", 20))
+
+
+def test_update_keeping_own_pk_allowed():
+    table = make_table()
+    rid = table.insert((1, "a", 10))
+    table.update_rid(rid, (1, "a", 11))
+    assert table.lookup_pk((1,)) == (1, "a", 11)
+
+
+def test_hash_index_lookup():
+    table = make_table()
+    table.insert((1, "a", 10))
+    table.insert((2, "b", 10))
+    table.insert((3, "c", 20))
+    assert table.index_lookup("score", 10) == [(1, "a", 10), (2, "b", 10)]
+    assert table.index_lookup("score", 99) == []
+
+
+def test_index_maintained_across_mutations():
+    table = make_table()
+    rid = table.insert((1, "a", 10))
+    table.create_index("score")
+    table.update_rid(rid, (1, "a", 33))
+    assert table.index_lookup("score", 10) == []
+    assert table.index_lookup("score", 33) == [(1, "a", 33)]
+
+
+class TestUndo:
+    def test_rollback_insert(self):
+        table = make_table()
+        undo = UndoLog()
+        table.insert((1, "a", 10), undo=undo)
+        undo.rollback()
+        assert len(table) == 0
+
+    def test_rollback_delete(self):
+        table = make_table()
+        rid = table.insert((1, "a", 10))
+        undo = UndoLog()
+        table.delete_rid(rid, undo=undo)
+        undo.rollback()
+        assert table.rows() == [(1, "a", 10)]
+
+    def test_rollback_update(self):
+        table = make_table()
+        rid = table.insert((1, "a", 10))
+        undo = UndoLog()
+        table.update_rid(rid, (1, "z", 0), undo=undo)
+        undo.rollback()
+        assert table.rows() == [(1, "a", 10)]
+
+    def test_rollback_applies_in_reverse_order(self):
+        table = make_table()
+        undo = UndoLog()
+        rid = table.insert((1, "a", 10), undo=undo)
+        table.update_rid(rid, (1, "b", 20), undo=undo)
+        table.delete_rid(rid, undo=undo)
+        undo.rollback()
+        assert len(table) == 0
+        assert table.lookup_pk((1,)) is None
+
+    def test_clear_commits(self):
+        table = make_table()
+        undo = UndoLog()
+        table.insert((1, "a", 10), undo=undo)
+        undo.clear()
+        undo.rollback()  # nothing to undo
+        assert len(table) == 1

@@ -1,0 +1,96 @@
+"""SYSCAT system-catalog views."""
+
+import pytest
+
+from repro.fdbs.engine import Database
+from repro.fdbs.federation import DatabaseEndpoint
+from repro.fdbs.functions import make_external_function
+from repro.fdbs.types import INTEGER
+
+
+@pytest.fixture()
+def db():
+    database = Database("syscat")
+    database.execute("CREATE TABLE t (a INT NOT NULL, b VARCHAR(10))")
+    database.execute("CREATE VIEW v AS SELECT a FROM t")
+    database.register_external_function(
+        make_external_function(
+            "F", [("x", INTEGER)], [("y", INTEGER)], lambda x: x,
+            deterministic=True,
+        )
+    )
+    database.execute(
+        "CREATE FUNCTION G (n INT) RETURNS TABLE (m INT) LANGUAGE SQL "
+        "RETURN SELECT G.n + 1 AS m"
+    )
+    database.execute(
+        "CREATE PROCEDURE p (IN a INT, OUT b INT) LANGUAGE SQL BEGIN "
+        "SET b = a; END"
+    )
+    return database
+
+
+def test_syscat_tables_lists_tables_views_nicknames(db):
+    remote = Database("remote")
+    remote.execute("CREATE TABLE r (x INT)")
+    db.execute("CREATE WRAPPER w")
+    db.execute("CREATE SERVER s WRAPPER w")
+    db.attach_endpoint("s", DatabaseEndpoint(remote))
+    db.execute("CREATE NICKNAME n FOR s.r")
+    rows = db.execute("SELECT name, type FROM SYSCAT_TABLES ORDER BY name").rows
+    assert ("t", "T") in rows
+    assert ("v", "V") in rows
+    assert ("n", "N") in rows
+
+
+def test_syscat_columns(db):
+    rows = db.execute(
+        "SELECT colname, colno, typename, nullable FROM SYSCAT_COLUMNS "
+        "WHERE tabname = 't' ORDER BY colno"
+    ).rows
+    assert rows == [("a", 1, "INTEGER", "N"), ("b", 2, "VARCHAR(10)", "Y")]
+
+
+def test_syscat_functions(db):
+    rows = db.execute(
+        "SELECT name, lang, deterministic FROM SYSCAT_FUNCTIONS ORDER BY name"
+    ).rows
+    assert ("F", "JAVA", "Y") in rows
+    assert ("G", "SQL", "N") in rows
+
+
+def test_syscat_procedures(db):
+    rows = db.execute("SELECT * FROM SYSCAT_PROCEDURES").rows
+    assert rows == [("p", 2)]
+
+
+def test_syscat_views_contains_definition(db):
+    text = db.execute("SELECT text FROM SYSCAT_VIEWS WHERE name = 'v'").scalar()
+    assert "SELECT a FROM t" in text
+
+
+def test_ddl_immediately_visible(db):
+    before = db.execute("SELECT COUNT(*) FROM SYSCAT_TABLES").scalar()
+    db.execute("CREATE TABLE extra (x INT)")
+    after = db.execute("SELECT COUNT(*) FROM SYSCAT_TABLES").scalar()
+    assert after == before + 1
+
+
+def test_syscat_composable_with_predicates_and_joins(db):
+    rows = db.execute(
+        "SELECT t.name, c.colname FROM SYSCAT_TABLES AS t, SYSCAT_COLUMNS AS c "
+        "WHERE t.name = c.tabname AND t.type = 'T' ORDER BY c.colno"
+    ).rows
+    assert rows == [("t", "a"), ("t", "b")]
+
+
+def test_user_table_shadows_nothing(db):
+    # A real user table named like a SYSCAT view wins (catalog first).
+    db.execute("CREATE TABLE SYSCAT_TABLES (x INT)")
+    db.execute("INSERT INTO SYSCAT_TABLES VALUES (42)")
+    assert db.execute("SELECT x FROM SYSCAT_TABLES").rows == [(42,)]
+
+
+def test_explain_shows_syscat_scan(db):
+    text = db.explain("SELECT * FROM SYSCAT_FUNCTIONS")
+    assert "SyscatScan(SYSCAT_FUNCTIONS)" in text

@@ -1,0 +1,200 @@
+"""Table functions in the engine: A-UDTFs, SQL I-UDTFs, lateral rules,
+and the reproduced DB2 restrictions."""
+
+import pytest
+
+from repro.errors import (
+    CallOnlyProcedureError,
+    CyclicDependencyError,
+    NestedTableFunctionError,
+    PlanError,
+    ReadOnlyFunctionError,
+    TypeError_,
+)
+from repro.fdbs.engine import Database
+from repro.fdbs.functions import make_external_function
+from repro.fdbs.types import INTEGER, VARCHAR
+
+
+@pytest.fixture()
+def db():
+    database = Database("tf")
+    database.register_external_function(
+        make_external_function(
+            "Doubler", [("X", INTEGER)], [("Y", INTEGER)], lambda x: x * 2
+        )
+    )
+    database.register_external_function(
+        make_external_function(
+            "Range3",
+            [("Base", INTEGER)],
+            [("V", INTEGER)],
+            lambda base: [(base,), (base + 1,), (base + 2,)],
+        )
+    )
+    database.execute("CREATE TABLE seeds (s INT)")
+    database.execute("INSERT INTO seeds VALUES (10), (20)")
+    return database
+
+
+def test_external_function_single_row(db):
+    result = db.execute("SELECT D.Y FROM TABLE (Doubler(21)) AS D")
+    assert result.rows == [(42,)]
+
+
+def test_table_valued_function(db):
+    result = db.execute("SELECT R.V FROM TABLE (Range3(5)) AS R ORDER BY R.V")
+    assert result.rows == [(5,), (6,), (7,)]
+
+
+def test_lateral_correlation_with_table(db):
+    result = db.execute(
+        "SELECT s, D.Y FROM seeds, TABLE (Doubler(s)) AS D ORDER BY s"
+    )
+    assert result.rows == [(10, 20), (20, 40)]
+
+
+def test_chained_table_functions(db):
+    result = db.execute(
+        "SELECT B.Y FROM TABLE (Doubler(3)) AS A, TABLE (Doubler(A.Y)) AS B"
+    )
+    assert result.rows == [(12,)]
+
+
+def test_sql_iudtf_definition_and_call(db):
+    db.execute(
+        "CREATE FUNCTION Quad (N INT) RETURNS TABLE (Q INT) LANGUAGE SQL "
+        "RETURN SELECT D2.Y FROM TABLE (Doubler(Quad.N)) AS D1, "
+        "TABLE (Doubler(D1.Y)) AS D2"
+    )
+    assert db.execute("SELECT Q.Q FROM TABLE (Quad(5)) AS Q").rows == [(20,)]
+
+
+def test_sql_iudtf_parameter_qualified_reference(db):
+    db.execute(
+        "CREATE FUNCTION Echo (N INT) RETURNS TABLE (V INT) LANGUAGE SQL "
+        "RETURN SELECT Echo.N + 0 AS V"
+    )
+    assert db.execute("SELECT E.V FROM TABLE (Echo(7)) AS E").rows == [(7,)]
+
+
+def test_function_arity_checked(db):
+    with pytest.raises(PlanError, match="expects 1"):
+        db.execute("SELECT D.Y FROM TABLE (Doubler(1, 2)) AS D")
+
+
+def test_function_argument_type_checked(db):
+    with pytest.raises(TypeError_):
+        db.execute("SELECT D.Y FROM TABLE (Doubler('abc')) AS D")
+
+
+def test_result_width_mismatch_rejected(db):
+    db.register_external_function(
+        make_external_function(
+            "Bad", [], [("A", INTEGER), ("B", INTEGER)], lambda: [(1,)]
+        )
+    )
+    with pytest.raises(Exception, match="width"):
+        db.execute("SELECT * FROM TABLE (Bad()) AS B")
+
+
+def test_result_values_coerced_to_declared_types(db):
+    db.register_external_function(
+        make_external_function("AsText", [], [("T", VARCHAR(5))], lambda: "ok")
+    )
+    assert db.execute("SELECT * FROM TABLE (AsText()) AS A").rows == [("ok",)]
+
+
+# -- reproduced DB2 v7.1 restrictions -----------------------------------------
+
+
+def test_forward_reference_rejected_left_to_right(db):
+    with pytest.raises(PlanError, match="left to right"):
+        db.execute(
+            "SELECT A.Y FROM TABLE (Doubler(B.Y)) AS A, TABLE (Doubler(1)) AS B"
+        )
+
+
+def test_cyclic_dependency_rejected(db):
+    with pytest.raises(CyclicDependencyError):
+        db.execute(
+            "SELECT A.Y FROM TABLE (Doubler(B.Y)) AS A, TABLE (Doubler(A.Y)) AS B"
+        )
+
+
+def test_nested_table_functions_rejected(db):
+    # "Unfortunately, nesting of functions is not supported."
+    with pytest.raises(NestedTableFunctionError):
+        db.execute("SELECT A.Y FROM TABLE (Doubler(Doubler(1))) AS A")
+
+
+def test_table_function_in_scalar_context_rejected(db):
+    with pytest.raises(NestedTableFunctionError):
+        db.execute("SELECT Doubler(1) FROM seeds")
+
+
+def test_udtfs_are_read_only(db):
+    # "UDTFs only support read access."
+    with pytest.raises(ReadOnlyFunctionError):
+        db.execute("INSERT INTO Doubler VALUES (1, 2)")
+    with pytest.raises(ReadOnlyFunctionError):
+        db.execute("UPDATE Doubler SET Y = 1")
+    with pytest.raises(ReadOnlyFunctionError):
+        db.execute("DELETE FROM Doubler")
+
+
+def test_table_function_not_referencable_as_table(db):
+    with pytest.raises(PlanError, match="TABLE"):
+        db.execute("SELECT * FROM Doubler")
+
+
+def test_table_not_callable_as_function(db):
+    with pytest.raises(PlanError, match="not a table function"):
+        db.execute("SELECT * FROM TABLE (seeds()) AS S")
+
+
+def test_table_functions_inside_joins_rejected(db):
+    with pytest.raises(PlanError, match="JOIN"):
+        db.execute(
+            "SELECT * FROM seeds INNER JOIN TABLE (Doubler(1)) AS D ON s = D.Y"
+        )
+
+
+def test_procedure_in_from_clause_rejected(db):
+    db.execute(
+        "CREATE PROCEDURE p (IN a INT, OUT b INT) LANGUAGE SQL BEGIN "
+        "SET b = a; END"
+    )
+    with pytest.raises(CallOnlyProcedureError):
+        db.execute("SELECT * FROM TABLE (p(1)) AS x")
+    with pytest.raises(CallOnlyProcedureError):
+        db.execute("SELECT * FROM p")
+
+
+def test_function_recursion_depth_guard(db):
+    db.execute(
+        "CREATE FUNCTION Recur (N INT) RETURNS TABLE (V INT) LANGUAGE SQL "
+        "RETURN SELECT R.V FROM TABLE (Recur(Recur.N)) AS R"
+    )
+    with pytest.raises(Exception, match="recursion"):
+        db.execute("SELECT * FROM TABLE (Recur(1)) AS R")
+
+
+def test_unbound_external_function_reports_clearly():
+    db2 = Database("unbound")
+    db2.execute(
+        "CREATE FUNCTION Ghost (X INT) RETURNS TABLE (Y INT) "
+        "LANGUAGE JAVA EXTERNAL NAME 'missing.Impl' FENCED"
+    )
+    with pytest.raises(Exception, match="no implementation"):
+        db2.execute("SELECT * FROM TABLE (Ghost(1)) AS G")
+
+
+def test_bind_external_attaches_implementation():
+    db2 = Database("bind")
+    db2.execute(
+        "CREATE FUNCTION Late (X INT) RETURNS TABLE (Y INT) "
+        "LANGUAGE JAVA EXTERNAL NAME 'late.Impl' FENCED"
+    )
+    db2.bind_external("Late", lambda x: x + 1)
+    assert db2.execute("SELECT * FROM TABLE (Late(1)) AS L").rows == [(2,)]

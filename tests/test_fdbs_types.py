@@ -1,0 +1,184 @@
+"""SQL type system: parsing, casts, coercion, ranges."""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+
+from repro.errors import TypeError_
+from repro.fdbs.types import (
+    BIGINT,
+    BOOLEAN,
+    CHAR,
+    DATE,
+    DECIMAL,
+    DOUBLE,
+    INTEGER,
+    SMALLINT,
+    VARCHAR,
+    cast_value,
+    coerce_into,
+    common_supertype,
+    explicitly_castable,
+    implicitly_castable,
+    infer_type,
+    parse_type,
+    python_value_matches,
+)
+
+
+class TestParseType:
+    def test_simple_names(self):
+        assert parse_type("INT") is INTEGER
+        assert parse_type("integer") is INTEGER
+        assert parse_type("BIGINT") is BIGINT
+        assert parse_type("LONG") is BIGINT  # the paper's INT -> LONG
+        assert parse_type("DOUBLE") is DOUBLE
+        assert parse_type("BOOLEAN") is BOOLEAN
+        assert parse_type("DATE") is DATE
+
+    def test_parameterised_types(self):
+        assert parse_type("VARCHAR", 20) == VARCHAR(20)
+        assert parse_type("CHAR", 3) == CHAR(3)
+        assert parse_type("DECIMAL", 10, 2) == DECIMAL(10, 2)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError_):
+            parse_type("BLOB")
+
+    def test_simple_type_with_parameters_rejected(self):
+        with pytest.raises(TypeError_):
+            parse_type("INT", 4)
+
+    def test_render_round_trip(self):
+        assert VARCHAR(20).render() == "VARCHAR(20)"
+        assert DECIMAL(8, 2).render() == "DECIMAL(8, 2)"
+        assert INTEGER.render() == "INTEGER"
+
+
+class TestCastRules:
+    def test_numeric_ladder_promotes_implicitly(self):
+        assert implicitly_castable(SMALLINT, INTEGER)
+        assert implicitly_castable(INTEGER, BIGINT)
+        assert implicitly_castable(BIGINT, DOUBLE)
+
+    def test_numeric_demotion_needs_explicit_cast(self):
+        assert not implicitly_castable(BIGINT, INTEGER)
+        assert explicitly_castable(BIGINT, INTEGER)
+
+    def test_character_types_interchange(self):
+        assert implicitly_castable(CHAR(3), VARCHAR(10))
+        assert implicitly_castable(VARCHAR(10), CHAR(3))
+
+    def test_string_to_number_is_explicit_only(self):
+        assert not implicitly_castable(VARCHAR(5), INTEGER)
+        assert explicitly_castable(VARCHAR(5), INTEGER)
+
+    def test_boolean_to_numeric_forbidden(self):
+        assert not explicitly_castable(BOOLEAN, INTEGER)
+
+    def test_common_supertype(self):
+        assert common_supertype(INTEGER, BIGINT) is BIGINT
+        assert common_supertype(SMALLINT, DOUBLE) is DOUBLE
+        assert common_supertype(VARCHAR(5), VARCHAR(9)) == VARCHAR(9)
+
+    def test_no_common_supertype_across_families(self):
+        with pytest.raises(TypeError_):
+            common_supertype(INTEGER, VARCHAR(5))
+
+
+class TestCastValue:
+    def test_null_casts_to_anything(self):
+        assert cast_value(None, INTEGER, VARCHAR(5)) is None
+
+    def test_int_to_bigint_paper_simple_case(self):
+        assert cast_value(7, INTEGER, BIGINT) == 7
+
+    def test_double_to_int_truncates_toward_zero(self):
+        assert cast_value(3.9, DOUBLE, INTEGER) == 3
+        assert cast_value(-3.9, DOUBLE, INTEGER) == -3
+
+    def test_string_to_int(self):
+        assert cast_value(" 42 ", VARCHAR(10), INTEGER) == 42
+
+    def test_bad_string_to_int_rejected(self):
+        with pytest.raises(TypeError_):
+            cast_value("abc", VARCHAR(10), INTEGER)
+
+    def test_int_to_varchar(self):
+        assert cast_value(42, INTEGER, VARCHAR(10)) == "42"
+
+    def test_char_pads_to_length(self):
+        assert cast_value("ab", VARCHAR(5), CHAR(4)) == "ab  "
+
+    def test_varchar_truncates_character_source(self):
+        assert cast_value("abcdef", VARCHAR(10), VARCHAR(3)) == "abc"
+
+    def test_numeric_too_long_for_varchar_rejected(self):
+        with pytest.raises(TypeError_):
+            cast_value(123456, INTEGER, VARCHAR(3))
+
+    def test_decimal_quantizes_to_scale(self):
+        result = cast_value("3.14159", VARCHAR(10), DECIMAL(6, 2))
+        assert result == Decimal("3.14")
+
+    def test_string_to_date(self):
+        assert cast_value("2002-03-25", VARCHAR(10), DATE) == datetime.date(
+            2002, 3, 25
+        )
+
+    def test_date_to_string(self):
+        value = datetime.date(2002, 3, 25)
+        assert cast_value(value, DATE, VARCHAR(10)) == "2002-03-25"
+
+    def test_smallint_overflow_rejected(self):
+        with pytest.raises(TypeError_):
+            cast_value(70000, INTEGER, SMALLINT)
+
+    def test_disallowed_cast_rejected(self):
+        with pytest.raises(TypeError_):
+            cast_value(True, BOOLEAN, INTEGER)
+
+
+class TestCoerceAndInfer:
+    def test_coerce_accepts_matching_value(self):
+        assert coerce_into(5, INTEGER) == 5
+        assert coerce_into("x", VARCHAR(5)) == "x"
+
+    def test_coerce_promotes_int_to_double(self):
+        assert coerce_into(5, DOUBLE) == 5.0
+        assert isinstance(coerce_into(5, DOUBLE), float)
+
+    def test_coerce_rejects_oversized_string(self):
+        with pytest.raises(TypeError_):
+            coerce_into("toolong", VARCHAR(3))
+
+    def test_coerce_rejects_wrong_family(self):
+        with pytest.raises(TypeError_):
+            coerce_into("5", INTEGER)
+
+    def test_coerce_null_passes(self):
+        assert coerce_into(None, INTEGER) is None
+
+    def test_coerce_integer_range_checked(self):
+        with pytest.raises(TypeError_):
+            coerce_into(2**40, INTEGER)
+
+    def test_infer_type(self):
+        assert infer_type(5) is INTEGER
+        assert infer_type(2**40) is BIGINT
+        assert infer_type(1.5) is DOUBLE
+        assert infer_type(True) is BOOLEAN
+        assert infer_type("ab") == VARCHAR(2)
+        assert infer_type(datetime.date.today()) is DATE
+
+    def test_infer_null_rejected(self):
+        with pytest.raises(TypeError_):
+            infer_type(None)
+
+    def test_python_value_matches(self):
+        assert python_value_matches(None, INTEGER)
+        assert python_value_matches(5, INTEGER)
+        assert not python_value_matches(True, INTEGER)
+        assert not python_value_matches("x", INTEGER)
+        assert python_value_matches(1.5, DOUBLE)

@@ -1,0 +1,122 @@
+"""Failure injection: how each architecture reacts when a local
+function misbehaves — the error-handling axis of the paper's Sect. 2
+argument for the WfMS."""
+
+import pytest
+
+from repro.appsys.base import ApplicationSystem, LocalFunction
+from repro.core.architectures import Architecture
+from repro.core.federated_function import FederatedFunction
+from repro.core.mapping import FedInput, LocalCall, MappingGraph, NodeOutput, OutputSpec
+from repro.core.server import IntegrationServer
+from repro.errors import ActivityFailedError, ReproError
+from repro.fdbs.types import INTEGER
+
+
+class FlakySystem(ApplicationSystem):
+    """One local function that fails a configurable number of times."""
+
+    def __init__(self, machine=None, fail_times=0):
+        self.fail_times = fail_times
+        self.invocations = 0
+        super().__init__("flaky", machine)
+
+    def _populate(self, database):
+        def implementation(x):
+            self.invocations += 1
+            if self.invocations <= self.fail_times:
+                raise RuntimeError("transient backend outage")
+            return x + 1
+
+        self.register_function(
+            LocalFunction(
+                "Step",
+                params=[("X", INTEGER)],
+                returns=[("Y", INTEGER)],
+                implementation=implementation,
+            )
+        )
+
+
+def fed(retries: int) -> FederatedFunction:
+    return FederatedFunction(
+        name="FlakyFed",
+        params=[("X", INTEGER)],
+        returns=[("Y", INTEGER)],
+        mapping=MappingGraph(
+            nodes=[
+                LocalCall(
+                    "S", "flaky", "Step", {"X": FedInput("X")}, retries=retries
+                )
+            ],
+            outputs=[OutputSpec("Y", NodeOutput("S", "Y"))],
+        ),
+    )
+
+
+def server_with(architecture, fail_times, retries):
+    flaky = {}
+
+    def factory(machine):
+        flaky["system"] = FlakySystem(machine, fail_times)
+        return flaky["system"]
+
+    server = IntegrationServer(architecture, system_factories=[factory])
+    server.deploy(fed(retries))
+    return server, flaky["system"]
+
+
+class TestWfmsErrorHandling:
+    def test_retries_recover_transparently(self):
+        server, system = server_with(Architecture.WFMS, fail_times=2, retries=2)
+        assert server.call("FlakyFed", 1) == [(2,)]
+        assert system.invocations == 3
+
+    def test_exhausted_retries_surface_the_failure(self):
+        server, _ = server_with(Architecture.WFMS, fail_times=99, retries=1)
+        with pytest.raises(ActivityFailedError):
+            server.call("FlakyFed", 1)
+
+    def test_failed_process_recorded_in_audit(self):
+        server, _ = server_with(Architecture.WFMS, fail_times=99, retries=0)
+        with pytest.raises(ActivityFailedError):
+            server.call("FlakyFed", 1)
+        events = [e.event for e in server.wfms_client.engine.audit.events]
+        assert "process failed" in events
+
+
+class TestUdtfArchitecturesHaveNoRetry:
+    @pytest.mark.parametrize(
+        "architecture",
+        [
+            Architecture.ENHANCED_SQL_UDTF,
+            Architecture.ENHANCED_JAVA_UDTF,
+            Architecture.SIMPLE_UDTF,
+        ],
+    )
+    def test_first_failure_surfaces(self, architecture):
+        # The retry policy in the mapping has nowhere to go in SQL:
+        # the very first backend failure aborts the statement.
+        server, system = server_with(architecture, fail_times=1, retries=5)
+        with pytest.raises(ReproError):
+            server.call("FlakyFed", 1)
+        assert system.invocations == 1
+
+    def test_next_statement_succeeds_after_recovery(self):
+        server, system = server_with(
+            Architecture.ENHANCED_SQL_UDTF, fail_times=1, retries=0
+        )
+        with pytest.raises(ReproError):
+            server.call("FlakyFed", 1)
+        assert server.call("FlakyFed", 1) == [(2,)]
+
+
+class TestClockIntegrityOnFailure:
+    def test_clock_keeps_advancing_after_failures(self):
+        server, _ = server_with(Architecture.WFMS, fail_times=99, retries=0)
+        before = server.machine.clock.now
+        with pytest.raises(ActivityFailedError):
+            server.call("FlakyFed", 1)
+        after_failure = server.machine.clock.now
+        assert after_failure > before
+        assert not server.machine.clock.capturing  # capture was released

@@ -1,0 +1,53 @@
+"""Model-based property test: the SQL engine's DML against a dict model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fdbs.engine import Database
+
+keys = st.integers(min_value=0, max_value=7)
+values = st.integers(min_value=-100, max_value=100)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), keys, values),
+        st.tuples(st.just("update"), keys, values),
+        st.tuples(st.just("delete"), keys, values),
+        st.tuples(st.just("commit"), st.just(0), st.just(0)),
+        st.tuples(st.just("rollback"), st.just(0), st.just(0)),
+    ),
+    max_size=30,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations)
+def test_engine_dml_agrees_with_dict_model(ops):
+    db = Database("model")
+    db.execute("CREATE TABLE t (k INT PRIMARY KEY, v INT)")
+
+    committed: dict[int, int] = {}
+    live: dict[int, int] = {}
+    for op, key, value in ops:
+        if op == "insert":
+            if key in live:
+                continue
+            db.execute("INSERT INTO t VALUES (?, ?)", params=[key, value])
+            live[key] = value
+        elif op == "update":
+            db.execute("UPDATE t SET v = ? WHERE k = ?", params=[value, key])
+            if key in live:
+                live[key] = value
+        elif op == "delete":
+            db.execute("DELETE FROM t WHERE k = ?", params=[key])
+            live.pop(key, None)
+        elif op == "commit":
+            db.execute("COMMIT")
+            committed = dict(live)
+        else:  # rollback
+            db.execute("ROLLBACK")
+            live = dict(committed)
+        rows = sorted(db.execute("SELECT k, v FROM t").rows)
+        assert rows == sorted(live.items())
+
+    count = db.execute("SELECT COUNT(*) FROM t").scalar()
+    assert count == len(live)

@@ -1,0 +1,270 @@
+"""Property-based tests for the storage, clock, mapping classifier,
+workflow scheduler and FDL round trip (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mapping import (
+    FedInput,
+    LocalCall,
+    MappingGraph,
+    NodeOutput,
+    OutputSpec,
+    classify,
+)
+from repro.fdbs.catalog import ColumnDef
+from repro.fdbs.storage import Table, UndoLog
+from repro.fdbs.types import INTEGER, VARCHAR
+from repro.simtime.clock import VirtualClock
+from repro.simtime.costs import DEFAULT_COSTS
+from repro.sysmodel.machine import Machine
+from repro.wfms.builder import ProcessBuilder
+from repro.wfms.engine import WorkflowEngine
+from repro.wfms.fdl import parse_fdl, to_fdl
+from repro.wfms.programs import ProgramRegistry
+
+# ---------------------------------------------------------------------------
+# Virtual clock
+# ---------------------------------------------------------------------------
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), max_size=50))
+def test_clock_advance_sums_exactly(deltas):
+    clock = VirtualClock()
+    for delta in deltas:
+        clock.advance(delta)
+    assert clock.now == sum(deltas)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), max_size=50))
+def test_clock_is_monotone(deltas):
+    clock = VirtualClock()
+    previous = clock.now
+    for delta in deltas:
+        clock.advance(delta)
+        assert clock.now >= previous
+        previous = clock.now
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=1e3), max_size=20),
+    st.lists(st.floats(min_value=0, max_value=1e3), max_size=20),
+)
+def test_capture_collects_only_captured_advances(before, inside):
+    clock = VirtualClock()
+    for delta in before:
+        clock.advance(delta)
+    with clock.capture() as captured:
+        for delta in inside:
+            clock.advance(delta)
+    assert captured.total == sum(inside)
+    assert clock.now == sum(before)
+
+
+# ---------------------------------------------------------------------------
+# Storage vs. model
+# ---------------------------------------------------------------------------
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(0, 9), st.integers(0, 100)),
+        st.tuples(st.just("delete"), st.integers(0, 9), st.just(0)),
+        st.tuples(st.just("update"), st.integers(0, 9), st.integers(0, 100)),
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=100)
+@given(ops)
+def test_storage_agrees_with_dict_model(operations):
+    table = Table(
+        "t",
+        [ColumnDef("k", INTEGER, not_null=True), ColumnDef("v", INTEGER)],
+        ("k",),
+    )
+    model: dict[int, int] = {}
+    rid_of: dict[int, int] = {}
+    for op, key, value in operations:
+        if op == "insert":
+            if key in model:
+                continue
+            rid_of[key] = table.insert((key, value))
+            model[key] = value
+        elif op == "delete":
+            if key not in model:
+                continue
+            table.delete_rid(rid_of.pop(key))
+            del model[key]
+        else:  # update
+            if key not in model:
+                continue
+            table.update_rid(rid_of[key], (key, value))
+            model[key] = value
+    assert sorted(table.rows()) == sorted(model.items())
+    for key, value in model.items():
+        assert table.lookup_pk((key,)) == (key, value)
+
+
+@settings(max_examples=100)
+@given(ops, ops)
+def test_undo_restores_pre_transaction_state(committed, uncommitted):
+    table = Table(
+        "t",
+        [ColumnDef("k", INTEGER, not_null=True), ColumnDef("v", INTEGER)],
+        ("k",),
+    )
+    rid_of: dict[int, int] = {}
+
+    def apply(operations, undo):
+        for op, key, value in operations:
+            exists = table.lookup_pk((key,)) is not None
+            if op == "insert" and not exists:
+                rid_of[key] = table.insert((key, value), undo=undo)
+            elif op == "delete" and exists:
+                table.delete_rid(rid_of[key], undo=undo)
+            elif op == "update" and exists:
+                table.update_rid(rid_of[key], (key, value), undo=undo)
+
+    apply(committed, None)
+    snapshot = sorted(table.rows())
+    undo = UndoLog()
+    apply(uncommitted, undo)
+    undo.rollback()
+    assert sorted(table.rows()) == snapshot
+
+
+# ---------------------------------------------------------------------------
+# Mapping classification
+# ---------------------------------------------------------------------------
+
+
+def graph_from_edges(n, edges):
+    nodes = []
+    for index in range(n):
+        args = {}
+        incoming = [s for s, t in edges if t == index]
+        for position, source in enumerate(incoming):
+            args[f"p{position}"] = NodeOutput(f"N{source}", "X")
+        if not incoming:
+            args["p0"] = FedInput("X")
+        nodes.append(LocalCall(f"N{index}", "sys", "Fn", args))
+    return MappingGraph(
+        nodes=nodes, outputs=[OutputSpec("O", NodeOutput(f"N{n-1}", "X"))]
+    )
+
+
+dags = st.integers(min_value=1, max_value=5).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                lambda e: e[0] < e[1]
+            ),
+            unique=True,
+            max_size=6,
+        ),
+    )
+)
+
+
+@settings(max_examples=150)
+@given(dags, st.randoms())
+def test_classification_invariant_under_node_order(dag, rng):
+    n, edges = dag
+    graph = graph_from_edges(n, edges)
+    baseline = classify(graph)
+    shuffled = list(graph.nodes)
+    rng.shuffle(shuffled)
+    permuted = MappingGraph(nodes=shuffled, outputs=list(graph.outputs))
+    assert classify(permuted) == baseline
+
+
+@settings(max_examples=150)
+@given(dags)
+def test_classification_always_produces_a_case(dag):
+    n, edges = dag
+    assert classify(graph_from_edges(n, edges)) is not None
+
+
+# ---------------------------------------------------------------------------
+# Workflow scheduling: critical path <= makespan <= serial sum
+# ---------------------------------------------------------------------------
+
+
+def build_process(n, edges):
+    builder = ProcessBuilder("G", [("X", INTEGER)], [("Y", INTEGER)])
+    for index in range(n):
+        builder.program_activity(
+            f"A{index}", "noop", [("X", INTEGER)], [("Y", INTEGER)],
+            {"X": builder.from_input("X")},
+        )
+    for source, target in edges:
+        builder.connect(f"A{source}", f"A{target}")
+    builder.map_output("Y", builder.from_activity(f"A{n-1}", "Y"))
+    return builder.build()
+
+
+def critical_path_length(n, edges):
+    depth = [1] * n
+    for source, target in sorted(edges, key=lambda e: e[1]):
+        depth[target] = max(depth[target], depth[source] + 1)
+    return max(depth)
+
+
+@settings(max_examples=60, deadline=None)
+@given(dags)
+def test_makespan_bounded_by_critical_path_and_serial_sum(dag):
+    n, edges = dag
+    machine = Machine()
+    registry = ProgramRegistry()
+    registry.register_program("noop", lambda inp: {"Y": 1})
+    engine = WorkflowEngine(registry, machine)
+    process = build_process(n, edges)
+
+    start = machine.clock.now
+    engine.run_process(process, {"X": 1})
+    elapsed = machine.clock.now - start
+
+    per_activity = DEFAULT_COSTS.wf_activity_jvm + DEFAULT_COSTS.wf_activity_container
+    nav = n * DEFAULT_COSTS.wf_navigation
+    critical = critical_path_length(n, edges) * per_activity
+    serial = n * per_activity
+    assert elapsed >= nav + critical - 1e-6
+    assert elapsed <= nav + serial + 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(dags)
+def test_activity_starts_respect_precedence(dag):
+    n, edges = dag
+    machine = Machine()
+    registry = ProgramRegistry()
+    registry.register_program("noop", lambda inp: {"Y": 1})
+    engine = WorkflowEngine(registry, machine)
+    instance = engine.run_process(build_process(n, edges), {"X": 1})
+    for source, target in edges:
+        pred = instance.activity(f"A{source}")
+        succ = instance.activity(f"A{target}")
+        assert succ.start_time >= pred.finish_time - 1e-9
+
+
+# ---------------------------------------------------------------------------
+# FDL round trip over generated processes
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60)
+@given(dags)
+def test_fdl_round_trip_preserves_structure(dag):
+    n, edges = dag
+    process = build_process(n, edges)
+    reparsed = parse_fdl(to_fdl(process))["G"]
+    assert [a.name for a in reparsed.activities] == [
+        a.name for a in process.activities
+    ]
+    assert {(c.source, c.target) for c in reparsed.connectors} == {
+        (c.source, c.target) for c in process.connectors
+    }
+    assert reparsed.output_map.keys() == process.output_map.keys()
+    # A second round trip is a fixed point.
+    assert to_fdl(reparsed) == to_fdl(process)

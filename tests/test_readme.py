@@ -1,0 +1,33 @@
+"""The README's code blocks must keep working."""
+
+import pathlib
+import re
+
+README = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+
+
+def python_blocks():
+    text = README.read_text()
+    return re.findall(r"```python\n(.*?)```", text, re.DOTALL)
+
+
+def test_readme_exists_and_mentions_the_paper():
+    text = README.read_text()
+    assert "Hergula" in text and "EDBT 2002" in text
+
+
+def test_readme_quickstart_block_runs():
+    blocks = python_blocks()
+    assert blocks, "README has no python code block"
+    for block in blocks:
+        # Expression-statement lines ending in `.rows` print in a REPL;
+        # exec() runs them fine as-is.  Comment lines starting with `#`
+        # and result comments are already valid Python.
+        exec(compile(block, "<README>", "exec"), {})
+
+
+def test_readme_references_all_example_scripts():
+    text = README.read_text()
+    examples = pathlib.Path(__file__).resolve().parent.parent / "examples"
+    for script in examples.glob("*.py"):
+        assert script.name in text, f"README does not mention {script.name}"

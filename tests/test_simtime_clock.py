@@ -1,0 +1,119 @@
+"""Virtual clock semantics: monotonicity, freezing, capturing."""
+
+import pytest
+
+from repro.errors import ClockError
+from repro.simtime.clock import VirtualClock
+
+
+def test_starts_at_zero_by_default():
+    assert VirtualClock().now == 0.0
+
+
+def test_custom_start():
+    assert VirtualClock(5.0).now == 5.0
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ClockError):
+        VirtualClock(-1.0)
+
+
+def test_advance_accumulates():
+    clock = VirtualClock()
+    clock.advance(2.5)
+    clock.advance(1.5)
+    assert clock.now == 4.0
+
+
+def test_advance_returns_new_time():
+    clock = VirtualClock()
+    assert clock.advance(3.0) == 3.0
+
+
+def test_negative_advance_rejected():
+    clock = VirtualClock()
+    with pytest.raises(ClockError):
+        clock.advance(-0.1)
+
+
+def test_zero_advance_allowed():
+    clock = VirtualClock()
+    clock.advance(0.0)
+    assert clock.now == 0.0
+
+
+def test_advance_to_moves_forward():
+    clock = VirtualClock()
+    clock.advance_to(10.0)
+    assert clock.now == 10.0
+
+
+def test_advance_to_backwards_rejected():
+    clock = VirtualClock(5.0)
+    with pytest.raises(ClockError):
+        clock.advance_to(4.0)
+
+
+def test_frozen_section_suppresses_advances():
+    clock = VirtualClock()
+    with clock.frozen_section():
+        clock.advance(100.0)
+    assert clock.now == 0.0
+
+
+def test_frozen_sections_nest():
+    clock = VirtualClock()
+    clock.freeze()
+    clock.freeze()
+    clock.unfreeze()
+    clock.advance(1.0)  # still frozen once
+    clock.unfreeze()
+    clock.advance(1.0)
+    assert clock.now == 1.0
+
+
+def test_unfreeze_without_freeze_rejected():
+    with pytest.raises(ClockError):
+        VirtualClock().unfreeze()
+
+
+def test_capture_accumulates_without_moving_clock():
+    clock = VirtualClock()
+    with clock.capture() as captured:
+        clock.advance(7.0)
+        clock.advance(3.0)
+    assert captured.total == 10.0
+    assert clock.now == 0.0
+
+
+def test_capture_total_visible_during_capture():
+    clock = VirtualClock()
+    with clock.capture():
+        clock.advance(4.0)
+        assert clock.capture_total() == 4.0
+    assert clock.capture_total() == 0.0
+
+
+def test_capturing_flag():
+    clock = VirtualClock()
+    assert not clock.capturing
+    with clock.capture():
+        assert clock.capturing
+    assert not clock.capturing
+
+
+def test_nested_capture_rejected():
+    clock = VirtualClock()
+    with clock.capture():
+        with pytest.raises(ClockError):
+            with clock.capture():
+                pass
+
+
+def test_advance_after_capture_moves_clock_again():
+    clock = VirtualClock()
+    with clock.capture():
+        clock.advance(5.0)
+    clock.advance(2.0)
+    assert clock.now == 2.0

@@ -1,0 +1,67 @@
+"""Cost-model defaults, scaling, warmth bookkeeping."""
+
+import dataclasses
+
+import pytest
+
+from repro.simtime.costs import CostModel, DEFAULT_COSTS, Warmth
+
+
+def test_default_profile_is_frozen():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        DEFAULT_COSTS.jvm_boot = 1.0  # type: ignore[misc]
+
+
+def test_all_default_costs_nonnegative():
+    for field in dataclasses.fields(CostModel):
+        assert getattr(DEFAULT_COSTS, field.name) >= 0, field.name
+
+
+def test_scaled_multiplies_every_constant():
+    doubled = DEFAULT_COSTS.scaled(2.0)
+    for field in dataclasses.fields(CostModel):
+        assert getattr(doubled, field.name) == pytest.approx(
+            2.0 * getattr(DEFAULT_COSTS, field.name)
+        )
+
+
+def test_scaled_rejects_nonpositive_factor():
+    with pytest.raises(ValueError):
+        DEFAULT_COSTS.scaled(0.0)
+
+
+def test_replace_overrides_named_constant():
+    custom = DEFAULT_COSTS.replace(jvm_boot=99.0)
+    assert custom.jvm_boot == 99.0
+    assert custom.rmi_call == DEFAULT_COSTS.rmi_call
+
+
+def test_calibration_anchor_wfms_per_activity():
+    """The WfMS per-activity cost (JVM + containers) is the dominant
+    share of the calibration (Fig. 6: process activities = 51 su)."""
+    per_activity = DEFAULT_COSTS.wf_activity_jvm + DEFAULT_COSTS.wf_activity_container
+    assert per_activity == pytest.approx(49.0)
+
+
+def test_warmth_statement_tracking():
+    warmth = Warmth()
+    assert not warmth.statement_is_hot("q1")
+    warmth.note_statement("q1")
+    assert warmth.statement_is_hot("q1")
+    assert not warmth.statement_is_hot("q2")
+
+
+def test_warmth_template_tracking():
+    warmth = Warmth()
+    warmth.note_template("P")
+    assert warmth.template_is_hot("P")
+
+
+def test_warmth_reset_forgets_everything():
+    warmth = Warmth(machine_cold=False)
+    warmth.note_statement("q")
+    warmth.note_template("p")
+    warmth.reset()
+    assert warmth.machine_cold
+    assert not warmth.statement_is_hot("q")
+    assert not warmth.template_is_hot("p")

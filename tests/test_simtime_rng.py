@@ -1,0 +1,36 @@
+"""Deterministic jitter source."""
+
+import pytest
+
+from repro.simtime.rng import JitterSource
+
+
+def test_zero_amplitude_is_exact():
+    source = JitterSource(seed=1, amplitude=0.0)
+    assert source.factor() == 1.0
+    assert source.jitter(42.0) == 42.0
+
+
+def test_amplitude_bounds_factors():
+    source = JitterSource(seed=7, amplitude=0.05)
+    for _ in range(200):
+        assert 0.95 <= source.factor() <= 1.05
+
+
+def test_same_seed_same_sequence():
+    a = JitterSource(seed=3, amplitude=0.1)
+    b = JitterSource(seed=3, amplitude=0.1)
+    assert [a.factor() for _ in range(10)] == [b.factor() for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    a = JitterSource(seed=1, amplitude=0.1)
+    b = JitterSource(seed=2, amplitude=0.1)
+    assert [a.factor() for _ in range(10)] != [b.factor() for _ in range(10)]
+
+
+def test_invalid_amplitude_rejected():
+    with pytest.raises(ValueError):
+        JitterSource(amplitude=-0.1)
+    with pytest.raises(ValueError):
+        JitterSource(amplitude=1.0)

@@ -1,0 +1,136 @@
+"""The UDTF architecture family: A-UDTFs, SQL I-UDTFs, procedural."""
+
+import pytest
+
+from repro.appsys import StockKeepingSystem
+from repro.errors import CatalogError, OneStatementError, ParseError
+from repro.fdbs.engine import Database
+from repro.fdbs.types import INTEGER
+from repro.udtf.access import make_access_udtf, register_access_udtfs
+from repro.udtf.procedural import (
+    PROCEDURAL_LANGUAGE,
+    ProceduralConnection,
+    register_procedural_iudtf,
+)
+from repro.udtf.sql_iudtf import create_sql_iudtf
+
+
+@pytest.fixture()
+def db_with_stock(data):
+    db = Database("arch")
+    stock = StockKeepingSystem(None, data)
+    register_access_udtfs(db, stock)
+    return db, stock
+
+
+class TestAccessUdtfs:
+    def test_one_udtf_per_local_function(self, db_with_stock):
+        db, stock = db_with_stock
+        for fn in stock.functions():
+            assert db.catalog.has_function(fn.name)
+
+    def test_udtf_calls_through_to_system(self, db_with_stock):
+        db, _ = db_with_stock
+        rows = db.execute("SELECT * FROM TABLE (GetQuality(1234)) AS GQ").rows
+        assert rows == [(8,)]
+
+    def test_external_name_identifies_system(self, data):
+        stock = StockKeepingSystem(None, data)
+        udtf = make_access_udtf(stock, stock.function("GetQuality"))
+        assert udtf.external_name == "stock.GetQuality"
+        assert udtf.fenced
+
+    def test_subset_registration(self, data):
+        db = Database("subset")
+        stock = StockKeepingSystem(None, data)
+        registered = register_access_udtfs(db, stock, only=["GetQuality"])
+        assert [f.name for f in registered] == ["GetQuality"]
+        assert not db.catalog.has_function("GetNumber")
+
+    def test_name_collision_rejected(self, db_with_stock):
+        db, stock = db_with_stock
+        with pytest.raises(CatalogError):
+            register_access_udtfs(db, stock)
+
+
+class TestSqlIudtf:
+    def test_create_and_invoke(self, db_with_stock):
+        db, _ = db_with_stock
+        create_sql_iudtf(
+            db,
+            "CREATE FUNCTION QualityOf1234 () RETURNS TABLE (Qual INT) "
+            "LANGUAGE SQL RETURN SELECT GQ.Qual FROM "
+            "TABLE (GetQuality(1234)) AS GQ",
+        )
+        rows = db.execute("SELECT * FROM TABLE (QualityOf1234()) AS Q").rows
+        assert rows == [(8,)]
+
+    def test_non_create_function_rejected(self, db_with_stock):
+        db, _ = db_with_stock
+        with pytest.raises(ParseError):
+            create_sql_iudtf(db, "SELECT 1")
+
+    def test_multi_statement_body_rejected(self, db_with_stock):
+        db, _ = db_with_stock
+        with pytest.raises(OneStatementError):
+            create_sql_iudtf(
+                db,
+                "CREATE FUNCTION f (x INT) RETURNS TABLE (y INT) LANGUAGE SQL "
+                "BEGIN SET y = 1; END",
+            )
+
+    def test_bind_time_validation_catches_bad_body(self, db_with_stock):
+        db, _ = db_with_stock
+        with pytest.raises(Exception):
+            create_sql_iudtf(
+                db,
+                "CREATE FUNCTION f (x INT) RETURNS TABLE (y INT) LANGUAGE SQL "
+                "RETURN SELECT G.Nope FROM TABLE (GetQuality(f.x)) AS G",
+            )
+        # A failed bind must not leave an unusable function behind.
+        assert not db.catalog.has_function("f")
+
+
+class TestProcedural:
+    def test_multi_statement_body_with_control_flow(self, db_with_stock):
+        db, _ = db_with_stock
+
+        def body(conn: ProceduralConnection, supplier_no):
+            total = 0
+            count = 0
+            for comp_no, _number in conn.query_rows(
+                "SELECT * FROM TABLE (GetStockComponents(?)) AS SC",
+                params=[supplier_no],
+            ):
+                row = conn.query_rows(
+                    "SELECT * FROM TABLE (GetNumber(?, ?)) AS N",
+                    params=[supplier_no, comp_no],
+                )
+                if row and row[0][0] is not None:
+                    total += row[0][0]
+                    count += 1
+            return [(count, total)]
+
+        function = register_procedural_iudtf(
+            db,
+            "StockTotals",
+            params=[("SupplierNo", INTEGER)],
+            returns=[("CompCount", INTEGER), ("Total", INTEGER)],
+            body=body,
+        )
+        assert function.language == PROCEDURAL_LANGUAGE
+        rows = db.execute("SELECT * FROM TABLE (StockTotals(1234)) AS T").rows
+        count, total = rows[0]
+        assert count >= 1 and total >= 0
+
+    def test_connection_counts_statements(self, db_with_stock):
+        db, _ = db_with_stock
+        connection = ProceduralConnection(db)
+        connection.query("SELECT 1")
+        connection.query_scalar("SELECT 2")
+        assert connection.statements_issued == 2
+
+    def test_connection_is_query_only(self, db_with_stock):
+        db, _ = db_with_stock
+        connection = ProceduralConnection(db)
+        assert not hasattr(connection, "execute_update")

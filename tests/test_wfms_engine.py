@@ -1,0 +1,297 @@
+"""Workflow engine: navigation, parallelism, dead paths, loops, errors."""
+
+import pytest
+
+from repro.errors import ActivityFailedError, ContainerError
+from repro.fdbs.types import INTEGER, VARCHAR
+from repro.simtime.costs import DEFAULT_COSTS
+from repro.sysmodel.machine import Machine
+from repro.wfms.builder import ProcessBuilder
+from repro.wfms.engine import WorkflowEngine
+from repro.wfms.instance import ActivityState, ProcessState
+from repro.wfms.model import Condition
+from repro.wfms.programs import ProgramRegistry
+
+
+def make_registry():
+    registry = ProgramRegistry()
+    registry.register_program("math.double", lambda inp: {"Y": inp["X"] * 2})
+    registry.register_program("math.add", lambda inp: {"S": inp["A"] + inp["B"]})
+    registry.register_program("math.one", lambda inp: {"V": 1})
+    registry.register_program("boom", lambda inp: 1 / 0)
+    registry.register_helper("helper.negate", lambda inp: {"N": -inp["V"]})
+    return registry
+
+
+def engine(machine=None):
+    return WorkflowEngine(make_registry(), machine)
+
+
+def double_chain(name="Chain"):
+    """X -> double -> double."""
+    b = ProcessBuilder(name, [("X", INTEGER)], [("Y", INTEGER)])
+    b.program_activity(
+        "D1", "math.double", [("X", INTEGER)], [("Y", INTEGER)],
+        {"X": b.from_input("X")},
+    )
+    b.program_activity(
+        "D2", "math.double", [("X", INTEGER)], [("Y", INTEGER)],
+        {"X": b.from_activity("D1", "Y")},
+    )
+    b.sequence("D1", "D2")
+    b.map_output("Y", b.from_activity("D2", "Y"))
+    return b.build()
+
+
+def test_sequential_dataflow():
+    instance = engine().run_process(double_chain(), {"X": 3})
+    assert instance.state is ProcessState.FINISHED
+    assert instance.output.as_dict() == {"Y": 12}
+
+
+def test_activity_instances_recorded():
+    instance = engine().run_process(double_chain(), {"X": 1})
+    assert instance.activity("D1").state is ActivityState.FINISHED
+    assert instance.activity("D2").state is ActivityState.FINISHED
+
+
+def test_constant_input():
+    b = ProcessBuilder("P", [("X", INTEGER)], [("S", INTEGER)])
+    b.program_activity(
+        "Add", "math.add", [("A", INTEGER), ("B", INTEGER)], [("S", INTEGER)],
+        {"A": b.from_input("X"), "B": b.constant(100)},
+    )
+    b.map_output("S", b.from_activity("Add", "S"))
+    instance = engine().run_process(b.build(), {"X": 1})
+    assert instance.output.as_dict() == {"S": 101}
+
+
+def test_helper_activity():
+    b = ProcessBuilder("P", [("X", INTEGER)], [("N", INTEGER)])
+    b.program_activity(
+        "One", "math.one", [("X", INTEGER)], [("V", INTEGER)],
+        {"X": b.from_input("X")},
+    )
+    b.helper_activity(
+        "Neg", "helper.negate", [("V", INTEGER)], [("N", INTEGER)],
+        {"V": b.from_activity("One", "V")},
+    )
+    b.sequence("One", "Neg")
+    b.map_output("N", b.from_activity("Neg", "N"))
+    instance = engine().run_process(b.build(), {"X": 0})
+    assert instance.output.as_dict() == {"N": -1}
+
+
+def parallel_pair():
+    b = ProcessBuilder("Par", [("X", INTEGER)], [("A", INTEGER), ("B", INTEGER)])
+    b.program_activity(
+        "P1", "math.double", [("X", INTEGER)], [("Y", INTEGER)],
+        {"X": b.from_input("X")},
+    )
+    b.program_activity(
+        "P2", "math.double", [("X", INTEGER)], [("Y", INTEGER)],
+        {"X": b.from_input("X")},
+    )
+    b.map_output("A", b.from_activity("P1", "Y"))
+    b.map_output("B", b.from_activity("P2", "Y"))
+    return b.build()
+
+
+def test_parallel_activities_overlap_in_virtual_time():
+    machine = Machine()
+    wf_engine = engine(machine)
+    sequential = double_chain()
+    parallel = parallel_pair()
+
+    start = machine.clock.now
+    wf_engine.run_process(sequential, {"X": 1})
+    sequential_elapsed = machine.clock.now - start
+
+    start = machine.clock.now
+    wf_engine.run_process(parallel, {"X": 1})
+    parallel_elapsed = machine.clock.now - start
+
+    # Both have two program activities; the parallel one saves one full
+    # activity execution (JVM boot + containers).
+    assert parallel_elapsed < sequential_elapsed
+    saved = sequential_elapsed - parallel_elapsed
+    assert saved >= DEFAULT_COSTS.wf_activity_jvm
+
+
+def test_parallel_activities_share_start_time():
+    machine = Machine()
+    instance = engine(machine).run_process(parallel_pair(), {"X": 1})
+    assert instance.activity("P1").start_time == instance.activity("P2").start_time
+
+
+def test_makespan_equals_critical_path_for_sequence():
+    machine = Machine()
+    instance = engine(machine).run_process(double_chain(), {"X": 1})
+    d1, d2 = instance.activity("D1"), instance.activity("D2")
+    assert d2.start_time == pytest.approx(d1.finish_time)
+
+
+def test_transition_condition_skips_dead_path():
+    b = ProcessBuilder("Cond", [("X", INTEGER)], [("Y", INTEGER)])
+    b.program_activity(
+        "D1", "math.double", [("X", INTEGER)], [("Y", INTEGER)],
+        {"X": b.from_input("X")},
+    )
+    b.program_activity(
+        "D2", "math.double", [("X", INTEGER)], [("Y", INTEGER)],
+        {"X": b.from_activity("D1", "Y")},
+    )
+    b.connect("D1", "D2", Condition("Y", ">", 100))
+    b.map_output("Y", b.from_activity("D1", "Y"))
+    instance = engine().run_process(b.build(), {"X": 1})
+    assert instance.activity("D2").state is ActivityState.SKIPPED
+    assert instance.output.as_dict() == {"Y": 2}
+
+
+def test_dead_path_propagates_transitively():
+    b = ProcessBuilder("Dead", [("X", INTEGER)], [("Y", INTEGER)])
+    for name in ("A", "B", "C"):
+        b.program_activity(
+            name, "math.double", [("X", INTEGER)], [("Y", INTEGER)],
+            {"X": b.from_input("X")},
+        )
+    b.connect("A", "B", Condition("Y", "<", 0))  # always false
+    b.connect("B", "C")
+    b.map_output("Y", b.from_activity("A", "Y"))
+    instance = engine().run_process(b.build(), {"X": 1})
+    assert instance.activity("B").state is ActivityState.SKIPPED
+    assert instance.activity("C").state is ActivityState.SKIPPED
+
+
+def test_failing_activity_fails_process():
+    b = ProcessBuilder("Fail", [("X", INTEGER)], [("Y", INTEGER)])
+    b.program_activity(
+        "Boom", "boom", [("X", INTEGER)], [("Y", INTEGER)],
+        {"X": b.from_input("X")},
+    )
+    b.map_output("Y", b.from_activity("Boom", "Y"))
+    wf_engine = engine()
+    with pytest.raises(ActivityFailedError, match="Boom"):
+        wf_engine.run_process(b.build(), {"X": 1})
+
+
+def test_unexpected_output_member_rejected():
+    registry = ProgramRegistry()
+    registry.register_program("bad.extra", lambda inp: {"Y": 1, "Zzz": 2})
+    b = ProcessBuilder("P", [("X", INTEGER)], [("Y", INTEGER)])
+    b.program_activity(
+        "A", "bad.extra", [("X", INTEGER)], [("Y", INTEGER)],
+        {"X": b.from_input("X")},
+    )
+    b.map_output("Y", b.from_activity("A", "Y"))
+    with pytest.raises((ContainerError, ActivityFailedError)):
+        WorkflowEngine(registry).run_process(b.build(), {"X": 1})
+
+
+def test_audit_trail_records_lifecycle():
+    wf_engine = engine()
+    wf_engine.run_process(double_chain(), {"X": 1})
+    events = [e.event for e in wf_engine.audit.for_process("Chain")]
+    assert events[0] == "process started"
+    assert events[-1] == "process finished"
+    assert events.count("activity started") == 2
+    assert events.count("activity finished") == 2
+
+
+class TestLoops:
+    def counting_loop(self, collect=False):
+        """Sub-process: emit V=counter, advance, until counter > End."""
+        registry = make_registry()
+        registry.register_program(
+            "loop.emit", lambda inp: {"V": inp["I"], "ROWS": [(inp["I"],)]}
+        )
+        registry.register_helper(
+            "loop.advance",
+            lambda inp: {
+                "NextI": inp["I"] + 1,
+                "Done": 1 if inp["I"] + 1 > inp["End"] else 0,
+            },
+        )
+        body = ProcessBuilder(
+            "Body", [("I", INTEGER), ("End", INTEGER)],
+            [("V", INTEGER), ("NextI", INTEGER), ("Done", INTEGER)],
+        )
+        body.program_activity(
+            "Emit", "loop.emit", [("I", INTEGER)], [("V", INTEGER)],
+            {"I": body.from_input("I")},
+        )
+        body.helper_activity(
+            "Advance", "loop.advance",
+            [("I", INTEGER), ("End", INTEGER)],
+            [("NextI", INTEGER), ("Done", INTEGER)],
+            {"I": body.from_input("I"), "End": body.from_input("End")},
+        )
+        body.sequence("Emit", "Advance")
+        body.map_output("V", body.from_activity("Emit", "V"))
+        body.map_output("NextI", body.from_activity("Advance", "NextI"))
+        body.map_output("Done", body.from_activity("Advance", "Done"))
+        if collect:
+            body.result_rows_from("Emit")
+        body_def = body.build()
+
+        outer = ProcessBuilder(
+            "Loop", [("Start", INTEGER), ("End", INTEGER)], [("V", INTEGER)]
+        )
+        outer.block_activity(
+            "Iterate", body_def,
+            input_map={
+                "I": outer.from_input("Start"),
+                "End": outer.from_input("End"),
+            },
+            until=Condition("Done", "=", 1),
+            carry={"I": "NextI"},
+            collect_rows=collect,
+        )
+        outer.map_output("V", outer.from_activity("Iterate", "V"))
+        if collect:
+            outer._definition.rows_from = "Iterate"
+        return registry, outer.build()
+
+    def test_do_until_runs_expected_iterations(self):
+        registry, process = self.counting_loop()
+        wf_engine = WorkflowEngine(registry)
+        instance = wf_engine.run_process(process, {"Start": 1, "End": 4})
+        assert instance.activity("Iterate").iterations == 4
+        assert instance.output.as_dict() == {"V": 4}  # last iteration's value
+
+    def test_do_until_runs_at_least_once(self):
+        registry, process = self.counting_loop()
+        instance = WorkflowEngine(registry).run_process(
+            process, {"Start": 5, "End": 1}
+        )
+        assert instance.activity("Iterate").iterations == 1
+
+    def test_collect_rows_concatenates_iterations(self):
+        registry, process = self.counting_loop(collect=True)
+        instance = WorkflowEngine(registry).run_process(
+            process, {"Start": 1, "End": 3}
+        )
+        assert instance.output.rows == [(1,), (2,), (3,)]
+
+    def test_loop_time_scales_linearly(self):
+        registry, process = self.counting_loop()
+        machine = Machine()
+        wf_engine = WorkflowEngine(registry, machine)
+
+        def run(k):
+            start = machine.clock.now
+            wf_engine.run_process(process, {"Start": 1, "End": k})
+            return machine.clock.now - start
+
+        t2, t4, t8 = run(2), run(4), run(8)
+        slope_a = (t4 - t2) / 2  # su per extra iteration
+        slope_b = (t8 - t4) / 4
+        assert slope_a == pytest.approx(slope_b, rel=0.01)
+
+    def test_runaway_loop_guarded(self):
+        registry, process = self.counting_loop()
+        block = process.activity("Iterate")
+        block.until = Condition("Done", "=", 99)  # never true
+        block.max_iterations = 10
+        with pytest.raises(ActivityFailedError, match="iterations"):
+            WorkflowEngine(registry).run_process(process, {"Start": 1, "End": 2})

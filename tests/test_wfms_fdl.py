@@ -1,0 +1,247 @@
+"""FDL parsing and serialization."""
+
+import pytest
+
+from repro.errors import FdlSyntaxError
+from repro.fdbs.types import INTEGER
+from repro.wfms.fdl import parse_fdl, to_fdl
+from repro.wfms.model import (
+    BlockActivity,
+    Constant,
+    FromActivityOutput,
+    FromProcessInput,
+    HelperActivity,
+    ProgramActivity,
+)
+
+SIMPLE = """
+PROCESS GetSuppQual
+  INPUT (SupplierName VARCHAR(40))
+  OUTPUT (Qual INTEGER)
+
+  PROGRAM_ACTIVITY GetSupplierNo
+    PROGRAM 'purchasing.GetSupplierNo'
+    INPUT (SupplierName VARCHAR(40))
+    OUTPUT (SupplierNo INTEGER)
+    MAP SupplierName FROM PROCESS.SupplierName
+  END_ACTIVITY
+
+  PROGRAM_ACTIVITY GetQuality
+    PROGRAM 'stock.GetQuality'
+    INPUT (SupplierNo INTEGER)
+    OUTPUT (Qual INTEGER)
+    MAP SupplierNo FROM GetSupplierNo.SupplierNo
+  END_ACTIVITY
+
+  CONTROL FROM GetSupplierNo TO GetQuality
+  MAP_OUTPUT Qual FROM GetQuality.Qual
+END_PROCESS
+"""
+
+
+def test_parse_simple_process():
+    processes = parse_fdl(SIMPLE)
+    process = processes["GetSuppQual"]
+    assert [a.name for a in process.activities] == ["GetSupplierNo", "GetQuality"]
+    first = process.activities[0]
+    assert isinstance(first, ProgramActivity)
+    assert first.program == "purchasing.GetSupplierNo"
+    assert first.input_map["SupplierName"] == FromProcessInput("SupplierName")
+    second = process.activities[1]
+    assert second.input_map["SupplierNo"] == FromActivityOutput(
+        "GetSupplierNo", "SupplierNo"
+    )
+    assert len(process.connectors) == 1
+
+
+def test_parse_constant_and_condition_and_helper():
+    text = """
+PROCESS P
+  INPUT (X INTEGER)
+  OUTPUT (Y INTEGER)
+  PROGRAM_ACTIVITY A
+    PROGRAM 'sys.fn'
+    INPUT (P1 INTEGER, P2 INTEGER)
+    OUTPUT (Y INTEGER)
+    MAP P1 FROM PROCESS.X
+    MAP P2 CONSTANT 1234
+  END_ACTIVITY
+  HELPER_ACTIVITY H
+    HELPER 'cast.it'
+    INPUT (V INTEGER)
+    OUTPUT (W BIGINT)
+    MAP V FROM A.Y
+  END_ACTIVITY
+  CONTROL FROM A TO H WHEN Y > 5
+  MAP_OUTPUT Y FROM A.Y
+END_PROCESS
+"""
+    process = parse_fdl(text)["P"]
+    a = process.activities[0]
+    assert a.input_map["P2"] == Constant(1234)
+    h = process.activities[1]
+    assert isinstance(h, HelperActivity)
+    condition = process.connectors[0].condition
+    assert condition is not None and condition.op == ">" and condition.value == 5
+
+
+def test_parse_block_with_subprocess_in_same_document():
+    text = """
+PROCESS Body
+  INPUT (I INTEGER, End INTEGER)
+  OUTPUT (NextI INTEGER, Done INTEGER)
+  HELPER_ACTIVITY Advance
+    HELPER 'loop.advance'
+    INPUT (I INTEGER, End INTEGER)
+    OUTPUT (NextI INTEGER, Done INTEGER)
+    MAP I FROM PROCESS.I
+    MAP End FROM PROCESS.End
+  END_ACTIVITY
+  MAP_OUTPUT NextI FROM Advance.NextI
+  MAP_OUTPUT Done FROM Advance.Done
+END_PROCESS
+
+PROCESS Loop
+  INPUT (Start INTEGER, End INTEGER)
+  OUTPUT (NextI INTEGER, Done INTEGER)
+  BLOCK_ACTIVITY Iterate
+    SUBPROCESS Body
+    UNTIL Done = 1
+    CARRY I FROM NextI
+    MAP I FROM PROCESS.Start
+    MAP End FROM PROCESS.End
+  END_ACTIVITY
+  MAP_OUTPUT NextI FROM Iterate.NextI
+  MAP_OUTPUT Done FROM Iterate.Done
+END_PROCESS
+"""
+    processes = parse_fdl(text)
+    block = processes["Loop"].activities[0]
+    assert isinstance(block, BlockActivity)
+    assert block.subprocess is processes["Body"]
+    assert block.carry == {"I": "NextI"}
+    assert block.until is not None and block.until.member == "Done"
+
+
+def test_unknown_subprocess_rejected():
+    text = """
+PROCESS Loop
+  INPUT (X INTEGER)
+  OUTPUT (Y INTEGER)
+  BLOCK_ACTIVITY B
+    SUBPROCESS Ghost
+  END_ACTIVITY
+  MAP_OUTPUT Y FROM B.Y
+END_PROCESS
+"""
+    with pytest.raises(FdlSyntaxError, match="Ghost"):
+        parse_fdl(text)
+
+
+def test_library_provides_subprocesses():
+    body = parse_fdl(
+        """
+PROCESS Body
+  INPUT (I INTEGER)
+  OUTPUT (Done INTEGER)
+  HELPER_ACTIVITY H
+    HELPER 'x'
+    INPUT (I INTEGER)
+    OUTPUT (Done INTEGER)
+    MAP I FROM PROCESS.I
+  END_ACTIVITY
+  MAP_OUTPUT Done FROM H.Done
+END_PROCESS
+"""
+    )
+    text = """
+PROCESS Outer
+  INPUT (I INTEGER)
+  OUTPUT (Done INTEGER)
+  BLOCK_ACTIVITY B
+    SUBPROCESS Body
+    UNTIL Done = 1
+    MAP I FROM PROCESS.I
+  END_ACTIVITY
+  MAP_OUTPUT Done FROM B.Done
+END_PROCESS
+"""
+    processes = parse_fdl(text, library=body)
+    assert processes["Outer"].activities[0].subprocess is body["Body"]
+
+
+def test_comments_and_blank_lines_ignored():
+    text = SIMPLE.replace(
+        "PROCESS GetSuppQual", "# leading comment\n\nPROCESS GetSuppQual  # trailing"
+    )
+    assert "GetSuppQual" in parse_fdl(text)
+
+
+def test_missing_input_clause_rejected():
+    broken = SIMPLE.replace("INPUT (SupplierName VARCHAR(40))", "")
+    with pytest.raises(FdlSyntaxError):
+        parse_fdl(broken)
+
+
+def test_missing_output_map_is_legal_but_leaves_output_unset():
+    # MQWF allows processes whose output members stay unmapped; reading
+    # them later fails at the container level, not at parse time.
+    broken = SIMPLE.replace("MAP_OUTPUT Qual FROM GetQuality.Qual", "")
+    process = parse_fdl(broken)["GetSuppQual"]
+    assert process.output_map == {}
+
+
+def test_missing_program_clause_rejected():
+    broken = SIMPLE.replace("PROGRAM 'purchasing.GetSupplierNo'", "")
+    with pytest.raises(FdlSyntaxError, match="PROGRAM"):
+        parse_fdl(broken)
+
+
+def test_bad_member_list_rejected():
+    with pytest.raises(FdlSyntaxError):
+        parse_fdl("PROCESS P\n  INPUT nope\n  OUTPUT (Y INT)\nEND_PROCESS")
+
+
+def test_empty_document_rejected():
+    with pytest.raises(FdlSyntaxError, match="no process"):
+        parse_fdl("# nothing here")
+
+
+def test_round_trip_simple():
+    original = parse_fdl(SIMPLE)["GetSuppQual"]
+    reparsed = parse_fdl(to_fdl(original))["GetSuppQual"]
+    assert [a.name for a in reparsed.activities] == [
+        a.name for a in original.activities
+    ]
+    assert reparsed.output_map.keys() == original.output_map.keys()
+    assert reparsed.input_type.members == original.input_type.members
+
+
+def test_round_trip_emits_subprocesses_first():
+    from repro.core.compile_workflow import compile_workflow
+    from repro.core.scenario import scenario_functions
+    from repro.appsys import (
+        ProductDataManagementSystem,
+        PurchasingSystem,
+        StockKeepingSystem,
+    )
+    from repro.wfms.programs import ProgramRegistry
+
+    systems = {
+        s.name: s
+        for s in (
+            StockKeepingSystem(),
+            PurchasingSystem(),
+            ProductDataManagementSystem(),
+        )
+    }
+    fed = next(f for f in scenario_functions() if f.name == "AllCompNames")
+    process = compile_workflow(
+        fed, lambda sy, fn: systems[sy].function(fn), ProgramRegistry()
+    )
+    text = to_fdl(process)
+    assert text.index("PROCESS AllCompNames_ACN_Body") < text.index(
+        "PROCESS AllCompNames\n"
+    )
+    reparsed = parse_fdl(text)
+    assert "AllCompNames" in reparsed

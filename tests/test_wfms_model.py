@@ -1,0 +1,201 @@
+"""Workflow process model: containers, conditions, validation."""
+
+import pytest
+
+from repro.errors import ContainerError, ProcessDefinitionError
+from repro.fdbs.types import INTEGER, VARCHAR
+from repro.wfms.builder import ProcessBuilder, container_type
+from repro.wfms.model import (
+    Condition,
+    ContainerType,
+    ControlConnector,
+    FromActivityOutput,
+    FromProcessInput,
+    ProcessDefinition,
+    ProgramActivity,
+)
+
+
+class TestContainers:
+    def make(self):
+        return ContainerType("C", (("No", INTEGER), ("Name", VARCHAR(10))))
+
+    def test_set_get(self):
+        container = self.make().new_container()
+        container.set("No", 5)
+        assert container.get("No") == 5
+
+    def test_member_names_case_insensitive(self):
+        container = self.make().new_container()
+        container.set("no", 5)
+        assert container.get("NO") == 5
+
+    def test_values_coerced_into_member_type(self):
+        container = self.make().new_container()
+        with pytest.raises(Exception):
+            container.set("No", "not a number")
+
+    def test_unknown_member_rejected(self):
+        container = self.make().new_container()
+        with pytest.raises(ContainerError):
+            container.set("zzz", 1)
+        with pytest.raises(ContainerError):
+            container.get("zzz")
+
+    def test_unset_member_read_rejected(self):
+        container = self.make().new_container()
+        with pytest.raises(ContainerError, match="unset"):
+            container.get("No")
+
+    def test_as_dict_preserves_declaration_order(self):
+        container = self.make().new_container()
+        container.set("Name", "x")
+        container.set("No", 1)
+        assert list(container.as_dict()) == ["No", "Name"]
+
+    def test_fill(self):
+        container = self.make().new_container().fill({"No": 1, "Name": "a"})
+        assert container.as_dict() == {"No": 1, "Name": "a"}
+
+
+class TestConditions:
+    def container_with(self, value):
+        c = ContainerType("C", (("Grade", INTEGER),)).new_container()
+        if value is not ...:
+            c.set("Grade", value)
+        return c
+
+    def test_operators(self):
+        assert Condition("Grade", ">", 5).evaluate(self.container_with(7))
+        assert Condition("Grade", "=", 7).evaluate(self.container_with(7))
+        assert Condition("Grade", "<>", 5).evaluate(self.container_with(7))
+        assert not Condition("Grade", "<=", 5).evaluate(self.container_with(7))
+
+    def test_unset_member_is_false(self):
+        assert not Condition("Grade", ">", 0).evaluate(self.container_with(...))
+
+    def test_null_is_false(self):
+        assert not Condition("Grade", "=", 0).evaluate(self.container_with(None))
+
+    def test_unknown_member_rejected(self):
+        with pytest.raises(ContainerError):
+            Condition("Zzz", "=", 1).evaluate(self.container_with(1))
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(ProcessDefinitionError):
+            Condition("Grade", "~=", 1)
+
+    def test_render(self):
+        assert Condition("Done", "=", 1).render() == "Done = 1"
+        assert Condition("Name", "=", "x").render() == "Name = 'x'"
+
+
+def simple_activity(name, program="p.q"):
+    return ProgramActivity(
+        name=name,
+        input_type=container_type(f"{name}_IN", [("X", INTEGER)]),
+        output_type=container_type(f"{name}_OUT", [("Y", INTEGER)]),
+        input_map={"X": FromProcessInput("X")},
+        program=program,
+    )
+
+
+class TestValidation:
+    def base(self, activities, connectors, output_map=None):
+        return ProcessDefinition(
+            name="P",
+            input_type=container_type("P_IN", [("X", INTEGER)]),
+            output_type=container_type("P_OUT", [("Y", INTEGER)]),
+            activities=activities,
+            connectors=connectors,
+            output_map=output_map or {"Y": FromActivityOutput("A", "Y")},
+        )
+
+    def test_valid_process_passes(self):
+        process = self.base([simple_activity("A")], [])
+        process.validate()
+
+    def test_duplicate_activity_rejected(self):
+        process = self.base([simple_activity("A"), simple_activity("a")], [])
+        with pytest.raises(ProcessDefinitionError, match="duplicate"):
+            process.validate()
+
+    def test_dangling_connector_rejected(self):
+        process = self.base(
+            [simple_activity("A")], [ControlConnector("A", "ghost")]
+        )
+        with pytest.raises(ProcessDefinitionError, match="ghost"):
+            process.validate()
+
+    def test_self_loop_rejected(self):
+        process = self.base([simple_activity("A")], [ControlConnector("A", "A")])
+        with pytest.raises(ProcessDefinitionError, match="do-until"):
+            process.validate()
+
+    def test_control_cycle_rejected(self):
+        process = self.base(
+            [simple_activity("A"), simple_activity("B")],
+            [ControlConnector("A", "B"), ControlConnector("B", "A")],
+        )
+        with pytest.raises(ProcessDefinitionError, match="cycle"):
+            process.validate()
+
+    def test_unknown_input_source_rejected(self):
+        activity = simple_activity("A")
+        activity.input_map = {"X": FromActivityOutput("ghost", "Y")}
+        with pytest.raises(ProcessDefinitionError):
+            self.base([activity], []).validate()
+
+    def test_unknown_output_member_of_producer_rejected(self):
+        a = simple_activity("A")
+        b = simple_activity("B")
+        b.input_map = {"X": FromActivityOutput("A", "Nope")}
+        with pytest.raises(ProcessDefinitionError, match="Nope"):
+            self.base([a, b], [ControlConnector("A", "B")]).validate()
+
+    def test_unknown_process_input_rejected(self):
+        activity = simple_activity("A")
+        activity.input_map = {"X": FromProcessInput("Missing")}
+        with pytest.raises(ProcessDefinitionError, match="Missing"):
+            self.base([activity], []).validate()
+
+    def test_output_map_member_checked(self):
+        process = self.base(
+            [simple_activity("A")],
+            [],
+            output_map={"Nope": FromActivityOutput("A", "Y")},
+        )
+        with pytest.raises(ProcessDefinitionError):
+            process.validate()
+
+    def test_rows_from_checked(self):
+        process = self.base([simple_activity("A")], [])
+        process.rows_from = "ghost"
+        with pytest.raises(ProcessDefinitionError, match="rows_from"):
+            process.validate()
+
+    def test_topological_order_respects_edges(self):
+        a, b, c = (simple_activity(n) for n in "ABC")
+        process = self.base(
+            [c, b, a],
+            [ControlConnector("A", "B"), ControlConnector("B", "C")],
+        )
+        order = [x.name for x in process.topological_order()]
+        assert order.index("A") < order.index("B") < order.index("C")
+
+    def test_program_activity_count(self):
+        process = self.base([simple_activity("A"), simple_activity("B")], [])
+        assert process.program_activity_count() == 2
+
+
+class TestBuilder:
+    def test_sequence_requires_two(self):
+        builder = ProcessBuilder("P", [("X", INTEGER)], [("Y", INTEGER)])
+        with pytest.raises(ProcessDefinitionError):
+            builder.sequence("A")
+
+    def test_build_validates(self):
+        builder = ProcessBuilder("P", [("X", INTEGER)], [("Y", INTEGER)])
+        builder.connect("nope", "alsonope")
+        with pytest.raises(ProcessDefinitionError):
+            builder.build()

@@ -1,0 +1,83 @@
+"""Activity retry policies — the WfMS error-handling the paper credits."""
+
+import pytest
+
+from repro.errors import ActivityFailedError
+from repro.fdbs.types import INTEGER
+from repro.simtime.costs import DEFAULT_COSTS
+from repro.sysmodel.machine import Machine
+from repro.wfms.builder import ProcessBuilder
+from repro.wfms.engine import WorkflowEngine
+from repro.wfms.fdl import parse_fdl, to_fdl
+from repro.wfms.programs import ProgramRegistry
+
+
+def flaky_registry(fail_times):
+    registry = ProgramRegistry()
+    state = {"left": fail_times}
+
+    def flaky(inputs):
+        if state["left"] > 0:
+            state["left"] -= 1
+            raise RuntimeError("transient outage")
+        return {"Y": inputs["X"] + 1}
+
+    registry.register_program("flaky", flaky)
+    return registry, state
+
+
+def flaky_process(max_retries):
+    b = ProcessBuilder("P", [("X", INTEGER)], [("Y", INTEGER)])
+    b.program_activity(
+        "A", "flaky", [("X", INTEGER)], [("Y", INTEGER)],
+        {"X": b.from_input("X")},
+        max_retries=max_retries,
+    )
+    b.map_output("Y", b.from_activity("A", "Y"))
+    return b.build()
+
+
+def test_retry_recovers_from_transient_failure():
+    registry, _ = flaky_registry(fail_times=2)
+    engine = WorkflowEngine(registry)
+    instance = engine.run_process(flaky_process(max_retries=2), {"X": 1})
+    assert instance.output.as_dict() == {"Y": 2}
+    retried = [e for e in engine.audit.events if e.event == "activity retried"]
+    assert len(retried) == 2
+
+
+def test_exhausted_retries_fail_the_process():
+    registry, _ = flaky_registry(fail_times=5)
+    engine = WorkflowEngine(registry)
+    with pytest.raises(ActivityFailedError):
+        engine.run_process(flaky_process(max_retries=2), {"X": 1})
+
+
+def test_zero_retries_is_the_default():
+    registry, _ = flaky_registry(fail_times=1)
+    engine = WorkflowEngine(registry)
+    with pytest.raises(ActivityFailedError):
+        engine.run_process(flaky_process(max_retries=0), {"X": 1})
+
+
+def test_each_attempt_pays_full_activity_cost():
+    machine = Machine()
+    registry, _ = flaky_registry(fail_times=2)
+    engine = WorkflowEngine(registry, machine)
+    start = machine.clock.now
+    engine.run_process(flaky_process(max_retries=2), {"X": 1})
+    elapsed = machine.clock.now - start
+    per_attempt = DEFAULT_COSTS.wf_activity_jvm + DEFAULT_COSTS.wf_activity_container
+    assert elapsed >= 3 * per_attempt  # two failures + one success
+
+
+def test_retries_round_trip_through_fdl():
+    process = flaky_process(max_retries=3)
+    text = to_fdl(process)
+    assert "RETRIES 3" in text
+    reparsed = parse_fdl(text)["P"]
+    assert reparsed.activities[0].max_retries == 3
+
+
+def test_fdl_omits_zero_retries():
+    assert "RETRIES" not in to_fdl(flaky_process(max_retries=0))

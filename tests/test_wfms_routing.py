@@ -1,0 +1,135 @@
+"""Conditional routing: exclusive choice + OR-join merge."""
+
+import pytest
+
+from repro.errors import NavigationError, ProcessDefinitionError
+from repro.fdbs.types import INTEGER, VARCHAR
+from repro.wfms.builder import ProcessBuilder
+from repro.wfms.engine import WorkflowEngine
+from repro.wfms.instance import ActivityState
+from repro.wfms.model import Condition, FromActivityOutput, FromAnyActivity
+from repro.wfms.programs import ProgramRegistry
+
+
+def registry():
+    reg = ProgramRegistry()
+    reg.register_program("grade", lambda inp: {"Grade": inp["X"]})
+    reg.register_program("fast", lambda inp: {"Answer": "EXPRESS"})
+    reg.register_program("slow", lambda inp: {"Answer": "NEGOTIATE"})
+    reg.register_program("record", lambda inp: {"Final": inp["Answer"]})
+    return reg
+
+
+def routed_process(merge_join="OR"):
+    """grade -> (fast | slow by condition) -> record (merge)."""
+    b = ProcessBuilder("Route", [("X", INTEGER)], [("Final", VARCHAR(20))])
+    b.program_activity(
+        "Grade", "grade", [("X", INTEGER)], [("Grade", INTEGER)],
+        {"X": b.from_input("X")},
+    )
+    b.program_activity(
+        "Fast", "fast", [("X", INTEGER)], [("Answer", VARCHAR(20))],
+        {"X": b.from_input("X")},
+    )
+    b.program_activity(
+        "Slow", "slow", [("X", INTEGER)], [("Answer", VARCHAR(20))],
+        {"X": b.from_input("X")},
+    )
+    b.program_activity(
+        "Record", "record", [("Answer", VARCHAR(20))], [("Final", VARCHAR(20))],
+        {
+            "Answer": FromAnyActivity(
+                (
+                    FromActivityOutput("Fast", "Answer"),
+                    FromActivityOutput("Slow", "Answer"),
+                )
+            )
+        },
+    )
+    b.connect("Grade", "Fast", Condition("Grade", ">=", 6))
+    b.connect("Grade", "Slow", Condition("Grade", "<", 6))
+    b.connect("Fast", "Record").connect("Slow", "Record")
+    b._definition.activity("Record").join = merge_join
+    b.map_output("Final", b.from_activity("Record", "Final"))
+    return b.build()
+
+
+def test_high_grade_takes_fast_path():
+    engine = WorkflowEngine(registry())
+    instance = engine.run_process(routed_process(), {"X": 8})
+    assert instance.output.as_dict() == {"Final": "EXPRESS"}
+    assert instance.activity("Fast").state is ActivityState.FINISHED
+    assert instance.activity("Slow").state is ActivityState.SKIPPED
+
+
+def test_low_grade_takes_slow_path():
+    engine = WorkflowEngine(registry())
+    instance = engine.run_process(routed_process(), {"X": 2})
+    assert instance.output.as_dict() == {"Final": "NEGOTIATE"}
+    assert instance.activity("Fast").state is ActivityState.SKIPPED
+
+
+def test_and_join_merge_dies_with_either_branch():
+    engine = WorkflowEngine(registry())
+    instance = engine.run_process(routed_process(merge_join="AND"), {"X": 8})
+    assert instance.activity("Record").state is ActivityState.SKIPPED
+    # The process finishes, but the output member stays unset.
+    assert not instance.output.is_set("Final")
+
+
+def test_from_any_activity_with_no_finished_producer_fails_clearly():
+    b = ProcessBuilder("P", [("X", INTEGER)], [("Final", VARCHAR(20))])
+    reg = registry()
+    b.program_activity(
+        "Grade", "grade", [("X", INTEGER)], [("Grade", INTEGER)],
+        {"X": b.from_input("X")},
+    )
+    b.program_activity(
+        "Fast", "fast", [("X", INTEGER)], [("Answer", VARCHAR(20))],
+        {"X": b.from_input("X")},
+    )
+    b.program_activity(
+        "Record", "record", [("Answer", VARCHAR(20))], [("Final", VARCHAR(20))],
+        {"Answer": FromAnyActivity((FromActivityOutput("Fast", "Answer"),))},
+    )
+    b.connect("Grade", "Fast", Condition("Grade", ">", 99))  # never
+    b.connect("Fast", "Record")
+    b._definition.activity("Record").join = "OR"
+    b.connect("Grade", "Record")  # keeps Record alive without data
+    b.map_output("Final", b.from_activity("Record", "Final"))
+    with pytest.raises(Exception):
+        WorkflowEngine(reg).run_process(b.build(), {"X": 1})
+
+
+def test_empty_from_any_rejected_at_validation():
+    b = ProcessBuilder("P", [("X", INTEGER)], [("Y", INTEGER)])
+    b.program_activity(
+        "A", "grade", [("X", INTEGER)], [("Grade", INTEGER)],
+        {"X": FromAnyActivity(())},
+    )
+    b.map_output("Y", b.from_activity("A", "Grade"))
+    with pytest.raises(ProcessDefinitionError, match="at least one choice"):
+        b.build()
+
+
+def test_unknown_join_kind_rejected():
+    b = ProcessBuilder("P", [("X", INTEGER)], [("Y", INTEGER)])
+    b.program_activity(
+        "A", "grade", [("X", INTEGER)], [("Grade", INTEGER)],
+        {"X": b.from_input("X")},
+    )
+    b.map_output("Y", b.from_activity("A", "Grade"))
+    b._definition.activities[0].join = "XOR"
+    with pytest.raises(ProcessDefinitionError, match="join kind"):
+        b.build()
+
+
+def test_routing_round_trips_through_fdl():
+    from repro.wfms.fdl import parse_fdl, to_fdl
+
+    process = routed_process()
+    reparsed = parse_fdl(to_fdl(process))["Route"]
+    record = reparsed.activity("Record")
+    assert record.join == "OR"
+    assert isinstance(record.input_map["Answer"], FromAnyActivity)
+    assert len(record.input_map["Answer"].choices) == 2

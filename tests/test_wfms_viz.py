@@ -1,0 +1,94 @@
+"""DOT export of workflow processes (the paper's Fig. 1)."""
+
+import pytest
+
+from repro.appsys import (
+    ProductDataManagementSystem,
+    PurchasingSystem,
+    StockKeepingSystem,
+)
+from repro.core.compile_workflow import compile_workflow
+from repro.core.scenario import scenario_functions
+from repro.wfms.programs import ProgramRegistry
+from repro.wfms.viz import to_dot
+
+
+@pytest.fixture(scope="module")
+def resolver(data):
+    systems = {
+        s.name: s
+        for s in (
+            StockKeepingSystem(None, data),
+            PurchasingSystem(None, data),
+            ProductDataManagementSystem(None, data),
+        )
+    }
+    return lambda system, function: systems[system].function(function)
+
+
+def process_for(name, resolver):
+    fed = next(f for f in scenario_functions() if f.name == name)
+    return compile_workflow(fed, resolver, ProgramRegistry())
+
+
+def test_fig1_buysuppcomp_dot(resolver):
+    dot = to_dot(process_for("BuySuppComp", resolver))
+    assert dot.startswith("digraph workflow {")
+    assert dot.rstrip().endswith("}")
+    # The five local-function activities of Fig. 1:
+    for activity in ("GQ", "GR", "GG", "GCN", "DP"):
+        assert f'"BuySuppComp.{activity}"' in dot
+    # Precedence edges (the figure's arrows):
+    assert '"BuySuppComp.GQ" -> "BuySuppComp.GG"' in dot
+    assert '"BuySuppComp.GG" -> "BuySuppComp.DP"' in dot
+    assert '"BuySuppComp.GCN" -> "BuySuppComp.DP"' in dot
+
+
+def test_constants_render_as_plaintext_nodes(resolver):
+    dot = to_dot(process_for("GetNumberSupp1234", resolver))
+    assert "1234" in dot
+    assert "plaintext" in dot
+
+
+def test_block_renders_cluster_and_loop_marker(resolver):
+    dot = to_dot(process_for("AllCompNames", resolver))
+    assert "doubleoctagon" in dot
+    assert "subgraph cluster_AllCompNames_ACN_Body" in dot
+    assert "do-until Done = 1" in dot
+
+
+def test_conditions_label_edges():
+    from repro.fdbs.types import INTEGER
+    from repro.wfms.builder import ProcessBuilder
+    from repro.wfms.model import Condition
+
+    b = ProcessBuilder("P", [("X", INTEGER)], [("Y", INTEGER)])
+    for name in ("A", "B"):
+        b.program_activity(
+            name, "p", [("X", INTEGER)], [("Y", INTEGER)],
+            {"X": b.from_input("X")},
+        )
+    b.connect("A", "B", Condition("Y", ">", 3))
+    b.map_output("Y", b.from_activity("A", "Y"))
+    dot = to_dot(b.build())
+    assert '[label="Y > 3"]' in dot
+
+
+def test_quotes_escaped():
+    from repro.fdbs.types import VARCHAR
+    from repro.wfms.builder import ProcessBuilder
+
+    b = ProcessBuilder("P", [("X", VARCHAR(5))], [("Y", VARCHAR(5))])
+    b.program_activity(
+        "A", "p", [("X", VARCHAR(5))], [("Y", VARCHAR(5))],
+        {"X": b.constant('he said "hi"')},
+    )
+    b.map_output("Y", b.from_activity("A", "Y"))
+    dot = to_dot(b.build())
+    assert r"\"hi\"" in dot
+
+
+def test_data_edges_can_be_disabled(resolver):
+    with_edges = to_dot(process_for("BuySuppComp", resolver))
+    without = to_dot(process_for("BuySuppComp", resolver), include_data_edges=False)
+    assert with_edges.count("style=dashed") > without.count("style=dashed")
