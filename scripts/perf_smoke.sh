@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Perf smoke: tier-1 tests plus the wall-clock executor microbenchmark
+# at a reduced row count.  Intended for CI — fast enough to run on every
+# change, still catches executor regressions an order of magnitude deep.
+#
+# Usage: scripts/perf_smoke.sh [rows]   (default: 10000)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROWS="${1:-10000}"
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== wall-clock executor microbenchmark (${ROWS} fact rows) =="
+python benchmarks/bench_wallclock_executor.py --rows "$ROWS" \
+    --out BENCH_executor_smoke.json
+
+python - <<'EOF'
+import json
+
+summary = json.load(open("BENCH_executor_smoke.json"))
+assert summary["parity"], "row/batch parity violated"
+assert summary["speedup"] >= 3.0, f"speedup {summary['speedup']}x < 3x"
+print(f"OK: {summary['speedup']}x speedup, parity holds")
+EOF

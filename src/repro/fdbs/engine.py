@@ -107,11 +107,19 @@ class FunctionRuntime:
 class Database:
     """One database instance with its catalog, storage and runtimes."""
 
-    def __init__(self, name: str = "FDBS", machine: "Machine | None" = None):
+    def __init__(
+        self,
+        name: str = "FDBS",
+        machine: "Machine | None" = None,
+        execution_mode: str = "row",
+    ):
         self.name = name
         self.machine = machine
         self.catalog = Catalog()
         self.statement_cache = StatementCache()
+        #: "row" (Volcano) or "batch" (vectorized chunks + hash joins).
+        self.execution_mode = "row"
+        self.set_execution_mode(execution_mode)
         self.federation = FederationLayer(self)
         self.function_runtime: FunctionRuntime = FunctionRuntime(self)
         self._undo = UndoLog()
@@ -130,6 +138,19 @@ class Database:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
+
+    def set_execution_mode(self, mode: str) -> None:
+        """Switch between ``"row"`` and ``"batch"`` execution.
+
+        Cached statement plans are mode-specific, so the statement cache
+        is keyed per mode (see :meth:`_parse_cached`); switching modes
+        never invalidates the other mode's entries.
+        """
+        if mode not in ("row", "batch"):
+            raise ExecutionError(
+                f"unknown execution mode {mode!r}; expected 'row' or 'batch'"
+            )
+        self.execution_mode = mode
 
     def execute(
         self,
@@ -159,7 +180,8 @@ class Database:
         statement = parse_statement(sql)
         if not isinstance(statement, ast.Select):
             raise PlanError("EXPLAIN supports SELECT statements only")
-        return self._planner().plan_select(statement).explain()
+        plan = self._planner().plan_select(statement)
+        return plan.explain(mode=self.execution_mode)
 
     def call_procedure(self, name: str, args: list[object]) -> dict[str, object]:
         """CALL a stored procedure; returns its OUT/INOUT values."""
@@ -187,7 +209,11 @@ class Database:
     # ------------------------------------------------------------------
 
     def _parse_cached(self, sql: str) -> ast.Statement:
-        cached = self.statement_cache.get(sql)
+        # Namespaced per execution mode: planner rewrites annotate the
+        # AST in mode-specific ways, so row and batch executions never
+        # share an entry.  The *warmth* key stays mode-independent — the
+        # simulated plan-compile charge is identical in both modes.
+        cached = self.statement_cache.get(sql, namespace=self.execution_mode)
         if cached is not None:
             return cached  # type: ignore[return-value]
         if self.machine is not None:
@@ -196,7 +222,7 @@ class Database:
                 self.machine.clock.advance(self.machine.costs.plan_compile)
                 self.machine.warmth.note_statement(key)
         statement = parse_statement(sql)
-        self.statement_cache.put(sql, statement)
+        self.statement_cache.put(sql, statement, namespace=self.execution_mode)
         return statement
 
     def set_current_user(self, name: str) -> None:
@@ -246,7 +272,7 @@ class Database:
             return self._execute_select(statement, params, trace)
         if isinstance(statement, ast.Explain):
             plan = self._planner().plan_select(statement.query)
-            lines = plan.explain().splitlines()
+            lines = plan.explain(mode=self.execution_mode).splitlines()
             return Result(
                 columns=["PLAN"],
                 rows=[(line,) for line in lines],
@@ -341,7 +367,11 @@ class Database:
     # SELECT
     # ------------------------------------------------------------------
 
-    def _planner(self, params: ParamScope | None = None) -> Planner:
+    def _planner(
+        self,
+        params: ParamScope | None = None,
+        execution_mode: str | None = None,
+    ) -> Planner:
         machine = self.machine
         return Planner(
             self.catalog,
@@ -353,6 +383,7 @@ class Database:
             enable_pushdown=self.pushdown_enabled,
             pushdown_counter=self.federation,
             enable_index_selection=self.index_selection_enabled,
+            execution_mode=execution_mode or self.execution_mode,
         )
 
     def _invoke_table_function(
@@ -396,7 +427,10 @@ class Database:
     ) -> Result:
         plan = self._planner().plan_select(statement)
         ctx = EvalContext(params=params, trace=trace)
-        rows = list(plan.rows(ctx))
+        if self.execution_mode == "batch":
+            rows = [row for chunk in plan.batches(ctx) for row in chunk]
+        else:
+            rows = list(plan.rows(ctx))
         if self.machine is not None:
             self.machine.clock.advance(self.machine.costs.fdbs_row_cost * len(rows))
         return Result(
@@ -441,7 +475,12 @@ class Database:
                     for index, param in enumerate(function.params)
                 },
             )
-            plan = self._planner(scope).plan_select(function.body)
+            # UDTF bodies always plan (and run) row-at-a-time: fenced
+            # invocation semantics and the per-row simulated cost charges
+            # must stay bit-identical regardless of the session's mode.
+            plan = self._planner(scope, execution_mode="row").plan_select(
+                function.body
+            )
             if len(plan.schema) != len(function.returns):
                 raise PlanError(
                     f"body of {function.name} produces {len(plan.schema)} "

@@ -1,10 +1,20 @@
-"""Volcano-style plan operators.
+"""Volcano-style plan operators, with an optional batch protocol.
 
 Every operator exposes ``schema`` (a list of
 :class:`~repro.fdbs.expr.ColumnSlot`) and ``rows(ctx)`` yielding flat
 tuples.  Plans are built by :mod:`repro.fdbs.planner` and executed by
 the engine, which supplies the :class:`~repro.fdbs.expr.EvalContext`
 and the table-function invoker.
+
+Operators additionally expose ``batches(ctx)`` yielding *chunks* (lists)
+of tuples.  The default implementation chunks ``rows(ctx)``, so every
+operator is batch-capable; the hot relational operators (scan, filter,
+project, hash join, aggregate, sort, distinct, union, limit) override it
+with vectorized implementations that evaluate whole chunks per
+Python-level call.  Row mode and batch mode produce identical rows — the
+batch forms only change *how often Python dispatches*, never the
+relational semantics, the lateral (left-to-right) evaluation order, or
+the simulated cost accounting.
 """
 
 from __future__ import annotations
@@ -13,8 +23,17 @@ from typing import Callable, Iterable, Iterator, Protocol, Sequence
 
 from repro.errors import ExecutionError
 from repro.fdbs.catalog import TableFunction
-from repro.fdbs.expr import ColumnSlot, CompiledExpr, EvalContext, truthy
+from repro.fdbs.expr import (
+    BatchFn,
+    ColumnSlot,
+    CompiledExpr,
+    EvalContext,
+    truthy,
+)
 from repro.fdbs.storage import Table
+
+#: Default number of rows per chunk in batch execution.
+BATCH_SIZE = 1024
 
 
 class FunctionInvoker(Protocol):
@@ -34,10 +53,30 @@ class Plan:
         """Yield the operator's result rows."""
         raise NotImplementedError
 
-    def explain(self, indent: int = 0) -> str:
-        """Human-readable plan tree (EXPLAIN-style)."""
+    def batches(self, ctx: EvalContext, size: int = BATCH_SIZE) -> Iterator[list[tuple]]:
+        """Yield chunks of result rows (default: chunked ``rows``)."""
+        chunk: list[tuple] = []
+        append = chunk.append
+        for row in self.rows(ctx):
+            append(row)
+            if len(chunk) >= size:
+                yield chunk
+                chunk = []
+                append = chunk.append
+        if chunk:
+            yield chunk
+
+    def explain(self, indent: int = 0, mode: str | None = None) -> str:
+        """Human-readable plan tree (EXPLAIN-style).
+
+        ``mode`` (when given) prepends an ``Execution(mode=...)`` header
+        so EXPLAIN output shows whether the plan runs row- or batch-wise.
+        """
         pad = "  " * indent
-        lines = [pad + self._describe()]
+        lines = []
+        if mode is not None:
+            lines.append(pad + f"Execution(mode={mode})")
+        lines.append(pad + self._describe())
         for child in self._children():
             lines.append(child.explain(indent + 1))
         return "\n".join(lines)
@@ -90,6 +129,19 @@ class TableScanPlan(Plan):
             return
         for row in self._table.rows():
             yield row
+
+    def batches(self, ctx: EvalContext, size: int = BATCH_SIZE) -> Iterator[list[tuple]]:
+        """Yield chunks by slicing the materialised heap directly."""
+        if self.index_probe is not None:
+            column, value_expr = self.index_probe
+            value = value_expr((), ctx)
+            if value is None:
+                return  # col = NULL never matches
+            data = self._table.index_lookup(column, value)
+        else:
+            data = self._table.rows()
+        for start in range(0, len(data), size):
+            yield data[start : start + size]
 
     def _describe(self) -> str:
         if self.index_probe is not None:
@@ -163,6 +215,17 @@ class CrossApplyPlan(Plan):
         for left_row in self.left.rows(ctx):
             for right_row in self.right.rows_for(left_row, ctx):
                 yield left_row + right_row
+
+    def batches(self, ctx: EvalContext, size: int = BATCH_SIZE) -> Iterator[list[tuple]]:
+        """Yield chunks.  The degenerate first fold step (Unit seed on
+        the left, a static plan on the right) forwards the right side's
+        batches unchanged; lateral folds keep row-at-a-time semantics
+        (chunked), preserving the left-to-right invocation order that
+        the cost accounting and fenced UDTF semantics depend on."""
+        if isinstance(self.left, UnitPlan) and isinstance(self.right, StaticRightSide):
+            yield from self.right.plan.batches(ctx, size)
+            return
+        yield from super().batches(ctx, size)
 
     def _describe(self) -> str:
         return "CrossApply"
@@ -302,6 +365,139 @@ class NestedLoopJoinPlan(Plan):
         return [self.left, self.right]
 
 
+def _join_key_part(value: object) -> object:
+    """Normalise one join-key value for hashing.
+
+    Strings drop trailing blanks so CHAR-padded keys match exactly like
+    the row-mode ``=`` comparison (see ``expr._align``); everything else
+    hashes natively (Python guarantees ``hash(1) == hash(1.0)`` wherever
+    ``1 == 1.0``).
+    """
+    return value.rstrip() if isinstance(value, str) else value
+
+
+class HashJoinPlan(Plan):
+    """INNER / LEFT OUTER equi-join through an in-memory hash table.
+
+    The planner selects this operator (batch mode only) when the ON
+    clause carries at least one hash-compatible equi-conjunct; remaining
+    conjuncts become the ``residual`` predicate, evaluated against the
+    combined row exactly as the nested-loop join would.  Output order
+    matches the nested-loop join: left rows in input order, matching
+    right rows in right-input order.
+    """
+
+    def __init__(
+        self,
+        left: Plan,
+        right: Plan,
+        kind: str,
+        left_keys: list[CompiledExpr],
+        right_keys: list[CompiledExpr],
+        residual: CompiledExpr | None = None,
+        key_names: list[str] | None = None,
+    ):
+        if kind not in ("INNER", "LEFT OUTER"):
+            raise ExecutionError(f"unsupported hash-join kind {kind!r}")
+        if not left_keys or len(left_keys) != len(right_keys):
+            raise ExecutionError("hash join requires matching key lists")
+        self.left = left
+        self.right = right
+        self.kind = kind
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.residual = residual
+        self.key_names = key_names or []
+        self.schema = left.schema + right.schema
+        #: Chunk-at-a-time closures for the left key columns (attached by
+        #: the planner in batch mode; evaluated against left rows only).
+        self.batch_left_keys: list[BatchFn] | None = None
+
+    def _build(self, ctx: EvalContext) -> dict[tuple, list[tuple]]:
+        """Materialise the right side into key buckets (NULLs never match)."""
+        table: dict[tuple, list[tuple]] = {}
+        right_keys = self.right_keys
+        for right_row in self.right.rows(ctx):
+            values = [key(right_row, ctx) for key in right_keys]
+            if any(value is None for value in values):
+                continue
+            key = tuple(_join_key_part(value) for value in values)
+            bucket = table.get(key)
+            if bucket is None:
+                table[key] = [right_row]
+            else:
+                bucket.append(right_row)
+        return table
+
+    def _probe(
+        self,
+        left_row: tuple,
+        key: tuple | None,
+        table: dict[tuple, list[tuple]],
+        null_right: tuple,
+        ctx: EvalContext,
+        out: list[tuple],
+    ) -> None:
+        """Emit join results for one left row into ``out``."""
+        matched = False
+        if key is not None:
+            residual = self.residual
+            for right_row in table.get(key, ()):
+                combined = left_row + right_row
+                if residual is None or truthy(residual(combined, ctx)):
+                    matched = True
+                    out.append(combined)
+        if not matched and self.kind == "LEFT OUTER":
+            out.append(left_row + null_right)
+
+    def _left_key(self, left_row: tuple, ctx: EvalContext) -> tuple | None:
+        values = [key(left_row, ctx) for key in self.left_keys]
+        if any(value is None for value in values):
+            return None
+        return tuple(_join_key_part(value) for value in values)
+
+    def rows(self, ctx: EvalContext) -> Iterator[tuple]:
+        """Yield the operator's result rows."""
+        table = self._build(ctx)
+        null_right = (None,) * len(self.right.schema)
+        for left_row in self.left.rows(ctx):
+            out: list[tuple] = []
+            self._probe(left_row, self._left_key(left_row, ctx), table, null_right, ctx, out)
+            yield from out
+
+    def batches(self, ctx: EvalContext, size: int = BATCH_SIZE) -> Iterator[list[tuple]]:
+        """Yield chunks by probing the hash table with left chunks."""
+        table = self._build(ctx)
+        null_right = (None,) * len(self.right.schema)
+        batch_keys = self.batch_left_keys
+        for chunk in self.left.batches(ctx, size):
+            out: list[tuple] = []
+            if batch_keys is not None:
+                columns = [fn(chunk, ctx) for fn in batch_keys]
+                for index, left_row in enumerate(chunk):
+                    values = [column[index] for column in columns]
+                    if any(value is None for value in values):
+                        key = None
+                    else:
+                        key = tuple(_join_key_part(value) for value in values)
+                    self._probe(left_row, key, table, null_right, ctx, out)
+            else:
+                for left_row in chunk:
+                    self._probe(
+                        left_row, self._left_key(left_row, ctx), table, null_right, ctx, out
+                    )
+            if out:
+                yield out
+
+    def _describe(self) -> str:
+        keys = ", ".join(self.key_names) if self.key_names else f"{len(self.left_keys)} key(s)"
+        suffix = ", residual" if self.residual is not None else ""
+        return f"HashJoin({self.kind}, on {keys}{suffix})"
+
+    def _children(self) -> list[Plan]:
+        return [self.left, self.right]
+
+
 class FilterPlan(Plan):
     """WHERE / HAVING filter."""
 
@@ -310,12 +506,30 @@ class FilterPlan(Plan):
         self.predicate = predicate
         self.schema = input_plan.schema
         self._label = label
+        #: Chunk-at-a-time predicate (attached by the planner in batch mode).
+        self.batch_predicate: BatchFn | None = None
 
     def rows(self, ctx: EvalContext) -> Iterator[tuple]:
         """Yield the operator's result rows."""
         for row in self.input.rows(ctx):
             if truthy(self.predicate(row, ctx)):
                 yield row
+
+    def batches(self, ctx: EvalContext, size: int = BATCH_SIZE) -> Iterator[list[tuple]]:
+        """Yield chunks filtered through the vectorized predicate."""
+        batch_predicate = self.batch_predicate
+        if batch_predicate is None:
+            predicate = self.predicate
+            for chunk in self.input.batches(ctx, size):
+                out = [row for row in chunk if truthy(predicate(row, ctx))]
+                if out:
+                    yield out
+            return
+        for chunk in self.input.batches(ctx, size):
+            mask = batch_predicate(chunk, ctx)
+            out = [row for row, keep in zip(chunk, mask) if keep is True]
+            if out:
+                yield out
 
     def _describe(self) -> str:
         return self._label
@@ -336,11 +550,29 @@ class ProjectPlan(Plan):
         self.input = input_plan
         self.exprs = exprs
         self.schema = schema
+        #: Chunk-at-a-time column closures (attached by the planner in
+        #: batch mode); one per select-list expression.
+        self.batch_exprs: list[BatchFn] | None = None
 
     def rows(self, ctx: EvalContext) -> Iterator[tuple]:
         """Yield the operator's result rows."""
         for row in self.input.rows(ctx):
             yield tuple(expr(row, ctx) for expr in self.exprs)
+
+    def batches(self, ctx: EvalContext, size: int = BATCH_SIZE) -> Iterator[list[tuple]]:
+        """Yield chunks projected column-wise."""
+        batch_exprs = self.batch_exprs
+        if batch_exprs is None:
+            exprs = self.exprs
+            for chunk in self.input.batches(ctx, size):
+                yield [tuple(expr(row, ctx) for expr in exprs) for row in chunk]
+            return
+        for chunk in self.input.batches(ctx, size):
+            if not batch_exprs:
+                yield [()] * len(chunk)
+                continue
+            columns = [fn(chunk, ctx) for fn in batch_exprs]
+            yield list(zip(*columns))
 
     def _describe(self) -> str:
         return f"Project({', '.join(s.name for s in self.schema)})"
@@ -356,6 +588,8 @@ class AggregateSpec:
         self.name = name.upper()
         self.arg = arg  # None means COUNT(*)
         self.distinct = distinct
+        #: Chunk-at-a-time closure for ``arg`` (attached in batch mode).
+        self.batch_arg: BatchFn | None = None
 
     def new_state(self) -> "_AggState":
         """Fresh running state for one group."""
@@ -376,7 +610,13 @@ class _AggState:
         if self.spec.arg is None:  # COUNT(*)
             self.count += 1
             return
-        value = self.spec.arg(row, ctx)
+        self.update_value(self.spec.arg(row, ctx))
+
+    def update_value(self, value: object) -> None:
+        """Fold one already-evaluated argument value into the state."""
+        if self.spec.arg is None:  # COUNT(*): every row counts
+            self.count += 1
+            return
         if value is None:
             return
         if self.seen is not None:
@@ -391,6 +631,48 @@ class _AggState:
             self.best = value if self.best is None or value < self.best else self.best
         elif name == "MAX":
             self.best = value if self.best is None or value > self.best else self.best
+
+    def update_chunk(self, values: list | None, count: int) -> None:
+        """Fold a whole chunk of argument values at once.
+
+        ``values`` is None for COUNT(*) (``count`` rows, no argument).
+        SUM/MIN/MAX over plain numeric chunks use the C-level builtins;
+        anything they cannot fold (mixed or exotic operand types) falls
+        back to the exact per-value path, keeping row-mode semantics.
+        """
+        if self.spec.arg is None:
+            self.count += count
+            return
+        assert values is not None
+        if self.seen is not None:  # DISTINCT must see every value in order
+            for value in values:
+                self.update_value(value)
+            return
+        live = [value for value in values if value is not None]
+        if not live:
+            return
+        name = self.spec.name
+        try:
+            if name in ("SUM", "AVG"):
+                folded = sum(live)
+            elif name == "MIN":
+                folded = min(live)
+            elif name == "MAX":
+                folded = max(live)
+            else:  # COUNT(expr)
+                self.count += len(live)
+                return
+        except TypeError:
+            for value in live:
+                self.update_value(value)
+            return
+        self.count += len(live)
+        if name in ("SUM", "AVG"):
+            self.total = folded if self.total is None else self.total + folded
+        elif name == "MIN":
+            self.best = folded if self.best is None or folded < self.best else self.best
+        elif name == "MAX":
+            self.best = folded if self.best is None or folded > self.best else self.best
 
     def result(self) -> object:
         name = self.spec.name
@@ -431,6 +713,8 @@ class AggregatePlan(Plan):
         self.group_exprs = group_exprs
         self.aggregates = aggregates
         self.schema = schema
+        #: Chunk-at-a-time closures for the group keys (batch mode).
+        self.batch_group: list[BatchFn] | None = None
 
     def rows(self, ctx: EvalContext) -> Iterator[tuple]:
         """Yield the operator's result rows."""
@@ -452,6 +736,52 @@ class AggregatePlan(Plan):
             return
         for key in order:
             yield key + tuple(state.result() for state in groups[key])
+
+    def _argument_columns(self, chunk: list[tuple], ctx: EvalContext) -> list[list | None]:
+        """One evaluated value column per aggregate (None for COUNT(*))."""
+        columns: list[list | None] = []
+        for spec in self.aggregates:
+            if spec.arg is None:
+                columns.append(None)
+            elif spec.batch_arg is not None:
+                columns.append(spec.batch_arg(chunk, ctx))
+            else:
+                columns.append([spec.arg(row, ctx) for row in chunk])
+        return columns
+
+    def batches(self, ctx: EvalContext, size: int = BATCH_SIZE) -> Iterator[list[tuple]]:
+        """Yield chunks of aggregated rows, folding input chunk-wise."""
+        if not self.group_exprs:
+            states = [spec.new_state() for spec in self.aggregates]
+            for chunk in self.input.batches(ctx, size):
+                columns = self._argument_columns(chunk, ctx)
+                for state, column in zip(states, columns):
+                    state.update_chunk(column, len(chunk))
+            yield [tuple(state.result() for state in states)]
+            return
+        groups: dict[tuple, list[_AggState]] = {}
+        order: list[tuple] = []
+        batch_group = self.batch_group
+        for chunk in self.input.batches(ctx, size):
+            if batch_group is not None:
+                key_columns = [fn(chunk, ctx) for fn in batch_group]
+                keys = list(zip(*key_columns))
+            else:
+                keys = [
+                    tuple(expr(row, ctx) for expr in self.group_exprs) for row in chunk
+                ]
+            columns = self._argument_columns(chunk, ctx)
+            for index, key in enumerate(keys):
+                states = groups.get(key)
+                if states is None:
+                    states = [spec.new_state() for spec in self.aggregates]
+                    groups[key] = states
+                    order.append(key)
+                for state, column in zip(states, columns):
+                    state.update_value(column[index] if column is not None else None)
+        out = [key + tuple(state.result() for state in groups[key]) for key in order]
+        for start in range(0, len(out), size):
+            yield out[start : start + size]
 
     def _describe(self) -> str:
         return f"Aggregate(groups={len(self.group_exprs)}, aggs={len(self.aggregates)})"
@@ -479,7 +809,9 @@ class SortPlan(Plan):
 
     def rows(self, ctx: EvalContext) -> Iterator[tuple]:
         """Yield the operator's result rows."""
-        materialised = list(self.input.rows(ctx))
+        yield from self._sorted(list(self.input.rows(ctx)), ctx)
+
+    def _sorted(self, materialised: list[tuple], ctx: EvalContext) -> list[tuple]:
         # Stable multi-key sort: apply keys right-to-left.
         for key, ascending in reversed(self.keys):
             if isinstance(key, int):
@@ -487,7 +819,16 @@ class SortPlan(Plan):
             else:
                 extractor = lambda row, _fn=key: _SortKey(_fn(row, ctx))
             materialised.sort(key=extractor, reverse=not ascending)
-        yield from materialised
+        return materialised
+
+    def batches(self, ctx: EvalContext, size: int = BATCH_SIZE) -> Iterator[list[tuple]]:
+        """Materialise input chunks, sort once, re-chunk the output."""
+        materialised: list[tuple] = []
+        for chunk in self.input.batches(ctx, size):
+            materialised.extend(chunk)
+        ordered = self._sorted(materialised, ctx)
+        for start in range(0, len(ordered), size):
+            yield ordered[start : start + size]
 
     def _describe(self) -> str:
         return "Sort"
@@ -530,6 +871,12 @@ class CutPlan(Plan):
         for row in self.input.rows(ctx):
             yield row[: self.width]
 
+    def batches(self, ctx: EvalContext, size: int = BATCH_SIZE) -> Iterator[list[tuple]]:
+        """Yield chunks with hidden sort-key columns trimmed."""
+        width = self.width
+        for chunk in self.input.batches(ctx, size):
+            yield [row[:width] for row in chunk]
+
     def _describe(self) -> str:
         return f"Cut({self.width})"
 
@@ -551,6 +898,19 @@ class DistinctPlan(Plan):
             if row not in seen:
                 seen.add(row)
                 yield row
+
+    def batches(self, ctx: EvalContext, size: int = BATCH_SIZE) -> Iterator[list[tuple]]:
+        """Yield chunks with duplicates removed (first occurrence wins)."""
+        seen: set[tuple] = set()
+        add = seen.add
+        for chunk in self.input.batches(ctx, size):
+            out = []
+            for row in chunk:
+                if row not in seen:
+                    add(row)
+                    out.append(row)
+            if out:
+                yield out
 
     def _describe(self) -> str:
         return "Distinct"
@@ -577,6 +937,18 @@ class LimitPlan(Plan):
             produced += 1
             if produced >= self.limit:
                 return
+
+    def batches(self, ctx: EvalContext, size: int = BATCH_SIZE) -> Iterator[list[tuple]]:
+        """Yield chunks until the row budget is spent."""
+        remaining = self.limit
+        if remaining <= 0:
+            return
+        for chunk in self.input.batches(ctx, size):
+            if len(chunk) >= remaining:
+                yield chunk[:remaining]
+                return
+            remaining -= len(chunk)
+            yield chunk
 
     def _describe(self) -> str:
         return f"Limit({self.limit})"
@@ -610,6 +982,24 @@ class UnionPlan(Plan):
                 if row not in seen:
                     seen.add(row)
                     yield row
+
+    def batches(self, ctx: EvalContext, size: int = BATCH_SIZE) -> Iterator[list[tuple]]:
+        """Yield each branch's chunks in turn (deduplicated unless ALL)."""
+        if self.all:
+            for branch in self.branches:
+                yield from branch.batches(ctx, size)
+            return
+        seen: set[tuple] = set()
+        add = seen.add
+        for branch in self.branches:
+            for chunk in branch.batches(ctx, size):
+                out = []
+                for row in chunk:
+                    if row not in seen:
+                        add(row)
+                        out.append(row)
+                if out:
+                    yield out
 
     def _describe(self) -> str:
         return f"Union(all={self.all})"

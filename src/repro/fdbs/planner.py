@@ -31,6 +31,7 @@ from repro.fdbs.executor import (
     DistinctPlan,
     FilterPlan,
     FunctionInvoker,
+    HashJoinPlan,
     LimitPlan,
     NestedLoopJoinPlan,
     Plan,
@@ -44,6 +45,8 @@ from repro.fdbs.executor import (
     UnitPlan,
 )
 from repro.fdbs.expr import (
+    BatchCompiler,
+    BatchFn,
     ColumnSlot,
     CompiledExpr,
     EvalContext,
@@ -51,6 +54,7 @@ from repro.fdbs.expr import (
     ParamScope,
     RowLayout,
     contains_aggregate,
+    hash_join_compatible,
     is_aggregate_call,
 )
 from repro.fdbs.types import implicitly_castable
@@ -74,6 +78,7 @@ class Planner:
         enable_pushdown: bool = True,
         pushdown_counter=None,
         enable_index_selection: bool = True,
+        execution_mode: str = "row",
     ):
         self.catalog = catalog
         self.invoker = invoker
@@ -88,7 +93,16 @@ class Planner:
         self.pushdown_counter = pushdown_counter
         #: Index selection for local equality conjuncts.
         self.enable_index_selection = enable_index_selection
+        #: "row" (Volcano, per-row dispatch) or "batch" (chunked
+        #: execution with vectorized expressions and hash equi-joins).
+        self.execution_mode = execution_mode
         self._view_stack: list[str] = []
+
+    def _batch(self, compiler: ExpressionCompiler, expr: ast.Expression) -> BatchFn | None:
+        """Batch-compile ``expr`` when planning for batch execution."""
+        if self.execution_mode != "batch":
+            return None
+        return BatchCompiler(compiler).compile(expr)
 
     # -- public API -----------------------------------------------------------
 
@@ -129,6 +143,7 @@ class Planner:
             where = self._select_indexes(where, layout, local_scans)
         if where is not None:
             plan = FilterPlan(plan, compiler.compile(where), "Filter(WHERE)")
+            plan.batch_predicate = self._batch(compiler, where)
 
         items = self._expand_stars(select.items, layout)
         needs_aggregate = (
@@ -146,6 +161,7 @@ class Planner:
             compiler = self._compiler(layout)
             if having is not None:
                 plan = FilterPlan(plan, compiler.compile(having), "Filter(HAVING)")
+                plan.batch_predicate = self._batch(compiler, having)
 
         exprs: list[CompiledExpr] = []
         schema: list[ColumnSlot] = []
@@ -164,9 +180,13 @@ class Planner:
             )
 
         if top_level and select.order_by:
-            plan = self._project_and_sort(plan, layout, exprs, schema, select)
+            plan = self._project_and_sort(plan, layout, exprs, schema, select, items)
         else:
             plan = ProjectPlan(plan, exprs, schema)
+            if self.execution_mode == "batch":
+                plan.batch_exprs = [
+                    self._batch(compiler, item.expr) for item in items
+                ]
 
         if select.distinct:
             plan = DistinctPlan(plan)
@@ -181,6 +201,7 @@ class Planner:
         exprs: list[CompiledExpr],
         schema: list[ColumnSlot],
         select: ast.Select,
+        items: list[ast.SelectItem],
     ) -> Plan:
         """Projection + ORDER BY for a single query block.
 
@@ -194,6 +215,7 @@ class Planner:
         out_compiler = self._compiler(output_layout)
         keys: list[tuple] = []
         hidden: list[CompiledExpr] = []
+        hidden_asts: list[ast.Expression] = []
         for order_item in select.order_by:
             expr = order_item.expr
             if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
@@ -219,15 +241,25 @@ class Planner:
             compiled = self._compiler(layout).compile(expr)
             keys.append((width + len(hidden), order_item.ascending))
             hidden.append(compiled)
+            hidden_asts.append(expr)
+        input_compiler = self._compiler(layout)
         if hidden:
             extended_schema = schema + [
                 ColumnSlot(None, f"$k{index}", compiled.type)
                 for index, compiled in enumerate(hidden)
             ]
             plan = ProjectPlan(plan, exprs + hidden, extended_schema)
+            if self.execution_mode == "batch":
+                plan.batch_exprs = [
+                    self._batch(input_compiler, item.expr) for item in items
+                ] + [self._batch(input_compiler, expr) for expr in hidden_asts]
             plan = SortPlan(plan, keys)
             return CutPlan(plan, width, schema)
         plan = ProjectPlan(plan, exprs, schema)
+        if self.execution_mode == "batch":
+            plan.batch_exprs = [
+                self._batch(input_compiler, item.expr) for item in items
+            ]
         return SortPlan(plan, keys)
 
     def _expand_stars(
@@ -469,10 +501,111 @@ class Planner:
         combined = RowLayout(left.schema + right.schema)
         predicate = None
         if item.on is not None:
+            # Always compile the full ON clause first: name-resolution
+            # errors (unknown / ambiguous columns) must surface exactly
+            # as they do in row mode.
             predicate = self._compiler(combined).compile(item.on)
         elif item.kind != "CROSS":
             raise PlanError(f"{item.kind} JOIN requires an ON condition")
+        if (
+            self.execution_mode == "batch"
+            and item.on is not None
+            and item.kind in ("INNER", "LEFT OUTER")
+        ):
+            hash_join = self._try_hash_join(left, right, item)
+            if hash_join is not None:
+                return hash_join
         return NestedLoopJoinPlan(left, right, item.kind, predicate)
+
+    def _try_hash_join(self, left: Plan, right: Plan, item: ast.Join) -> Plan | None:
+        """Build a :class:`HashJoinPlan` when the ON clause carries at
+        least one hash-compatible equi-conjunct; None keeps the NLJ."""
+        from repro.fdbs.pushdown import recombine, split_conjuncts
+
+        left_layout = RowLayout(left.schema)
+        right_layout = RowLayout(right.schema)
+        left_compiler = self._compiler(left_layout)
+        right_compiler = self._compiler(right_layout)
+        left_keys: list[CompiledExpr] = []
+        right_keys: list[CompiledExpr] = []
+        key_names: list[str] = []
+        key_asts: list[ast.Expression] = []
+        residual: list[ast.Expression] = []
+        for conjunct in split_conjuncts(item.on):
+            pair = self._equi_key(
+                conjunct, left_compiler, right_compiler, left_layout, right_layout
+            )
+            if pair is None:
+                residual.append(conjunct)
+                continue
+            left_ast, left_key, right_key = pair
+            left_keys.append(left_key)
+            right_keys.append(right_key)
+            key_names.append(conjunct.render())
+            key_asts.append(left_ast)
+        if not left_keys:
+            return None
+        residual_expr = recombine(residual)
+        combined = RowLayout(left.schema + right.schema)
+        residual_compiled = (
+            self._compiler(combined).compile(residual_expr)
+            if residual_expr is not None
+            else None
+        )
+        plan = HashJoinPlan(
+            left, right, item.kind, left_keys, right_keys, residual_compiled, key_names
+        )
+        batch = BatchCompiler(left_compiler)
+        plan.batch_left_keys = [batch.compile(key_ast) for key_ast in key_asts]
+        return plan
+
+    def _equi_key(
+        self,
+        conjunct: ast.Expression,
+        left_compiler: ExpressionCompiler,
+        right_compiler: ExpressionCompiler,
+        left_layout: RowLayout,
+        right_layout: RowLayout,
+    ) -> tuple[ast.Expression, CompiledExpr, CompiledExpr] | None:
+        """(left ast, left key, right key) for ``left_side = right_side``
+        conjuncts whose sides each touch only one join input; None sends
+        the conjunct to the residual predicate."""
+        if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
+            return None
+        sides = (
+            (conjunct.left, conjunct.right),
+            (conjunct.right, conjunct.left),
+        )
+        for first, second in sides:
+            left_key = self._side_key(first, left_compiler, left_layout)
+            right_key = self._side_key(second, right_compiler, right_layout)
+            if left_key is None or right_key is None:
+                continue
+            if not hash_join_compatible(left_key.type, right_key.type):
+                # The row-mode comparison would align these operands
+                # (e.g. DECIMAL vs DOUBLE); a raw hash probe would not.
+                return None
+            return first, left_key, right_key
+        return None
+
+    def _side_key(
+        self,
+        expr: ast.Expression,
+        compiler: ExpressionCompiler,
+        layout: RowLayout,
+    ) -> CompiledExpr | None:
+        """Compile one equality side against a single join input, or
+        None when it references anything outside that input."""
+        refs = list(_column_refs(expr))
+        if not refs:
+            return None  # constant-only sides stay in the residual
+        try:
+            for ref in refs:
+                if layout.resolve(ref.qualifier, ref.name) is None:
+                    return None
+            return compiler.compile(expr)
+        except (PlanError, TypeError_):
+            return None
 
     def _plan_join_side(self, item: ast.FromItem) -> Plan:
         if isinstance(item, ast.TableRef):
@@ -636,9 +769,9 @@ class Planner:
             elif len(call.args) == 1:
                 if contains_aggregate(call.args[0]):
                     raise PlanError("aggregates cannot be nested")
-                agg_specs.append(
-                    AggregateSpec(name, compiler.compile(call.args[0]), call.distinct)
-                )
+                spec = AggregateSpec(name, compiler.compile(call.args[0]), call.distinct)
+                spec.batch_arg = self._batch(compiler, call.args[0])
+                agg_specs.append(spec)
             else:
                 raise PlanError(f"aggregate {call.name} takes exactly one argument")
 
@@ -649,6 +782,10 @@ class Planner:
             ColumnSlot(None, f"$a{index}", None) for index in range(len(agg_specs))
         ]
         agg_plan = AggregatePlan(plan, group_compiled, agg_specs, post_schema)
+        if self.execution_mode == "batch" and select.group_by:
+            agg_plan.batch_group = [
+                self._batch(compiler, expr) for expr in select.group_by
+            ]
         post_layout = RowLayout(post_schema)
 
         replacement: dict[str, ast.Expression] = {}
@@ -682,6 +819,7 @@ class Planner:
         compiler = self._compiler(output_layout)
         width = len(output_schema)
         extra_exprs: list[CompiledExpr] = []
+        extra_asts: list[ast.Expression] = []
         key_positions: list[tuple[int, bool]] = []
         for order_item in select.order_by:
             expr = order_item.expr
@@ -696,6 +834,7 @@ class Planner:
             compiled = compiler.compile(expr)
             key_positions.append((width + len(extra_exprs), order_item.ascending))
             extra_exprs.append(compiled)
+            extra_asts.append(expr)
         if extra_exprs:
             identity = [
                 _slot_ref(index, slot) for index, slot in enumerate(output_schema)
@@ -705,6 +844,10 @@ class Planner:
                 for index, expr in enumerate(extra_exprs)
             ]
             plan = ProjectPlan(plan, identity + extra_exprs, extended_schema)
+            if self.execution_mode == "batch":
+                plan.batch_exprs = [
+                    _slot_batch(index) for index in range(width)
+                ] + [self._batch(compiler, expr) for expr in extra_asts]
         plan = SortPlan(plan, key_positions)
         if extra_exprs:
             plan = CutPlan(plan, width, output_schema)
@@ -732,6 +875,11 @@ def _slot_ref(index: int, slot: ColumnSlot) -> CompiledExpr:
     return CompiledExpr(
         lambda row, ctx, _i=index: row[_i], slot.type, ast.ColumnRef(None, slot.name)
     )
+
+
+def _slot_batch(index: int) -> BatchFn:
+    """Batch identity extractor for one output slot position."""
+    return lambda chunk, ctx, _i=index: [row[_i] for row in chunk]
 
 
 def _column_refs(expr: ast.Expression):

@@ -60,7 +60,10 @@ class StatementCache:
     """Caches compiled plans by statement text.
 
     Eviction is LRU with a configurable capacity; any DDL invalidates
-    the whole cache (catalog objects may have changed shape).
+    the whole cache (catalog objects may have changed shape).  Entries
+    may be *namespaced* (the engine namespaces by execution mode, so a
+    row-mode plan is never served to a batch-mode execution); hit, miss
+    and eviction counters are exposed through :meth:`stats`.
     """
 
     def __init__(self, capacity: int = 256):
@@ -70,15 +73,22 @@ class StatementCache:
         self._entries: dict[str, object] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @staticmethod
     def normalize(sql: str) -> str:
         """Cache key: whitespace-insensitive statement text."""
         return " ".join(sql.split())
 
-    def get(self, sql: str) -> object | None:
+    def _key(self, sql: str, namespace: str | None) -> str:
+        normalized = self.normalize(sql)
+        if namespace is None:
+            return normalized
+        return f"{namespace}\x00{normalized}"
+
+    def get(self, sql: str, namespace: str | None = None) -> object | None:
         """Cached entry for the statement text, or None (LRU refresh)."""
-        key = self.normalize(sql)
+        key = self._key(sql, namespace)
         if key in self._entries:
             self.hits += 1
             value = self._entries.pop(key)
@@ -87,19 +97,30 @@ class StatementCache:
         self.misses += 1
         return None
 
-    def put(self, sql: str, value: object) -> None:
+    def put(self, sql: str, value: object, namespace: str | None = None) -> None:
         """Cache an entry, evicting the least recently used if full."""
-        key = self.normalize(sql)
+        key = self._key(sql, namespace)
         if key in self._entries:
             self._entries.pop(key)
         elif len(self._entries) >= self.capacity:
             oldest = next(iter(self._entries))
             del self._entries[oldest]
+            self.evictions += 1
         self._entries[key] = value
 
     def invalidate(self) -> None:
         """Drop every cached entry (DDL happened)."""
         self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters plus current size and capacity."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._entries),
+            "capacity": self.capacity,
+        }
 
     def __contains__(self, sql: str) -> bool:
         return self.normalize(sql) in self._entries

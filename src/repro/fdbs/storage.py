@@ -60,9 +60,13 @@ class HashIndex:
             if not bucket:
                 del self._buckets[row[self.position]]
 
-    def lookup(self, value: object) -> set[int]:
-        """Rids whose key equals ``value``."""
-        return set(self._buckets.get(value, ()))
+    def lookup(self, value: object) -> list[int]:
+        """Rids whose key equals ``value``, in ascending rid order.
+
+        Buckets are sets, so iteration order would otherwise depend on
+        hash seeding — sorting makes index-assisted scans reproducible.
+        """
+        return sorted(self._buckets.get(value, ()))
 
 
 class Table:
@@ -229,7 +233,7 @@ class Table:
     def index_lookup(self, column: str, value: object) -> list[Row]:
         """Rows whose ``column`` equals ``value`` via the hash index."""
         index = self.create_index(column)
-        return [self._rows[rid] for rid in sorted(index.lookup(value))]  # type: ignore[misc]
+        return [self._rows[rid] for rid in index.lookup(value)]  # type: ignore[misc]
 
     def __len__(self) -> int:
         return self._live
