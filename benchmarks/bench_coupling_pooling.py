@@ -1,0 +1,153 @@
+"""Coupling benchmark — warm pooling + result cache on the hot path.
+
+Runs the E9 pooling ablation (``repro.bench.experiments
+.exp_coupling_ablation``): the Fig. 6 anchor function, hot, under
+baseline / warm-pool / pool+cache configurations on both measured
+architectures.  Asserts the acceptance criteria of the pooling work:
+
+* with both features off, the per-call totals equal the calibrated
+  Fig. 5/6 anchors (bit-identical baseline);
+* with pooling on, the process/JVM-start share of the repeat-call
+  window drops by at least 2x on both architectures;
+* result rows are identical across all configurations, and the paper's
+  architecture ranking (UDTF faster than WfMS) survives every
+  configuration.
+
+It also measures the **wall-clock** cost of the simulated hot loop, so
+the report records both axes.  Results are written to
+``BENCH_coupling.json`` in the repository root.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_coupling_pooling.py --repeats 5
+
+or through pytest (deselected by default via the ``perf`` marker)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_coupling_pooling.py -m perf -s
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench.experiments import (
+    COUPLING_CONFIGS,
+    exp_coupling_ablation,
+    render_coupling_ablation,
+)
+from repro.core.architectures import Architecture
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_coupling.json"
+
+WFMS = Architecture.WFMS.value
+UDTF = Architecture.ENHANCED_SQL_UDTF.value
+
+
+def run(repeats: int) -> dict:
+    """Run the ablation sweep and summarize both time axes."""
+    wall_start = time.perf_counter()
+    result = exp_coupling_ablation(repeats=repeats)
+    wall_seconds = time.perf_counter() - wall_start
+
+    measurements = []
+    for m in result.measurements:
+        measurements.append(
+            {
+                "architecture": m.architecture,
+                "config": m.config,
+                "pooling": m.pooling,
+                "result_cache": m.result_cache,
+                "calls": m.calls,
+                "per_call_su": round(m.per_call, 4),
+                "start_cost_su": round(m.start_cost, 4),
+                "start_share": round(m.start_share, 4),
+                "warm_hits": m.warm_hits,
+                "cold_starts": m.cold_starts,
+                "pool_stats": m.pool_stats,
+                "cache_stats": m.cache_stats,
+                "rmi_stats": m.rmi_stats,
+            }
+        )
+
+    def cell(architecture: str, config: str):
+        return result.get(architecture, config)
+
+    summary = {
+        "benchmark": "coupling_pooling",
+        "function": result.function,
+        "repeats": repeats,
+        "configs": [label for label, _, _ in COUPLING_CONFIGS],
+        "wall_seconds": round(wall_seconds, 6),
+        "measurements": measurements,
+        "start_share_reduction": {
+            arch: round(
+                cell(arch, "baseline").start_share
+                / cell(arch, "pooled").start_share,
+                3,
+            )
+            for arch in (WFMS, UDTF)
+        },
+        "parity": all(
+            cell(arch, "baseline").rows
+            == cell(arch, "pooled").rows
+            == cell(arch, "pooled+cache").rows
+            for arch in (WFMS, UDTF)
+        ),
+        "ranking_preserved": all(
+            cell(WFMS, config).per_call > cell(UDTF, config).per_call
+            for config, _, _ in COUPLING_CONFIGS
+        ),
+        "baseline_per_call": {
+            arch: round(cell(arch, "baseline").per_call, 4)
+            for arch in (WFMS, UDTF)
+        },
+    }
+    return summary
+
+
+def write_report(summary: dict, path: Path = REPORT_PATH) -> None:
+    """Persist the benchmark summary as JSON."""
+    path.write_text(json.dumps(summary, indent=2) + "\n")
+
+
+@pytest.mark.perf
+def test_coupling_pooling_breakdown():
+    """Pooling halves (at least) the start share; parity + ranking hold."""
+    summary = run(repeats=5)
+    write_report(summary)
+    print()
+    print(json.dumps(summary, indent=2))
+    assert summary["parity"], "configurations disagree on result rows"
+    assert summary["ranking_preserved"], (
+        "the paper's architecture ranking flipped under pooling"
+    )
+    for architecture, reduction in summary["start_share_reduction"].items():
+        assert reduction >= 2.0, (
+            f"{architecture}: start-cost share reduced only {reduction}x, "
+            "below the 2x acceptance bar"
+        )
+    # The baseline must stay pinned to the calibrated anchors (the same
+    # values test_calibration_regression.py guards).
+    assert abs(summary["baseline_per_call"][WFMS] - 302.9) < 1.0
+    assert abs(summary["baseline_per_call"][UDTF] - 101.8) < 1.0
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI entry point: ``--repeats N`` and ``--out PATH``."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--out", type=Path, default=REPORT_PATH)
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    summary = run(args.repeats)
+    write_report(summary, args.out)
+    print(render_coupling_ablation(exp_coupling_ablation(repeats=args.repeats)))
+    print(json.dumps(summary, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -2,8 +2,9 @@
 
 Prints, in order: the Sect. 3 capability table (E2), the three
 processing situations (E3), the Fig. 5 comparison (E4), the Fig. 6
-breakdown (E5), the controller ablation (E6), the loop scaling (E7) and
-the parallel-vs-sequential comparison (E8).
+breakdown (E5), the controller ablation (E6), the loop scaling (E7),
+the parallel-vs-sequential comparison (E8) and the pooling ablation
+(E9).
 
 Run with::
 
@@ -25,6 +26,7 @@ def main() -> None:
         ("E7", exp.render_cyclic_scaling(exp.exp_cyclic_scaling())),
         ("E8", exp.render_parallel_vs_sequential(
             exp.exp_parallel_vs_sequential(data=data))),
+        ("E9", exp.render_coupling_ablation(exp.exp_coupling_ablation(data=data))),
     ]
     for label, text in sections:
         print(f"\n################ {label} ################")

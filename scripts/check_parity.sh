@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Parity gate: one command proving that optimizations never change
+# results or baseline timings.
+#
+#  1. row/batch executor parity suite (same rows either mode),
+#  2. pooling/caching ablation parity tests (flags off => simulated
+#     timings bit-identical to the calibrated anchors; flags on =>
+#     same result rows, paper's architecture ranking preserved),
+#  3. calibration regression (the frozen Fig. 5/6 anchor numbers).
+#
+# Usage: scripts/check_parity.sh
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== row/batch parity suite =="
+python -m pytest -q tests/test_fdbs_batch_parity.py
+
+echo "== pooling/caching ablation parity =="
+python -m pytest -q tests/test_coupling_ablation.py tests/test_result_cache.py
+
+echo "== calibration regression =="
+python -m pytest -q tests/test_calibration_regression.py
+
+echo "parity checks passed"

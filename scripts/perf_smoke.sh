@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Perf smoke: tier-1 tests plus the wall-clock executor microbenchmark
-# at a reduced row count.  Intended for CI — fast enough to run on every
-# change, still catches executor regressions an order of magnitude deep.
+# at a reduced row count, plus the coupling pooling/caching ablation.
+# Intended for CI — fast enough to run on every change, still catches
+# executor regressions an order of magnitude deep.
 #
 # Usage: scripts/perf_smoke.sh [rows]   (default: 10000)
 
@@ -26,4 +27,19 @@ summary = json.load(open("BENCH_executor_smoke.json"))
 assert summary["parity"], "row/batch parity violated"
 assert summary["speedup"] >= 3.0, f"speedup {summary['speedup']}x < 3x"
 print(f"OK: {summary['speedup']}x speedup, parity holds")
+EOF
+
+echo "== coupling pooling/caching ablation =="
+python benchmarks/bench_coupling_pooling.py --out BENCH_coupling.json
+
+python - <<'EOF'
+import json
+
+summary = json.load(open("BENCH_coupling.json"))
+assert summary["parity"], "ablation configs disagree on result rows"
+assert summary["ranking_preserved"], "architecture ranking flipped"
+for arch, factor in summary["start_share_reduction"].items():
+    assert factor >= 2.0, f"{arch}: start-share reduced only {factor}x"
+print("OK: start-share reductions",
+      summary["start_share_reduction"], "- parity and ranking hold")
 EOF

@@ -39,6 +39,13 @@ class LocalFunction:
     returns: list[tuple[str, SqlType]]
     implementation: Callable[..., object]
     description: str = ""
+    deterministic: bool = False
+    """Equal arguments always produce equal rows (read-only lookup);
+    makes the function eligible for the integration server's result
+    cache when that feature is switched on."""
+    mutates: bool = False
+    """The function writes the system's private database; invoking it
+    invalidates every cached result owned by this system."""
 
     def signature(self) -> str:
         """Human-readable signature text."""
@@ -128,18 +135,46 @@ class ApplicationSystem:
             coerce_into(value, param_type)
             for value, (_, param_type) in zip(args, function.params)
         ]
+        machine = self.machine
+        cache_key = f"{self.name}.{function.name}"
+        if (
+            machine is not None
+            and machine.result_cache.enabled
+            and function.deterministic
+            and not function.mutates
+        ):
+            cached = machine.result_cache.get(
+                machine.result_cache_namespace(), cache_key, tuple(coerced)
+            )
+            if cached is not None:
+                # Served from integration-server memory: the application
+                # system is not invoked (call_count stays put).
+                with maybe_span(trace, "Process activities"):
+                    machine.clock.advance(machine.costs.result_cache_hit_cost)
+                return cached
         self.call_count += 1
         with maybe_span(trace, "Process activities"):
-            if self.machine is not None:
-                self.machine.ensure_appsys(self.name)
-                self.machine.clock.advance(self.machine.costs.local_function_base)
+            if machine is not None:
+                machine.ensure_appsys(self.name)
+                machine.clock.advance(machine.costs.local_function_base)
             rows = normalize_rows(
                 function.implementation(*coerced), f"{self.name}.{name}"
             )
             rows = self._coerce_rows(function, rows)
-            if self.machine is not None and rows:
-                self.machine.clock.advance(
-                    self.machine.costs.local_function_row_cost * len(rows)
+            if machine is not None and rows:
+                machine.clock.advance(
+                    machine.costs.local_function_row_cost * len(rows)
+                )
+        if machine is not None:
+            if function.mutates:
+                machine.result_cache.invalidate_owner(self.name)
+            elif function.deterministic:
+                machine.result_cache.put(
+                    machine.result_cache_namespace(),
+                    cache_key,
+                    tuple(coerced),
+                    rows,
+                    owner=self.name,
                 )
         return rows
 

@@ -81,6 +81,7 @@ class ProductDataManagementSystem(ApplicationSystem):
                 returns=[("No", INTEGER)],
                 implementation=get_comp_no,
                 description="component number for a component name",
+                deterministic=True,
             )
         )
         self.register_function(
@@ -90,6 +91,7 @@ class ProductDataManagementSystem(ApplicationSystem):
                 returns=[("CompName", VARCHAR(60))],
                 implementation=get_comp_name,
                 description="component name for a component number",
+                deterministic=True,
             )
         )
         self.register_function(
@@ -99,6 +101,7 @@ class ProductDataManagementSystem(ApplicationSystem):
                 returns=[("SubCompNo", INTEGER)],
                 implementation=get_sub_comp_no,
                 description="sub-components from the bill of material",
+                deterministic=True,
             )
         )
         self.register_function(
@@ -108,5 +111,6 @@ class ProductDataManagementSystem(ApplicationSystem):
                 returns=[("MaxNo", INTEGER)],
                 implementation=get_max_comp_no,
                 description="largest component number",
+                deterministic=True,
             )
         )

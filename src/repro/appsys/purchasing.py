@@ -11,7 +11,10 @@ scenario.  Exported local functions:
   from quality and reliability;
 * ``DecidePurchase(Grade, No) -> (Answer)`` — the purchase proposal;
 * ``GetCompSupp4Discount(Discount) -> table(CompNo, SupplierNo)`` —
-  suppliers offering at least the given discount (independent case).
+  suppliers offering at least the given discount (independent case);
+* ``SetReliability(SupplierNo, Relia) -> (Updated)`` — maintenance
+  write updating a supplier's reliability (invalidates this system's
+  cached lookup results).
 """
 
 from __future__ import annotations
@@ -102,6 +105,13 @@ class PurchasingSystem(ApplicationSystem):
                 params=[discount],
             ).rows
 
+        def set_reliability(supplier_no: int, relia: int):
+            result = database.execute(
+                "UPDATE suppliers SET relia = ? WHERE supplier_no = ?",
+                params=[relia, supplier_no],
+            )
+            return [(result.rowcount,)]
+
         self.register_function(
             LocalFunction(
                 "GetReliability",
@@ -109,6 +119,7 @@ class PurchasingSystem(ApplicationSystem):
                 returns=[("Relia", INTEGER)],
                 implementation=get_reliability,
                 description="reliability rate of a supplier",
+                deterministic=True,
             )
         )
         self.register_function(
@@ -118,6 +129,7 @@ class PurchasingSystem(ApplicationSystem):
                 returns=[("SupplierNo", INTEGER)],
                 implementation=get_supplier_no,
                 description="supplier number for a supplier name",
+                deterministic=True,
             )
         )
         self.register_function(
@@ -127,6 +139,7 @@ class PurchasingSystem(ApplicationSystem):
                 returns=[("SupplierName", VARCHAR(60))],
                 implementation=get_supplier_name,
                 description="supplier name for a supplier number",
+                deterministic=True,
             )
         )
         self.register_function(
@@ -136,6 +149,7 @@ class PurchasingSystem(ApplicationSystem):
                 returns=[("Grade", INTEGER)],
                 implementation=lambda qual, relia: compute_grade(qual, relia),
                 description="component grade from quality and reliability",
+                deterministic=True,
             )
         )
         self.register_function(
@@ -145,6 +159,7 @@ class PurchasingSystem(ApplicationSystem):
                 returns=[("Answer", VARCHAR(40))],
                 implementation=lambda grade, no: decide(grade, no),
                 description="purchase proposal for a graded component",
+                deterministic=True,
             )
         )
         self.register_function(
@@ -154,5 +169,16 @@ class PurchasingSystem(ApplicationSystem):
                 returns=[("CompNo", INTEGER), ("SupplierNo", INTEGER)],
                 implementation=get_comp_supp_for_discount,
                 description="components purchasable with at least the discount",
+                deterministic=True,
+            )
+        )
+        self.register_function(
+            LocalFunction(
+                "SetReliability",
+                params=[("SupplierNo", INTEGER), ("Relia", INTEGER)],
+                returns=[("Updated", INTEGER)],
+                implementation=set_reliability,
+                description="update a supplier's reliability rate",
+                mutates=True,
             )
         )

@@ -11,7 +11,10 @@ Sect. 3).  Exported local functions:
 * ``GetSupplier(CompNo) -> (SupplierNo)`` — the primary supplier of a
   component;
 * ``GetStockComponents(SupplierNo) -> table(CompNo, Number)`` — all
-  components a supplier stocks.
+  components a supplier stocks;
+* ``SetQuality(SupplierNo, Qual) -> (Updated)`` — maintenance write
+  updating a supplier's quality rate (invalidates this system's
+  cached lookup results).
 """
 
 from __future__ import annotations
@@ -85,6 +88,13 @@ class StockKeepingSystem(ApplicationSystem):
             )
             return result.rows
 
+        def set_quality(supplier_no: int, qual: int):
+            result = database.execute(
+                "UPDATE supplier_quality SET qual = ? WHERE supplier_no = ?",
+                params=[qual, supplier_no],
+            )
+            return [(result.rowcount,)]
+
         self.register_function(
             LocalFunction(
                 "GetQuality",
@@ -92,6 +102,7 @@ class StockKeepingSystem(ApplicationSystem):
                 returns=[("Qual", INTEGER)],
                 implementation=get_quality,
                 description="quality rate of a supplier",
+                deterministic=True,
             )
         )
         self.register_function(
@@ -101,6 +112,7 @@ class StockKeepingSystem(ApplicationSystem):
                 returns=[("Number", INTEGER)],
                 implementation=get_number,
                 description="stock-keeping number of a component for a supplier",
+                deterministic=True,
             )
         )
         self.register_function(
@@ -110,6 +122,7 @@ class StockKeepingSystem(ApplicationSystem):
                 returns=[("SupplierNo", INTEGER)],
                 implementation=get_supplier,
                 description="primary supplier of a component",
+                deterministic=True,
             )
         )
         self.register_function(
@@ -119,5 +132,16 @@ class StockKeepingSystem(ApplicationSystem):
                 returns=[("CompNo", INTEGER), ("Number", INTEGER)],
                 implementation=get_stock_components,
                 description="all components a supplier stocks",
+                deterministic=True,
+            )
+        )
+        self.register_function(
+            LocalFunction(
+                "SetQuality",
+                params=[("SupplierNo", INTEGER), ("Qual", INTEGER)],
+                returns=[("Updated", INTEGER)],
+                implementation=set_quality,
+                description="update a supplier's quality rate",
+                mutates=True,
             )
         )

@@ -3,7 +3,7 @@
 Usage::
 
     python -m repro.bench            # all experiments
-    python -m repro.bench E4 E5      # a subset (E2, E3, ..., E8)
+    python -m repro.bench E4 E5      # a subset (E2, E3, ..., E9)
 """
 
 from __future__ import annotations
@@ -28,6 +28,9 @@ def main(argv: list[str]) -> int:
         "E7": lambda: exp.render_cyclic_scaling(exp.exp_cyclic_scaling()),
         "E8": lambda: exp.render_parallel_vs_sequential(
             exp.exp_parallel_vs_sequential(data=data)
+        ),
+        "E9": lambda: exp.render_coupling_ablation(
+            exp.exp_coupling_ablation(data=data)
         ),
     }
     chosen = [arg.upper() for arg in argv] or list(sections)

@@ -523,3 +523,166 @@ def render_parallel_vs_sequential(result: ParallelResult) -> str:
         rows,
         title="Sect. 4 — parallel vs sequential execution",
     )
+
+
+# ===========================================================================
+# E9 — warm pooling + result cache (coupling hot path)
+# ===========================================================================
+
+#: The pooling-ablation configurations, in measurement order.
+COUPLING_CONFIGS: list[tuple[str, bool, bool]] = [
+    ("baseline", False, False),
+    ("pooled", True, False),
+    ("pooled+cache", True, True),
+]
+
+
+@dataclass
+class CouplingMeasurement:
+    """One architecture × configuration cell of the pooling ablation."""
+
+    architecture: str
+    config: str
+    pooling: bool
+    result_cache: bool
+    calls: int
+    total: float
+    """Summed virtual elapsed time of the measured hot calls."""
+    per_call: float
+    start_cost: float
+    """Runtime-start charges (activity JVMs / fenced-process hand-overs)
+    inside the measured window, from pool counter deltas × cost
+    constants — the Fig. 6 'start' component the pool targets."""
+    warm_hits: int
+    cold_starts: int
+    pool_stats: dict[str, int] = field(default_factory=dict)
+    cache_stats: dict[str, int] = field(default_factory=dict)
+    rmi_stats: dict[str, int] = field(default_factory=dict)
+    rows: list[tuple] = field(default_factory=list)
+    """Result rows of the last call (parity across configurations)."""
+
+    @property
+    def start_share(self) -> float:
+        """Fraction of the measured time spent starting runtimes."""
+        return self.start_cost / self.total if self.total else 0.0
+
+
+@dataclass
+class CouplingAblationResult:
+    """E9 result: the full architecture × configuration sweep."""
+
+    function: str
+    repeats: int
+    measurements: list[CouplingMeasurement] = field(default_factory=list)
+
+    def get(self, architecture: str, config: str) -> CouplingMeasurement:
+        """The cell for one architecture value and configuration label."""
+        for measurement in self.measurements:
+            if (
+                measurement.architecture == architecture
+                and measurement.config == config
+            ):
+                return measurement
+        raise KeyError(f"no measurement for {architecture!r} / {config!r}")
+
+
+def _runtime_start_costs(architecture: Architecture, costs) -> tuple[float, float]:
+    """(cold, warm) start cost per runtime acquisition for the architecture."""
+    if architecture is Architecture.WFMS:
+        return costs.wf_activity_jvm, costs.jvm_warm_dispatch
+    return costs.udtf_prepare_access, costs.udtf_warm_prepare
+
+
+def exp_coupling_ablation(
+    data: EnterpriseData | None = None, repeats: int = 5
+) -> CouplingAblationResult:
+    """Warm pooling + result caching on the repeat-call workload.
+
+    For both measured architectures, runs the Fig. 6 anchor function hot
+    ``repeats`` times under each configuration (baseline, warm pool,
+    pool + result cache) and attributes the runtime-start component of
+    every window from the pool's counter deltas.  Result rows must be
+    identical across configurations — memoization may change time, never
+    answers.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    shared = data if data is not None else generate_enterprise_data()
+    result = CouplingAblationResult(FIG6_FUNCTION, repeats)
+    args = call_args(FIG6_FUNCTION)
+    for architecture in MEASURED_ARCHITECTURES:
+        for config, pooling, cache_on in COUPLING_CONFIGS:
+            scenario = build_scenario(
+                architecture,
+                data=shared,
+                pooling=pooling,
+                result_cache=cache_on,
+            )
+            server = scenario.server
+            server.call(FIG6_FUNCTION, *args)  # cold call outside the window
+            pool = server.machine.runtime_pool
+            warm_before, cold_before = pool.warm_hits, pool.cold_starts
+            start = server.now
+            rows: list[tuple] = []
+            for _ in range(repeats):
+                rows = server.call(FIG6_FUNCTION, *args)
+            total = server.now - start
+            warm = pool.warm_hits - warm_before
+            cold = pool.cold_starts - cold_before
+            cold_cost, warm_cost = _runtime_start_costs(
+                architecture, server.machine.costs
+            )
+            result.measurements.append(
+                CouplingMeasurement(
+                    architecture=architecture.value,
+                    config=config,
+                    pooling=pooling,
+                    result_cache=cache_on,
+                    calls=repeats,
+                    total=total,
+                    per_call=total / repeats,
+                    start_cost=cold * cold_cost + warm * warm_cost,
+                    warm_hits=warm,
+                    cold_starts=cold,
+                    pool_stats=pool.stats(),
+                    cache_stats=server.machine.result_cache.stats(),
+                    rmi_stats=server.machine.udtf_rmi.stats()
+                    if architecture is not Architecture.WFMS
+                    else server.machine.wf_rmi.stats(),
+                    rows=rows,
+                )
+            )
+    return result
+
+
+def render_coupling_ablation(result: CouplingAblationResult) -> str:
+    """The pooling-ablation table as ASCII."""
+    rows = []
+    for m in result.measurements:
+        rows.append(
+            [
+                m.architecture,
+                m.config,
+                m.per_call,
+                m.start_cost / m.calls if m.calls else 0.0,
+                format_percent(m.start_share),
+                m.warm_hits,
+                m.cache_stats.get("hits", 0),
+            ]
+        )
+    return format_table(
+        [
+            "architecture",
+            "config",
+            "per call [su]",
+            "start/call [su]",
+            "start share",
+            "warm hits",
+            "cache hits",
+        ],
+        rows,
+        title=(
+            f"Pooling ablation — {result.function}, "
+            f"{result.repeats} hot calls per cell"
+        ),
+    )

@@ -357,16 +357,22 @@ def build_scenario(
     controller_enabled: bool = True,
     data: EnterpriseData | None = None,
     jitter: JitterSource | None = None,
+    pooling: bool = False,
+    result_cache: bool = False,
 ) -> Scenario:
     """Stand up an integration server and deploy every federated
     function the architecture supports; unsupported ones (the cyclic
-    case outside WfMS/procedural) are recorded in ``skipped``."""
+    case outside WfMS/procedural) are recorded in ``skipped``.
+    ``pooling``/``result_cache`` switch on the integration server's warm
+    runtime pool and memoizing result cache (both off by default)."""
     server = IntegrationServer(
         architecture,
         costs=costs,
         controller_enabled=controller_enabled,
         data=data if data is not None else generate_enterprise_data(),
         jitter=jitter,
+        pooling=pooling,
+        result_cache=result_cache,
     )
     scenario = Scenario(server)
     for fed in scenario_functions():

@@ -50,14 +50,20 @@ class IntegrationServer:
         data: EnterpriseData | None = None,
         jitter: JitterSource | None = None,
         system_factories: list[Callable[[Machine], ApplicationSystem]] | None = None,
+        pooling: bool = False,
+        result_cache: bool = False,
     ):
         """``system_factories`` replaces the paper's three application
         systems with custom ones (each factory receives the machine);
-        when omitted, the purchasing-scenario trio is built."""
+        when omitted, the purchasing-scenario trio is built.  ``pooling``
+        and ``result_cache`` switch on the warm runtime pool / memoizing
+        result cache (both off by default: the paper's measured
+        configuration)."""
         self.architecture = architecture
         self.machine = Machine(
             costs=costs, controller_enabled=controller_enabled, jitter=jitter
         )
+        self.machine.architecture_tag = architecture.name
         self.data = data if data is not None else generate_enterprise_data()
 
         # Bottom tier: the encapsulated application systems.
@@ -75,7 +81,12 @@ class IntegrationServer:
         }
 
         # Middle tier: FDBS with the fenced runtime.
-        self.fdbs = Database("integration-fdbs", machine=self.machine)
+        self.fdbs = Database(
+            "integration-fdbs",
+            machine=self.machine,
+            pooling=pooling,
+            result_cache=result_cache,
+        )
         self.fdbs.function_runtime = FencedFunctionRuntime(self.fdbs, self.machine)
 
         # WfMS side: program registry + client + wrapper.

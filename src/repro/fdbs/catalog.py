@@ -109,6 +109,17 @@ class ExternalTableFunction:
     """DETERMINISTIC functions may have repeated invocations with equal
     arguments served from a per-statement cache (DB2-style)."""
 
+    owner_system: str | None = None
+    """Name of the application system whose local function backs this
+    A-UDTF; tags result-cache entries so a write through that system
+    invalidates them."""
+
+    source_deterministic: bool = False
+    """Whether the *backing local function* is a deterministic read-only
+    lookup.  Weaker than ``deterministic`` (which changes per-statement
+    caching semantics): it only marks the function as eligible for the
+    machine-level result cache when that feature is switched on."""
+
     kind: str = FunctionKind.EXTERNAL_TABLE
 
 
@@ -174,6 +185,11 @@ class Catalog:
         self._servers: dict[str, ServerDef] = {}
         self._nicknames: dict[str, NicknameDef] = {}
         self._views: dict[str, ViewDef] = {}
+        #: Machine runtime counters for SYSCAT_RUNTIME_STATS (attached by
+        #: machine-backed databases; None on standalone databases).
+        self.runtime_stats_provider: Callable[[], dict[str, dict[str, int]]] | None = (
+            None
+        )
 
     # -- tables -----------------------------------------------------------------
 

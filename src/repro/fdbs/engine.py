@@ -112,11 +112,22 @@ class Database:
         name: str = "FDBS",
         machine: "Machine | None" = None,
         execution_mode: str = "row",
+        pooling: bool = False,
+        result_cache: bool = False,
     ):
         self.name = name
         self.machine = machine
         self.catalog = Catalog()
         self.statement_cache = StatementCache()
+        self.catalog.runtime_stats_provider = self.runtime_stats
+        if machine is not None:
+            # The machine-attached database is the integration FDBS: its
+            # execution mode namespaces the machine-level result cache.
+            machine.execution_mode_provider = lambda: self.execution_mode
+            if pooling or result_cache:
+                machine.configure_runtime(
+                    pooling=pooling, result_cache=result_cache
+                )
         #: "row" (Volcano) or "batch" (vectorized chunks + hash joins).
         self.execution_mode = "row"
         self.set_execution_mode(execution_mode)
@@ -181,7 +192,65 @@ class Database:
         if not isinstance(statement, ast.Select):
             raise PlanError("EXPLAIN supports SELECT statements only")
         plan = self._planner().plan_select(statement)
-        return plan.explain(mode=self.execution_mode)
+        header = self._runtime_header()
+        text = plan.explain(mode=self.execution_mode)
+        return "\n".join(header + [text]) if header else text
+
+    def configure_runtime(
+        self,
+        pooling: bool | None = None,
+        result_cache: bool | None = None,
+        pool_capacity: int | None = None,
+        cache_capacity: int | None = None,
+    ) -> None:
+        """Switch the machine's warm pool / result cache on or off."""
+        if self.machine is None:
+            raise ExecutionError(
+                "runtime pooling needs a machine-attached database"
+            )
+        self.machine.configure_runtime(
+            pooling=pooling,
+            result_cache=result_cache,
+            pool_capacity=pool_capacity,
+            cache_capacity=cache_capacity,
+        )
+
+    def runtime_stats(self) -> dict[str, dict[str, int]]:
+        """Live counters for SYSCAT_RUNTIME_STATS and the shell's .stats.
+
+        Always includes the statement cache; machine-backed databases add
+        the warm runtime pool, the result cache and the RMI channels.
+        """
+        stats: dict[str, dict[str, int]] = {
+            "statement_cache": self.statement_cache.stats()
+        }
+        if self.machine is not None:
+            stats.update(self.machine.runtime_stats())
+        return stats
+
+    def _runtime_header(self) -> list[str]:
+        """EXPLAIN header line describing pool/cache state.
+
+        Empty (no header at all) while both features are off, so EXPLAIN
+        output is unchanged for every existing caller.
+        """
+        if self.machine is None:
+            return []
+        pool = self.machine.runtime_pool
+        cache = self.machine.result_cache
+        if not pool.enabled and not cache.enabled:
+            return []
+        pool_part = (
+            f"pooling=on({len(pool)}/{pool.capacity} warm)"
+            if pool.enabled
+            else "pooling=off"
+        )
+        cache_part = (
+            f"result_cache=on({len(cache)}/{cache.capacity})"
+            if cache.enabled
+            else "result_cache=off"
+        )
+        return [f"Runtime({pool_part}, {cache_part})"]
 
     def call_procedure(self, name: str, args: list[object]) -> dict[str, object]:
         """CALL a stored procedure; returns its OUT/INOUT values."""
@@ -272,7 +341,10 @@ class Database:
             return self._execute_select(statement, params, trace)
         if isinstance(statement, ast.Explain):
             plan = self._planner().plan_select(statement.query)
-            lines = plan.explain(mode=self.execution_mode).splitlines()
+            lines = (
+                self._runtime_header()
+                + plan.explain(mode=self.execution_mode).splitlines()
+            )
             return Result(
                 columns=["PLAN"],
                 rows=[(line,) for line in lines],

@@ -12,8 +12,8 @@ functions) so you can type the paper's queries directly::
     (1 row, 320.88 su)
 
 Statements end with ``;`` and may span lines.  Dot commands:
-``.help``, ``.tables``, ``.functions``, ``.time on|off``, ``.user
-<name>``, ``.quit``.
+``.help``, ``.tables``, ``.functions``, ``.stats``, ``.time on|off``,
+``.user <name>``, ``.quit``.
 """
 
 from __future__ import annotations
@@ -114,6 +114,7 @@ class Shell:
                 ".help             this text\n"
                 ".tables           list tables, views and nicknames\n"
                 ".functions        list table functions\n"
+                ".stats            pool / cache / channel counters\n"
                 ".time on|off      toggle virtual-time display\n"
                 ".user <name>      switch the session user\n"
                 ".quit             leave\n"
@@ -122,6 +123,8 @@ class Shell:
             self.execute("SELECT * FROM SYSCAT_TABLES", stdout)
         elif name == ".functions":
             self.execute("SELECT * FROM SYSCAT_FUNCTIONS", stdout)
+        elif name == ".stats":
+            self.execute("SELECT * FROM SYSCAT_RUNTIME_STATS", stdout)
         elif name == ".time":
             if len(parts) == 2 and parts[1].lower() in ("on", "off"):
                 self.show_time = parts[1].lower() == "on"

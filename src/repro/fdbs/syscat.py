@@ -11,6 +11,9 @@ table:
 * ``SYSCAT_VIEWS``      — name, definition text
 * ``SYSCAT_SERVERS``    — server name, wrapper
 * ``SYSCAT_NICKNAMES``  — nickname, server, remote name
+* ``SYSCAT_RUNTIME_STATS`` — component, counter, value: live counters of
+  the statement cache and (on machine-backed databases) the warm
+  runtime pool, result cache and RMI channels
 
 The planner treats them as ordinary scans whose rows are generated from
 the live catalog at execution time, so DDL is immediately visible.
@@ -103,6 +106,17 @@ def _nicknames_rows(catalog: "Catalog") -> list[tuple]:
     )
 
 
+def _runtime_stats_rows(catalog: "Catalog") -> list[tuple]:
+    provider = getattr(catalog, "runtime_stats_provider", None)
+    if provider is None:
+        return []
+    rows: list[tuple] = []
+    for component, counters in provider().items():
+        for counter, value in counters.items():
+            rows.append((component, counter, int(value)))
+    return sorted(rows)
+
+
 #: name -> (columns, row generator)
 SYSCAT_TABLES: dict[str, tuple[list[ColumnDef], Callable[["Catalog"], list[tuple]]]] = {
     "SYSCAT_TABLES": (
@@ -161,6 +175,14 @@ SYSCAT_TABLES: dict[str, tuple[list[ColumnDef], Callable[["Catalog"], list[tuple
             ColumnDef("remote_name", VARCHAR(128)),
         ],
         _nicknames_rows,
+    ),
+    "SYSCAT_RUNTIME_STATS": (
+        [
+            ColumnDef("component", VARCHAR(40)),
+            ColumnDef("counter", VARCHAR(40)),
+            ColumnDef("value", INTEGER),
+        ],
+        _runtime_stats_rows,
     ),
 }
 

@@ -64,6 +64,15 @@ class CostModel:
     rmi_return: float = 0.35
     """One RMI response hop (results travel back almost for free)."""
 
+    rmi_warm_call: float = 2.0
+    """One RMI request hop over an already-established persistent channel
+    (no connection setup, no stub lookup); only charged when the runtime
+    pooling feature holds channels open."""
+
+    rmi_warm_return: float = 0.35
+    """Response hop over a persistent channel (returns were already almost
+    free, so reuse does not change them)."""
+
     # -- controller (Sect. 4's process-isolation broker) ---------------------
     controller_dispatch: float = 0.15
     """Controller forwarding one A-UDTF request to a local function."""
@@ -87,6 +96,11 @@ class CostModel:
     """Preparing one fenced A-UDTF invocation (process hand-over, argument
     marshalling)."""
 
+    udtf_warm_prepare: float = 1.8
+    """Preparing an A-UDTF invocation whose fenced process is resident in
+    the warm runtime pool: only argument marshalling remains, the process
+    hand-over is skipped."""
+
     udtf_finish_access: float = 7.0
     """Finishing one A-UDTF invocation (result marshalling back)."""
 
@@ -108,6 +122,11 @@ class CostModel:
     fdbs_row_cost: float = 0.01
     """Per-row processing cost inside the FDBS executor."""
 
+    result_cache_hit_cost: float = 0.5
+    """Serving a memoized DETERMINISTIC function result from the
+    integration server's result cache (lookup + copy-out) instead of
+    re-invoking the backend."""
+
     # -- connecting UDTF of the WfMS architecture -----------------------------
     wf_udtf_start: float = 27.0
     """Starting the connecting UDTF that bridges FDBS → WfMS."""
@@ -126,6 +145,13 @@ class CostModel:
     wf_rmi_return: float = 1.5
     """RMI hop returning the output container."""
 
+    wf_rmi_warm_call: float = 3.0
+    """Container-shipping RMI hop over a persistent channel — the setup
+    share disappears, the container marshalling stays."""
+
+    wf_rmi_warm_return: float = 1.5
+    """Output-container return hop over a persistent channel."""
+
     # -- WfMS side -------------------------------------------------------------
     wf_env_start: float = 30.0
     """Starting the workflow process instance and the Java environment of
@@ -133,6 +159,11 @@ class CostModel:
 
     wf_activity_jvm: float = 40.0
     """Fresh JVM boot for one activity program."""
+
+    jvm_warm_dispatch: float = 4.0
+    """Dispatching an activity program into a JVM kept warm by the runtime
+    pool (classloading and JIT state survive; only the invocation hand-off
+    remains)."""
 
     wf_activity_container: float = 9.0
     """Handling the input and output containers of one activity."""

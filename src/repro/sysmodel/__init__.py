@@ -11,6 +11,8 @@ warm / hot behaviour of Sect. 4 arises.
 from repro.sysmodel.process import JavaVirtualMachine, OsProcess, ProcessState
 from repro.sysmodel.rmi import RmiChannel
 from repro.sysmodel.controller import Controller
+from repro.sysmodel.pool import WarmRuntimePool
+from repro.sysmodel.result_cache import ResultCache
 from repro.sysmodel.machine import Machine
 
 __all__ = [
@@ -19,5 +21,7 @@ __all__ = [
     "ProcessState",
     "RmiChannel",
     "Controller",
+    "WarmRuntimePool",
+    "ResultCache",
     "Machine",
 ]

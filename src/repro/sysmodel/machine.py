@@ -10,11 +10,15 @@ paper's boot / warm / hot comparison (Sect. 4, ¶3).
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.simtime.clock import VirtualClock
 from repro.simtime.costs import CostModel, DEFAULT_COSTS, Warmth
 from repro.simtime.rng import JitterSource
 from repro.sysmodel.controller import Controller
+from repro.sysmodel.pool import WarmRuntimePool
 from repro.sysmodel.process import OsProcess
+from repro.sysmodel.result_cache import ResultCache
 from repro.sysmodel.rmi import RmiChannel
 
 
@@ -46,13 +50,22 @@ class Machine:
             self.clock,
             call_cost=self.costs.rmi_call,
             return_cost=self.costs.rmi_return,
+            warm_call_cost=self.costs.rmi_warm_call,
+            warm_return_cost=self.costs.rmi_warm_return,
         )
         self.wf_rmi = RmiChannel(
             "udtf-wfms",
             self.clock,
             call_cost=self.costs.wf_rmi_call,
             return_cost=self.costs.wf_rmi_return,
+            warm_call_cost=self.costs.wf_rmi_warm_call,
+            warm_return_cost=self.costs.wf_rmi_warm_return,
         )
+
+        self.runtime_pool = WarmRuntimePool()
+        self.result_cache = ResultCache()
+        self.architecture_tag = "DEFAULT"
+        self.execution_mode_provider: Callable[[], str] | None = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -75,6 +88,10 @@ class Machine:
             if process.running:
                 process.stop()
         self.warmth.reset()
+        self.runtime_pool.reset()
+        self.result_cache.reset()
+        self.udtf_rmi.reset()
+        self.wf_rmi.reset()
 
     def ensure_base_services(self) -> bool:
         """Start the FDBS and controller if cold; True if any start ran."""
@@ -102,6 +119,50 @@ class Machine:
             self.controller,
             *self.appsys_processes.values(),
         ]
+
+    # -- runtime pooling & caching --------------------------------------------
+
+    def configure_runtime(
+        self,
+        pooling: bool | None = None,
+        result_cache: bool | None = None,
+        pool_capacity: int | None = None,
+        cache_capacity: int | None = None,
+    ) -> None:
+        """Switch the warm runtime pool and/or the result cache on or off.
+
+        Persistent RMI channels ride with the pooling flag: a pooled
+        integration server also keeps its controller and WfMS channels
+        established.  Both features default to off, in which case every
+        cost charged is bit-identical to the unpooled simulation.
+        """
+        if pooling is not None or pool_capacity is not None:
+            self.runtime_pool.configure(enabled=pooling, capacity=pool_capacity)
+        if pooling is not None:
+            self.udtf_rmi.configure(persistent=pooling)
+            self.wf_rmi.configure(persistent=pooling)
+        if result_cache is not None or cache_capacity is not None:
+            self.result_cache.configure(
+                enabled=result_cache, capacity=cache_capacity
+            )
+
+    def result_cache_namespace(self) -> str:
+        """Cache namespace: architecture tag + current execution mode."""
+        mode = (
+            self.execution_mode_provider()
+            if self.execution_mode_provider is not None
+            else "row"
+        )
+        return f"{self.architecture_tag}:{mode}"
+
+    def runtime_stats(self) -> dict[str, dict[str, int]]:
+        """Counters of the pool, result cache and RMI channels, by component."""
+        return {
+            "runtime_pool": self.runtime_pool.stats(),
+            "result_cache": self.result_cache.stats(),
+            "rmi_udtf": self.udtf_rmi.stats(),
+            "rmi_wfms": self.wf_rmi.stats(),
+        }
 
     # -- convenience ----------------------------------------------------------
 

@@ -5,6 +5,12 @@ and the controller, and between the connecting UDTF and the workflow
 client.  Only the latency of the hops matters here; the channel charges
 ``call_cost`` before invoking the remote callable and ``return_cost``
 after it returns.
+
+A channel can additionally be made *persistent*: the first hop still
+pays the full connection-setup cost, but the established channel is kept
+open by the controller and subsequent hops pay only the smaller warm
+costs.  Persistence is off by default, in which case every hop pays the
+cold costs exactly as before.
 """
 
 from __future__ import annotations
@@ -24,12 +30,37 @@ class RmiChannel:
         clock: VirtualClock,
         call_cost: float,
         return_cost: float,
+        warm_call_cost: float | None = None,
+        warm_return_cost: float | None = None,
     ):
         self.name = name
         self._clock = clock
         self.call_cost = call_cost
         self.return_cost = return_cost
+        self.warm_call_cost = warm_call_cost if warm_call_cost is not None else call_cost
+        self.warm_return_cost = (
+            warm_return_cost if warm_return_cost is not None else return_cost
+        )
+        self.persistent = False
+        self._established = False
         self.call_count = 0
+        self.warm_calls = 0
+
+    def configure(self, persistent: bool | None = None) -> None:
+        """Switch persistent-channel reuse on or off.
+
+        Turning persistence off also drops the established connection, so
+        a later re-enable starts cold again.
+        """
+        if persistent is not None:
+            self.persistent = persistent
+            if not persistent:
+                self._established = False
+
+    @property
+    def established(self) -> bool:
+        """Whether a persistent connection is currently open."""
+        return self._established
 
     def invoke(
         self,
@@ -44,12 +75,32 @@ class RmiChannel:
 
         Charges the call hop, runs the remote side (which charges its own
         costs), then charges the return hop.  Optional trace labels let
-        callers attribute the hops to the paper's Fig. 6 step names.
+        callers attribute the hops to the paper's Fig. 6 step names.  On
+        a persistent channel every hop after the first pays the warm
+        costs instead of re-doing connection setup.
         """
         self.call_count += 1
+        warm = self.persistent and self._established
+        if warm:
+            self.warm_calls += 1
         with maybe_span(trace, call_label or f"rmi call:{self.name}"):
-            self._clock.advance(self.call_cost)
+            self._clock.advance(self.warm_call_cost if warm else self.call_cost)
         result = remote(*args, **kwargs)
         with maybe_span(trace, return_label or f"rmi return:{self.name}"):
-            self._clock.advance(self.return_cost)
+            self._clock.advance(self.warm_return_cost if warm else self.return_cost)
+        if self.persistent:
+            self._established = True
         return result
+
+    def reset(self) -> None:
+        """Drop the established connection (machine reboot)."""
+        self._established = False
+
+    def stats(self) -> dict[str, int]:
+        """Hop counters plus the channel's persistence state."""
+        return {
+            "calls": self.call_count,
+            "warm_calls": self.warm_calls,
+            "persistent": int(self.persistent),
+            "established": int(self._established),
+        }

@@ -30,6 +30,8 @@ def make_access_udtf(
         language="JAVA",
         fenced=True,
         implementation=implementation,
+        owner_system=appsys.name,
+        source_deterministic=function.deterministic and not function.mutates,
     )
 
 

@@ -306,8 +306,24 @@ class WorkflowEngine:
             for attempt in range(1, attempts + 1):
                 if self.machine is not None:
                     # Fresh JVM per attempt + container handling: the
-                    # paper's dominant workflow cost, paid per retry too.
-                    self.machine.clock.advance(self.machine.costs.wf_activity_jvm)
+                    # paper's dominant workflow cost, paid per retry too —
+                    # unless the runtime pool holds this program's JVM
+                    # warm, in which case only the dispatch is charged.
+                    pool = self.machine.runtime_pool
+                    warm = pool.acquire(f"program:{activity.program}")
+                    self.machine.clock.advance(
+                        self.machine.costs.jvm_warm_dispatch
+                        if warm
+                        else self.machine.costs.wf_activity_jvm
+                    )
+                    if pool.enabled:
+                        self.audit.record(
+                            self._now(),
+                            "-",
+                            "jvm warm dispatch" if warm else "jvm cold start",
+                            activity.name,
+                            detail=f"program {activity.program}",
+                        )
                     self.machine.clock.advance(
                         self.machine.costs.wf_activity_container
                     )

@@ -133,9 +133,27 @@ class FencedFunctionRuntime(FunctionRuntime):
         args: list[object],
         trace: TraceRecorder | None,
     ) -> list[tuple]:
-        """One A-UDTF call: fenced process, RMI, controller dispatch."""
+        """One A-UDTF call: fenced process, RMI, controller dispatch.
+
+        With the machine's result cache on, a repeat invocation of a
+        deterministic A-UDTF with equal arguments is served from
+        integration-server memory — no fenced process, no RMI hop, no
+        local-function work.  With the runtime pool on, a resident
+        fenced process turns the prepare step into a warm hand-off
+        (span labelled ``Prepare A-UDTFs (warm)``).
+        """
         self.fenced_invocations += 1
         costs = self.machine.costs
+        cache = self.machine.result_cache
+        runtime_key = f"audtf:{function.name}"
+        if cache.enabled and function.source_deterministic:
+            cached = cache.get(
+                self.machine.result_cache_namespace(), runtime_key, tuple(args)
+            )
+            if cached is not None:
+                with maybe_span(trace, "Result cache"):
+                    self.machine.clock.advance(costs.result_cache_hit_cost)
+                return cached
 
         def run() -> list[tuple]:
             # The local function's own work — Fig. 6's 'Process
@@ -144,8 +162,13 @@ class FencedFunctionRuntime(FunctionRuntime):
                 return self.database.run_external_function(function, args)
 
         if function.fenced:
-            with maybe_span(trace, "Prepare A-UDTFs"):
-                self.machine.clock.advance(costs.udtf_prepare_access)
+            warm = self.machine.runtime_pool.acquire(runtime_key)
+            with maybe_span(
+                trace, "Prepare A-UDTFs (warm)" if warm else "Prepare A-UDTFs"
+            ):
+                self.machine.clock.advance(
+                    costs.udtf_warm_prepare if warm else costs.udtf_prepare_access
+                )
         controller = self.machine.controller
         if function.fenced and controller.enabled:
             rows = self.machine.udtf_rmi.invoke(
@@ -161,6 +184,14 @@ class FencedFunctionRuntime(FunctionRuntime):
         if function.fenced:
             with maybe_span(trace, "Finish A-UDTFs"):
                 self.machine.clock.advance(costs.udtf_finish_access)
+        if cache.enabled and function.source_deterministic:
+            cache.put(
+                self.machine.result_cache_namespace(),
+                runtime_key,
+                tuple(args),
+                rows,
+                owner=function.owner_system,
+            )
         return rows
 
     def _invoke_wfms(

@@ -1,0 +1,148 @@
+"""Memoizing result cache: semantics, owner invalidation, both modes."""
+
+import pytest
+
+from repro.core.architectures import Architecture
+from repro.core.scenario import build_scenario
+from repro.sysmodel.result_cache import ResultCache, normalize_args
+
+
+class TestCacheUnit:
+    def test_miss_then_hit_returns_copy(self):
+        cache = ResultCache(enabled=True)
+        assert cache.get("ns", "f", (1,)) is None
+        cache.put("ns", "f", (1,), [(7,)], owner="stock")
+        rows = cache.get("ns", "f", (1,))
+        assert rows == [(7,)]
+        rows.append((8,))  # caller mutation must not poison the cache
+        assert cache.get("ns", "f", (1,)) == [(7,)]
+
+    def test_numeric_args_normalized(self):
+        cache = ResultCache(enabled=True)
+        cache.put("ns", "f", (1,), [(7,)], owner="s")
+        assert cache.get("ns", "f", (1.0,)) == [(7,)]
+
+    def test_bool_not_conflated_with_int(self):
+        assert normalize_args((True,)) != normalize_args((1,))
+
+    def test_namespaces_are_disjoint(self):
+        cache = ResultCache(enabled=True)
+        cache.put("A:row", "f", (1,), [(7,)], owner="s")
+        assert cache.get("A:batch", "f", (1,)) is None
+
+    def test_lru_eviction_at_capacity(self):
+        cache = ResultCache(capacity=2, enabled=True)
+        cache.put("ns", "a", (), [(1,)], owner="s")
+        cache.put("ns", "b", (), [(2,)], owner="s")
+        cache.get("ns", "a", ())  # refresh a; b is now LRU
+        cache.put("ns", "c", (), [(3,)], owner="s")
+        assert cache.get("ns", "b", ()) is None
+        assert cache.get("ns", "a", ()) == [(1,)]
+        assert cache.stats()["evictions"] == 1
+
+    def test_invalidate_owner_is_selective_across_namespaces(self):
+        cache = ResultCache(enabled=True)
+        cache.put("A:row", "stock.f", (1,), [(1,)], owner="stock")
+        cache.put("A:batch", "stock.f", (1,), [(1,)], owner="stock")
+        cache.put("A:row", "purchasing.g", (1,), [(2,)], owner="purchasing")
+        dropped = cache.invalidate_owner("stock")
+        assert dropped == 2
+        assert cache.get("A:row", "stock.f", (1,)) is None
+        assert cache.get("A:batch", "stock.f", (1,)) is None
+        assert cache.get("A:row", "purchasing.g", (1,)) == [(2,)]
+
+    def test_disabled_cache_is_inert(self):
+        cache = ResultCache(enabled=False)
+        cache.put("ns", "f", (), [(1,)], owner="s")
+        assert cache.get("ns", "f", ()) is None
+        assert cache.stats()["hits"] == 0
+        assert cache.stats()["misses"] == 0
+
+    def test_unhashable_args_bypass(self):
+        cache = ResultCache(enabled=True)
+        cache.put("ns", "f", ([1],), [(1,)], owner="s")
+        assert cache.get("ns", "f", ([1],)) is None
+
+
+@pytest.fixture(params=["row", "batch"])
+def cached_server(request, data):
+    """A UDTF-architecture server with the result cache on, per mode."""
+    scenario = build_scenario(
+        Architecture.ENHANCED_SQL_UDTF, data=data, result_cache=True
+    )
+    scenario.server.fdbs.set_execution_mode(request.param)
+    return scenario.server
+
+
+class TestOwnerInvalidation:
+    def test_dml_invalidates_only_owning_system(self, cached_server):
+        """A write through stock's local function drops stock's cached
+        entries only; purchasing's survive.  Runs in row and batch mode
+        (the cache namespace includes the execution mode)."""
+        server = cached_server
+        cache = server.machine.result_cache
+
+        server.stock.call("GetQuality", 1234)
+        server.purchasing.call("GetReliability", 1234)
+        stock_calls = server.stock.call_count
+        purchasing_calls = server.purchasing.call_count
+
+        # Both hot: served from cache, call counts unchanged.
+        server.stock.call("GetQuality", 1234)
+        server.purchasing.call("GetReliability", 1234)
+        assert server.stock.call_count == stock_calls
+        assert server.purchasing.call_count == purchasing_calls
+        assert cache.stats()["hits"] == 2
+
+        # DML through stock's SetQuality: stock entries invalidated.
+        server.stock.call("SetQuality", 1234, 9)
+        assert cache.stats()["invalidations"] >= 1
+
+        server.stock.call("GetQuality", 1234)  # must re-execute
+        server.purchasing.call("GetReliability", 1234)  # still cached
+        assert server.stock.call_count == stock_calls + 2  # SetQuality + rerun
+        assert server.purchasing.call_count == purchasing_calls
+        assert cache.stats()["hits"] == 3
+
+    def test_dml_refreshes_stale_value(self, cached_server):
+        server = cached_server
+        before = server.stock.call("GetQuality", 1234)
+        server.stock.call("SetQuality", 1234, before[0][0] + 1)
+        after = server.stock.call("GetQuality", 1234)
+        assert after[0][0] == before[0][0] + 1
+
+    def test_mutating_function_results_never_cached(self, cached_server):
+        server = cached_server
+        calls = server.purchasing.call_count
+        server.purchasing.call("SetReliability", 1234, 3)
+        server.purchasing.call("SetReliability", 1234, 3)
+        assert server.purchasing.call_count == calls + 2
+
+
+class TestFederatedPath:
+    def test_federated_function_hits_cache_and_dml_clears_it(self, data):
+        """The A-UDTF-level cache short-circuits the fenced invocation
+        for a repeated federated call, and a DML write against an owning
+        system forces re-execution with the fresh value."""
+        scenario = build_scenario(
+            Architecture.ENHANCED_SQL_UDTF, data=data,
+            pooling=True, result_cache=True,
+        )
+        server = scenario.server
+        clock = server.machine.clock
+
+        first = scenario.call("GetSuppQual", "ACME Industrial")
+        start = clock.now
+        second = scenario.call("GetSuppQual", "ACME Industrial")
+        hot_cached = clock.now - start
+        assert first == second
+        assert server.machine.result_cache.stats()["hits"] > 0
+
+        server.stock.call("SetQuality", 1234, first[0][0] + 1)
+        start = clock.now
+        refreshed = scenario.call("GetSuppQual", "ACME Industrial")
+        refresh_elapsed = clock.now - start
+        assert refreshed[0][0] == first[0][0] + 1
+        # The refresh re-ran the invalidated leg of the pipeline, so it
+        # is strictly slower than the all-cached repeat call.
+        assert refresh_elapsed > hot_cached
