@@ -6,7 +6,10 @@
 #  2. pooling/caching ablation parity tests (flags off => simulated
 #     timings bit-identical to the calibrated anchors; flags on =>
 #     same result rows, paper's architecture ranking preserved),
-#  3. calibration regression (the frozen Fig. 5/6 anchor numbers).
+#  3. fault-harness parity (every site armed at probability 0 with
+#     retries + forward recovery on => bit-identical to flags-off;
+#     exception-safety regressions in cache/pool/RMI/WfMS),
+#  4. calibration regression (the frozen Fig. 5/6 anchor numbers).
 #
 # Usage: scripts/check_parity.sh
 
@@ -21,6 +24,10 @@ python -m pytest -q tests/test_fdbs_batch_parity.py
 
 echo "== pooling/caching ablation parity =="
 python -m pytest -q tests/test_coupling_ablation.py tests/test_result_cache.py
+
+echo "== fault-harness parity + exception-safety regressions =="
+python -m pytest -q tests/test_fault_parity.py tests/test_faults.py \
+    tests/test_runtime_pool.py tests/test_wfms_engine.py
 
 echo "== calibration regression =="
 python -m pytest -q tests/test_calibration_regression.py

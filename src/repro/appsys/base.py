@@ -20,6 +20,7 @@ from typing import Callable, Sequence
 
 from repro.errors import (
     EncapsulationError,
+    LocalFunctionFaultError,
     SignatureError,
     UnknownFunctionError,
 )
@@ -27,6 +28,7 @@ from repro.fdbs.engine import Database
 from repro.fdbs.functions import normalize_rows
 from repro.fdbs.types import SqlType, coerce_into
 from repro.simtime.trace import TraceRecorder, maybe_span
+from repro.sysmodel.faults import SITE_LOCAL_FUNCTION
 from repro.sysmodel.machine import Machine
 
 
@@ -156,6 +158,13 @@ class ApplicationSystem:
         with maybe_span(trace, "Process activities"):
             if machine is not None:
                 machine.ensure_appsys(self.name)
+                if machine.fault_injector.should_fail(SITE_LOCAL_FUNCTION):
+                    machine.clock.advance(machine.costs.fault_detection)
+                    raise LocalFunctionFaultError(
+                        SITE_LOCAL_FUNCTION,
+                        f"{self.name}.{function.name} failed inside the "
+                        "application system",
+                    )
                 machine.clock.advance(machine.costs.local_function_base)
             rows = normalize_rows(
                 function.implementation(*coerced), f"{self.name}.{name}"

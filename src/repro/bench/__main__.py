@@ -3,7 +3,7 @@
 Usage::
 
     python -m repro.bench            # all experiments
-    python -m repro.bench E4 E5      # a subset (E2, E3, ..., E9)
+    python -m repro.bench E4 E5      # a subset (E2, E3, ..., E10)
 """
 
 from __future__ import annotations
@@ -31,6 +31,9 @@ def main(argv: list[str]) -> int:
         ),
         "E9": lambda: exp.render_coupling_ablation(
             exp.exp_coupling_ablation(data=data)
+        ),
+        "E10": lambda: exp.render_fault_recovery(
+            exp.exp_fault_recovery(data=data)
         ),
     }
     chosen = [arg.upper() for arg in argv] or list(sections)

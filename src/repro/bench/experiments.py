@@ -686,3 +686,213 @@ def render_coupling_ablation(result: CouplingAblationResult) -> str:
             f"{result.repeats} hot calls per cell"
         ),
     )
+
+
+# ===========================================================================
+# E10 — fault injection & recovery (the robustness asymmetry)
+# ===========================================================================
+
+#: Fixed seed of the E10 fault decision stream (deterministic runs).
+FAULT_SEED = 20020322
+
+#: Per-site fault probability of the E10 workload.
+FAULT_RATE = 0.15
+
+
+@dataclass
+class FaultRecoveryMeasurement:
+    """One architecture row of the fault-recovery experiment."""
+
+    architecture: str
+    calls: int
+    completed: int
+    aborted: int
+    """Calls that ended with the statement aborted (UDTF failure mode)."""
+    injected: dict[str, int]
+    """Faults injected, by site."""
+    recovered_activities: int
+    """Activities restarted successfully by WfMS forward recovery."""
+    activity_retries: int
+    """In-place activity re-attempts inside the WfMS engine."""
+    rmi_drops: int
+    rmi_retries: int
+    fault_evictions: int
+    """Fenced-process pool slots dropped because the process died."""
+    total: float
+    per_call: float
+    fault_free_per_call: float
+    """Hot per-call time of the same scenario before faults were armed."""
+    rows_consistent: bool
+    """Every completed call returned the fault-free baseline rows."""
+
+    @property
+    def overhead(self) -> float:
+        """Mean per-call slowdown paid for surviving the fault workload."""
+        if self.fault_free_per_call == 0.0:
+            return 0.0
+        return self.per_call / self.fault_free_per_call
+
+
+@dataclass
+class FaultRecoveryResult:
+    """E10 result: completion vs. abort under an identical fault seed."""
+
+    function: str
+    seed: int
+    rate: float
+    calls: int
+    measurements: list[FaultRecoveryMeasurement] = field(default_factory=list)
+
+    def get(self, architecture: str) -> FaultRecoveryMeasurement:
+        """The row for one architecture value."""
+        for measurement in self.measurements:
+            if measurement.architecture == architecture:
+                return measurement
+        raise KeyError(f"no measurement for {architecture!r}")
+
+
+def _fault_sites_for(architecture: Architecture) -> dict[str, float]:
+    """The sites exercised per architecture, at :data:`FAULT_RATE` each."""
+    from repro.sysmodel.faults import (
+        SITE_ACTIVITY_PROGRAM,
+        SITE_FENCED_PROCESS,
+        SITE_LOCAL_FUNCTION,
+        SITE_RMI_UDTF,
+        SITE_RMI_WFMS,
+    )
+
+    if architecture is Architecture.WFMS:
+        return {
+            SITE_RMI_WFMS: FAULT_RATE,
+            SITE_LOCAL_FUNCTION: FAULT_RATE,
+            SITE_ACTIVITY_PROGRAM: FAULT_RATE,
+        }
+    return {
+        SITE_RMI_UDTF: FAULT_RATE,
+        SITE_LOCAL_FUNCTION: FAULT_RATE,
+        SITE_FENCED_PROCESS: FAULT_RATE,
+    }
+
+
+def exp_fault_recovery(
+    data: EnterpriseData | None = None,
+    calls: int = 16,
+    seed: int = FAULT_SEED,
+) -> FaultRecoveryResult:
+    """Identical fault workload against both measured architectures.
+
+    Arms the RMI hop, the local functions and the architecture's own
+    runtime site (activity-program JVMs on the WfMS path, fenced
+    processes on the UDTF path) at the same per-site rate and drives the
+    Fig. 6 anchor function ``calls`` times hot.  The WfMS architecture
+    absorbs faults through channel retries, in-place activity retries
+    and forward recovery from the activity's input container; the UDTF
+    architecture can retry dropped RMI hops but must abort the whole
+    statement for any failure past the hop — the paper's robustness
+    asymmetry, measured.
+    """
+    if calls < 1:
+        raise ValueError("calls must be positive")
+    from repro.errors import StatementAbortedError, TransientFaultError, WorkflowError
+
+    shared = data if data is not None else generate_enterprise_data()
+    args = call_args(FIG6_FUNCTION)
+    result = FaultRecoveryResult(FIG6_FUNCTION, seed, FAULT_RATE, calls)
+    for architecture in MEASURED_ARCHITECTURES:
+        # Pooling on: warm fenced processes give the UDTF path its
+        # graceful-degradation chance (a dead warm slot is evicted and
+        # retried cold once before the statement aborts).
+        scenario = build_scenario(architecture, data=shared, pooling=True)
+        server = scenario.server
+        baseline_rows = server.call(FIG6_FUNCTION, *args)  # cold
+        _, fault_free = server.elapsed(server.call, FIG6_FUNCTION, *args)
+        server.configure_faults(
+            enabled=True,
+            seed=seed,
+            sites=_fault_sites_for(architecture),
+            retry_attempts=2,
+            forward_recovery=True,
+        )
+        audit = server.wfms_client.engine.audit
+        audit_before = len(audit.events)
+        channel = (
+            server.machine.wf_rmi
+            if architecture is Architecture.WFMS
+            else server.machine.udtf_rmi
+        )
+        drops_before = channel.drops
+        retries_before = channel.retries
+        completed = aborted = 0
+        rows_consistent = True
+        start = server.now
+        for _ in range(calls):
+            try:
+                rows = server.call(FIG6_FUNCTION, *args)
+            except (StatementAbortedError, TransientFaultError, WorkflowError):
+                aborted += 1
+            else:
+                completed += 1
+                if rows != baseline_rows:
+                    rows_consistent = False
+        total = server.now - start
+        events = [e.event for e in audit.events[audit_before:]]
+        injector = server.machine.fault_injector
+        result.measurements.append(
+            FaultRecoveryMeasurement(
+                architecture=architecture.value,
+                calls=calls,
+                completed=completed,
+                aborted=aborted,
+                injected={
+                    site: injector.injected(site)
+                    for site in _fault_sites_for(architecture)
+                },
+                recovered_activities=events.count("activity recovered"),
+                activity_retries=events.count("activity retried"),
+                rmi_drops=channel.drops - drops_before,
+                rmi_retries=channel.retries - retries_before,
+                fault_evictions=server.machine.runtime_pool.fault_evictions,
+                total=total,
+                per_call=total / calls,
+                fault_free_per_call=fault_free,
+                rows_consistent=rows_consistent,
+            )
+        )
+    return result
+
+
+def render_fault_recovery(result: FaultRecoveryResult) -> str:
+    """The recovered-vs-aborted table as ASCII."""
+    rows = []
+    for m in result.measurements:
+        rows.append(
+            [
+                m.architecture,
+                f"{m.completed}/{m.calls}",
+                m.aborted,
+                sum(m.injected.values()),
+                m.recovered_activities,
+                m.activity_retries,
+                m.rmi_retries,
+                m.per_call,
+                f"{m.overhead:.2f}x",
+            ]
+        )
+    return format_table(
+        [
+            "architecture",
+            "completed",
+            "aborted",
+            "faults",
+            "recovered",
+            "act. retries",
+            "rmi retries",
+            "per call [su]",
+            "overhead",
+        ],
+        rows,
+        title=(
+            f"Fault recovery — {result.function}, {result.calls} calls, "
+            f"p={result.rate} per site, seed={result.seed}"
+        ),
+    )

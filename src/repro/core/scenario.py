@@ -359,12 +359,15 @@ def build_scenario(
     jitter: JitterSource | None = None,
     pooling: bool = False,
     result_cache: bool = False,
+    faults: dict | None = None,
 ) -> Scenario:
     """Stand up an integration server and deploy every federated
     function the architecture supports; unsupported ones (the cyclic
     case outside WfMS/procedural) are recorded in ``skipped``.
     ``pooling``/``result_cache`` switch on the integration server's warm
-    runtime pool and memoizing result cache (both off by default)."""
+    runtime pool and memoizing result cache (both off by default);
+    ``faults`` is forwarded to
+    :meth:`~repro.core.server.IntegrationServer.configure_faults`."""
     server = IntegrationServer(
         architecture,
         costs=costs,
@@ -374,6 +377,8 @@ def build_scenario(
         pooling=pooling,
         result_cache=result_cache,
     )
+    if faults:
+        server.configure_faults(**faults)
     scenario = Scenario(server)
     for fed in scenario_functions():
         if not supports(architecture, fed.case):

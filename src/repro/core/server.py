@@ -198,6 +198,11 @@ class IntegrationServer:
     # Lifecycle
     # ------------------------------------------------------------------
 
+    def configure_faults(self, **kwargs) -> None:
+        """Configure the fault-injection harness on the server's machine
+        (see :meth:`repro.sysmodel.machine.Machine.configure_faults`)."""
+        self.machine.configure_faults(**kwargs)
+
     def boot(self) -> None:
         """(Re)boot the machine: processes stop, caches empty.
 

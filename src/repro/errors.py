@@ -176,6 +176,51 @@ class MappingGraphError(MappingError):
 
 
 # --------------------------------------------------------------------------
+# Injected middleware faults (the fault-injection harness)
+# --------------------------------------------------------------------------
+
+
+class TransientFaultError(ReproError):
+    """Base class for faults injected by the fault-injection harness.
+
+    Each carries the *site* name it was injected at (see
+    :mod:`repro.sysmodel.faults`).  Transient means a retry may succeed:
+    the WfMS recovers from them via retry/forward recovery, while the
+    pure-UDTF architectures have no recovery mechanism and abort the
+    whole SQL statement.
+    """
+
+    def __init__(self, site: str, message: str):
+        super().__init__(message)
+        self.site = site
+
+
+class RmiDroppedError(TransientFaultError):
+    """An RMI hop was dropped: the request timed out on the wire."""
+
+
+class FencedProcessDiedError(TransientFaultError):
+    """The fenced A-UDTF process died during the invocation hand-over."""
+
+
+class LocalFunctionFaultError(TransientFaultError):
+    """An application system's local function failed transiently."""
+
+
+class ActivityProgramCrashError(TransientFaultError):
+    """The JVM running a workflow activity program crashed."""
+
+
+class StatementAbortedError(ExecutionError):
+    """The whole SQL statement was aborted by an unrecovered fault.
+
+    This is the paper's robustness asymmetry made explicit: a failure
+    inside a UDTF-architecture federated function cannot be restarted by
+    the FDBS, so the statement fails as a unit.
+    """
+
+
+# --------------------------------------------------------------------------
 # Simulation substrate errors
 # --------------------------------------------------------------------------
 

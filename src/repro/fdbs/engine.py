@@ -24,6 +24,8 @@ from repro.errors import (
     ReadOnlyFunctionError,
     ReproError,
     SqlError,
+    StatementAbortedError,
+    TransientFaultError,
 )
 from repro.fdbs import ast
 from repro.fdbs.authorization import (
@@ -214,6 +216,15 @@ class Database:
             pool_capacity=pool_capacity,
             cache_capacity=cache_capacity,
         )
+
+    def configure_faults(self, **kwargs) -> None:
+        """Configure the machine's fault-injection harness (see
+        :meth:`repro.sysmodel.machine.Machine.configure_faults`)."""
+        if self.machine is None:
+            raise ExecutionError(
+                "fault injection needs a machine-attached database"
+            )
+        self.machine.configure_faults(**kwargs)
 
     def runtime_stats(self) -> dict[str, dict[str, int]]:
         """Live counters for SYSCAT_RUNTIME_STATS and the shell's .stats.
@@ -465,7 +476,17 @@ class Database:
             coerce_into(value, param.type)
             for value, param in zip(args, function.params)
         ]
-        rows = self.function_runtime.invoke(function, coerced, ctx)
+        try:
+            rows = self.function_runtime.invoke(function, coerced, ctx)
+        except TransientFaultError as exc:
+            # A fault that survived every site-level retry reaches the
+            # FDBS executor, which has no recovery state of its own: the
+            # whole statement aborts (the paper's robustness asymmetry —
+            # only the WfMS path can absorb failures below this line).
+            raise StatementAbortedError(
+                f"statement aborted: table function {function.name} failed "
+                f"at {exc.site}: {exc}"
+            ) from exc
         return self._coerce_result_rows(function, rows)
 
     def _coerce_result_rows(

@@ -10,7 +10,14 @@ deterministically on any machine.
 
 from repro.simtime.clock import VirtualClock
 from repro.simtime.costs import CostModel
-from repro.simtime.rng import JitterSource
+from repro.simtime.rng import FaultRng, JitterSource
 from repro.simtime.trace import Span, TraceRecorder
 
-__all__ = ["VirtualClock", "CostModel", "JitterSource", "Span", "TraceRecorder"]
+__all__ = [
+    "VirtualClock",
+    "CostModel",
+    "FaultRng",
+    "JitterSource",
+    "Span",
+    "TraceRecorder",
+]

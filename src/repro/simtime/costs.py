@@ -127,6 +127,26 @@ class CostModel:
     integration server's result cache (lookup + copy-out) instead of
     re-invoking the backend."""
 
+    # -- fault detection & recovery (only charged when faults occur) ----------
+    fault_detection: float = 6.0
+    """Detecting one failed call or crashed process (error propagation,
+    state bookkeeping).  Charged at the moment a fault surfaces; never
+    charged on the fault-free path."""
+
+    rmi_timeout: float = 24.0
+    """Waiting out a dropped RMI hop before the failure is detected (the
+    paper's middleware uses connection timeouts, not failure signals)."""
+
+    retry_backoff_base: float = 5.0
+    """First retry's backoff delay in virtual time; the retry policy
+    doubles it per subsequent attempt (exponential backoff)."""
+
+    wf_forward_recovery: float = 12.0
+    """Navigator bookkeeping for one forward-recovery restart: reloading
+    the failed activity's input container and rescheduling it.  The
+    restarted attempt then re-pays the JVM start and container handling,
+    per the paper's cost model."""
+
     # -- connecting UDTF of the WfMS architecture -----------------------------
     wf_udtf_start: float = 27.0
     """Starting the connecting UDTF that bridges FDBS → WfMS."""

@@ -34,3 +34,26 @@ class JitterSource:
     def jitter(self, value: float) -> float:
         """Apply the next factor to ``value``."""
         return value * self.factor()
+
+
+class FaultRng:
+    """Seeded uniform RNG driving deterministic fault injection.
+
+    Kept separate from :class:`JitterSource` so arming the fault
+    injector never perturbs the jitter stream (and vice versa): the
+    probability-0 parity contract depends on the two streams being
+    independent.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def reseed(self, seed: int) -> None:
+        """Restart the stream from a new seed (reproducible runs)."""
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def roll(self) -> float:
+        """Next uniform draw in [0, 1)."""
+        return self._rng.random()

@@ -11,6 +11,7 @@ warm / hot behaviour of Sect. 4 arises.
 from repro.sysmodel.process import JavaVirtualMachine, OsProcess, ProcessState
 from repro.sysmodel.rmi import RmiChannel
 from repro.sysmodel.controller import Controller
+from repro.sysmodel.faults import FAULT_SITES, FaultInjector, RetryPolicy
 from repro.sysmodel.pool import WarmRuntimePool
 from repro.sysmodel.result_cache import ResultCache
 from repro.sysmodel.machine import Machine
@@ -21,6 +22,9 @@ __all__ = [
     "ProcessState",
     "RmiChannel",
     "Controller",
+    "FAULT_SITES",
+    "FaultInjector",
+    "RetryPolicy",
     "WarmRuntimePool",
     "ResultCache",
     "Machine",

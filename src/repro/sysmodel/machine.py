@@ -16,6 +16,12 @@ from repro.simtime.clock import VirtualClock
 from repro.simtime.costs import CostModel, DEFAULT_COSTS, Warmth
 from repro.simtime.rng import JitterSource
 from repro.sysmodel.controller import Controller
+from repro.sysmodel.faults import (
+    SITE_RMI_UDTF,
+    SITE_RMI_WFMS,
+    FaultInjector,
+    RetryPolicy,
+)
 from repro.sysmodel.pool import WarmRuntimePool
 from repro.sysmodel.process import OsProcess
 from repro.sysmodel.result_cache import ResultCache
@@ -64,6 +70,15 @@ class Machine:
 
         self.runtime_pool = WarmRuntimePool()
         self.result_cache = ResultCache()
+        self.fault_injector = FaultInjector()
+        self.retry_policy = RetryPolicy()
+        self.forward_recovery = False
+        self.udtf_rmi.bind_faults(
+            self.fault_injector, SITE_RMI_UDTF, self.retry_policy, self.costs
+        )
+        self.wf_rmi.bind_faults(
+            self.fault_injector, SITE_RMI_WFMS, self.retry_policy, self.costs
+        )
         self.architecture_tag = "DEFAULT"
         self.execution_mode_provider: Callable[[], str] | None = None
 
@@ -92,6 +107,7 @@ class Machine:
         self.result_cache.reset()
         self.udtf_rmi.reset()
         self.wf_rmi.reset()
+        self.fault_injector.reset()
 
     def ensure_base_services(self) -> bool:
         """Start the FDBS and controller if cold; True if any start ran."""
@@ -146,6 +162,42 @@ class Machine:
                 enabled=result_cache, capacity=cache_capacity
             )
 
+    def configure_faults(
+        self,
+        enabled: bool | None = None,
+        seed: int | None = None,
+        sites: dict[str, float | tuple[float, int | None]] | None = None,
+        retry_attempts: int | None = None,
+        backoff_base: float | None = None,
+        forward_recovery: bool | None = None,
+    ) -> None:
+        """Configure the fault-injection harness and recovery policies.
+
+        ``sites`` maps site names (see :data:`repro.sysmodel.faults.FAULT_SITES`)
+        to a probability or a ``(probability, count)`` pair.  Passing
+        ``retry_attempts`` activates the shared retry policy; forward
+        recovery lets the workflow navigator restart failed activities
+        from their input containers.  Everything defaults to off, and a
+        site armed at probability 0 never draws from the RNG, so the
+        disabled (or zero-rate) harness leaves timings bit-identical.
+        """
+        self.fault_injector.configure(enabled=enabled, seed=seed)
+        if sites is not None:
+            for site, spec in sites.items():
+                if isinstance(spec, tuple):
+                    probability, count = spec
+                else:
+                    probability, count = spec, None
+                self.fault_injector.arm(site, probability=probability, count=count)
+        if retry_attempts is not None or backoff_base is not None:
+            self.retry_policy.configure(
+                active=True,
+                max_attempts=retry_attempts,
+                backoff_base=backoff_base,
+            )
+        if forward_recovery is not None:
+            self.forward_recovery = forward_recovery
+
     def result_cache_namespace(self) -> str:
         """Cache namespace: architecture tag + current execution mode."""
         mode = (
@@ -162,6 +214,14 @@ class Machine:
             "result_cache": self.result_cache.stats(),
             "rmi_udtf": self.udtf_rmi.stats(),
             "rmi_wfms": self.wf_rmi.stats(),
+            "faults": {
+                **self.fault_injector.stats(),
+                **{
+                    f"retry_{k}": v
+                    for k, v in self.retry_policy.stats().items()
+                },
+                "forward_recovery": int(self.forward_recovery),
+            },
         }
 
     # -- convenience ----------------------------------------------------------

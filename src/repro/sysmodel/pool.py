@@ -41,6 +41,7 @@ class WarmRuntimePool:
         self.warm_hits = 0
         self.cold_starts = 0
         self.evictions = 0
+        self.fault_evictions = 0
 
     def configure(
         self, enabled: bool | None = None, capacity: int | None = None
@@ -74,21 +75,33 @@ class WarmRuntimePool:
         if not self.enabled:
             self.cold_starts += 1
             return False
-        slot = key.upper()
-        if slot in self._slots:
+        if key in self._slots:
             self.warm_hits += 1
-            self._slots.pop(slot)
-            self._slots[slot] = 1  # move to MRU position
+            self._slots.pop(key)
+            self._slots[key] = 1  # move to MRU position
             return True
         self.cold_starts += 1
         if len(self._slots) >= self.capacity:
             self._evict_lru()
-        self._slots[slot] = 1
+        self._slots[key] = 1
         return False
 
     def is_warm(self, key: str) -> bool:
         """Whether the keyed runtime is currently resident (no side effects)."""
-        return self.enabled and key.upper() in self._slots
+        return self.enabled and key in self._slots
+
+    def evict(self, key: str) -> bool:
+        """Drop one slot because its runtime died (fault path).
+
+        Returns whether the slot was resident.  Counted separately from
+        capacity evictions so the fault experiments can tell crashed
+        runtimes apart from LRU pressure.
+        """
+        if key in self._slots:
+            del self._slots[key]
+            self.fault_evictions += 1
+            return True
+        return False
 
     def _evict_lru(self) -> None:
         oldest = next(iter(self._slots))
@@ -109,6 +122,7 @@ class WarmRuntimePool:
             "warm_hits": self.warm_hits,
             "cold_starts": self.cold_starts,
             "evictions": self.evictions,
+            "fault_evictions": self.fault_evictions,
             "size": len(self._slots),
             "capacity": self.capacity,
         }

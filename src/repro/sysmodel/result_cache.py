@@ -19,6 +19,9 @@ nothing else.  Hit/miss/eviction counters follow the
 
 from __future__ import annotations
 
+import math
+from fractions import Fraction
+
 DEFAULT_RESULT_CACHE_CAPACITY = 512
 """Default number of memoized results kept resident."""
 
@@ -30,16 +33,31 @@ def normalize_args(args: tuple) -> tuple | None:
     """Normalize an argument tuple into a hashable cache key part.
 
     Numeric values compare across int/float representations (1 and 1.0
-    hit the same entry), strings are kept case-sensitively (SQL string
-    equality is case-sensitive).  Returns None when any argument is
-    unhashable — such invocations bypass the cache.
+    hit the same entry) under *exact* numeric equivalence: large ints
+    are never collapsed through float (2**53 and 2**53 + 1 stay
+    distinct), and non-integral floats key on their exact binary value
+    via :class:`~fractions.Fraction`.  Strings are kept case-sensitively
+    (SQL string equality is case-sensitive).  Returns None when any
+    argument is unhashable or is NaN (NaN never equals itself, so such
+    invocations bypass the cache instead of piling up dead entries).
     """
     normalized: list[object] = []
     for value in args:
         if isinstance(value, bool):  # bool before int: True is not 1 here
             normalized.append(("b", value))
-        elif isinstance(value, (int, float)):
-            normalized.append(("n", float(value)))
+        elif isinstance(value, int):
+            normalized.append(("n", value))
+        elif isinstance(value, float):
+            if math.isnan(value):
+                return None
+            if math.isinf(value):
+                normalized.append(("n", value))
+            elif value.is_integer():
+                normalized.append(("n", int(value)))
+            else:
+                # Fraction(float) is exact, so 0.1 and the int/Fraction
+                # it does NOT equal can never collide.
+                normalized.append(("n", Fraction(value)))
         else:
             normalized.append(value)
     try:
@@ -86,11 +104,17 @@ class ResultCache:
         if enabled is not None:
             self.enabled = enabled
             if not enabled:
+                # Disabling drops every entry; account for them like any
+                # other bulk invalidation so stats stay conservation-true.
+                self.invalidations += len(self._entries)
                 self._entries.clear()
 
     @staticmethod
     def _key(namespace: str, function: str, args_key: tuple) -> tuple:
-        return (namespace, function.upper(), args_key)
+        # Function names are keyed exactly: the catalog preserves the
+        # registered casing, and folding here made distinct runtime keys
+        # (e.g. "audtf:Foo" vs "audtf:foo") share one entry.
+        return (namespace, function, args_key)
 
     def get(
         self, namespace: str, function: str, args: tuple
@@ -126,11 +150,16 @@ class ResultCache:
         if args_key is None:
             return
         key = self._key(namespace, function, args_key)
+        # Materialize the rows *before* touching the cache: if the rows
+        # iterable raises mid-stream (e.g. an injected fault during the
+        # fill), the previous entry must survive and no partial result
+        # may ever be stored.
+        entry = ((owner or GLOBAL_OWNER).upper(), list(rows))
         if key in self._entries:
             self._entries.pop(key)
         elif len(self._entries) >= self.capacity:
             self._evict_lru()
-        self._entries[key] = ((owner or GLOBAL_OWNER).upper(), list(rows))
+        self._entries[key] = entry
 
     def invalidate_owner(self, owner: str) -> int:
         """Drop every entry owned by one application system.

@@ -11,14 +11,31 @@ pays the full connection-setup cost, but the established channel is kept
 open by the controller and subsequent hops pay only the smaller warm
 costs.  Persistence is off by default, in which case every hop pays the
 cold costs exactly as before.
+
+Channels are also the first injection site of the fault harness
+(:mod:`repro.sysmodel.faults`): a bound injector may *drop* the call
+hop, which charges the timeout + fault-detection costs and raises
+:class:`~repro.errors.RmiDroppedError`.  A bound retry policy re-drives
+dropped hops with exponential backoff in virtual time.
+
+Exception safety: the return hop is charged in a ``finally`` — a raising
+remote still pays the hop that carries the failure back — and a
+persistent channel counts as established once the call hop completed
+(connection setup was paid), so a retry after a remote-side failure pays
+the warm costs instead of double-paying cold setup.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
+from repro.errors import RmiDroppedError
 from repro.simtime.clock import VirtualClock
 from repro.simtime.trace import TraceRecorder, maybe_span
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simtime.costs import CostModel
+    from repro.sysmodel.faults import FaultInjector, RetryPolicy
 
 
 class RmiChannel:
@@ -45,6 +62,12 @@ class RmiChannel:
         self._established = False
         self.call_count = 0
         self.warm_calls = 0
+        self.drops = 0
+        self.retries = 0
+        self._injector: "FaultInjector | None" = None
+        self._retry_policy: "RetryPolicy | None" = None
+        self._fault_costs: "CostModel | None" = None
+        self._fault_site: str | None = None
 
     def configure(self, persistent: bool | None = None) -> None:
         """Switch persistent-channel reuse on or off.
@@ -56,6 +79,24 @@ class RmiChannel:
             self.persistent = persistent
             if not persistent:
                 self._established = False
+
+    def bind_faults(
+        self,
+        injector: "FaultInjector",
+        site: str,
+        retry_policy: "RetryPolicy",
+        costs: "CostModel",
+    ) -> None:
+        """Attach the fault harness: injection site + retry policy.
+
+        The injector and policy objects are shared and mutated in place
+        by :meth:`~repro.sysmodel.machine.Machine.configure_faults`, so
+        binding once at machine construction suffices.
+        """
+        self._injector = injector
+        self._fault_site = site
+        self._retry_policy = retry_policy
+        self._fault_costs = costs
 
     @property
     def established(self) -> bool:
@@ -78,19 +119,81 @@ class RmiChannel:
         callers attribute the hops to the paper's Fig. 6 step names.  On
         a persistent channel every hop after the first pays the warm
         costs instead of re-doing connection setup.
+
+        Dropped hops (injected faults) are retried per the bound retry
+        policy, each retry waiting out an exponential backoff in virtual
+        time.  Exceptions raised by ``remote`` itself are never retried
+        here — failure semantics belong to the caller's layer.
         """
+        policy = self._retry_policy
+        attempt = 1
+        while True:
+            try:
+                return self._invoke_once(
+                    remote, args, kwargs, trace, call_label, return_label
+                )
+            except RmiDroppedError:
+                if (
+                    policy is None
+                    or not policy.active
+                    or attempt >= policy.max_attempts
+                ):
+                    raise
+                assert self._fault_costs is not None
+                backoff = policy.backoff(
+                    attempt, self._fault_costs.retry_backoff_base
+                )
+                self.retries += 1
+                policy.note_retry()
+                with maybe_span(trace, f"rmi backoff:{self.name}"):
+                    self._clock.advance(backoff)
+                attempt += 1
+
+    def _invoke_once(
+        self,
+        remote: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        trace: TraceRecorder | None,
+        call_label: str | None,
+        return_label: str | None,
+    ) -> Any:
         self.call_count += 1
         warm = self.persistent and self._established
         if warm:
             self.warm_calls += 1
         with maybe_span(trace, call_label or f"rmi call:{self.name}"):
             self._clock.advance(self.warm_call_cost if warm else self.call_cost)
-        result = remote(*args, **kwargs)
-        with maybe_span(trace, return_label or f"rmi return:{self.name}"):
-            self._clock.advance(self.warm_return_cost if warm else self.return_cost)
         if self.persistent:
+            # Connection setup was paid with the call hop; a failure on
+            # the remote side must not force a retry to pay it again.
             self._established = True
-        return result
+        if self._injector is not None and self._fault_site is not None:
+            if self._injector.should_fail(self._fault_site):
+                self.drops += 1
+                # The hop died with the connection: a persistent channel
+                # must re-establish before the next (warm-free) attempt.
+                self._established = False
+                assert self._fault_costs is not None
+                with maybe_span(trace, f"rmi timeout:{self.name}"):
+                    self._clock.advance(
+                        self._fault_costs.rmi_timeout
+                        + self._fault_costs.fault_detection
+                    )
+                raise RmiDroppedError(
+                    self._fault_site,
+                    f"RMI hop dropped on channel {self.name!r} "
+                    f"(call #{self.call_count})",
+                )
+        try:
+            return remote(*args, **kwargs)
+        finally:
+            # The return hop carries results *and* failures back; charge
+            # it either way so a raising remote cannot skip the hop.
+            with maybe_span(trace, return_label or f"rmi return:{self.name}"):
+                self._clock.advance(
+                    self.warm_return_cost if warm else self.return_cost
+                )
 
     def reset(self) -> None:
         """Drop the established connection (machine reboot)."""
@@ -101,6 +204,8 @@ class RmiChannel:
         return {
             "calls": self.call_count,
             "warm_calls": self.warm_calls,
+            "drops": self.drops,
+            "retries": self.retries,
             "persistent": int(self.persistent),
             "established": int(self._established),
         }

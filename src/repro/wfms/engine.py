@@ -19,8 +19,15 @@ Execution model (matching the paper's observations):
 
 from __future__ import annotations
 
-from repro.errors import ActivityFailedError, ContainerError, NavigationError
+from repro.errors import (
+    ActivityFailedError,
+    ActivityProgramCrashError,
+    ContainerError,
+    NavigationError,
+    WorkflowError,
+)
 from repro.simtime.trace import TraceRecorder, maybe_span
+from repro.sysmodel.faults import SITE_ACTIVITY_PROGRAM
 from repro.sysmodel.machine import Machine
 from repro.wfms.audit import AuditTrail
 from repro.wfms.instance import (
@@ -85,7 +92,11 @@ class WorkflowEngine:
         self.audit.record(self._now(), definition.name, "process started")
         try:
             self._navigate(instance, trace)
-        except ActivityFailedError as exc:
+        except WorkflowError as exc:
+            # Any workflow-level failure — a failed activity, but also a
+            # container or navigation error — must leave the instance in
+            # a terminal FAILED state with an audit record, never stuck
+            # RUNNING without a finish time.
             instance.state = ProcessState.FAILED
             instance.error = exc
             instance.finish_time = self._now()
@@ -133,12 +144,10 @@ class WorkflowEngine:
             )
             try:
                 output, cost = self._execute_activity(activity, ai)
-            except ActivityFailedError:
-                ai.state = ActivityState.FAILED
-                self.audit.record(
-                    self._now(), definition.name, "activity failed", activity.name
+            except ActivityFailedError as exc:
+                output, cost = self._forward_recover(
+                    instance, activity, ai, trace, exc
                 )
-                raise
             ai.output = output
             ai.state = ActivityState.FINISHED
             durations[activity.name.upper()] = cost
@@ -173,6 +182,58 @@ class WorkflowEngine:
                 trace.add_leaf("Process activities", start_activities, self._now())
 
         self._fill_process_output(instance)
+
+    def _forward_recover(
+        self,
+        instance: ProcessInstance,
+        activity: Activity,
+        ai: ActivityInstance,
+        trace: TraceRecorder | None,
+        exc: ActivityFailedError,
+    ) -> tuple[Container, float]:
+        """Restart a failed activity from its input container, or give up.
+
+        This is the paper's key robustness asymmetry: the WfMS owns the
+        navigation state and the activity's input container, so a failed
+        program activity can be re-scheduled (paying the navigator
+        bookkeeping plus a fresh JVM start) instead of aborting the whole
+        statement.  When forward recovery is off — the default — the
+        failure propagates exactly as before.
+        """
+        machine = self.machine
+        if (
+            machine is not None
+            and machine.forward_recovery
+            and isinstance(activity, ProgramActivity)
+        ):
+            restarts = max(machine.retry_policy.attempts() - 1, 1)
+            for restart in range(1, restarts + 1):
+                with maybe_span(trace, "Forward recovery"):
+                    machine.clock.advance(machine.costs.wf_forward_recovery)
+                self.audit.record(
+                    self._now(),
+                    instance.definition.name,
+                    "forward recovery",
+                    activity.name,
+                    detail=f"restart {restart} from input container",
+                )
+                try:
+                    output, cost = self._execute_activity(activity, ai)
+                except ActivityFailedError as retry_exc:
+                    exc = retry_exc
+                    continue
+                self.audit.record(
+                    self._now(),
+                    instance.definition.name,
+                    "activity recovered",
+                    activity.name,
+                )
+                return output, cost
+        ai.state = ActivityState.FAILED
+        self.audit.record(
+            self._now(), instance.definition.name, "activity failed", activity.name
+        )
+        raise exc
 
     def _nav_cost(self) -> float:
         return self.machine.costs.wf_navigation if self.machine is not None else 0.0
@@ -303,6 +364,9 @@ class WorkflowEngine:
         if isinstance(activity, ProgramActivity):
             program = self.registry.program(activity.program)
             attempts = activity.max_retries + 1
+            policy = self.machine.retry_policy if self.machine is not None else None
+            if policy is not None and policy.active:
+                attempts = max(attempts, policy.attempts())
             for attempt in range(1, attempts + 1):
                 if self.machine is not None:
                     # Fresh JVM per attempt + container handling: the
@@ -328,10 +392,43 @@ class WorkflowEngine:
                         self.machine.costs.wf_activity_container
                     )
                 try:
+                    if (
+                        self.machine is not None
+                        and self.machine.fault_injector.should_fail(
+                            SITE_ACTIVITY_PROGRAM
+                        )
+                    ):
+                        self.machine.clock.advance(
+                            self.machine.costs.fault_detection
+                        )
+                        self.audit.record(
+                            self._now(),
+                            "-",
+                            "activity crashed (injected)",
+                            activity.name,
+                            detail=f"attempt {attempt} of {attempts}",
+                        )
+                        raise ActivityFailedError(
+                            activity.name,
+                            ActivityProgramCrashError(
+                                SITE_ACTIVITY_PROGRAM,
+                                f"activity program {activity.program!r} "
+                                "crashed",
+                            ),
+                        )
                     return self._invoke(program, activity.name, inputs)
                 except ActivityFailedError:
                     if attempt == attempts:
                         raise
+                    if policy is not None and policy.active:
+                        # Exponential backoff in virtual time before the
+                        # re-attempt; never charged with the policy off.
+                        self.machine.clock.advance(
+                            policy.backoff(
+                                attempt, self.machine.costs.retry_backoff_base
+                            )
+                        )
+                        policy.note_retry()
                     self.audit.record(
                         self._now(),
                         "-",

@@ -34,11 +34,12 @@ controller costs vanish on both paths.
 
 from __future__ import annotations
 
-from repro.errors import FencedModeError
+from repro.errors import FencedModeError, FencedProcessDiedError
 from repro.fdbs.catalog import ExternalTableFunction, SqlTableFunction
 from repro.fdbs.engine import Database, FunctionRuntime
 from repro.fdbs.expr import EvalContext
 from repro.simtime.trace import TraceRecorder, maybe_span
+from repro.sysmodel.faults import SITE_FENCED_PROCESS
 from repro.sysmodel.machine import Machine
 
 #: Catalog language tag marking the connecting UDTF of the WfMS coupling.
@@ -169,6 +170,36 @@ class FencedFunctionRuntime(FunctionRuntime):
                 self.machine.clock.advance(
                     costs.udtf_warm_prepare if warm else costs.udtf_prepare_access
                 )
+            if self.machine.fault_injector.should_fail(SITE_FENCED_PROCESS):
+                with maybe_span(trace, "Fault detection"):
+                    self.machine.clock.advance(costs.fault_detection)
+                self.machine.runtime_pool.evict(runtime_key)
+                if warm:
+                    # Graceful degradation: the warm slot died, retry the
+                    # hand-over with a freshly fenced process (cold cost).
+                    self.machine.runtime_pool.acquire(runtime_key)
+                    with maybe_span(trace, "Prepare A-UDTFs"):
+                        self.machine.clock.advance(costs.udtf_prepare_access)
+                    if self.machine.fault_injector.should_fail(
+                        SITE_FENCED_PROCESS
+                    ):
+                        with maybe_span(trace, "Fault detection"):
+                            self.machine.clock.advance(costs.fault_detection)
+                        self.machine.runtime_pool.evict(runtime_key)
+                        raise FencedProcessDiedError(
+                            SITE_FENCED_PROCESS,
+                            f"fenced process of A-UDTF {function.name!r} "
+                            "died again after a cold restart",
+                        )
+                else:
+                    # A cold fenced process died during hand-over; the
+                    # UDTF architecture has no navigation state to
+                    # recover from, so the statement aborts.
+                    raise FencedProcessDiedError(
+                        SITE_FENCED_PROCESS,
+                        f"fenced process of A-UDTF {function.name!r} died "
+                        "during process hand-over",
+                    )
         controller = self.machine.controller
         if function.fenced and controller.enabled:
             rows = self.machine.udtf_rmi.invoke(

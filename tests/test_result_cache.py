@@ -63,6 +63,78 @@ class TestCacheUnit:
         cache.put("ns", "f", ([1],), [(1,)], owner="s")
         assert cache.get("ns", "f", ([1],)) is None
 
+    def test_large_ints_not_collapsed_through_float(self):
+        """Regression: args were normalized via float(), so 2**53 and
+        2**53 + 1 (same float64 value) collided on one entry and the
+        second lookup served the first argument's rows."""
+        cache = ResultCache(enabled=True)
+        cache.put("ns", "f", (2**53,), [("a",)], owner="s")
+        cache.put("ns", "f", (2**53 + 1,), [("b",)], owner="s")
+        assert cache.get("ns", "f", (2**53,)) == [("a",)]
+        assert cache.get("ns", "f", (2**53 + 1,)) == [("b",)]
+
+    def test_non_integral_float_distinct_from_nearby_int(self):
+        cache = ResultCache(enabled=True)
+        cache.put("ns", "f", (0.5,), [("half",)], owner="s")
+        assert cache.get("ns", "f", (0,)) is None
+        assert cache.get("ns", "f", (0.5,)) == [("half",)]
+        # Integral floats still unify with their int (1 ≡ 1.0).
+        cache.put("ns", "g", (1,), [("one",)], owner="s")
+        assert cache.get("ns", "g", (1.0,)) == [("one",)]
+
+    def test_nan_args_bypass_and_never_pile_up(self):
+        """Regression: NaN keys never compare equal, so every put
+        appended a fresh dead entry and no get ever hit."""
+        cache = ResultCache(enabled=True)
+        nan = float("nan")
+        for _ in range(3):
+            cache.put("ns", "f", (nan,), [(1,)], owner="s")
+        assert len(cache) == 0
+        assert cache.get("ns", "f", (nan,)) is None
+        assert normalize_args((nan,)) is None
+
+    def test_infinities_are_cacheable_and_distinct(self):
+        cache = ResultCache(enabled=True)
+        cache.put("ns", "f", (float("inf"),), [("+",)], owner="s")
+        cache.put("ns", "f", (float("-inf"),), [("-",)], owner="s")
+        assert cache.get("ns", "f", (float("inf"),)) == [("+",)]
+        assert cache.get("ns", "f", (float("-inf"),)) == [("-",)]
+
+    def test_function_names_keyed_exactly(self):
+        """Regression: function names were upper-cased in the key, so
+        distinct runtime keys like audtf:Foo and audtf:foo collided."""
+        cache = ResultCache(enabled=True)
+        cache.put("ns", "audtf:Foo", (1,), [("Foo",)], owner="s")
+        cache.put("ns", "audtf:foo", (1,), [("foo",)], owner="s")
+        assert cache.get("ns", "audtf:Foo", (1,)) == [("Foo",)]
+        assert cache.get("ns", "audtf:foo", (1,)) == [("foo",)]
+        assert len(cache) == 2
+
+    def test_disable_counts_dropped_entries_as_invalidations(self):
+        """Regression: configure(enabled=False) cleared the entries
+        without counting them, so hits+misses+evictions+invalidations
+        no longer accounted for every entry that ever left the cache."""
+        cache = ResultCache(enabled=True)
+        cache.put("ns", "a", (), [(1,)], owner="s")
+        cache.put("ns", "b", (), [(2,)], owner="s")
+        cache.configure(enabled=False)
+        assert cache.stats()["invalidations"] == 2
+        assert len(cache) == 0
+
+    def test_put_is_exception_safe_mid_fill(self):
+        """A rows iterable raising mid-stream must leave the previous
+        entry intact and never store a partial result."""
+        cache = ResultCache(enabled=True)
+        cache.put("ns", "f", (1,), [("old",)], owner="s")
+
+        def poisoned():
+            yield ("new-1",)
+            raise RuntimeError("backend died mid-fill")
+
+        with pytest.raises(RuntimeError):
+            cache.put("ns", "f", (1,), poisoned(), owner="s")
+        assert cache.get("ns", "f", (1,)) == [("old",)]
+
 
 @pytest.fixture(params=["row", "batch"])
 def cached_server(request, data):

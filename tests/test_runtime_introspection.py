@@ -38,6 +38,7 @@ class TestSyscatView:
             "result_cache",
             "rmi_udtf",
             "rmi_wfms",
+            "faults",
         }
 
     def test_view_reflects_live_counters(self, pooled_scenario):
@@ -128,5 +129,5 @@ class TestConfigureRuntime:
         machine = Machine()
         stats = machine.runtime_stats()
         assert set(stats) == {
-            "runtime_pool", "result_cache", "rmi_udtf", "rmi_wfms"
+            "runtime_pool", "result_cache", "rmi_udtf", "rmi_wfms", "faults"
         }

@@ -22,10 +22,26 @@ class TestPoolUnit:
         assert pool.stats()["warm_hits"] == 1
         assert pool.stats()["cold_starts"] == 1
 
-    def test_keys_case_insensitive(self):
+    def test_keys_are_case_sensitive(self):
+        """Regression: the pool used to fold keys to upper case, so
+        distinct runtimes like ``audtf:Foo`` and ``audtf:foo`` shared a
+        warm slot and the second one got a false warm hit."""
         pool = WarmRuntimePool(enabled=True)
         pool.acquire("program:A")
-        assert pool.acquire("PROGRAM:a") is True
+        assert pool.acquire("PROGRAM:a") is False
+        assert pool.is_warm("program:A")
+        assert pool.is_warm("PROGRAM:a")
+        assert not pool.is_warm("program:a")
+
+    def test_fault_evict_drops_slot_and_counts(self):
+        pool = WarmRuntimePool(enabled=True)
+        pool.acquire("audtf:F")
+        assert pool.evict("audtf:F") is True
+        assert not pool.is_warm("audtf:F")
+        assert pool.evict("audtf:F") is False
+        stats = pool.stats()
+        assert stats["fault_evictions"] == 1
+        assert stats["evictions"] == 0
 
     def test_lru_eviction(self):
         pool = WarmRuntimePool(capacity=2, enabled=True)
@@ -59,7 +75,7 @@ class TestPoolUnit:
         for key in ("a", "b", "c"):
             pool.acquire(key)
         pool.configure(capacity=1)
-        assert pool.contents() == ["C"]
+        assert pool.contents() == ["c"]
 
     def test_disable_clears_slots(self):
         pool = WarmRuntimePool(enabled=True)

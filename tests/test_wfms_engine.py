@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ActivityFailedError, ContainerError
+from repro.errors import ActivityFailedError, ContainerError, NavigationError
 from repro.fdbs.types import INTEGER, VARCHAR
 from repro.simtime.costs import DEFAULT_COSTS
 from repro.sysmodel.machine import Machine
@@ -186,6 +186,53 @@ def test_unexpected_output_member_rejected():
     b.map_output("Y", b.from_activity("A", "Y"))
     with pytest.raises((ContainerError, ActivityFailedError)):
         WorkflowEngine(registry).run_process(b.build(), {"X": 1})
+
+
+def test_container_failure_leaves_instance_failed():
+    """Regression: run_process caught only ActivityFailedError, so a
+    ContainerError (mis-wired mapping) escaped with the instance stuck
+    RUNNING — no finish time, no error, no 'process failed' audit."""
+    registry = ProgramRegistry()
+    registry.register_program("bad.extra", lambda inp: {"Y": 1, "Zzz": 2})
+    b = ProcessBuilder("P", [("X", INTEGER)], [("Y", INTEGER)])
+    b.program_activity(
+        "A", "bad.extra", [("X", INTEGER)], [("Y", INTEGER)],
+        {"X": b.from_input("X")},
+    )
+    b.map_output("Y", b.from_activity("A", "Y"))
+    wf_engine = WorkflowEngine(registry, Machine())
+    with pytest.raises(ContainerError):
+        wf_engine.run_process(b.build(), {"X": 1})
+    instance = wf_engine.instances[-1]
+    assert instance.state is ProcessState.FAILED
+    assert instance.finish_time is not None
+    assert isinstance(instance.error, ContainerError)
+    events = [e.event for e in wf_engine.audit.for_process("P")]
+    assert events[-1] == "process failed"
+
+
+def test_navigation_failure_leaves_instance_failed():
+    """Same regression for NavigationError escaping the navigator."""
+    registry = make_registry()
+    b = ProcessBuilder("P", [("X", INTEGER)], [("Y", INTEGER)])
+    b.program_activity(
+        "A", "math.double", [("X", INTEGER)], [("Y", INTEGER)],
+        {"X": b.from_input("X")},
+    )
+    b.map_output("Y", b.from_activity("A", "Y"))
+    process = b.build()
+    wf_engine = WorkflowEngine(registry, Machine())
+
+    def broken_resolve(instance, source, where):
+        raise NavigationError("wiring destroyed mid-navigation")
+
+    wf_engine._resolve = broken_resolve
+    with pytest.raises(NavigationError):
+        wf_engine.run_process(process, {"X": 1})
+    instance = wf_engine.instances[-1]
+    assert instance.state is ProcessState.FAILED
+    assert instance.finish_time is not None
+    assert isinstance(instance.error, NavigationError)
 
 
 def test_audit_trail_records_lifecycle():
