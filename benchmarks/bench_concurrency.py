@@ -1,0 +1,231 @@
+"""Concurrent-serving benchmark — throughput and tail latency vs workers.
+
+Replays one seeded multi-client workload (mixed architectures, federated
+reads plus a DML mix on session-private scratch tables) through the
+:class:`~repro.serving.server.ConcurrentIntegrationServer` at several
+worker-pool sizes, and reports per-worker-count throughput and
+p50/p95/p99 wall-clock call latency.
+
+Two parity gates ride along (and are asserted by the perf test and by
+``scripts/check_parity.sh``):
+
+* **single-session parity** — the 1-worker serving-layer run is
+  bit-identical (per-session result rows *and* simulated times) to
+  driving each session script directly against a standalone
+  single-caller :class:`~repro.core.server.IntegrationServer`: the
+  serving layer and the thread-safety locks add zero simulated cost;
+* **cross-worker parity** — every worker count produces bit-identical
+  per-session rows and simulated times (isolated sessions own their
+  virtual clocks, so concurrency may change wall time, never results).
+
+Results are written to ``BENCH_concurrency.json`` in the repository root.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_concurrency.py --sessions 8
+
+or through pytest (deselected by default via the ``perf`` marker)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_concurrency.py -m perf -s
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.appsys.datagen import generate_enterprise_data
+from repro.core.scenario import build_scenario
+from repro.errors import StatementAbortedError
+from repro.serving.server import ConcurrentIntegrationServer
+from repro.serving.workload import SessionScript, make_workload
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_concurrency.json"
+
+#: The workload seed; shared with the concurrency parity tests.
+CONCURRENCY_SEED = 424242
+
+#: Worker-pool sizes measured by default (the acceptance floor is >= 3).
+DEFAULT_WORKER_COUNTS = (1, 4, 8)
+
+
+def drive_single_server(script: SessionScript, data) -> tuple[list, float]:
+    """Run one session script on a bare single-caller stack.
+
+    This is the pre-serving-layer execution path: a dedicated
+    integration server per script, calls driven sequentially, no
+    session object, no admission control, no worker pool.  Its rows and
+    simulated time are the bit-identity baseline.
+    """
+    scenario = build_scenario(script.architecture, data=data)
+    server = scenario.server
+    if script.faults:
+        server.configure_faults(**script.faults)
+    row_sets: list[list[tuple] | None] = []
+    sim_start = server.machine.clock.now
+    for call in script.calls:
+        if call.kind == "call":
+            try:
+                row_sets.append(server.call(call.target, *call.args))
+            except StatementAbortedError:
+                row_sets.append(None)
+        else:
+            result = server.fdbs.execute(call.target, params=list(call.args))
+            row_sets.append(list(result.rows))
+    return row_sets, server.machine.clock.now - sim_start
+
+
+def run(
+    seed: int = CONCURRENCY_SEED,
+    sessions: int = 8,
+    calls_per_session: int = 10,
+    worker_counts: tuple[int, ...] = DEFAULT_WORKER_COUNTS,
+    pooling: bool = False,
+    result_cache: bool = False,
+) -> dict:
+    """Measure the workload at every worker count and check both gates."""
+    data = generate_enterprise_data()
+    scripts = make_workload(
+        seed=seed, sessions=sessions, calls_per_session=calls_per_session
+    )
+
+    # Baseline: each session on its own bare single-caller server.
+    baseline_start = time.perf_counter()
+    baseline_rows: dict[int, list] = {}
+    baseline_sim: dict[int, float] = {}
+    for script in scripts:
+        rows, sim = drive_single_server(script, data)
+        baseline_rows[script.session_id] = rows
+        baseline_sim[script.session_id] = sim
+    baseline_wall = time.perf_counter() - baseline_start
+
+    runs = []
+    reference = None
+    for workers in worker_counts:
+        with ConcurrentIntegrationServer(
+            workers=workers,
+            mode="isolated",
+            pooling=pooling,
+            result_cache=result_cache,
+            data=data,
+        ) as server:
+            result = server.run_workload(
+                make_workload(
+                    seed=seed,
+                    sessions=sessions,
+                    calls_per_session=calls_per_session,
+                )
+            )
+        entry = {
+            "workers": workers,
+            "calls": result.calls,
+            "wall_seconds": round(result.wall_seconds, 6),
+            "throughput_calls_per_s": round(result.throughput, 2),
+            "latency_p50_ms": round(result.latency_percentile(50) * 1000, 4),
+            "latency_p95_ms": round(result.latency_percentile(95) * 1000, 4),
+            "latency_p99_ms": round(result.latency_percentile(99) * 1000, 4),
+            "simulated_ms_total": round(sum(result.simulated_ms.values()), 4),
+            "rows_match_single_server": result.row_sets == baseline_rows,
+            "sim_times_match_single_server": result.simulated_ms == baseline_sim,
+            "admission": result.admission,
+        }
+        if reference is None:
+            reference = result
+            entry["matches_one_worker"] = True
+        else:
+            entry["matches_one_worker"] = (
+                result.row_sets == reference.row_sets
+                and result.simulated_ms == reference.simulated_ms
+            )
+        runs.append(entry)
+
+    single_session_parity = all(
+        r["rows_match_single_server"] and r["sim_times_match_single_server"]
+        for r in runs
+        if r["workers"] == 1
+    )
+    cross_worker_parity = all(r["matches_one_worker"] for r in runs)
+    return {
+        "benchmark": "concurrency",
+        "seed": seed,
+        "sessions": sessions,
+        "calls_per_session": calls_per_session,
+        "pooling": pooling,
+        "result_cache": result_cache,
+        "baseline_wall_seconds": round(baseline_wall, 6),
+        "runs": runs,
+        "single_session_parity": single_session_parity,
+        "cross_worker_parity": cross_worker_parity,
+    }
+
+
+def write_report(summary: dict, path: Path = REPORT_PATH) -> None:
+    """Persist the benchmark summary as JSON."""
+    path.write_text(json.dumps(summary, indent=2) + "\n")
+
+
+@pytest.mark.perf
+def test_concurrency_throughput_and_parity():
+    """>= 3 worker counts measured; both parity gates hold; work completes."""
+    summary = run()
+    write_report(summary)
+    print()
+    print(json.dumps(summary, indent=2))
+    assert len(summary["runs"]) >= 3
+    assert any(r["workers"] == 1 for r in summary["runs"])
+    expected_calls = summary["sessions"] * (summary["calls_per_session"] + 1)
+    for entry in summary["runs"]:
+        assert entry["calls"] == expected_calls, (
+            f"{entry['workers']}-worker run lost or duplicated calls: "
+            f"{entry['calls']} != {expected_calls}"
+        )
+        assert entry["throughput_calls_per_s"] > 0
+        assert entry["latency_p50_ms"] <= entry["latency_p95_ms"] <= entry[
+            "latency_p99_ms"
+        ]
+    assert summary["single_session_parity"], (
+        "the 1-worker serving-layer run diverged from the bare "
+        "single-caller stack — the serving layer changed results or "
+        "simulated timings"
+    )
+    assert summary["cross_worker_parity"], (
+        "a multi-worker run diverged from the 1-worker run — session "
+        "isolation is broken"
+    )
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI entry point mirroring the other benchmarks."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=CONCURRENCY_SEED)
+    parser.add_argument("--sessions", type=int, default=8)
+    parser.add_argument("--calls", type=int, default=10)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_WORKER_COUNTS),
+        help="worker-pool sizes to measure (default: 1 4 8)",
+    )
+    parser.add_argument("--pooling", action="store_true")
+    parser.add_argument("--result-cache", action="store_true")
+    parser.add_argument("--out", type=Path, default=REPORT_PATH)
+    args = parser.parse_args(argv)
+    if args.sessions < 1 or args.calls < 1 or min(args.workers) < 1:
+        parser.error("--sessions, --calls and --workers must all be >= 1")
+    summary = run(
+        seed=args.seed,
+        sessions=args.sessions,
+        calls_per_session=args.calls,
+        worker_counts=tuple(args.workers),
+        pooling=args.pooling,
+        result_cache=args.result_cache,
+    )
+    write_report(summary, args.out)
+    print(json.dumps(summary, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -9,7 +9,11 @@
 #  3. fault-harness parity (every site armed at probability 0 with
 #     retries + forward recovery on => bit-identical to flags-off;
 #     exception-safety regressions in cache/pool/RMI/WfMS),
-#  4. calibration regression (the frozen Fig. 5/6 anchor numbers).
+#  4. concurrency parity (same seeded multi-session workload under 1
+#     worker vs K workers => bit-identical per-session rows and
+#     simulated times; serving layer == bare single-caller stack;
+#     thread-safety regression suite),
+#  5. calibration regression (the frozen Fig. 5/6 anchor numbers).
 #
 # Usage: scripts/check_parity.sh
 
@@ -28,6 +32,29 @@ python -m pytest -q tests/test_coupling_ablation.py tests/test_result_cache.py
 echo "== fault-harness parity + exception-safety regressions =="
 python -m pytest -q tests/test_fault_parity.py tests/test_faults.py \
     tests/test_runtime_pool.py tests/test_wfms_engine.py
+
+echo "== concurrency parity + thread-safety regressions =="
+python -m pytest -q tests/test_concurrent_parity.py \
+    tests/test_thread_safety_regressions.py
+
+echo "== concurrency benchmark parity gate =="
+python benchmarks/bench_concurrency.py > /dev/null
+
+python - <<'EOF'
+import json
+
+summary = json.load(open("BENCH_concurrency.json"))
+assert len(summary["runs"]) >= 3, "need >= 3 worker counts"
+assert summary["single_session_parity"], (
+    "1-worker serving run is not bit-identical to the single-session path"
+)
+assert summary["cross_worker_parity"], (
+    "worker count changed per-session rows or simulated times"
+)
+tp = {r["workers"]: r["throughput_calls_per_s"] for r in summary["runs"]}
+print(f"OK: single-session parity + cross-worker parity hold; "
+      f"throughput by workers: {tp}")
+EOF
 
 echo "== calibration regression =="
 python -m pytest -q tests/test_calibration_regression.py

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Perf smoke: tier-1 tests plus the wall-clock executor microbenchmark
-# at a reduced row count, plus the coupling pooling/caching ablation.
+# at a reduced row count, the coupling pooling/caching ablation, and a
+# reduced concurrent-serving run (throughput + parity at 1/4/8 workers).
 # Intended for CI — fast enough to run on every change, still catches
 # executor regressions an order of magnitude deep.
 #
@@ -42,4 +43,19 @@ for arch, factor in summary["start_share_reduction"].items():
     assert factor >= 2.0, f"{arch}: start-share reduced only {factor}x"
 print("OK: start-share reductions",
       summary["start_share_reduction"], "- parity and ranking hold")
+EOF
+
+echo "== concurrent serving smoke (reduced workload) =="
+python benchmarks/bench_concurrency.py --sessions 4 --calls 4 \
+    --out BENCH_concurrency_smoke.json > /dev/null
+
+python - <<'EOF'
+import json
+
+summary = json.load(open("BENCH_concurrency_smoke.json"))
+assert summary["single_session_parity"], "serving layer changed results"
+assert summary["cross_worker_parity"], "worker count changed results"
+assert all(r["throughput_calls_per_s"] > 0 for r in summary["runs"])
+print("OK: concurrency parity holds at", len(summary["runs"]),
+      "worker counts")
 EOF

@@ -233,5 +233,27 @@ class ClockError(SimulationError):
     """Virtual clock misuse (negative advance, nested run conflicts)."""
 
 
+# --------------------------------------------------------------------------
+# Serving-layer errors
+# --------------------------------------------------------------------------
+
+
+class ServingError(ReproError):
+    """Base class for concurrent-serving-layer errors."""
+
+
+class AdmissionError(ServingError):
+    """The serving layer refused work: session or queue capacity is full.
+
+    Raised by the admission controller under the ``"reject"`` policy;
+    the ``"block"`` policy applies backpressure (the caller waits)
+    instead of raising.
+    """
+
+
+class SessionClosedError(ServingError):
+    """A call was routed through a session that has been closed."""
+
+
 class ProcessStateError(SimulationError):
     """Simulated OS process used in the wrong state (not started, dead)."""

@@ -15,6 +15,7 @@ costs.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.errors import (
@@ -138,6 +139,13 @@ class Database:
         self._undo = UndoLog()
         self._function_depth = 0
         self._function_plan_cache: dict[str, Plan] = {}
+        #: Serializes whole statements: the catalog, storage, undo log,
+        #: warmth bookkeeping and function-plan cache are shared mutable
+        #: state with no finer-grained protection, so a database driven
+        #: by concurrent sessions executes one statement at a time.
+        #: Re-entrant because table functions and procedures nest
+        #: ``execute`` calls within one statement.
+        self._exec_lock = threading.RLock()
         self.statements_executed = 0
         #: Predicate pushdown to remote SQL sources (set False for the
         #: ablation bench; see repro.fdbs.pushdown).
@@ -172,31 +180,36 @@ class Database:
         trace: TraceRecorder | None = None,
     ) -> Result:
         """Parse and execute one SQL statement."""
-        self.statements_executed += 1
-        if self.machine is not None:
-            self.machine.ensure_base_services()
-            self.machine.clock.advance(self.machine.costs.fdbs_query_base)
-        statement = self._parse_cached(sql)
-        return self._dispatch(statement, sql, params or [], trace)
+        with self._exec_lock:
+            self.statements_executed += 1
+            if self.machine is not None:
+                self.machine.ensure_base_services()
+                self.machine.clock.advance(self.machine.costs.fdbs_query_base)
+            statement = self._parse_cached(sql)
+            return self._dispatch(statement, sql, params or [], trace)
 
     def execute_script(self, sql: str) -> list[Result]:
         """Execute a ';'-separated script; returns one Result per statement."""
         from repro.fdbs.parser import parse_script
 
-        results = []
-        for statement in parse_script(sql):
-            results.append(self._dispatch(statement, statement.render(), [], None))
-        return results
+        with self._exec_lock:
+            results = []
+            for statement in parse_script(sql):
+                results.append(
+                    self._dispatch(statement, statement.render(), [], None)
+                )
+            return results
 
     def explain(self, sql: str) -> str:
         """EXPLAIN-style plan tree for a SELECT statement."""
         statement = parse_statement(sql)
         if not isinstance(statement, ast.Select):
             raise PlanError("EXPLAIN supports SELECT statements only")
-        plan = self._planner().plan_select(statement)
-        header = self._runtime_header()
-        text = plan.explain(mode=self.execution_mode)
-        return "\n".join(header + [text]) if header else text
+        with self._exec_lock:
+            plan = self._planner().plan_select(statement)
+            header = self._runtime_header()
+            text = plan.explain(mode=self.execution_mode)
+            return "\n".join(header + [text]) if header else text
 
     def configure_runtime(
         self,
@@ -265,8 +278,9 @@ class Database:
 
     def call_procedure(self, name: str, args: list[object]) -> dict[str, object]:
         """CALL a stored procedure; returns its OUT/INOUT values."""
-        procedure = self.catalog.get_procedure(name)
-        return ProcedureInterpreter(self, procedure).call(args)
+        with self._exec_lock:
+            procedure = self.catalog.get_procedure(name)
+            return ProcedureInterpreter(self, procedure).call(args)
 
     def attach_endpoint(self, server_name: str, endpoint: RemoteEndpoint) -> None:
         """Attach the remote endpoint object to a created server."""
@@ -275,8 +289,9 @@ class Database:
 
     def register_external_function(self, function: ExternalTableFunction) -> None:
         """Register a pre-built external table function (A-UDTF)."""
-        self.catalog.add_function(function)
-        self._invalidate_plans()
+        with self._exec_lock:
+            self.catalog.add_function(function)
+            self._invalidate_plans()
 
     def table_rows(self, name: str) -> list[tuple]:
         """All rows of a base table (testing convenience)."""
@@ -536,7 +551,8 @@ class Database:
         self, statement: ast.Select, params: list[object] | None = None
     ) -> Result:
         """Execute an already-parsed SELECT (used by the PSM interpreter)."""
-        return self._execute_select(statement, params or [], None)
+        with self._exec_lock:
+            return self._execute_select(statement, params or [], None)
 
     # ------------------------------------------------------------------
     # Table functions
@@ -549,6 +565,15 @@ class Database:
         trace: TraceRecorder | None = None,
     ) -> list[tuple]:
         """Execute the single-statement body of a SQL I-UDTF."""
+        with self._exec_lock:
+            return self._run_sql_function_locked(function, args, trace)
+
+    def _run_sql_function_locked(
+        self,
+        function: SqlTableFunction,
+        args: list[object],
+        trace: TraceRecorder | None = None,
+    ) -> list[tuple]:
         if self._function_depth >= _MAX_FUNCTION_DEPTH:
             raise ExecutionError(
                 f"table-function recursion deeper than {_MAX_FUNCTION_DEPTH} "

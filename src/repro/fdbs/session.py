@@ -8,6 +8,7 @@ nothing.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -64,6 +65,11 @@ class StatementCache:
     may be *namespaced* (the engine namespaces by execution mode, so a
     row-mode plan is never served to a batch-mode execution); hit, miss
     and eviction counters are exposed through :meth:`stats`.
+
+    Lookups, stores and the hit/miss/eviction counters are guarded by an
+    internal lock: concurrent sessions sharing one FDBS must neither
+    lose counter updates nor race the LRU pop/reinsert (which would
+    raise ``KeyError`` or corrupt the recency order).
     """
 
     def __init__(self, capacity: int = 256):
@@ -71,6 +77,7 @@ class StatementCache:
             raise ValueError("cache capacity must be positive")
         self.capacity = capacity
         self._entries: dict[str, object] = {}
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -89,38 +96,42 @@ class StatementCache:
     def get(self, sql: str, namespace: str | None = None) -> object | None:
         """Cached entry for the statement text, or None (LRU refresh)."""
         key = self._key(sql, namespace)
-        if key in self._entries:
-            self.hits += 1
-            value = self._entries.pop(key)
-            self._entries[key] = value  # move to MRU position
-            return value
-        self.misses += 1
-        return None
+        with self._lock:
+            if key in self._entries:
+                self.hits += 1
+                value = self._entries.pop(key)
+                self._entries[key] = value  # move to MRU position
+                return value
+            self.misses += 1
+            return None
 
     def put(self, sql: str, value: object, namespace: str | None = None) -> None:
         """Cache an entry, evicting the least recently used if full."""
         key = self._key(sql, namespace)
-        if key in self._entries:
-            self._entries.pop(key)
-        elif len(self._entries) >= self.capacity:
-            oldest = next(iter(self._entries))
-            del self._entries[oldest]
-            self.evictions += 1
-        self._entries[key] = value
+        with self._lock:
+            if key in self._entries:
+                self._entries.pop(key)
+            elif len(self._entries) >= self.capacity:
+                oldest = next(iter(self._entries))
+                del self._entries[oldest]
+                self.evictions += 1
+            self._entries[key] = value
 
     def invalidate(self) -> None:
         """Drop every cached entry (DDL happened)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> dict[str, int]:
         """Hit/miss/eviction counters plus current size and capacity."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "size": len(self._entries),
-            "capacity": self.capacity,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+            }
 
     def __contains__(self, sql: str) -> bool:
         return self.normalize(sql) in self._entries

@@ -1,0 +1,43 @@
+"""Concurrent multi-session serving layer.
+
+The paper's integration server is a middle tier that many client
+applications call at once.  This package adds that serving story on top
+of the single-caller :class:`~repro.core.server.IntegrationServer`:
+
+* :class:`~repro.serving.server.ConcurrentIntegrationServer` — accepts
+  N client sessions on a bounded worker pool with admission control and
+  backpressure;
+* :class:`~repro.serving.session.ClientSession` — one client's view:
+  an isolated virtual clock and trace recorder, a per-call log, and
+  statement-level fault containment;
+* :mod:`~repro.serving.workload` — seeded, reproducible multi-client
+  workloads (mixed architectures, read/DML mix) for the concurrency
+  benchmark and the stress/parity suites.
+"""
+
+from repro.serving.server import (
+    AdmissionController,
+    ConcurrentIntegrationServer,
+    SessionManager,
+    WorkloadRunResult,
+)
+from repro.serving.session import CallRecord, ClientSession
+from repro.serving.workload import (
+    SessionScript,
+    WorkloadCall,
+    make_workload,
+    supported_functions,
+)
+
+__all__ = [
+    "AdmissionController",
+    "CallRecord",
+    "ClientSession",
+    "ConcurrentIntegrationServer",
+    "SessionManager",
+    "SessionScript",
+    "WorkloadCall",
+    "WorkloadRunResult",
+    "make_workload",
+    "supported_functions",
+]

@@ -9,9 +9,17 @@ recorder to attribute elapsed spans to the paper's step names (Fig. 6) —
 and *frozen sections* used by the workflow engine's critical-path
 scheduler, which computes branch finish times itself and then advances
 the shared clock once by the makespan.
+
+Advances are atomic: concurrent sessions of the serving layer may share
+one machine (and thus one clock), and ``_now += delta`` is a
+read-modify-write that would lose updates without the internal lock.
+Captures and frozen sections remain single-session constructs — the
+serving layer gives each session its own clock where those matter.
 """
 
 from __future__ import annotations
+
+import threading
 
 from repro.errors import ClockError
 
@@ -25,6 +33,7 @@ class VirtualClock:
         self._now = float(start)
         self._frozen = 0
         self._capture: "ClockCapture | None" = None
+        self._lock = threading.RLock()
         #: Optional JitterSource applied to every advance() delta —
         #: deterministic measurement noise for the averaging paths.
         self.jitter = jitter
@@ -44,15 +53,16 @@ class VirtualClock:
         """
         if delta < 0:
             raise ClockError(f"cannot advance clock by negative delta {delta!r}")
-        if self.jitter is not None and delta > 0:
-            delta = self.jitter.jitter(delta)
-        if self._capture is not None:
-            self._capture.total += delta
+        with self._lock:
+            if self.jitter is not None and delta > 0:
+                delta = self.jitter.jitter(delta)
+            if self._capture is not None:
+                self._capture.total += delta
+                return self._now
+            if self._frozen:
+                return self._now
+            self._now += delta
             return self._now
-        if self._frozen:
-            return self._now
-        self._now += delta
-        return self._now
 
     @property
     def capturing(self) -> bool:
@@ -76,25 +86,28 @@ class VirtualClock:
 
     def advance_to(self, when: float) -> float:
         """Advance the clock to absolute time ``when`` (never backwards)."""
-        if when < self._now:
-            raise ClockError(
-                f"cannot move clock backwards from {self._now!r} to {when!r}"
-            )
-        if not self._frozen:
-            self._now = when
-        return self._now
+        with self._lock:
+            if when < self._now:
+                raise ClockError(
+                    f"cannot move clock backwards from {self._now!r} to {when!r}"
+                )
+            if not self._frozen:
+                self._now = when
+            return self._now
 
     # -- frozen sections ---------------------------------------------------
 
     def freeze(self) -> None:
         """Suspend implicit advances (re-entrant)."""
-        self._frozen += 1
+        with self._lock:
+            self._frozen += 1
 
     def unfreeze(self) -> None:
         """Re-enable implicit advances."""
-        if self._frozen == 0:
-            raise ClockError("unfreeze() without matching freeze()")
-        self._frozen -= 1
+        with self._lock:
+            if self._frozen == 0:
+                raise ClockError("unfreeze() without matching freeze()")
+            self._frozen -= 1
 
     @property
     def frozen(self) -> bool:

@@ -32,7 +32,8 @@ site at probability 0: no draw, no charge, no behavioural change.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
 from repro.simtime.rng import FaultRng
@@ -88,6 +89,10 @@ class FaultInjector:
         self.rng = rng if rng is not None else FaultRng()
         self.enabled = enabled
         self._plans: dict[str, FaultPlan] = {}
+        #: Makes the RNG draw + budget decrement of :meth:`should_fail`
+        #: atomic: concurrent sessions must neither over-spend a site's
+        #: fault budget nor tear the decision stream mid-draw.
+        self._lock = threading.RLock()
 
     def configure(
         self, enabled: bool | None = None, seed: int | None = None
@@ -116,14 +121,16 @@ class FaultInjector:
             )
         if count is not None and count < 0:
             raise SimulationError(f"fault count must be >= 0, got {count!r}")
-        self._plans[site] = FaultPlan(probability=probability, count=count)
+        with self._lock:
+            self._plans[site] = FaultPlan(probability=probability, count=count)
 
     def disarm(self, site: str | None = None) -> None:
         """Forget one site's plan (or all plans)."""
-        if site is None:
-            self._plans.clear()
-        else:
-            self._plans.pop(site, None)
+        with self._lock:
+            if site is None:
+                self._plans.clear()
+            else:
+                self._plans.pop(site, None)
 
     def should_fail(self, site: str) -> bool:
         """Whether this pass through ``site`` fails (counts the fault).
@@ -134,36 +141,40 @@ class FaultInjector:
         """
         if not self.enabled:
             return False
-        plan = self._plans.get(site)
-        if plan is None or plan.probability <= 0.0 or plan.exhausted():
-            return False
-        if plan.probability < 1.0 and self.rng.roll() >= plan.probability:
-            return False
-        plan.injected += 1
-        return True
+        with self._lock:
+            plan = self._plans.get(site)
+            if plan is None or plan.probability <= 0.0 or plan.exhausted():
+                return False
+            if plan.probability < 1.0 and self.rng.roll() >= plan.probability:
+                return False
+            plan.injected += 1
+            return True
 
     def injected(self, site: str | None = None) -> int:
         """Faults injected at one site (or across all sites)."""
-        if site is not None:
-            plan = self._plans.get(site)
-            return plan.injected if plan is not None else 0
-        return sum(plan.injected for plan in self._plans.values())
+        with self._lock:
+            if site is not None:
+                plan = self._plans.get(site)
+                return plan.injected if plan is not None else 0
+            return sum(plan.injected for plan in self._plans.values())
 
     def reset(self) -> None:
         """Zero the injection counters and restart the RNG stream."""
-        for plan in self._plans.values():
-            plan.injected = 0
-        self.rng.reseed(self.rng.seed)
+        with self._lock:
+            for plan in self._plans.values():
+                plan.injected = 0
+            self.rng.reseed(self.rng.seed)
 
     def stats(self) -> dict[str, int]:
         """Per-site injection counters plus the enabled flag and total."""
-        counters = {
-            f"injected[{site}]": plan.injected
-            for site, plan in sorted(self._plans.items())
-        }
-        counters["injected_total"] = self.injected()
-        counters["enabled"] = int(self.enabled)
-        return counters
+        with self._lock:
+            counters = {
+                f"injected[{site}]": plan.injected
+                for site, plan in sorted(self._plans.items())
+            }
+            counters["injected_total"] = self.injected()
+            counters["enabled"] = int(self.enabled)
+            return counters
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "on" if self.enabled else "off"
@@ -188,6 +199,9 @@ class RetryPolicy:
     active: bool = False
     retries: int = 0
     """Total retries granted across all components (stats counter)."""
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def configure(
         self,
@@ -229,12 +243,14 @@ class RetryPolicy:
 
     def note_retry(self) -> None:
         """Record one granted retry (stats)."""
-        self.retries += 1
+        with self._lock:
+            self.retries += 1
 
     def stats(self) -> dict[str, int]:
         """Policy parameters and the granted-retry counter."""
-        return {
-            "active": int(self.active),
-            "max_attempts": self.max_attempts,
-            "retries": self.retries,
-        }
+        with self._lock:
+            return {
+                "active": int(self.active),
+                "max_attempts": self.max_attempts,
+                "retries": self.retries,
+            }

@@ -10,6 +10,7 @@ paper's boot / warm / hot comparison (Sect. 4, ¶3).
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from typing import Callable
 
 from repro.simtime.clock import VirtualClock
@@ -208,21 +209,39 @@ class Machine:
         return f"{self.architecture_tag}:{mode}"
 
     def runtime_stats(self) -> dict[str, dict[str, int]]:
-        """Counters of the pool, result cache and RMI channels, by component."""
-        return {
-            "runtime_pool": self.runtime_pool.stats(),
-            "result_cache": self.result_cache.stats(),
-            "rmi_udtf": self.udtf_rmi.stats(),
-            "rmi_wfms": self.wf_rmi.stats(),
-            "faults": {
-                **self.fault_injector.stats(),
-                **{
-                    f"retry_{k}": v
-                    for k, v in self.retry_policy.stats().items()
+        """Counters of the pool, result cache and RMI channels, by component.
+
+        The snapshot is *consistent*: every component lock is held (in a
+        fixed order, so concurrent snapshots cannot deadlock) while the
+        counters are read, so no in-flight call can tear the numbers —
+        a conservation invariant that holds per component also holds
+        across the components of one snapshot.  The component locks are
+        re-entrant, which lets each ``stats()`` re-acquire its own lock.
+        """
+        with ExitStack() as stack:
+            for lock in (
+                self.runtime_pool._lock,
+                self.result_cache._lock,
+                self.udtf_rmi._lock,
+                self.wf_rmi._lock,
+                self.fault_injector._lock,
+                self.retry_policy._lock,
+            ):
+                stack.enter_context(lock)
+            return {
+                "runtime_pool": self.runtime_pool.stats(),
+                "result_cache": self.result_cache.stats(),
+                "rmi_udtf": self.udtf_rmi.stats(),
+                "rmi_wfms": self.wf_rmi.stats(),
+                "faults": {
+                    **self.fault_injector.stats(),
+                    **{
+                        f"retry_{k}": v
+                        for k, v in self.retry_policy.stats().items()
+                    },
+                    "forward_recovery": int(self.forward_recovery),
                 },
-                "forward_recovery": int(self.forward_recovery),
-            },
-        }
+            }
 
     # -- convenience ----------------------------------------------------------
 

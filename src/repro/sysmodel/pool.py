@@ -17,6 +17,8 @@ when pooling is disabled).
 
 from __future__ import annotations
 
+import threading
+
 DEFAULT_POOL_CAPACITY = 8
 """Default number of warm runtimes kept resident."""
 
@@ -38,6 +40,9 @@ class WarmRuntimePool:
         self.capacity = capacity
         self.enabled = enabled
         self._slots: dict[str, int] = {}
+        #: Guards slots and counters: concurrent sessions sharing one
+        #: machine must not race the LRU pop/reinsert or lose counts.
+        self._lock = threading.RLock()
         self.warm_hits = 0
         self.cold_starts = 0
         self.evictions = 0
@@ -51,16 +56,17 @@ class WarmRuntimePool:
         Shrinking evicts least-recently-used slots down to the new
         capacity; disabling empties the pool (nothing stays warm).
         """
-        if capacity is not None:
-            if capacity < 1:
-                raise ValueError("pool capacity must be positive")
-            self.capacity = capacity
-            while len(self._slots) > self.capacity:
-                self._evict_lru()
-        if enabled is not None:
-            self.enabled = enabled
-            if not enabled:
-                self._slots.clear()
+        with self._lock:
+            if capacity is not None:
+                if capacity < 1:
+                    raise ValueError("pool capacity must be positive")
+                self.capacity = capacity
+                while len(self._slots) > self.capacity:
+                    self._evict_lru()
+            if enabled is not None:
+                self.enabled = enabled
+                if not enabled:
+                    self._slots.clear()
 
     def acquire(self, key: str) -> bool:
         """Whether the keyed runtime is warm; registers it either way.
@@ -72,23 +78,25 @@ class WarmRuntimePool:
         ablation experiments read the counter deltas to attribute
         start costs identically in both configurations.
         """
-        if not self.enabled:
+        with self._lock:
+            if not self.enabled:
+                self.cold_starts += 1
+                return False
+            if key in self._slots:
+                self.warm_hits += 1
+                self._slots.pop(key)
+                self._slots[key] = 1  # move to MRU position
+                return True
             self.cold_starts += 1
+            if len(self._slots) >= self.capacity:
+                self._evict_lru()
+            self._slots[key] = 1
             return False
-        if key in self._slots:
-            self.warm_hits += 1
-            self._slots.pop(key)
-            self._slots[key] = 1  # move to MRU position
-            return True
-        self.cold_starts += 1
-        if len(self._slots) >= self.capacity:
-            self._evict_lru()
-        self._slots[key] = 1
-        return False
 
     def is_warm(self, key: str) -> bool:
         """Whether the keyed runtime is currently resident (no side effects)."""
-        return self.enabled and key in self._slots
+        with self._lock:
+            return self.enabled and key in self._slots
 
     def evict(self, key: str) -> bool:
         """Drop one slot because its runtime died (fault path).
@@ -97,11 +105,12 @@ class WarmRuntimePool:
         capacity evictions so the fault experiments can tell crashed
         runtimes apart from LRU pressure.
         """
-        if key in self._slots:
-            del self._slots[key]
-            self.fault_evictions += 1
-            return True
-        return False
+        with self._lock:
+            if key in self._slots:
+                del self._slots[key]
+                self.fault_evictions += 1
+                return True
+            return False
 
     def _evict_lru(self) -> None:
         oldest = next(iter(self._slots))
@@ -110,22 +119,25 @@ class WarmRuntimePool:
 
     def contents(self) -> list[str]:
         """Resident slot keys, least recently used first."""
-        return list(self._slots)
+        with self._lock:
+            return list(self._slots)
 
     def reset(self) -> None:
         """Evict everything — the machine has been rebooted."""
-        self._slots.clear()
+        with self._lock:
+            self._slots.clear()
 
     def stats(self) -> dict[str, int]:
         """Warm-hit/cold-start/eviction counters plus size and capacity."""
-        return {
-            "warm_hits": self.warm_hits,
-            "cold_starts": self.cold_starts,
-            "evictions": self.evictions,
-            "fault_evictions": self.fault_evictions,
-            "size": len(self._slots),
-            "capacity": self.capacity,
-        }
+        with self._lock:
+            return {
+                "warm_hits": self.warm_hits,
+                "cold_starts": self.cold_starts,
+                "evictions": self.evictions,
+                "fault_evictions": self.fault_evictions,
+                "size": len(self._slots),
+                "capacity": self.capacity,
+            }
 
     def __len__(self) -> int:
         return len(self._slots)

@@ -20,6 +20,7 @@ nothing else.  Hit/miss/eviction counters follow the
 from __future__ import annotations
 
 import math
+import threading
 from fractions import Fraction
 
 DEFAULT_RESULT_CACHE_CAPACITY = 512
@@ -86,6 +87,10 @@ class ResultCache:
         self.enabled = enabled
         #: key -> (owner, rows)
         self._entries: dict[tuple, tuple[str, list[tuple]]] = {}
+        #: Guards entries and counters against concurrent sessions: the
+        #: LRU pop/reinsert on a hit must be atomic, and the counters are
+        #: read-modify-write.
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -95,19 +100,20 @@ class ResultCache:
         self, enabled: bool | None = None, capacity: int | None = None
     ) -> None:
         """Enable/disable the cache and/or resize it (shrink evicts LRU)."""
-        if capacity is not None:
-            if capacity < 1:
-                raise ValueError("cache capacity must be positive")
-            self.capacity = capacity
-            while len(self._entries) > self.capacity:
-                self._evict_lru()
-        if enabled is not None:
-            self.enabled = enabled
-            if not enabled:
-                # Disabling drops every entry; account for them like any
-                # other bulk invalidation so stats stay conservation-true.
-                self.invalidations += len(self._entries)
-                self._entries.clear()
+        with self._lock:
+            if capacity is not None:
+                if capacity < 1:
+                    raise ValueError("cache capacity must be positive")
+                self.capacity = capacity
+                while len(self._entries) > self.capacity:
+                    self._evict_lru()
+            if enabled is not None:
+                self.enabled = enabled
+                if not enabled:
+                    # Disabling drops every entry; account for them like any
+                    # other bulk invalidation so stats stay conservation-true.
+                    self.invalidations += len(self._entries)
+                    self._entries.clear()
 
     @staticmethod
     def _key(namespace: str, function: str, args_key: tuple) -> tuple:
@@ -126,14 +132,15 @@ class ResultCache:
         if args_key is None:
             return None
         key = self._key(namespace, function, args_key)
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        self._entries.pop(key)
-        self._entries[key] = entry  # move to MRU position
-        return list(entry[1])
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._entries.pop(key)
+            self._entries[key] = entry  # move to MRU position
+            return list(entry[1])
 
     def put(
         self,
@@ -155,11 +162,12 @@ class ResultCache:
         # fill), the previous entry must survive and no partial result
         # may ever be stored.
         entry = ((owner or GLOBAL_OWNER).upper(), list(rows))
-        if key in self._entries:
-            self._entries.pop(key)
-        elif len(self._entries) >= self.capacity:
-            self._evict_lru()
-        self._entries[key] = entry
+        with self._lock:
+            if key in self._entries:
+                self._entries.pop(key)
+            elif len(self._entries) >= self.capacity:
+                self._evict_lru()
+            self._entries[key] = entry
 
     def invalidate_owner(self, owner: str) -> int:
         """Drop every entry owned by one application system.
@@ -169,20 +177,22 @@ class ResultCache:
         behind.  Returns the number of entries dropped.
         """
         target = owner.upper()
-        doomed = [
-            key for key, (entry_owner, _) in self._entries.items()
-            if entry_owner == target
-        ]
-        for key in doomed:
-            del self._entries[key]
-        if doomed:
-            self.invalidations += len(doomed)
-        return len(doomed)
+        with self._lock:
+            doomed = [
+                key for key, (entry_owner, _) in self._entries.items()
+                if entry_owner == target
+            ]
+            for key in doomed:
+                del self._entries[key]
+            if doomed:
+                self.invalidations += len(doomed)
+            return len(doomed)
 
     def invalidate(self) -> None:
         """Drop every cached entry (machine reboot / DDL)."""
-        self.invalidations += len(self._entries)
-        self._entries.clear()
+        with self._lock:
+            self.invalidations += len(self._entries)
+            self._entries.clear()
 
     def _evict_lru(self) -> None:
         oldest = next(iter(self._entries))
@@ -191,18 +201,20 @@ class ResultCache:
 
     def reset(self) -> None:
         """Forget everything without counting invalidations (reboot)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> dict[str, int]:
         """Hit/miss/eviction/invalidation counters plus size and capacity."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-            "size": len(self._entries),
-            "capacity": self.capacity,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+            }
 
     def __len__(self) -> int:
         return len(self._entries)

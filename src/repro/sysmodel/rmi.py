@@ -27,6 +27,7 @@ the warm costs instead of double-paying cold setup.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import RmiDroppedError
@@ -60,6 +61,9 @@ class RmiChannel:
         )
         self.persistent = False
         self._established = False
+        #: Guards the hop counters and the established flag; never held
+        #: across the remote callable itself.
+        self._lock = threading.RLock()
         self.call_count = 0
         self.warm_calls = 0
         self.drops = 0
@@ -76,9 +80,10 @@ class RmiChannel:
         a later re-enable starts cold again.
         """
         if persistent is not None:
-            self.persistent = persistent
-            if not persistent:
-                self._established = False
+            with self._lock:
+                self.persistent = persistent
+                if not persistent:
+                    self._established = False
 
     def bind_faults(
         self,
@@ -143,7 +148,8 @@ class RmiChannel:
                 backoff = policy.backoff(
                     attempt, self._fault_costs.retry_backoff_base
                 )
-                self.retries += 1
+                with self._lock:
+                    self.retries += 1
                 policy.note_retry()
                 with maybe_span(trace, f"rmi backoff:{self.name}"):
                     self._clock.advance(backoff)
@@ -158,22 +164,26 @@ class RmiChannel:
         call_label: str | None,
         return_label: str | None,
     ) -> Any:
-        self.call_count += 1
-        warm = self.persistent and self._established
-        if warm:
-            self.warm_calls += 1
+        with self._lock:
+            self.call_count += 1
+            warm = self.persistent and self._established
+            if warm:
+                self.warm_calls += 1
         with maybe_span(trace, call_label or f"rmi call:{self.name}"):
             self._clock.advance(self.warm_call_cost if warm else self.call_cost)
         if self.persistent:
             # Connection setup was paid with the call hop; a failure on
             # the remote side must not force a retry to pay it again.
-            self._established = True
+            with self._lock:
+                self._established = True
         if self._injector is not None and self._fault_site is not None:
             if self._injector.should_fail(self._fault_site):
-                self.drops += 1
-                # The hop died with the connection: a persistent channel
-                # must re-establish before the next (warm-free) attempt.
-                self._established = False
+                with self._lock:
+                    self.drops += 1
+                    # The hop died with the connection: a persistent
+                    # channel must re-establish before the next
+                    # (warm-free) attempt.
+                    self._established = False
                 assert self._fault_costs is not None
                 with maybe_span(trace, f"rmi timeout:{self.name}"):
                     self._clock.advance(
@@ -197,15 +207,17 @@ class RmiChannel:
 
     def reset(self) -> None:
         """Drop the established connection (machine reboot)."""
-        self._established = False
+        with self._lock:
+            self._established = False
 
     def stats(self) -> dict[str, int]:
         """Hop counters plus the channel's persistence state."""
-        return {
-            "calls": self.call_count,
-            "warm_calls": self.warm_calls,
-            "drops": self.drops,
-            "retries": self.retries,
-            "persistent": int(self.persistent),
-            "established": int(self._established),
-        }
+        with self._lock:
+            return {
+                "calls": self.call_count,
+                "warm_calls": self.warm_calls,
+                "drops": self.drops,
+                "retries": self.retries,
+                "persistent": int(self.persistent),
+                "established": int(self._established),
+            }

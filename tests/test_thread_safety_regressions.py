@@ -1,0 +1,241 @@
+"""Regression tests for the latent data races fixed by the lock work.
+
+Each test hammers one shared component from many threads and asserts an
+invariant the pre-lock code violates:
+
+* the LRU pop-then-reinsert dance in :class:`StatementCache`,
+  :class:`ResultCache` and :class:`WarmRuntimePool` opens a window in
+  which the entry is *absent*: concurrent readers of a resident entry
+  come back with misses/cold-starts (and, for :class:`ResultCache`,
+  ``KeyError`` when two readers pop the same key);
+* counter updates (``+=``) and the :class:`FaultInjector` fault budget
+  must be conserved exactly across threads.
+
+The LRU-window tests fail on the unlocked code within a single run on
+current CPython (switches land on the call boundary between ``pop`` and
+reinsert).  The pure-counter tests document invariants that unlocked
+code only violates when a thread switch splits the read-modify-write —
+guaranteed by nothing, so they are locked and asserted too.
+"""
+
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.fdbs.session import StatementCache
+from repro.simtime.clock import VirtualClock
+from repro.sysmodel.faults import SITE_RMI_UDTF, FaultInjector, RetryPolicy
+from repro.sysmodel.pool import WarmRuntimePool
+from repro.sysmodel.result_cache import ResultCache
+from repro.sysmodel.rmi import RmiChannel
+
+THREADS = 8
+JOIN_TIMEOUT = 60.0
+
+
+def hammer(worker, threads: int = THREADS) -> None:
+    """Run ``worker(thread_index)`` on N threads; barrier-aligned start
+    so every thread contends, bounded join, exceptions re-raised.
+
+    The GIL switch interval is dropped to 1µs for the duration: with
+    the default 5ms interval a non-atomic ``+=`` (several bytecodes)
+    almost never loses an update in a short test, which would let the
+    unlocked code pass by luck.  At 1µs the pre-lock races fire
+    reliably within one run.
+    """
+    barrier = threading.Barrier(threads)
+
+    def task(index: int):
+        barrier.wait(timeout=JOIN_TIMEOUT)
+        return worker(index)
+
+    previous_interval = sys.getswitchinterval()
+    sys.setswitchinterval(1e-6)
+    try:
+        with ThreadPoolExecutor(max_workers=threads) as executor:
+            futures = [executor.submit(task, i) for i in range(threads)]
+            for future in futures:
+                future.result(timeout=JOIN_TIMEOUT)
+    finally:
+        sys.setswitchinterval(previous_interval)
+
+
+class TestStatementCacheRaces:
+    def test_hit_counter_conserved(self):
+        """Every one of N*M gets of a resident entry must count as a hit."""
+        cache = StatementCache()
+        cache.put("SELECT 1", object())
+        rounds = 3000
+
+        hammer(lambda i: [cache.get("SELECT 1") for _ in range(rounds)])
+
+        assert cache.stats()["hits"] == THREADS * rounds
+
+    def test_lru_refresh_race_free(self):
+        """Concurrent MRU refreshes of shared keys must not corrupt the
+        LRU dict (unlocked pop/reinsert raises KeyError) nor lose gets."""
+        cache = StatementCache(capacity=4)
+        keys = [f"SELECT {n}" for n in range(4)]
+        for key in keys:
+            cache.put(key, key)
+        rounds = 2000
+
+        def worker(index: int):
+            for step in range(rounds):
+                assert cache.get(keys[(index + step) % len(keys)]) is not None
+
+        hammer(worker)
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == THREADS * rounds
+        assert stats["misses"] == 0
+
+    def test_concurrent_put_respects_capacity(self):
+        cache = StatementCache(capacity=8)
+        rounds = 500
+
+        def worker(index: int):
+            for step in range(rounds):
+                cache.put(f"SELECT {index} /* {step % 16} */", step)
+
+        hammer(worker)
+        assert len(cache) <= 8
+
+
+class TestWarmRuntimePoolRaces:
+    def test_resident_runtime_always_warm(self):
+        """Acquiring a resident runtime must always be a warm hit.
+
+        The unlocked LRU refresh pops the slot and reinserts it; a
+        thread landing in that gap sees the runtime as cold and charges
+        a spurious start — this test catches exactly that (cold_starts
+        stays at the single priming start).
+        """
+        pool = WarmRuntimePool(capacity=4, enabled=True)
+        assert pool.acquire("audtf:hot") is False  # the priming cold start
+        rounds = 4000
+
+        hammer(lambda i: [pool.acquire("audtf:hot") for _ in range(rounds)])
+        stats = pool.stats()
+        assert stats["warm_hits"] == THREADS * rounds
+        assert stats["cold_starts"] == 1
+
+    def test_acquire_counters_conserved(self):
+        """warm_hits + cold_starts must equal the number of acquires."""
+        pool = WarmRuntimePool(capacity=4, enabled=True)
+        rounds = 2000
+
+        def worker(index: int):
+            for step in range(rounds):
+                pool.acquire(f"audtf:fn{(index + step) % 4}")
+
+        hammer(worker)
+        stats = pool.stats()
+        assert stats["warm_hits"] + stats["cold_starts"] == THREADS * rounds
+        assert stats["size"] <= 4
+
+    def test_lru_refresh_with_concurrent_eviction(self):
+        """Hot keys refreshed while others force evictions: no KeyError,
+        no counter loss."""
+        pool = WarmRuntimePool(capacity=2, enabled=True)
+        rounds = 1500
+
+        def worker(index: int):
+            for step in range(rounds):
+                if index % 2:
+                    pool.acquire("audtf:hot")
+                else:
+                    pool.acquire(f"audtf:cold{step % 8}")
+
+        hammer(worker)
+        stats = pool.stats()
+        assert stats["warm_hits"] + stats["cold_starts"] == THREADS * rounds
+
+
+class TestResultCacheRaces:
+    def test_get_put_counters_conserved(self):
+        cache = ResultCache(enabled=True, capacity=16)
+        cache.put("ns", "fn", (1,), [(1, "a")])
+        rounds = 2000
+
+        def worker(index: int):
+            for _ in range(rounds):
+                rows = cache.get("ns", "fn", (1,))
+                assert rows == [(1, "a")]
+
+        hammer(worker)
+        stats = cache.stats()
+        assert stats["hits"] == THREADS * rounds
+        assert stats["misses"] == 0
+
+    def test_concurrent_invalidation_and_reads(self):
+        """Readers racing invalidate_owner must never see torn entries."""
+        cache = ResultCache(enabled=True, capacity=16)
+        rounds = 1000
+
+        def worker(index: int):
+            for step in range(rounds):
+                if index == 0:
+                    cache.put("ns", "fn", (step,), [(step,)], owner="STOCK")
+                elif index == 1:
+                    cache.invalidate_owner("STOCK")
+                else:
+                    rows = cache.get("ns", "fn", (step % 7,))
+                    assert rows is None or rows == [(step % 7,)]
+
+        hammer(worker)
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] >= 1
+
+
+class TestFaultInjectorRaces:
+    def test_count_budget_never_overspent(self):
+        """A count-limited site must fire exactly ``count`` times, no
+        matter how many threads race the budget check."""
+        injector = FaultInjector(enabled=True)
+        injector.arm(SITE_RMI_UDTF, probability=1.0, count=100)
+        fired_per_thread = [0] * THREADS
+        rounds = 500
+
+        def worker(index: int):
+            for _ in range(rounds):
+                if injector.should_fail(SITE_RMI_UDTF):
+                    fired_per_thread[index] += 1
+
+        hammer(worker)
+        assert sum(fired_per_thread) == 100
+        assert injector.injected(SITE_RMI_UDTF) == 100
+
+    def test_retry_counter_conserved(self):
+        policy = RetryPolicy()
+        policy.configure(active=True, max_attempts=5)
+        rounds = 3000
+
+        hammer(lambda i: [policy.note_retry() for _ in range(rounds)])
+        assert policy.stats()["retries"] == THREADS * rounds
+
+
+class TestVirtualClockRaces:
+    def test_advances_never_lost(self):
+        """N threads advancing by 1.0 M times each must land exactly on
+        N*M — a lost read-modify-write shows up as a shortfall."""
+        clock = VirtualClock()
+        rounds = 5000
+
+        hammer(lambda i: [clock.advance(1.0) for _ in range(rounds)])
+        assert clock.now == float(THREADS * rounds)
+
+
+class TestRmiChannelRaces:
+    def test_call_count_conserved(self):
+        clock = VirtualClock()
+        channel = RmiChannel("test", clock, call_cost=0.0, return_cost=0.0)
+        channel.configure(persistent=True)
+        rounds = 1500
+
+        hammer(lambda i: [channel.invoke(lambda: None) for _ in range(rounds)])
+        stats = channel.stats()
+        assert stats["calls"] == THREADS * rounds
+        # At most one cold hop per thread can race the established flag;
+        # every later hop must observe the persistent connection.
+        assert stats["warm_calls"] >= THREADS * rounds - THREADS
+        assert stats["established"] == 1
