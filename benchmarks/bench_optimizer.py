@@ -1,0 +1,201 @@
+"""Cost-based optimizer benchmark — bind joins, measured.
+
+Two skewed federated workloads, each run hot (statement cache warm,
+RUNSTATS collected) under both planning modes:
+
+* **remote bind join** — a small local ``watch`` table joined to a
+  large remote ``orders`` nickname on a low-cardinality key: the
+  syntactic plan ships every remote row; the cost-based plan ships the
+  distinct outer keys as an ``IN`` predicate and transfers only the
+  matching fraction;
+* **UDTF bind join** — a local table joined laterally into a
+  DETERMINISTIC fenced A-UDTF: the syntactic plan pays per-row
+  invocation bookkeeping; the cost-based plan deduplicates the argument
+  tuples and amortizes one prepare / RMI round trip / finish across the
+  whole batch.
+
+Asserts the acceptance criteria of the optimizer work: rows stay
+bit-identical in every configuration, and the combined skewed workload
+runs at least **3x** faster in simulated time under the cost-based mode.
+
+Results are written to ``BENCH_optimizer.json`` in the repository root.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_optimizer.py
+
+or through pytest (deselected by default via the ``perf`` marker)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_optimizer.py -m perf -s
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.architectures import Architecture
+from repro.core.scenario import build_scenario
+from repro.fdbs.engine import Database
+from repro.fdbs.federation import DatabaseEndpoint
+from repro.sysmodel.machine import Machine
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_optimizer.json"
+
+REMOTE_SQL = (
+    "SELECT w.pk, o.order_no, o.qty FROM watch AS w, n AS o "
+    "WHERE w.comp_no = o.comp_no ORDER BY w.pk, o.order_no"
+)
+UDTF_SQL = (
+    "SELECT w.pk, w.supplier_no, q.Qual "
+    "FROM watch AS w, TABLE (GetQuality(w.supplier_no)) AS q "
+    "ORDER BY w.pk"
+)
+
+#: Skewed supplier pool for the UDTF workload (few distinct keys).
+SUPPLIER_POOL = [1234, 5001, 5002, 5003, 5004]
+
+
+def build_remote_workload(optimizer: str, n_remote: int, n_watch: int):
+    """Local FDBS + remote nickname, stats collected, statement hot."""
+    machine = Machine()
+    remote = Database("remote")
+    remote.execute(
+        "CREATE TABLE orders (order_no INT PRIMARY KEY, comp_no INT, qty INT)"
+    )
+    for index in range(n_remote):
+        remote.execute(
+            "INSERT INTO orders VALUES (?, ?, ?)",
+            params=[index, index % 50, index * 3],
+        )
+    local = Database("local", machine=machine, optimizer=optimizer)
+    local.execute("CREATE WRAPPER w")
+    local.execute("CREATE SERVER s WRAPPER w")
+    local.attach_endpoint("s", DatabaseEndpoint(remote))
+    local.execute("CREATE NICKNAME n FOR s.orders")
+    local.execute("CREATE TABLE watch (pk INT PRIMARY KEY, comp_no INT)")
+    for index in range(n_watch):
+        local.execute(
+            "INSERT INTO watch VALUES (?, ?)", params=[index, index % 12]
+        )
+    local.execute("RUNSTATS watch")
+    local.execute("RUNSTATS n")
+    local.execute(REMOTE_SQL)  # warm the statement cache
+    return local, machine
+
+
+def build_udtf_workload(optimizer: str, n_watch: int):
+    """Scenario FDBS (fenced runtime) + skewed watch table, hot."""
+    scenario = build_scenario(Architecture.WFMS, optimizer=optimizer)
+    fdbs = scenario.server.fdbs
+    fdbs.execute("CREATE TABLE watch (pk INT PRIMARY KEY, supplier_no INT)")
+    for index in range(n_watch):
+        fdbs.execute(
+            "INSERT INTO watch VALUES (?, ?)",
+            params=[index, SUPPLIER_POOL[index % len(SUPPLIER_POOL)]],
+        )
+    fdbs.execute("RUNSTATS watch")
+    fdbs.execute(UDTF_SQL)  # warm processes and the statement cache
+    return fdbs, scenario.server.machine
+
+
+def measure(database, machine, sql: str) -> tuple[list[tuple], float]:
+    """One hot execution: (rows, simulated elapsed time)."""
+    start = machine.clock.now
+    rows = database.execute(sql).rows
+    return rows, machine.clock.now - start
+
+
+def run(n_remote: int = 20000, n_outer: int = 60, n_udtf_outer: int = 300) -> dict:
+    """Run both workloads under both planning modes and summarize."""
+    wall_start = time.perf_counter()
+    workloads = {}
+
+    rows_by_mode = {}
+    times = {}
+    for optimizer in ("syntactic", "cost"):
+        local, machine = build_remote_workload(optimizer, n_remote, n_outer)
+        rows_by_mode[optimizer], times[optimizer] = measure(
+            local, machine, REMOTE_SQL
+        )
+    workloads["remote_bind_join"] = {
+        "outer_rows": n_outer,
+        "remote_rows": n_remote,
+        "result_rows": len(rows_by_mode["cost"]),
+        "syntactic_su": round(times["syntactic"], 2),
+        "cost_su": round(times["cost"], 2),
+        "speedup": round(times["syntactic"] / times["cost"], 2),
+        "rows_identical": rows_by_mode["cost"] == rows_by_mode["syntactic"],
+    }
+
+    rows_by_mode = {}
+    times = {}
+    for optimizer in ("syntactic", "cost"):
+        fdbs, machine = build_udtf_workload(optimizer, n_udtf_outer)
+        rows_by_mode[optimizer], times[optimizer] = measure(
+            fdbs, machine, UDTF_SQL
+        )
+    workloads["udtf_bind_join"] = {
+        "outer_rows": n_udtf_outer,
+        "distinct_keys": len(SUPPLIER_POOL),
+        "result_rows": len(rows_by_mode["cost"]),
+        "syntactic_su": round(times["syntactic"], 2),
+        "cost_su": round(times["cost"], 2),
+        "speedup": round(times["syntactic"] / times["cost"], 2),
+        "rows_identical": rows_by_mode["cost"] == rows_by_mode["syntactic"],
+    }
+
+    total_syntactic = sum(w["syntactic_su"] for w in workloads.values())
+    total_cost = sum(w["cost_su"] for w in workloads.values())
+    return {
+        "benchmark": "optimizer",
+        "wall_seconds": round(time.perf_counter() - wall_start, 6),
+        "workloads": workloads,
+        "total_syntactic_su": round(total_syntactic, 2),
+        "total_cost_su": round(total_cost, 2),
+        "speedup": round(total_syntactic / total_cost, 2),
+        "rows_identical": all(w["rows_identical"] for w in workloads.values()),
+    }
+
+
+def write_report(summary: dict, path: Path = REPORT_PATH) -> None:
+    """Persist the benchmark summary as JSON."""
+    path.write_text(json.dumps(summary, indent=2) + "\n")
+
+
+@pytest.mark.perf
+def test_optimizer_speedup():
+    """Cost-based mode is >= 3x faster on the skewed federated workload."""
+    summary = run()
+    write_report(summary)
+    print()
+    print(json.dumps(summary, indent=2))
+    assert summary["rows_identical"], (
+        "the cost-based plan changed the answer — bind joins must be "
+        "bit-identical to the syntactic plan"
+    )
+    assert summary["speedup"] >= 3.0, (
+        f"expected >= 3x simulated-time reduction, got "
+        f"{summary['speedup']}x"
+    )
+    for name, workload in summary["workloads"].items():
+        assert workload["speedup"] > 1.0, f"{name} got slower"
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI entry point: workload sizes and ``--out PATH``."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--remote-rows", type=int, default=20000)
+    parser.add_argument("--outer-rows", type=int, default=60)
+    parser.add_argument("--udtf-outer-rows", type=int, default=300)
+    parser.add_argument("--out", type=Path, default=REPORT_PATH)
+    args = parser.parse_args(argv)
+    summary = run(args.remote_rows, args.outer_rows, args.udtf_outer_rows)
+    write_report(summary, args.out)
+    print(json.dumps(summary, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -13,7 +13,10 @@
 #     worker vs K workers => bit-identical per-session rows and
 #     simulated times; serving layer == bare single-caller stack;
 #     thread-safety regression suite),
-#  5. calibration regression (the frozen Fig. 5/6 anchor numbers).
+#  5. optimizer parity (cost-based mode => bit-identical rows across
+#     architectures and execution modes; statistics absent =>
+#     bit-identical rows AND simulated times),
+#  6. calibration regression (the frozen Fig. 5/6 anchor numbers).
 #
 # Usage: scripts/check_parity.sh
 
@@ -55,6 +58,9 @@ tp = {r["workers"]: r["throughput_calls_per_s"] for r in summary["runs"]}
 print(f"OK: single-session parity + cross-worker parity hold; "
       f"throughput by workers: {tp}")
 EOF
+
+echo "== optimizer parity (cost-based vs syntactic) =="
+python -m pytest -q tests/test_optimizer_parity.py tests/test_optimizer.py
 
 echo "== calibration regression =="
 python -m pytest -q tests/test_calibration_regression.py

@@ -45,6 +45,19 @@ print("OK: start-share reductions",
       summary["start_share_reduction"], "- parity and ranking hold")
 EOF
 
+echo "== cost-based optimizer benchmark (reduced workload) =="
+python benchmarks/bench_optimizer.py --remote-rows 5000 \
+    --udtf-outer-rows 100 --out BENCH_optimizer_smoke.json > /dev/null
+
+python - <<'EOF'
+import json
+
+summary = json.load(open("BENCH_optimizer_smoke.json"))
+assert summary["rows_identical"], "cost-based plan changed result rows"
+assert summary["speedup"] >= 3.0, f"speedup {summary['speedup']}x < 3x"
+print(f"OK: {summary['speedup']}x optimizer speedup, rows identical")
+EOF
+
 echo "== concurrent serving smoke (reduced workload) =="
 python benchmarks/bench_concurrency.py --sessions 4 --calls 4 \
     --out BENCH_concurrency_smoke.json > /dev/null

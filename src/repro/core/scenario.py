@@ -360,6 +360,7 @@ def build_scenario(
     pooling: bool = False,
     result_cache: bool = False,
     faults: dict | None = None,
+    optimizer: str = "syntactic",
 ) -> Scenario:
     """Stand up an integration server and deploy every federated
     function the architecture supports; unsupported ones (the cyclic
@@ -367,7 +368,9 @@ def build_scenario(
     ``pooling``/``result_cache`` switch on the integration server's warm
     runtime pool and memoizing result cache (both off by default);
     ``faults`` is forwarded to
-    :meth:`~repro.core.server.IntegrationServer.configure_faults`."""
+    :meth:`~repro.core.server.IntegrationServer.configure_faults`;
+    ``optimizer`` selects the FDBS planning mode (``"syntactic"`` or
+    ``"cost"``)."""
     server = IntegrationServer(
         architecture,
         costs=costs,
@@ -376,6 +379,7 @@ def build_scenario(
         jitter=jitter,
         pooling=pooling,
         result_cache=result_cache,
+        optimizer=optimizer,
     )
     if faults:
         server.configure_faults(**faults)

@@ -52,13 +52,15 @@ class IntegrationServer:
         system_factories: list[Callable[[Machine], ApplicationSystem]] | None = None,
         pooling: bool = False,
         result_cache: bool = False,
+        optimizer: str = "syntactic",
     ):
         """``system_factories`` replaces the paper's three application
         systems with custom ones (each factory receives the machine);
         when omitted, the purchasing-scenario trio is built.  ``pooling``
         and ``result_cache`` switch on the warm runtime pool / memoizing
         result cache (both off by default: the paper's measured
-        configuration)."""
+        configuration).  ``optimizer`` selects the FDBS planning mode
+        (``"syntactic"`` or the RUNSTATS-fed ``"cost"``)."""
         self.architecture = architecture
         self.machine = Machine(
             costs=costs, controller_enabled=controller_enabled, jitter=jitter
@@ -86,6 +88,7 @@ class IntegrationServer:
             machine=self.machine,
             pooling=pooling,
             result_cache=result_cache,
+            optimizer=optimizer,
         )
         self.fdbs.function_runtime = FencedFunctionRuntime(self.fdbs, self.machine)
 

@@ -809,14 +809,30 @@ class DropFunction(Statement):
 
 
 @dataclass
-class Explain(Statement):
-    """``EXPLAIN <select>`` — returns the plan tree as text rows."""
+class Runstats(Statement):
+    """``RUNSTATS <table>`` (also spelled ``ANALYZE <table>``) — collect
+    table and column statistics for the cost-based optimizer."""
 
-    query: Select
+    table: str
 
     def render(self) -> str:
         """SQL text of this node."""
-        return f"EXPLAIN {self.query.render()}"
+        return f"RUNSTATS {_render_identifier(self.table)}"
+
+
+@dataclass
+class Explain(Statement):
+    """``EXPLAIN [ANALYZE] <select>`` — returns the plan tree as text
+    rows.  With ANALYZE the statement is *executed* and each operator's
+    actual output cardinality is reported next to the estimate."""
+
+    query: Select
+    analyze: bool = False
+
+    def render(self) -> str:
+        """SQL text of this node."""
+        keyword = "EXPLAIN ANALYZE" if self.analyze else "EXPLAIN"
+        return f"{keyword} {self.query.render()}"
 
 
 @dataclass

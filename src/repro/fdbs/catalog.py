@@ -17,6 +17,7 @@ from repro.fdbs.types import SqlType
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.fdbs import ast
+    from repro.fdbs.stats import TableStats
     from repro.fdbs.storage import Table
 
 
@@ -185,6 +186,8 @@ class Catalog:
         self._servers: dict[str, ServerDef] = {}
         self._nicknames: dict[str, NicknameDef] = {}
         self._views: dict[str, ViewDef] = {}
+        #: RUNSTATS snapshots keyed by upper-cased table/nickname name.
+        self._statistics: dict[str, "TableStats"] = {}
         #: Machine runtime counters for SYSCAT_RUNTIME_STATS (attached by
         #: machine-backed databases; None on standalone databases).
         self.runtime_stats_provider: Callable[[], dict[str, dict[str, int]]] | None = (
@@ -214,11 +217,13 @@ class Catalog:
         return name.upper() in self._tables
 
     def drop_table(self, name: str) -> TableDef:
-        """Remove and return the named object."""
+        """Remove and return the named object (dropping its statistics)."""
         try:
-            return self._tables.pop(name.upper())
+            table = self._tables.pop(name.upper())
         except KeyError:
             raise CatalogError(f"unknown table {name!r}") from None
+        self._statistics.pop(name.upper(), None)
+        return table
 
     def tables(self) -> list[TableDef]:
         """All registered objects of this kind."""
@@ -365,3 +370,21 @@ class Catalog:
     def has_nickname(self, name: str) -> bool:
         """True if the named object exists."""
         return name.upper() in self._nicknames
+
+    # -- statistics (RUNSTATS snapshots) -----------------------------------------
+
+    def set_statistics(self, stats: "TableStats") -> None:
+        """Record (or replace) the RUNSTATS snapshot of one table."""
+        self._statistics[stats.table.upper()] = stats
+
+    def get_statistics(self, name: str) -> "TableStats | None":
+        """The RUNSTATS snapshot of a table/nickname, or None."""
+        return self._statistics.get(name.upper())
+
+    def has_statistics(self, name: str) -> bool:
+        """True when RUNSTATS was collected for the named object."""
+        return name.upper() in self._statistics
+
+    def statistics(self) -> list["TableStats"]:
+        """All collected RUNSTATS snapshots."""
+        return list(self._statistics.values())

@@ -106,6 +106,22 @@ class FunctionRuntime:
         """Run an external function's implementation in-process."""
         return self.database.run_external_function(function, args)
 
+    def invoke_batch(
+        self,
+        function: TableFunction,
+        args_list: list[list[object]],
+        ctx: EvalContext,
+    ) -> list[list[tuple]]:
+        """Invoke once per argument tuple; one row list per tuple.
+
+        The direct runtime has no fixed per-call overhead to amortize, so
+        the default batch is simply a loop — cost-identical to row-at-a-
+        time invocation.  The fenced runtime overrides this to share one
+        prepare/RMI/finish cycle across the whole batch (the bind-join
+        saving).
+        """
+        return [self.invoke(function, args, ctx) for args in args_list]
+
 
 class Database:
     """One database instance with its catalog, storage and runtimes."""
@@ -117,6 +133,7 @@ class Database:
         execution_mode: str = "row",
         pooling: bool = False,
         result_cache: bool = False,
+        optimizer: str = "syntactic",
     ):
         self.name = name
         self.machine = machine
@@ -134,6 +151,11 @@ class Database:
         #: "row" (Volcano) or "batch" (vectorized chunks + hash joins).
         self.execution_mode = "row"
         self.set_execution_mode(execution_mode)
+        #: "syntactic" (FROM order as written — the default, and exactly
+        #: the pre-optimizer behaviour) or "cost" (RUNSTATS-fed join
+        #: reordering and bind joins; see repro.fdbs.optimizer).
+        self.optimizer = "syntactic"
+        self.set_optimizer(optimizer)
         self.federation = FederationLayer(self)
         self.function_runtime: FunctionRuntime = FunctionRuntime(self)
         self._undo = UndoLog()
@@ -173,6 +195,19 @@ class Database:
             )
         self.execution_mode = mode
 
+    def set_optimizer(self, mode: str) -> None:
+        """Switch between ``"syntactic"`` and ``"cost"`` planning.
+
+        No plan invalidation is needed: SELECT plans are rebuilt on every
+        execution (the statement cache holds parsed ASTs only) and
+        function bodies always plan syntactically.
+        """
+        if mode not in ("syntactic", "cost"):
+            raise ExecutionError(
+                f"unknown optimizer mode {mode!r}; expected 'syntactic' or 'cost'"
+            )
+        self.optimizer = mode
+
     def execute(
         self,
         sql: str,
@@ -207,6 +242,10 @@ class Database:
             raise PlanError("EXPLAIN supports SELECT statements only")
         with self._exec_lock:
             plan = self._planner().plan_select(statement)
+            if self.optimizer == "cost":
+                from repro.fdbs.optimizer import propagate_estimates
+
+                propagate_estimates(plan)
             header = self._runtime_header()
             text = plan.explain(mode=self.execution_mode)
             return "\n".join(header + [text]) if header else text
@@ -366,17 +405,9 @@ class Database:
         if isinstance(statement, ast.Select):
             return self._execute_select(statement, params, trace)
         if isinstance(statement, ast.Explain):
-            plan = self._planner().plan_select(statement.query)
-            lines = (
-                self._runtime_header()
-                + plan.explain(mode=self.execution_mode).splitlines()
-            )
-            return Result(
-                columns=["PLAN"],
-                rows=[(line,) for line in lines],
-                rowcount=len(lines),
-                statement_type="EXPLAIN",
-            )
+            return self._execute_explain(statement, params, trace)
+        if isinstance(statement, ast.Runstats):
+            return self._execute_runstats(statement)
         if isinstance(statement, ast.CreateTable):
             return self._execute_create_table(statement)
         if isinstance(statement, ast.DropTable):
@@ -430,6 +461,72 @@ class Database:
             return Result(statement_type="ROLLBACK")
         raise ExecutionError(f"unsupported statement {type(statement).__name__}")
 
+    def _execute_explain(
+        self,
+        statement: ast.Explain,
+        params: list[object],
+        trace: TraceRecorder | None,
+    ) -> Result:
+        """EXPLAIN [ANALYZE]: plan tree with cost-mode cardinality
+        estimates; ANALYZE also executes the plan (row pipeline) and
+        reports the actual row count per operator."""
+        plan = self._planner().plan_select(statement.query)
+        if self.optimizer == "cost":
+            from repro.fdbs.optimizer import propagate_estimates
+
+            propagate_estimates(plan)
+        if statement.analyze:
+            from repro.fdbs.optimizer import instrument_plan
+
+            instrument_plan(plan)
+            ctx = EvalContext(params=params, trace=trace)
+            rows = list(plan.rows(ctx))
+            if self.machine is not None:
+                self.machine.clock.advance(
+                    self.machine.costs.fdbs_row_cost * len(rows)
+                )
+        lines = (
+            self._runtime_header()
+            + plan.explain(mode=self.execution_mode).splitlines()
+        )
+        return Result(
+            columns=["PLAN"],
+            rows=[(line,) for line in lines],
+            rowcount=len(lines),
+            statement_type="EXPLAIN",
+        )
+
+    def _execute_runstats(self, statement: ast.Runstats) -> Result:
+        """RUNSTATS <table>: scan the table (or nickname) and store row
+        count, per-column distinct counts and min/max in the catalog."""
+        from repro.fdbs.stats import collect_stats
+
+        name = statement.table
+        if self.catalog.has_table(name):
+            table = self.catalog.get_table(name)
+            if table.storage is None:
+                raise ExecutionError(
+                    f"table {name!r} has no storage attached; cannot RUNSTATS"
+                )
+            columns = list(table.columns)
+            rows = table.storage.rows()
+            stored_name = table.name
+        elif self.catalog.has_nickname(name):
+            nickname = self.catalog.get_nickname(name)
+            fetcher, column_defs = self.federation.fetcher_for(nickname)
+            columns = list(column_defs)
+            rows = fetcher.fetch(None, None)
+            stored_name = nickname.name
+        else:
+            raise CatalogError(f"unknown table or nickname {name!r} in RUNSTATS")
+        if self.machine is not None:
+            self.machine.clock.advance(
+                self.machine.costs.runstats_base
+                + self.machine.costs.runstats_row_cost * len(rows)
+            )
+        self.catalog.set_statistics(collect_stats(stored_name, columns, rows))
+        return Result(rowcount=len(rows), statement_type="RUNSTATS")
+
     def _invalidate_plans(self) -> None:
         self.statement_cache.invalidate()
         self._function_plan_cache.clear()
@@ -469,6 +566,7 @@ class Database:
         self,
         params: ParamScope | None = None,
         execution_mode: str | None = None,
+        optimizer: str | None = None,
     ) -> Planner:
         machine = self.machine
         return Planner(
@@ -482,6 +580,9 @@ class Database:
             pushdown_counter=self.federation,
             enable_index_selection=self.index_selection_enabled,
             execution_mode=execution_mode or self.execution_mode,
+            optimizer=optimizer or self.optimizer,
+            statistics=self.catalog.get_statistics,
+            batch_invoker=self._invoke_table_function_batch,
         )
 
     def _invoke_table_function(
@@ -503,6 +604,33 @@ class Database:
                 f"at {exc.site}: {exc}"
             ) from exc
         return self._coerce_result_rows(function, rows)
+
+    def _invoke_table_function_batch(
+        self,
+        function: TableFunction,
+        args_list: list[list[object]],
+        ctx: EvalContext,
+    ) -> list[list[tuple]]:
+        """Batched invocation for UDTF bind joins: one runtime call for
+        all distinct argument tuples (the fenced runtime amortizes its
+        fixed prepare/RMI/finish overheads across the batch)."""
+        coerced_lists = [
+            [
+                coerce_into(value, param.type)
+                for value, param in zip(args, function.params)
+            ]
+            for args in args_list
+        ]
+        try:
+            results = self.function_runtime.invoke_batch(
+                function, coerced_lists, ctx
+            )
+        except TransientFaultError as exc:
+            raise StatementAbortedError(
+                f"statement aborted: table function {function.name} failed "
+                f"at {exc.site}: {exc}"
+            ) from exc
+        return [self._coerce_result_rows(function, rows) for rows in results]
 
     def _coerce_result_rows(
         self, function: TableFunction, rows: Iterable[tuple]
@@ -593,12 +721,14 @@ class Database:
                     for index, param in enumerate(function.params)
                 },
             )
-            # UDTF bodies always plan (and run) row-at-a-time: fenced
-            # invocation semantics and the per-row simulated cost charges
-            # must stay bit-identical regardless of the session's mode.
-            plan = self._planner(scope, execution_mode="row").plan_select(
-                function.body
-            )
+            # UDTF bodies always plan (and run) row-at-a-time and
+            # syntactically: fenced invocation semantics and the per-row
+            # simulated cost charges must stay bit-identical regardless
+            # of the session's mode, and cached body plans must not
+            # depend on statistics collected later.
+            plan = self._planner(
+                scope, execution_mode="row", optimizer="syntactic"
+            ).plan_select(function.body)
             if len(plan.schema) != len(function.returns):
                 raise PlanError(
                     f"body of {function.name} produces {len(plan.schema)} "

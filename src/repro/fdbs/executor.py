@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Iterator, Protocol, Sequence
 
 from repro.errors import ExecutionError
+from repro.fdbs import ast
 from repro.fdbs.catalog import TableFunction
 from repro.fdbs.expr import (
     BatchFn,
@@ -48,6 +49,13 @@ class Plan:
     """Base class of executable plan operators."""
 
     schema: list[ColumnSlot]
+
+    #: Optimizer cardinality estimate (rows), set by the cost-based
+    #: planner; None on syntactic plans.
+    est_rows: int | None = None
+    #: Observed output cardinality, set by EXPLAIN ANALYZE
+    #: instrumentation; None otherwise.
+    actual_rows: int | None = None
 
     def rows(self, ctx: EvalContext) -> Iterator[tuple]:  # pragma: no cover
         """Yield the operator's result rows."""
@@ -76,10 +84,21 @@ class Plan:
         lines = []
         if mode is not None:
             lines.append(pad + f"Execution(mode={mode})")
-        lines.append(pad + self._describe())
+        lines.append(pad + self._describe() + self._cardinality_suffix())
         for child in self._children():
             lines.append(child.explain(indent + 1))
         return "\n".join(lines)
+
+    def _cardinality_suffix(self) -> str:
+        """`` [est=N, actual=M rows]`` annotation (empty when unknown)."""
+        parts = []
+        if self.est_rows is not None:
+            parts.append(f"est={self.est_rows}")
+        if self.actual_rows is not None:
+            parts.append(f"actual={self.actual_rows}")
+        if not parts:
+            return ""
+        return f" [{', '.join(parts)} rows]"
 
     def _describe(self) -> str:
         return type(self).__name__
@@ -498,6 +517,179 @@ class HashJoinPlan(Plan):
         return [self.left, self.right]
 
 
+#: Bind joins fall back to an unbound fetch beyond this many distinct
+#: outer keys (an IN list that long would dwarf the transfer savings).
+MAX_BIND_KEYS = 200
+
+
+class RemoteBindJoinPlan(Plan):
+    """Bind join into a remote nickname (parameterized semijoin pushdown).
+
+    Chosen by the cost-based optimizer for an equi-conjunct
+    ``outer.col = nickname.col``: the outer side is materialised first,
+    its distinct join-key values are shipped as an ``IN`` (or ``=``)
+    predicate in the remote statement's WHERE clause, and the narrowed
+    remote result is hash-joined back.  Rows and their order are
+    bit-identical to the syntactic plan (cross product + filter): output
+    is outer-major with remote matches in remote-scan order, and the
+    remote side filters during its own scan, preserving relative order.
+
+    When the outer side produces more than ``max_keys`` distinct keys the
+    fetch degrades gracefully to the unbound scan (same rows, no bind
+    predicate); with zero non-NULL outer keys the fetch is skipped
+    entirely — an inner equality cannot match.
+    """
+
+    def __init__(
+        self,
+        left: Plan,
+        scan: RemoteScanPlan,
+        left_key: CompiledExpr,
+        bind_column: str,
+        remote_key_index: int,
+        max_keys: int = MAX_BIND_KEYS,
+    ):
+        self.left = left
+        self.scan = scan
+        self.left_key = left_key
+        self.bind_column = bind_column
+        self.remote_key_index = remote_key_index
+        self.max_keys = max_keys
+        self.schema = left.schema + scan.schema
+        self.bound_fetches = 0
+        self.unbound_fetches = 0
+
+    def _bind_predicate(self, key_values: list[object]) -> str:
+        column = ast.ColumnRef(None, self.bind_column)
+        if len(key_values) == 1:
+            return ast.BinaryOp("=", column, ast.Literal(key_values[0])).render()
+        items: list[ast.Expression] = [ast.Literal(value) for value in key_values]
+        return ast.InList(column, items).render()
+
+    def rows(self, ctx: EvalContext) -> Iterator[tuple]:
+        """Yield the operator's result rows."""
+        left_rows = list(self.left.rows(ctx))
+        key_values: list[object] = []
+        seen: set = set()
+        for left_row in left_rows:
+            value = self.left_key(left_row, ctx)
+            if value is None:
+                continue
+            normalised = _join_key_part(value)
+            if normalised not in seen:
+                seen.add(normalised)
+                key_values.append(value)
+        if not key_values:
+            return  # inner equality over all-NULL outer keys: no matches
+        predicates = list(self.scan.pushed_predicates)
+        if len(key_values) <= self.max_keys:
+            predicates.append(self._bind_predicate(key_values))
+            self.bound_fetches += 1
+            layer = getattr(self.scan.fetcher, "layer", None)
+            if layer is not None:
+                layer.bind_join_count += 1
+        else:
+            self.unbound_fetches += 1
+        buckets: dict[object, list[tuple]] = {}
+        key_index = self.remote_key_index
+        for remote_row in self.scan.fetcher.fetch(ctx, predicates):
+            value = remote_row[key_index]
+            if value is None:
+                continue
+            bucket = buckets.setdefault(_join_key_part(value), [])
+            bucket.append(remote_row)
+        for left_row in left_rows:
+            value = self.left_key(left_row, ctx)
+            if value is None:
+                continue
+            for remote_row in buckets.get(_join_key_part(value), ()):
+                yield left_row + remote_row
+
+    def _describe(self) -> str:
+        return f"BindJoin({self.scan._name}, bind: {self.bind_column})"
+
+    def _children(self) -> list[Plan]:
+        return [self.left, self.scan]
+
+
+class BatchFunctionInvoker(Protocol):
+    """Invokes a table function once per argument tuple, amortizing
+    fixed per-call overheads where the runtime supports it."""
+
+    def __call__(
+        self,
+        function: TableFunction,
+        args_list: list[list[object]],
+        ctx: EvalContext,
+    ) -> list[list[tuple]]: ...
+
+
+class UdtfBindJoinPlan(Plan):
+    """Bind join into a lateral DETERMINISTIC table function.
+
+    The outer side is materialised, the argument tuples it produces are
+    deduplicated in first-occurrence order, and the function is invoked
+    once per *distinct* tuple through a batch invoker — the fenced
+    runtime amortizes prepare, RMI channel and finish overheads across
+    the whole batch, mirroring the paper's input-container parameter
+    passing.  Requires a DETERMINISTIC function: invocation count per
+    distinct argument tuple matches the per-statement cache of the
+    syntactic plan, so rows are bit-identical.
+    """
+
+    def __init__(self, left: Plan, right: TableFunctionRightSide, batch_invoker):
+        self.left = left
+        self.right = right
+        self.batch_invoker = batch_invoker
+        self.schema = left.schema + right.schema
+        self.batched_invocations = 0
+
+    def rows(self, ctx: EvalContext) -> Iterator[tuple]:
+        """Yield the operator's result rows."""
+        left_rows = list(self.left.rows(ctx))
+        arg_exprs = self.right.arg_exprs
+        per_row_keys: list[tuple | None] = []
+        distinct_args: list[list[object]] = []
+        key_order: dict[tuple, int] = {}
+        fallback: dict[int, list[object]] = {}
+        for index, left_row in enumerate(left_rows):
+            args = [expr(left_row, ctx) for expr in arg_exprs]
+            try:
+                key = tuple(args)
+                hash(key)
+            except TypeError:  # unhashable argument: invoke individually
+                per_row_keys.append(None)
+                fallback[index] = args
+                continue
+            if key not in key_order:
+                key_order[key] = len(distinct_args)
+                distinct_args.append(args)
+            per_row_keys.append(key)
+        results: list[list[tuple]] = []
+        if distinct_args:
+            results = self.batch_invoker(self.right.function, distinct_args, ctx)
+            self.batched_invocations += 1
+            self.right.invocations += len(distinct_args)
+            self.right.cache_hits += sum(
+                1 for key in per_row_keys if key is not None
+            ) - len(distinct_args)
+        for index, left_row in enumerate(left_rows):
+            key = per_row_keys[index]
+            if key is None:
+                self.right.invocations += 1
+                rows = self.right.invoker(self.right.function, fallback[index], ctx)
+            else:
+                rows = results[key_order[key]]
+            for right_row in rows:
+                yield left_row + right_row
+
+    def _describe(self) -> str:
+        return f"BindJoin(TABLE({self.right.function.name}) {self.right.alias})"
+
+    def _children(self) -> list[Plan]:
+        return [self.left]
+
+
 class FilterPlan(Plan):
     """WHERE / HAVING filter."""
 
@@ -508,6 +700,10 @@ class FilterPlan(Plan):
         self._label = label
         #: Chunk-at-a-time predicate (attached by the planner in batch mode).
         self.batch_predicate: BatchFn | None = None
+        #: Rendered texts of the conjuncts this filter evaluates locally
+        #: after predicate pushdown split some off (attached by the
+        #: planner so EXPLAIN shows the residual set explicitly).
+        self.residual_texts: list[str] | None = None
 
     def rows(self, ctx: EvalContext) -> Iterator[tuple]:
         """Yield the operator's result rows."""
@@ -532,6 +728,9 @@ class FilterPlan(Plan):
                 yield out
 
     def _describe(self) -> str:
+        if self.residual_texts:
+            residual = " AND ".join(self.residual_texts)
+            return f"{self._label} [residual: {residual}]"
         return self._label
 
     def _children(self) -> list[Plan]:

@@ -89,6 +89,9 @@ class FederationLayer:
         self.database = database
         self.pushdown_count = 0
         self.predicates_pushed = 0
+        #: Bind joins executed: remote fetches narrowed to the outer
+        #: join keys by the cost-based optimizer.
+        self.bind_join_count = 0
 
     def fetcher_for(self, nickname: NicknameDef):
         """Build the remote-scan fetcher for the planner."""

@@ -154,11 +154,16 @@ class Parser:
             self._accept_soft("WORK")
             return ast.Rollback()
         if self._accept_keyword("EXPLAIN"):
-            return ast.Explain(self._select())
+            analyze = self._accept_soft("ANALYZE") is not None
+            return ast.Explain(self._select(), analyze=analyze)
         if self._check_keyword("GRANT"):
             return self._grant_revoke(grant=True)
         if self._check_keyword("REVOKE"):
             return self._grant_revoke(grant=False)
+        if self._accept_soft("RUNSTATS", "ANALYZE") is not None:
+            self._accept_keyword("ON")
+            self._accept_keyword("TABLE")
+            return ast.Runstats(self._expect_identifier("table name"))
         raise self._error(f"unexpected statement start: {self._peek()}")
 
     def _grant_revoke(self, grant: bool) -> ast.Statement:

@@ -36,11 +36,13 @@ from repro.fdbs.executor import (
     NestedLoopJoinPlan,
     Plan,
     ProjectPlan,
+    RemoteBindJoinPlan,
     RemoteScanPlan,
     SortPlan,
     StaticRightSide,
     TableFunctionRightSide,
     TableScanPlan,
+    UdtfBindJoinPlan,
     UnionPlan,
     UnitPlan,
 )
@@ -79,6 +81,9 @@ class Planner:
         pushdown_counter=None,
         enable_index_selection: bool = True,
         execution_mode: str = "row",
+        optimizer: str = "syntactic",
+        statistics: "Callable[[str], object | None] | None" = None,
+        batch_invoker=None,
     ):
         self.catalog = catalog
         self.invoker = invoker
@@ -96,6 +101,14 @@ class Planner:
         #: "row" (Volcano, per-row dispatch) or "batch" (chunked
         #: execution with vectorized expressions and hash equi-joins).
         self.execution_mode = execution_mode
+        #: "syntactic" (FROM order as written) or "cost" (statistics-fed
+        #: join reordering and bind joins; see repro.fdbs.optimizer).
+        self.optimizer = optimizer
+        #: RUNSTATS snapshot lookup: table name -> TableStats | None.
+        self.statistics = statistics
+        #: Batched table-function invoker for UDTF bind joins (the
+        #: fenced runtime amortizes fixed per-call overheads).
+        self.batch_invoker = batch_invoker
         self._view_stack: list[str] = []
 
     def _batch(self, compiler: ExpressionCompiler, expr: ast.Expression) -> BatchFn | None:
@@ -129,12 +142,37 @@ class Planner:
     # -- query block -------------------------------------------------------------
 
     def _plan_query_block(self, select: ast.Select, top_level: bool = False) -> Plan:
-        plan, layout, remote_candidates, local_scans = self._plan_from(select)
+        decisions = None
+        if self.optimizer == "cost":
+            from repro.fdbs.optimizer import plan_decisions
+
+            decisions = plan_decisions(
+                select,
+                self.catalog,
+                self.statistics or (lambda name: None),
+                self.costs,
+            )
+        plan, layout, remote_candidates, local_scans, consumed = self._plan_from(
+            select, decisions
+        )
         compiler = self._compiler(layout)
 
         where = select.where
         if where is not None and contains_aggregate(where):
             raise PlanError("aggregates are not allowed in WHERE")
+        if consumed and where is not None:
+            # Bind joins applied these equi-conjuncts during the FROM
+            # fold; re-evaluating them in the filter would be redundant.
+            from repro.fdbs.pushdown import recombine, split_conjuncts
+
+            where = recombine(
+                [
+                    conjunct
+                    for conjunct in split_conjuncts(where)
+                    if not any(conjunct is used for used in consumed)
+                ]
+            )
+        had_remote = bool(remote_candidates)
         if self.enable_pushdown and remote_candidates:
             from repro.fdbs.pushdown import push_predicates
 
@@ -142,8 +180,19 @@ class Planner:
         if self.enable_index_selection and local_scans and where is not None:
             where = self._select_indexes(where, layout, local_scans)
         if where is not None:
+            input_est = plan.est_rows
             plan = FilterPlan(plan, compiler.compile(where), "Filter(WHERE)")
             plan.batch_predicate = self._batch(compiler, where)
+            if had_remote and self.enable_pushdown:
+                from repro.fdbs.pushdown import split_conjuncts
+
+                plan.residual_texts = [
+                    conjunct.render() for conjunct in split_conjuncts(where)
+                ]
+            if decisions is not None and input_est is not None:
+                plan.est_rows = max(
+                    1, round(input_est * decisions.local_selectivity)
+                )
 
         items = self._expand_stars(select.items, layout)
         needs_aggregate = (
@@ -313,16 +362,51 @@ class Planner:
     # -- FROM ----------------------------------------------------------------------
 
     def _plan_from(
-        self, select: ast.Select
-    ) -> tuple[Plan, RowLayout, dict[str, RemoteScanPlan], dict[str, TableScanPlan]]:
+        self, select: ast.Select, decisions=None
+    ) -> tuple[
+        Plan,
+        RowLayout,
+        dict[str, RemoteScanPlan],
+        dict[str, TableScanPlan],
+        list[ast.Expression],
+    ]:
         plan: Plan = UnitPlan()
         layout = RowLayout([])
         seen_aliases: set[str] = set()
         remote_candidates: dict[str, RemoteScanPlan] = {}
         local_scans: dict[str, TableScanPlan] = {}
+        consumed: list[ast.Expression] = []
         items = select.from_items
-        for position, item in enumerate(items):
-            right, right_schema = self._plan_from_item(item, layout, items, position)
+        if decisions is not None:
+            ordered = [(index, items[index]) for index in decisions.order]
+        else:
+            ordered = list(enumerate(items))
+        exec_items = [item for _, item in ordered]
+        running_est: float | None = 1.0 if decisions is not None else None
+        for position, (original_index, item) in enumerate(ordered):
+            spec = (
+                decisions.bind_remote.get(original_index)
+                if decisions is not None
+                else None
+            )
+            bind_built = None
+            if (
+                spec is not None
+                and isinstance(item, ast.TableRef)
+                and self.catalog.has_nickname(item.name)
+            ):
+                scan = self._plan_table_ref(item)
+                if isinstance(scan, RemoteScanPlan):
+                    bind_plan = self._try_remote_bind(plan, layout, scan, spec)
+                    if bind_plan is not None:
+                        bind_built = (scan, bind_plan)
+            if bind_built is not None:
+                right = None
+                right_schema = bind_built[0].schema
+            else:
+                right, right_schema = self._plan_from_item(
+                    item, layout, exec_items, position
+                )
             alias_names = {
                 (slot.alias or "").upper() for slot in right_schema if slot.alias
             }
@@ -332,6 +416,19 @@ class Planner:
                     f"duplicate correlation name {sorted(duplicate)[0]!r} in FROM"
                 )
             seen_aliases |= alias_names
+            if bind_built is not None:
+                scan, bind_plan = bind_built
+                for alias in alias_names:
+                    remote_candidates[alias] = scan
+                consumed.append(spec.conjunct)
+                item_est = decisions.est_scan.get(original_index)
+                scan.est_rows = _round_est(item_est)
+                if running_est is not None:
+                    running_est *= spec.est_match_per_key
+                    bind_plan.est_rows = _round_est(running_est)
+                plan = bind_plan
+                layout = layout.extend(right_schema)
+                continue
             # Only top-level (comma) remote scans are pushdown targets;
             # scans nested under explicit joins keep predicates local.
             if isinstance(right, StaticRightSide) and isinstance(
@@ -344,9 +441,60 @@ class Planner:
             ):
                 for alias in alias_names:
                     local_scans[alias] = right.plan
-            plan = CrossApplyPlan(plan, right)
+            if (
+                decisions is not None
+                and original_index in decisions.bind_udtf
+                and isinstance(right, TableFunctionRightSide)
+                and self.batch_invoker is not None
+            ):
+                plan = UdtfBindJoinPlan(plan, right, self.batch_invoker)
+            else:
+                plan = CrossApplyPlan(plan, right)
+            if decisions is not None:
+                item_est = decisions.est_scan.get(original_index)
+                inner = getattr(right, "plan", None)
+                if (
+                    isinstance(inner, Plan)
+                    and item_est is not None
+                    and inner.est_rows is None
+                ):
+                    inner.est_rows = _round_est(item_est)
+                if running_est is not None and item_est is not None:
+                    running_est *= item_est
+                    plan.est_rows = _round_est(running_est)
+                else:
+                    running_est = None
             layout = layout.extend(right_schema)
-        return plan, layout, remote_candidates, local_scans
+        return plan, layout, remote_candidates, local_scans, consumed
+
+    def _try_remote_bind(
+        self,
+        left: Plan,
+        layout: RowLayout,
+        scan: RemoteScanPlan,
+        spec,
+    ) -> RemoteBindJoinPlan | None:
+        """Build the bind join when the outer key compiles against the
+        running layout and hashes compatibly with the remote column;
+        None falls back to the ordinary static scan."""
+        remote_index = None
+        for index, slot in enumerate(scan.schema):
+            if slot.name.upper() == spec.bind_column.upper():
+                remote_index = index
+                break
+        if remote_index is None:
+            return None
+        try:
+            left_key = self._compiler(layout).compile(
+                ast.ColumnRef(spec.outer_qualifier, spec.outer_column)
+            )
+        except (PlanError, TypeError_):
+            return None
+        if not hash_join_compatible(left_key.type, scan.schema[remote_index].type):
+            return None
+        return RemoteBindJoinPlan(
+            left, scan, left_key, spec.bind_column, remote_index
+        )
 
     def _select_indexes(
         self,
@@ -869,6 +1017,13 @@ class _Reschema(Plan):
 
     def _children(self) -> list[Plan]:
         return [self.inner]
+
+
+def _round_est(value: "float | None") -> "int | None":
+    """Round a fractional cardinality estimate to a display integer."""
+    if value is None:
+        return None
+    return max(1, round(value))
 
 
 def _slot_ref(index: int, slot: ColumnSlot) -> CompiledExpr:

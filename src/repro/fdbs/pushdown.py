@@ -117,6 +117,36 @@ def strip_qualifiers(expr: ast.Expression) -> ast.Expression:
     return clone
 
 
+def partition_predicates(
+    where: ast.Expression | None,
+    candidate_aliases: "set[str] | frozenset[str]",
+) -> tuple[list[tuple[str, ast.Expression]], list[ast.Expression]]:
+    """Deterministic pushed-vs-residual split of the WHERE conjuncts.
+
+    Pure function of the expression tree: conjuncts are visited in WHERE
+    order (left to right through the AND tree), so repeated calls always
+    produce the same partition.  Returns ``(pushed, residual)`` where
+    ``pushed`` pairs each shippable conjunct with its (upper-cased)
+    target alias and ``residual`` keeps the local conjuncts, both in
+    original order.
+    """
+    pushed: list[tuple[str, ast.Expression]] = []
+    residual: list[ast.Expression] = []
+    if where is None:
+        return pushed, residual
+    for conjunct in split_conjuncts(where):
+        qualifiers = referenced_qualifiers(conjunct)
+        if (
+            qualifiers is not None
+            and len(qualifiers) == 1
+            and next(iter(qualifiers)) in candidate_aliases
+        ):
+            pushed.append((next(iter(qualifiers)), conjunct))
+        else:
+            residual.append(conjunct)
+    return pushed, residual
+
+
 def push_predicates(
     where: ast.Expression | None,
     candidates: dict[str, RemoteScanPlan],
@@ -131,19 +161,10 @@ def push_predicates(
     """
     if where is None or not candidates:
         return where
-    remaining: list[ast.Expression] = []
-    for conjunct in split_conjuncts(where):
-        qualifiers = referenced_qualifiers(conjunct)
-        if (
-            qualifiers is not None
-            and len(qualifiers) == 1
-            and next(iter(qualifiers)) in candidates
-        ):
-            alias = next(iter(qualifiers))
-            scan = candidates[alias]
-            scan.pushed_predicates.append(strip_qualifiers(conjunct).render())
-            if counter is not None:
-                counter.predicates_pushed += 1
-        else:
-            remaining.append(conjunct)
-    return recombine(remaining)
+    pushed, residual = partition_predicates(where, set(candidates))
+    for alias, conjunct in pushed:
+        scan = candidates[alias]
+        scan.pushed_predicates.append(strip_qualifiers(conjunct).render())
+        if counter is not None:
+            counter.predicates_pushed += 1
+    return recombine(residual)

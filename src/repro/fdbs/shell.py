@@ -12,8 +12,8 @@ functions) so you can type the paper's queries directly::
     (1 row, 320.88 su)
 
 Statements end with ``;`` and may span lines.  Dot commands:
-``.help``, ``.tables``, ``.functions``, ``.stats``, ``.time on|off``,
-``.user <name>``, ``.quit``.
+``.help``, ``.tables``, ``.functions``, ``.stats``, ``.optimizer``,
+``.time on|off``, ``.user <name>``, ``.quit``.
 """
 
 from __future__ import annotations
@@ -114,7 +114,8 @@ class Shell:
                 ".help             this text\n"
                 ".tables           list tables, views and nicknames\n"
                 ".functions        list table functions\n"
-                ".stats            pool / cache / channel counters\n"
+                ".stats            pool / cache / channel counters + RUNSTATS\n"
+                ".optimizer [m]    show or set planning mode (syntactic|cost)\n"
                 ".time on|off      toggle virtual-time display\n"
                 ".user <name>      switch the session user\n"
                 ".quit             leave\n"
@@ -125,6 +126,20 @@ class Shell:
             self.execute("SELECT * FROM SYSCAT_FUNCTIONS", stdout)
         elif name == ".stats":
             self.execute("SELECT * FROM SYSCAT_RUNTIME_STATS", stdout)
+            if self.database.catalog.statistics():
+                stdout.write("table statistics (RUNSTATS):\n")
+                self.execute("SELECT * FROM SYSCAT_STATS", stdout)
+        elif name == ".optimizer":
+            if len(parts) == 1:
+                stdout.write(f"optimizer is {self.database.optimizer}\n")
+            elif len(parts) == 2:
+                try:
+                    self.database.set_optimizer(parts[1].lower())
+                    stdout.write(f"optimizer is now {self.database.optimizer}\n")
+                except ReproError as exc:
+                    stdout.write(f"error: {exc}\n")
+            else:
+                stdout.write("usage: .optimizer [syntactic|cost]\n")
         elif name == ".time":
             if len(parts) == 2 and parts[1].lower() in ("on", "off"):
                 self.show_time = parts[1].lower() == "on"

@@ -1,0 +1,95 @@
+"""RUNSTATS-style table and column statistics.
+
+The paper defers "query optimization" across the FDBS boundary to
+future work (Sect. 6); the cost-based optimizer extension closes that
+gap, and — like DB2 — it only acts on statistics the administrator
+collected explicitly: ``RUNSTATS <table>`` (or the PostgreSQL-flavoured
+``ANALYZE <table>``) scans a base table or nickname and records
+
+* the table cardinality (row count),
+* per column: the number of distinct non-NULL values, the NULL count,
+  and the minimum / maximum value (when the column's values are
+  mutually comparable).
+
+Statistics live in the catalog (:meth:`~repro.fdbs.catalog.Catalog.
+set_statistics`), are exposed through the ``SYSCAT_STATS`` view, and
+feed the estimator in :mod:`repro.fdbs.optimizer`.  They are a snapshot:
+DML after RUNSTATS leaves them stale, exactly as in the modelled
+systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fdbs.catalog import ColumnDef
+
+
+@dataclass
+class ColumnStats:
+    """Statistics of one column, collected by RUNSTATS."""
+
+    name: str
+    ndv: int
+    """Number of distinct non-NULL values."""
+
+    null_count: int
+    min_value: object | None = None
+    max_value: object | None = None
+
+
+@dataclass
+class TableStats:
+    """Statistics of one base table or nickname."""
+
+    table: str
+    card: int
+    """Table cardinality (row count) at collection time."""
+
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+    """Upper-cased column name -> :class:`ColumnStats`."""
+
+    def column(self, name: str) -> ColumnStats | None:
+        """Column statistics by case-insensitive name (None if absent)."""
+        return self.columns.get(name.upper())
+
+
+def collect_stats(
+    table_name: str, columns: list[ColumnDef], rows: list[tuple]
+) -> TableStats:
+    """One full-scan statistics collection pass over materialised rows."""
+    stats = TableStats(table=table_name, card=len(rows))
+    for index, column in enumerate(columns):
+        distinct: set[object] = set()
+        nulls = 0
+        low: object | None = None
+        high: object | None = None
+        comparable = True
+        for row in rows:
+            value = row[index]
+            if value is None:
+                nulls += 1
+                continue
+            try:
+                distinct.add(value)
+            except TypeError:  # unhashable value: count conservatively
+                comparable = False
+                continue
+            if not comparable:
+                continue
+            try:
+                if low is None or value < low:
+                    low = value
+                if high is None or value > high:
+                    high = value
+            except TypeError:  # mixed/unorderable values: drop min/max
+                comparable = False
+                low = high = None
+        stats.columns[column.name.upper()] = ColumnStats(
+            name=column.name,
+            ndv=len(distinct),
+            null_count=nulls,
+            min_value=low,
+            max_value=high,
+        )
+    return stats

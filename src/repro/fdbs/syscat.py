@@ -11,6 +11,8 @@ table:
 * ``SYSCAT_VIEWS``      — name, definition text
 * ``SYSCAT_SERVERS``    — server name, wrapper
 * ``SYSCAT_NICKNAMES``  — nickname, server, remote name
+* ``SYSCAT_STATS``      — tabname, colname, card, ndv, nulls, minval,
+  maxval: RUNSTATS snapshots feeding the cost-based optimizer
 * ``SYSCAT_RUNTIME_STATS`` — component, counter, value: live counters of
   the statement cache and (on machine-backed databases) the warm
   runtime pool, result cache and RMI channels
@@ -106,6 +108,24 @@ def _nicknames_rows(catalog: "Catalog") -> list[tuple]:
     )
 
 
+def _stats_rows(catalog: "Catalog") -> list[tuple]:
+    rows: list[tuple] = []
+    for stats in catalog.statistics():
+        for column in stats.columns.values():
+            rows.append(
+                (
+                    stats.table,
+                    column.name,
+                    stats.card,
+                    column.ndv,
+                    column.null_count,
+                    None if column.min_value is None else str(column.min_value),
+                    None if column.max_value is None else str(column.max_value),
+                )
+            )
+    return sorted(rows, key=lambda r: (r[0], r[1]))
+
+
 def _runtime_stats_rows(catalog: "Catalog") -> list[tuple]:
     provider = getattr(catalog, "runtime_stats_provider", None)
     if provider is None:
@@ -175,6 +195,18 @@ SYSCAT_TABLES: dict[str, tuple[list[ColumnDef], Callable[["Catalog"], list[tuple
             ColumnDef("remote_name", VARCHAR(128)),
         ],
         _nicknames_rows,
+    ),
+    "SYSCAT_STATS": (
+        [
+            ColumnDef("tabname", VARCHAR(128)),
+            ColumnDef("colname", VARCHAR(128)),
+            ColumnDef("card", INTEGER),
+            ColumnDef("ndv", INTEGER),
+            ColumnDef("nulls", INTEGER),
+            ColumnDef("minval", VARCHAR(128)),
+            ColumnDef("maxval", VARCHAR(128)),
+        ],
+        _stats_rows,
     ),
     "SYSCAT_RUNTIME_STATS": (
         [

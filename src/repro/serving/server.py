@@ -251,6 +251,7 @@ class ConcurrentIntegrationServer:
         costs: CostModel | None = None,
         controller_enabled: bool = True,
         data: EnterpriseData | None = None,
+        optimizer: str = "syntactic",
     ):
         if workers < 1:
             raise ServingError(f"workers must be >= 1, got {workers!r}")
@@ -264,6 +265,7 @@ class ConcurrentIntegrationServer:
         self.result_cache = result_cache
         self.costs = costs
         self.controller_enabled = controller_enabled
+        self.optimizer = optimizer
         # One read-only enterprise universe shared by every shard: each
         # application system copies it into its private database, so the
         # shared object is never mutated after generation.
@@ -294,6 +296,7 @@ class ConcurrentIntegrationServer:
             pooling=self.pooling,
             result_cache=self.result_cache,
             faults=faults,
+            optimizer=self.optimizer,
         )
         return scenario.server
 
@@ -307,6 +310,7 @@ class ConcurrentIntegrationServer:
                     data=self.data,
                     pooling=self.pooling,
                     result_cache=self.result_cache,
+                    optimizer=self.optimizer,
                 )
                 self._shared_servers[architecture] = scenario.server
             return self._shared_servers[architecture]

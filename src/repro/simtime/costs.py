@@ -127,6 +127,15 @@ class CostModel:
     integration server's result cache (lookup + copy-out) instead of
     re-invoking the backend."""
 
+    runstats_base: float = 20.0
+    """Fixed overhead of one RUNSTATS utility run (catalog update,
+    snapshot bookkeeping).  Remote-table scans additionally pay the
+    ordinary federation fetch costs."""
+
+    runstats_row_cost: float = 0.02
+    """Per-row statistics collection cost during RUNSTATS (distinct-value
+    hashing plus min/max maintenance across all columns)."""
+
     # -- fault detection & recovery (only charged when faults occur) ----------
     fault_detection: float = 6.0
     """Detecting one failed call or crashed process (error propagation,

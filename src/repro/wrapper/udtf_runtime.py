@@ -163,43 +163,7 @@ class FencedFunctionRuntime(FunctionRuntime):
                 return self.database.run_external_function(function, args)
 
         if function.fenced:
-            warm = self.machine.runtime_pool.acquire(runtime_key)
-            with maybe_span(
-                trace, "Prepare A-UDTFs (warm)" if warm else "Prepare A-UDTFs"
-            ):
-                self.machine.clock.advance(
-                    costs.udtf_warm_prepare if warm else costs.udtf_prepare_access
-                )
-            if self.machine.fault_injector.should_fail(SITE_FENCED_PROCESS):
-                with maybe_span(trace, "Fault detection"):
-                    self.machine.clock.advance(costs.fault_detection)
-                self.machine.runtime_pool.evict(runtime_key)
-                if warm:
-                    # Graceful degradation: the warm slot died, retry the
-                    # hand-over with a freshly fenced process (cold cost).
-                    self.machine.runtime_pool.acquire(runtime_key)
-                    with maybe_span(trace, "Prepare A-UDTFs"):
-                        self.machine.clock.advance(costs.udtf_prepare_access)
-                    if self.machine.fault_injector.should_fail(
-                        SITE_FENCED_PROCESS
-                    ):
-                        with maybe_span(trace, "Fault detection"):
-                            self.machine.clock.advance(costs.fault_detection)
-                        self.machine.runtime_pool.evict(runtime_key)
-                        raise FencedProcessDiedError(
-                            SITE_FENCED_PROCESS,
-                            f"fenced process of A-UDTF {function.name!r} "
-                            "died again after a cold restart",
-                        )
-                else:
-                    # A cold fenced process died during hand-over; the
-                    # UDTF architecture has no navigation state to
-                    # recover from, so the statement aborts.
-                    raise FencedProcessDiedError(
-                        SITE_FENCED_PROCESS,
-                        f"fenced process of A-UDTF {function.name!r} died "
-                        "during process hand-over",
-                    )
+            self._prepare_fenced_process(function, runtime_key, trace)
         controller = self.machine.controller
         if function.fenced and controller.enabled:
             rows = self.machine.udtf_rmi.invoke(
@@ -224,6 +188,131 @@ class FencedFunctionRuntime(FunctionRuntime):
                 owner=function.owner_system,
             )
         return rows
+
+    def _prepare_fenced_process(
+        self,
+        function: ExternalTableFunction,
+        runtime_key: str,
+        trace: TraceRecorder | None,
+    ) -> None:
+        """Fenced-process hand-over: warm or cold prepare, with the
+        fault-injection retry ladder (warm slot dies -> cold restart;
+        cold process dies -> statement aborts)."""
+        costs = self.machine.costs
+        warm = self.machine.runtime_pool.acquire(runtime_key)
+        with maybe_span(
+            trace, "Prepare A-UDTFs (warm)" if warm else "Prepare A-UDTFs"
+        ):
+            self.machine.clock.advance(
+                costs.udtf_warm_prepare if warm else costs.udtf_prepare_access
+            )
+        if self.machine.fault_injector.should_fail(SITE_FENCED_PROCESS):
+            with maybe_span(trace, "Fault detection"):
+                self.machine.clock.advance(costs.fault_detection)
+            self.machine.runtime_pool.evict(runtime_key)
+            if warm:
+                # Graceful degradation: the warm slot died, retry the
+                # hand-over with a freshly fenced process (cold cost).
+                self.machine.runtime_pool.acquire(runtime_key)
+                with maybe_span(trace, "Prepare A-UDTFs"):
+                    self.machine.clock.advance(costs.udtf_prepare_access)
+                if self.machine.fault_injector.should_fail(SITE_FENCED_PROCESS):
+                    with maybe_span(trace, "Fault detection"):
+                        self.machine.clock.advance(costs.fault_detection)
+                    self.machine.runtime_pool.evict(runtime_key)
+                    raise FencedProcessDiedError(
+                        SITE_FENCED_PROCESS,
+                        f"fenced process of A-UDTF {function.name!r} "
+                        "died again after a cold restart",
+                    )
+            else:
+                # A cold fenced process died during hand-over; the
+                # UDTF architecture has no navigation state to
+                # recover from, so the statement aborts.
+                raise FencedProcessDiedError(
+                    SITE_FENCED_PROCESS,
+                    f"fenced process of A-UDTF {function.name!r} died "
+                    "during process hand-over",
+                )
+
+    def invoke_batch(
+        self,
+        function,
+        args_list: list[list[object]],
+        ctx: EvalContext,
+    ) -> list[list[tuple]]:
+        """Batched A-UDTF invocation for UDTF bind joins.
+
+        One fenced-process hand-over, one RMI round trip and one finish
+        step are shared by every argument tuple in the batch; only the
+        controller dispatch and the local-function work stay per tuple.
+        Result-cache hits are served before the batch forms, exactly as
+        in the one-at-a-time path.  Non-A-UDTF functions (SQL bodies,
+        WfMS connectors, procedural I-UDTFs, unfenced externals) fall
+        back to the base-class loop — cost-identical to row-at-a-time.
+        """
+        if (
+            not isinstance(function, ExternalTableFunction)
+            or not function.fenced
+            or function.language.upper() in (WFMS_LANGUAGE, PROCEDURAL_LANGUAGE)
+        ):
+            return super().invoke_batch(function, args_list, ctx)
+        trace = ctx.trace
+        costs = self.machine.costs
+        cache = self.machine.result_cache
+        runtime_key = f"audtf:{function.name}"
+        results: list[list[tuple] | None] = [None] * len(args_list)
+        misses: list[int] = []
+        for index, args in enumerate(args_list):
+            if cache.enabled and function.source_deterministic:
+                cached = cache.get(
+                    self.machine.result_cache_namespace(), runtime_key, tuple(args)
+                )
+                if cached is not None:
+                    with maybe_span(trace, "Result cache"):
+                        self.machine.clock.advance(costs.result_cache_hit_cost)
+                    results[index] = cached
+                    continue
+            misses.append(index)
+        if not misses:
+            return results  # type: ignore[return-value]
+        self.fenced_invocations += 1
+        self._prepare_fenced_process(function, runtime_key, trace)
+
+        def run_one(args: list[object]) -> list[tuple]:
+            with maybe_span(trace, "Process activities"):
+                return self.database.run_external_function(function, args)
+
+        controller = self.machine.controller
+        if controller.enabled:
+            miss_rows = self.machine.udtf_rmi.invoke(
+                lambda: [
+                    controller.dispatch(
+                        lambda args=args_list[index]: run_one(args),
+                        trace=trace,
+                        label="controller runs",
+                    )
+                    for index in misses
+                ],
+                trace=trace,
+                call_label="RMI calls",
+                return_label="RMI returns",
+            )
+        else:
+            miss_rows = [run_one(args_list[index]) for index in misses]
+        with maybe_span(trace, "Finish A-UDTFs"):
+            self.machine.clock.advance(costs.udtf_finish_access)
+        for index, rows in zip(misses, miss_rows):
+            results[index] = rows
+            if cache.enabled and function.source_deterministic:
+                cache.put(
+                    self.machine.result_cache_namespace(),
+                    runtime_key,
+                    tuple(args_list[index]),
+                    rows,
+                    owner=function.owner_system,
+                )
+        return results  # type: ignore[return-value]
 
     def _invoke_wfms(
         self,

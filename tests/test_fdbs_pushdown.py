@@ -7,6 +7,7 @@ from repro.fdbs.engine import Database
 from repro.fdbs.federation import DatabaseEndpoint
 from repro.fdbs.parser import parse_expression
 from repro.fdbs.pushdown import (
+    partition_predicates,
     push_predicates,
     recombine,
     referenced_qualifiers,
@@ -79,6 +80,74 @@ class TestHelpers:
     def test_strip_qualifiers(self):
         expr = parse_expression("n.x = 1 AND n.y BETWEEN 2 AND n.z")
         assert "n." not in strip_qualifiers(expr).render()
+
+    def test_or_across_aliases_merges_qualifiers(self):
+        assert referenced_qualifiers(
+            parse_expression("n.x = 1 OR m.y = 2")
+        ) == {"N", "M"}
+
+    def test_not_over_subquery_stays_local(self):
+        assert (
+            referenced_qualifiers(parse_expression("NOT (n.x IN (SELECT 1))"))
+            is None
+        )
+
+    def test_ambiguous_column_inside_or_stays_local(self):
+        # One unqualified leg poisons the whole conjunct.
+        assert referenced_qualifiers(parse_expression("n.x = 1 OR y = 2")) is None
+
+    def test_in_list_with_parameter_item_stays_local(self):
+        assert referenced_qualifiers(parse_expression("n.x IN (1, ?)")) is None
+
+    def test_strip_qualifiers_preserves_structure(self):
+        for text, rendered in (
+            ("NOT (n.x = 1)", "(NOT (x = 1))"),
+            ("n.x IS NULL", "(x IS NULL)"),
+            ("n.x IN (1, n.y)", "(x IN (1, y))"),
+            ("n.a LIKE n.b", "(a LIKE b)"),
+        ):
+            assert strip_qualifiers(parse_expression(text)).render() == rendered
+
+
+class TestPartitionPredicates:
+    def test_split_is_deterministic_and_ordered(self):
+        where = parse_expression(
+            "n.x = 1 AND w.k = n.x AND n.y > 2 AND w.k = 9"
+        )
+        first = partition_predicates(where, {"N"})
+        second = partition_predicates(where, {"N"})
+        assert [(a, c.render()) for a, c in first[0]] == [
+            (a, c.render()) for a, c in second[0]
+        ]
+        assert [c.render() for c in first[1]] == [c.render() for c in second[1]]
+        assert [(a, c.render()) for a, c in first[0]] == [
+            ("N", "(n.x = 1)"),
+            ("N", "(n.y > 2)"),
+        ]
+        assert [c.render() for c in first[1]] == [
+            "(w.k = n.x)",
+            "(w.k = 9)",
+        ]
+
+    def test_none_where_yields_empty_partition(self):
+        assert partition_predicates(None, {"N"}) == ([], [])
+
+    def test_only_candidate_aliases_are_pushed(self):
+        where = parse_expression("n.x = 1 AND m.y = 2")
+        pushed, residual = partition_predicates(where, {"N"})
+        assert [(a, c.render()) for a, c in pushed] == [("N", "(n.x = 1)")]
+        assert [c.render() for c in residual] == ["(m.y = 2)"]
+
+    def test_explain_shows_residual_conjuncts(self):
+        local, _ = make_pair()
+        local.execute("CREATE TABLE watch (comp_no INT)")
+        local.execute("INSERT INTO watch VALUES (2)")
+        text = local.explain(
+            "SELECT o.order_no FROM watch AS w, n AS o "
+            "WHERE o.comp_no = 2 AND w.comp_no = o.comp_no"
+        )
+        assert "pushed: (comp_no = 2)" in text
+        assert "[residual: (w.comp_no = o.comp_no)]" in text
 
 
 class TestEndToEnd:

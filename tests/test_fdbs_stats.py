@@ -1,0 +1,134 @@
+"""RUNSTATS statistics collection and the SYSCAT_STATS view."""
+
+import pytest
+
+from repro.errors import CatalogError, ExecutionError
+from repro.fdbs.catalog import ColumnDef
+from repro.fdbs.engine import Database
+from repro.fdbs.federation import DatabaseEndpoint
+from repro.fdbs.stats import collect_stats
+from repro.fdbs.types import INTEGER, VARCHAR
+from repro.sysmodel.machine import Machine
+
+
+def make_db(machine=None):
+    db = Database("statsdb", machine=machine)
+    db.execute("CREATE TABLE t (a INT, b VARCHAR(10))")
+    db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'x')")
+    return db
+
+
+class TestCollectStats:
+    def test_basic_counts(self):
+        columns = [ColumnDef("a", INTEGER), ColumnDef("b", VARCHAR(10))]
+        rows = [(1, "x"), (2, "y"), (3, "x"), (None, None)]
+        stats = collect_stats("T", columns, rows)
+        assert stats.card == 4
+        a = stats.column("a")
+        assert (a.ndv, a.null_count, a.min_value, a.max_value) == (3, 1, 1, 3)
+        b = stats.column("B")  # case-insensitive lookup
+        assert (b.ndv, b.null_count, b.min_value, b.max_value) == (2, 1, "x", "y")
+
+    def test_unhashable_values_are_tolerated(self):
+        columns = [ColumnDef("a", INTEGER)]
+        stats = collect_stats("T", columns, [([1],), (2,)])
+        a = stats.column("a")
+        assert a.null_count == 0
+        assert a.min_value is None and a.max_value is None
+
+    def test_unorderable_values_drop_min_max(self):
+        columns = [ColumnDef("a", INTEGER)]
+        stats = collect_stats("T", columns, [(1,), ("x",)])
+        a = stats.column("a")
+        assert a.ndv == 2
+        assert a.min_value is None and a.max_value is None
+
+    def test_empty_table(self):
+        stats = collect_stats("T", [ColumnDef("a", INTEGER)], [])
+        assert stats.card == 0
+        assert stats.column("a").ndv == 0
+
+
+class TestRunstatsStatement:
+    def test_runstats_populates_catalog(self):
+        db = make_db()
+        result = db.execute("RUNSTATS t")
+        assert result.statement_type == "RUNSTATS"
+        assert result.rowcount == 3
+        stats = db.catalog.get_statistics("t")
+        assert stats is not None and stats.card == 3
+        assert stats.column("a").ndv == 3
+        assert stats.column("b").ndv == 2
+
+    def test_analyze_is_an_alias(self):
+        db = make_db()
+        db.execute("ANALYZE t")
+        assert db.catalog.get_statistics("T") is not None
+
+    def test_syscat_stats_rows(self):
+        db = make_db()
+        db.execute("RUNSTATS t")
+        rows = db.execute("SELECT * FROM SYSCAT_STATS").rows
+        assert ("t", "a", 3, 3, 0, "1", "3") in rows
+        assert ("t", "b", 3, 2, 0, "x", "y") in rows
+
+    def test_runstats_on_nickname(self):
+        remote = Database("remote")
+        remote.execute("CREATE TABLE orders (order_no INT, comp_no INT)")
+        remote.execute("INSERT INTO orders VALUES (1, 10), (2, 20)")
+        local = Database("local")
+        local.execute("CREATE WRAPPER w")
+        local.execute("CREATE SERVER s WRAPPER w")
+        local.attach_endpoint("s", DatabaseEndpoint(remote))
+        local.execute("CREATE NICKNAME n FOR s.orders")
+        result = local.execute("RUNSTATS n")
+        assert result.rowcount == 2
+        stats = local.catalog.get_statistics("n")
+        assert stats.card == 2
+        assert stats.column("comp_no").max_value == 20
+
+    def test_unknown_name_raises(self):
+        db = make_db()
+        with pytest.raises(CatalogError):
+            db.execute("RUNSTATS nope")
+
+    def test_stats_are_a_snapshot(self):
+        db = make_db()
+        db.execute("RUNSTATS t")
+        db.execute("INSERT INTO t VALUES (4, 'z')")
+        assert db.catalog.get_statistics("t").card == 3  # stale until re-run
+        db.execute("RUNSTATS t")
+        assert db.catalog.get_statistics("t").card == 4
+
+    def test_drop_table_discards_stats(self):
+        db = make_db()
+        db.execute("RUNSTATS t")
+        db.execute("DROP TABLE t")
+        assert db.catalog.get_statistics("t") is None
+
+    def test_runstats_charges_per_row(self):
+        machine = Machine()
+        db = Database("timed", machine=machine)
+        db.execute("CREATE TABLE t_sml (a INT)")
+        db.execute("CREATE TABLE t_big (a INT)")
+        db.execute("INSERT INTO t_sml VALUES (1)")
+        for index in range(101):
+            db.execute("INSERT INTO t_big VALUES (?)", params=[index])
+
+        def elapsed(sql):
+            start = machine.clock.now
+            db.execute(sql)
+            return machine.clock.now - start
+
+        small = elapsed("RUNSTATS t_sml")
+        big = elapsed("RUNSTATS t_big")
+        assert small >= machine.costs.runstats_base
+        assert big - small == pytest.approx(
+            100 * machine.costs.runstats_row_cost, rel=0.01
+        )
+
+    def test_runstats_requires_materialised_storage(self):
+        db = make_db()
+        db.execute("CREATE VIEW v AS SELECT a FROM t")
+        with pytest.raises((CatalogError, ExecutionError)):
+            db.execute("RUNSTATS v")
