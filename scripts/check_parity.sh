@@ -40,6 +40,9 @@ echo "== concurrency parity + thread-safety regressions =="
 python -m pytest -q tests/test_concurrent_parity.py \
     tests/test_thread_safety_regressions.py
 
+echo "== MVCC snapshot-isolation suite =="
+python -m pytest -q tests/test_mvcc_snapshot_isolation.py
+
 echo "== concurrency benchmark parity gate =="
 python benchmarks/bench_concurrency.py > /dev/null
 
@@ -57,6 +60,25 @@ assert summary["cross_worker_parity"], (
 tp = {r["workers"]: r["throughput_calls_per_s"] for r in summary["runs"]}
 print(f"OK: single-session parity + cross-worker parity hold; "
       f"throughput by workers: {tp}")
+
+# MVCC gates: with MVCC on, a single worker is bit-identical to the
+# bare pre-serving stack (rows AND simulated times -- asserted above
+# via single_session_parity), shared-mode rows are deterministic at
+# every worker count, and lock-free snapshot readers actually scale.
+scaling = summary["scaling"]
+for profile, entry in scaling["profiles"].items():
+    for r in entry["runs"]:
+        assert r["rows_match_one_worker"], (
+            f"{profile}: {r['workers']}-worker shared-mode run changed rows"
+        )
+speedup = {
+    r["workers"]: r["speedup_vs_1_worker"]
+    for r in scaling["profiles"]["read_heavy"]["runs"]
+}
+assert speedup[4] >= 2.0, (
+    f"read-heavy speedup at 4 workers is {speedup[4]}x, below the 2x gate"
+)
+print(f"OK: MVCC scaling gate holds; read-heavy speedup by workers: {speedup}")
 EOF
 
 echo "== optimizer parity (cost-based vs syntactic) =="

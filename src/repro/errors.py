@@ -60,6 +60,29 @@ class ConstraintError(SqlError):
     """Integrity constraint violated (duplicate key, NOT NULL...)."""
 
 
+class WriteConflictError(SqlError):
+    """First-writer-wins conflict under MVCC snapshot isolation.
+
+    A DML statement pinned a table version at statement start, but
+    another writer published a newer version of the same table before
+    this statement reached its write latch.  The loser's statement is
+    rolled up into this error; the statement may simply be retried
+    against a fresh snapshot (``retryable`` is True).
+    """
+
+    retryable = True
+
+    def __init__(self, table: str, expected_version: int, found_version: int):
+        super().__init__(
+            f"write conflict on table {table!r}: statement pinned version "
+            f"{expected_version} but version {found_version} is current "
+            "(first writer wins; retry against a fresh snapshot)"
+        )
+        self.table = table
+        self.expected_version = expected_version
+        self.found_version = found_version
+
+
 class AuthorizationError(SqlError):
     """The current user lacks a required privilege."""
 

@@ -9,6 +9,7 @@ identifier semantics.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
@@ -193,17 +194,31 @@ class Catalog:
         self.runtime_stats_provider: Callable[[], dict[str, dict[str, int]]] | None = (
             None
         )
+        #: Guards check-then-act registrations and list snapshots against
+        #: concurrent DDL; single-key reads stay lock-free (GIL-atomic).
+        self._lock = threading.RLock()
+        #: Bumped on every schema change (CREATE/DROP of any object kind).
+        #: Compiled-plan caches fold this into their keys so a plan
+        #: validated against one schema is never replayed against another.
+        self.ddl_epoch = 0
+
+    def note_ddl(self) -> int:
+        """Record a schema change; returns the new DDL epoch."""
+        with self._lock:
+            self.ddl_epoch += 1
+            return self.ddl_epoch
 
     # -- tables -----------------------------------------------------------------
 
     def add_table(self, table: TableDef) -> None:
         """Register the object (duplicates rejected)."""
         key = table.name.upper()
-        if key in self._tables or key in self._nicknames or key in self._views:
-            raise CatalogError(
-                f"table, view or nickname {table.name!r} already exists"
-            )
-        self._tables[key] = table
+        with self._lock:
+            if key in self._tables or key in self._nicknames or key in self._views:
+                raise CatalogError(
+                    f"table, view or nickname {table.name!r} already exists"
+                )
+            self._tables[key] = table
 
     def get_table(self, name: str) -> TableDef:
         """Look up the named object (raises CatalogError when missing)."""
@@ -218,29 +233,32 @@ class Catalog:
 
     def drop_table(self, name: str) -> TableDef:
         """Remove and return the named object (dropping its statistics)."""
-        try:
-            table = self._tables.pop(name.upper())
-        except KeyError:
-            raise CatalogError(f"unknown table {name!r}") from None
-        self._statistics.pop(name.upper(), None)
-        return table
+        with self._lock:
+            try:
+                table = self._tables.pop(name.upper())
+            except KeyError:
+                raise CatalogError(f"unknown table {name!r}") from None
+            self._statistics.pop(name.upper(), None)
+            return table
 
     def tables(self) -> list[TableDef]:
         """All registered objects of this kind."""
-        return list(self._tables.values())
+        with self._lock:
+            return list(self._tables.values())
 
     # -- functions ---------------------------------------------------------------
 
     def add_function(self, function: TableFunction) -> None:
         """Register the object (duplicates rejected)."""
         key = function.name.upper()
-        if key in self._functions:
-            raise CatalogError(f"function {function.name!r} already exists")
-        if key in self._procedures:
-            raise CatalogError(
-                f"{function.name!r} already names a procedure"
-            )
-        self._functions[key] = function
+        with self._lock:
+            if key in self._functions:
+                raise CatalogError(f"function {function.name!r} already exists")
+            if key in self._procedures:
+                raise CatalogError(
+                    f"{function.name!r} already names a procedure"
+                )
+            self._functions[key] = function
 
     def get_function(self, name: str) -> TableFunction:
         """Look up the named object (raises CatalogError when missing)."""
@@ -255,25 +273,28 @@ class Catalog:
 
     def drop_function(self, name: str) -> TableFunction:
         """Remove and return the named object."""
-        try:
-            return self._functions.pop(name.upper())
-        except KeyError:
-            raise CatalogError(f"unknown function {name!r}") from None
+        with self._lock:
+            try:
+                return self._functions.pop(name.upper())
+            except KeyError:
+                raise CatalogError(f"unknown function {name!r}") from None
 
     def functions(self) -> list[TableFunction]:
         """All registered objects of this kind."""
-        return list(self._functions.values())
+        with self._lock:
+            return list(self._functions.values())
 
     # -- procedures ----------------------------------------------------------------
 
     def add_procedure(self, procedure: ProcedureDef) -> None:
         """Register the object (duplicates rejected)."""
         key = procedure.name.upper()
-        if key in self._procedures:
-            raise CatalogError(f"procedure {procedure.name!r} already exists")
-        if key in self._functions:
-            raise CatalogError(f"{procedure.name!r} already names a function")
-        self._procedures[key] = procedure
+        with self._lock:
+            if key in self._procedures:
+                raise CatalogError(f"procedure {procedure.name!r} already exists")
+            if key in self._functions:
+                raise CatalogError(f"{procedure.name!r} already names a function")
+            self._procedures[key] = procedure
 
     def get_procedure(self, name: str) -> ProcedureDef:
         """Look up the named object (raises CatalogError when missing)."""
@@ -291,11 +312,12 @@ class Catalog:
     def add_view(self, view: ViewDef) -> None:
         """Register the object (duplicates rejected)."""
         key = view.name.upper()
-        if key in self._views or key in self._tables or key in self._nicknames:
-            raise CatalogError(
-                f"table, view or nickname {view.name!r} already exists"
-            )
-        self._views[key] = view
+        with self._lock:
+            if key in self._views or key in self._tables or key in self._nicknames:
+                raise CatalogError(
+                    f"table, view or nickname {view.name!r} already exists"
+                )
+            self._views[key] = view
 
     def get_view(self, name: str) -> ViewDef:
         """Look up the named object (raises CatalogError when missing)."""
@@ -310,23 +332,26 @@ class Catalog:
 
     def drop_view(self, name: str) -> ViewDef:
         """Remove and return the named object."""
-        try:
-            return self._views.pop(name.upper())
-        except KeyError:
-            raise CatalogError(f"unknown view {name!r}") from None
+        with self._lock:
+            try:
+                return self._views.pop(name.upper())
+            except KeyError:
+                raise CatalogError(f"unknown view {name!r}") from None
 
     def views(self) -> list[ViewDef]:
         """All registered objects of this kind."""
-        return list(self._views.values())
+        with self._lock:
+            return list(self._views.values())
 
     # -- SQL/MED objects --------------------------------------------------------------
 
     def add_wrapper(self, wrapper: WrapperDef) -> None:
         """Register the object (duplicates rejected)."""
         key = wrapper.name.upper()
-        if key in self._wrappers:
-            raise CatalogError(f"wrapper {wrapper.name!r} already exists")
-        self._wrappers[key] = wrapper
+        with self._lock:
+            if key in self._wrappers:
+                raise CatalogError(f"wrapper {wrapper.name!r} already exists")
+            self._wrappers[key] = wrapper
 
     def get_wrapper(self, name: str) -> WrapperDef:
         """Look up the named object (raises CatalogError when missing)."""
@@ -339,9 +364,10 @@ class Catalog:
         """Register the object (duplicates rejected)."""
         self.get_wrapper(server.wrapper)  # must exist
         key = server.name.upper()
-        if key in self._servers:
-            raise CatalogError(f"server {server.name!r} already exists")
-        self._servers[key] = server
+        with self._lock:
+            if key in self._servers:
+                raise CatalogError(f"server {server.name!r} already exists")
+            self._servers[key] = server
 
     def get_server(self, name: str) -> ServerDef:
         """Look up the named object (raises CatalogError when missing)."""
@@ -354,11 +380,12 @@ class Catalog:
         """Register the object (duplicates rejected)."""
         self.get_server(nickname.server)  # must exist
         key = nickname.name.upper()
-        if key in self._nicknames or key in self._tables or key in self._views:
-            raise CatalogError(
-                f"table, view or nickname {nickname.name!r} already exists"
-            )
-        self._nicknames[key] = nickname
+        with self._lock:
+            if key in self._nicknames or key in self._tables or key in self._views:
+                raise CatalogError(
+                    f"table, view or nickname {nickname.name!r} already exists"
+                )
+            self._nicknames[key] = nickname
 
     def get_nickname(self, name: str) -> NicknameDef:
         """Look up the named object (raises CatalogError when missing)."""
@@ -387,4 +414,5 @@ class Catalog:
 
     def statistics(self) -> list["TableStats"]:
         """All collected RUNSTATS snapshots."""
-        return list(self._statistics.values())
+        with self._lock:
+            return list(self._statistics.values())

@@ -27,6 +27,7 @@ from repro.errors import (
     SqlError,
     StatementAbortedError,
     TransientFaultError,
+    WriteConflictError,
 )
 from repro.fdbs import ast
 from repro.fdbs.authorization import (
@@ -62,7 +63,7 @@ from repro.fdbs.parser import parse_statement
 from repro.fdbs.planner import Planner
 from repro.fdbs.procedures import ProcedureInterpreter
 from repro.fdbs.session import Result, StatementCache
-from repro.fdbs.storage import Table, UndoLog
+from repro.fdbs.storage import Snapshot, Table, TableVersion, UndoLog
 from repro.fdbs.types import coerce_into
 from repro.simtime.trace import TraceRecorder
 
@@ -70,6 +71,13 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sysmodel.machine import Machine
 
 _MAX_FUNCTION_DEPTH = 32
+
+
+class _EngineLocal(threading.local):
+    """Per-thread execution state of one database."""
+
+    def __init__(self):
+        self.function_depth = 0
 
 
 class FunctionRuntime:
@@ -144,6 +152,7 @@ class Database:
             # The machine-attached database is the integration FDBS: its
             # execution mode namespaces the machine-level result cache.
             machine.execution_mode_provider = lambda: self.execution_mode
+            machine.extra_stats_providers["mvcc"] = lambda: self.mvcc_stats()
             if pooling or result_cache:
                 machine.configure_runtime(
                     pooling=pooling, result_cache=result_cache
@@ -159,15 +168,24 @@ class Database:
         self.federation = FederationLayer(self)
         self.function_runtime: FunctionRuntime = FunctionRuntime(self)
         self._undo = UndoLog()
-        self._function_depth = 0
+        self._local = _EngineLocal()
         self._function_plan_cache: dict[str, Plan] = {}
-        #: Serializes whole statements: the catalog, storage, undo log,
-        #: warmth bookkeeping and function-plan cache are shared mutable
-        #: state with no finer-grained protection, so a database driven
-        #: by concurrent sessions executes one statement at a time.
-        #: Re-entrant because table functions and procedures nest
-        #: ``execute`` calls within one statement.
-        self._exec_lock = threading.RLock()
+        # MVCC snapshot isolation replaces the old database-wide
+        # statement lock: readers pin `_published` (an immutable map of
+        # every table's current TableVersion) with a single reference
+        # read and run lock-free; writers serialize per table on the
+        # storage layer's write latches and advance `_published` under
+        # the short `_visibility_lock` critical section.
+        self._published = Snapshot(0, {})
+        self._visibility_lock = threading.Lock()
+        self._mvcc_lock = threading.Lock()
+        self._mvcc = {
+            "snapshots_pinned": 0,
+            "versions_published": 0,
+            "write_conflicts": 0,
+            "retries": 0,
+        }
+        self._stats_lock = threading.Lock()
         self.statements_executed = 0
         #: Predicate pushdown to remote SQL sources (set False for the
         #: ablation bench; see repro.fdbs.pushdown).
@@ -177,6 +195,51 @@ class Database:
         #: Access control (the paper's Sect. 6 future-work item).
         self.authorization = AuthorizationManager()
         self.current_user = SUPERUSER
+
+    # ------------------------------------------------------------------
+    # MVCC snapshot plumbing
+    # ------------------------------------------------------------------
+
+    def pin_snapshot(self) -> Snapshot:
+        """Pin the current database snapshot (lock-free fast path).
+
+        ``_published`` is an immutable object swapped atomically on every
+        publish, so reading it once yields a mutually consistent
+        TableVersion for every table — no reader/writer blocking.
+        """
+        snapshot = self._published
+        with self._mvcc_lock:
+            self._mvcc["snapshots_pinned"] += 1
+        return snapshot
+
+    def _publish_version(self, storage: Table, version: TableVersion) -> None:
+        """Commit-time visibility: advance the snapshot map to cover the
+        newly published table version (installed as each table's
+        ``publish_hook``; runs under that table's write latch)."""
+        with self._visibility_lock:
+            self._published = self._published.successor(storage, version)
+        with self._mvcc_lock:
+            self._mvcc["versions_published"] += 1
+
+    def _track_storage(self, storage: Table) -> None:
+        """Register a new table's storage with the snapshot map."""
+        storage.publish_hook = self._publish_version
+        with self._visibility_lock:
+            self._published = self._published.successor(
+                storage, storage.current_version
+            )
+
+    def note_conflict_retry(self) -> None:
+        """Record one session-level retry of a WriteConflictError."""
+        with self._mvcc_lock:
+            self._mvcc["retries"] += 1
+
+    def mvcc_stats(self) -> dict[str, int]:
+        """MVCC counters (lock-free except the counter latch itself)."""
+        with self._mvcc_lock:
+            counters = dict(self._mvcc)
+        counters["snapshot_epoch"] = self._published.epoch
+        return counters
 
     # ------------------------------------------------------------------
     # Public API
@@ -213,42 +276,51 @@ class Database:
         sql: str,
         params: list[object] | None = None,
         trace: TraceRecorder | None = None,
+        snapshot: Snapshot | None = None,
     ) -> Result:
-        """Parse and execute one SQL statement."""
-        with self._exec_lock:
+        """Parse and execute one SQL statement.
+
+        Each statement pins a fresh snapshot at entry (statement-level
+        snapshot isolation); passing ``snapshot`` explicitly lets tests
+        and the serving layer hold a statement against an older epoch.
+        """
+        with self._stats_lock:
             self.statements_executed += 1
-            if self.machine is not None:
-                self.machine.ensure_base_services()
-                self.machine.clock.advance(self.machine.costs.fdbs_query_base)
-            statement = self._parse_cached(sql)
-            return self._dispatch(statement, sql, params or [], trace)
+        if self.machine is not None:
+            self.machine.ensure_base_services()
+            self.machine.clock.advance(self.machine.costs.fdbs_query_base)
+        statement = self._parse_cached(sql)
+        if snapshot is None:
+            snapshot = self.pin_snapshot()
+        return self._dispatch(statement, sql, params or [], trace, snapshot)
 
     def execute_script(self, sql: str) -> list[Result]:
         """Execute a ';'-separated script; returns one Result per statement."""
         from repro.fdbs.parser import parse_script
 
-        with self._exec_lock:
-            results = []
-            for statement in parse_script(sql):
-                results.append(
-                    self._dispatch(statement, statement.render(), [], None)
+        results = []
+        for statement in parse_script(sql):
+            results.append(
+                self._dispatch(
+                    statement, statement.render(), [], None, self.pin_snapshot()
                 )
-            return results
+            )
+        return results
 
     def explain(self, sql: str) -> str:
         """EXPLAIN-style plan tree for a SELECT statement."""
         statement = parse_statement(sql)
         if not isinstance(statement, ast.Select):
             raise PlanError("EXPLAIN supports SELECT statements only")
-        with self._exec_lock:
-            plan = self._planner().plan_select(statement)
-            if self.optimizer == "cost":
-                from repro.fdbs.optimizer import propagate_estimates
+        snapshot = self.pin_snapshot()
+        plan = self._planner().plan_select(statement)
+        if self.optimizer == "cost":
+            from repro.fdbs.optimizer import propagate_estimates
 
-                propagate_estimates(plan)
-            header = self._runtime_header()
-            text = plan.explain(mode=self.execution_mode)
-            return "\n".join(header + [text]) if header else text
+            propagate_estimates(plan)
+        header = self._runtime_header() + [f"Snapshot(epoch={snapshot.epoch})"]
+        text = plan.explain(mode=self.execution_mode)
+        return "\n".join(header + [text])
 
     def configure_runtime(
         self,
@@ -288,7 +360,12 @@ class Database:
             "statement_cache": self.statement_cache.stats()
         }
         if self.machine is not None:
+            # The machine reports "mvcc" through its extra-providers
+            # registry (see __init__), so .stats consumers of the
+            # machine alone see the counters too.
             stats.update(self.machine.runtime_stats())
+        else:
+            stats["mvcc"] = self.mvcc_stats()
         return stats
 
     def _runtime_header(self) -> list[str]:
@@ -316,10 +393,15 @@ class Database:
         return [f"Runtime({pool_part}, {cache_part})"]
 
     def call_procedure(self, name: str, args: list[object]) -> dict[str, object]:
-        """CALL a stored procedure; returns its OUT/INOUT values."""
-        with self._exec_lock:
-            procedure = self.catalog.get_procedure(name)
-            return ProcedureInterpreter(self, procedure).call(args)
+        """CALL a stored procedure; returns its OUT/INOUT values.
+
+        Each statement of the body pins its own snapshot (through
+        ``execute``/``execute_select_ast``), so a later statement sees an
+        earlier statement's writes — the same read-latest semantics the
+        serialized engine had.
+        """
+        procedure = self.catalog.get_procedure(name)
+        return ProcedureInterpreter(self, procedure).call(args)
 
     def attach_endpoint(self, server_name: str, endpoint: RemoteEndpoint) -> None:
         """Attach the remote endpoint object to a created server."""
@@ -328,9 +410,8 @@ class Database:
 
     def register_external_function(self, function: ExternalTableFunction) -> None:
         """Register a pre-built external table function (A-UDTF)."""
-        with self._exec_lock:
-            self.catalog.add_function(function)
-            self._invalidate_plans()
+        self.catalog.add_function(function)
+        self._invalidate_plans()
 
     def table_rows(self, name: str) -> list[tuple]:
         """All rows of a base table (testing convenience)."""
@@ -345,9 +426,16 @@ class Database:
     def _parse_cached(self, sql: str) -> ast.Statement:
         # Namespaced per execution mode: planner rewrites annotate the
         # AST in mode-specific ways, so row and batch executions never
-        # share an entry.  The *warmth* key stays mode-independent — the
-        # simulated plan-compile charge is identical in both modes.
-        cached = self.statement_cache.get(sql, namespace=self.execution_mode)
+        # share an entry.  The namespace additionally folds in the
+        # catalog's DDL epoch, so a statement compiled and validated
+        # against one schema generation can never be replayed after a
+        # concurrent CREATE/DROP changed the catalog underneath it —
+        # the entry simply misses and the statement recompiles against
+        # the schema its fresh snapshot will actually read.  The
+        # *warmth* key stays mode-independent — the simulated
+        # plan-compile charge is identical in both modes.
+        namespace = f"{self.execution_mode}@{self.catalog.ddl_epoch}"
+        cached = self.statement_cache.get(sql, namespace=namespace)
         if cached is not None:
             return cached  # type: ignore[return-value]
         if self.machine is not None:
@@ -356,7 +444,7 @@ class Database:
                 self.machine.clock.advance(self.machine.costs.plan_compile)
                 self.machine.warmth.note_statement(key)
         statement = parse_statement(sql)
-        self.statement_cache.put(sql, statement, namespace=self.execution_mode)
+        self.statement_cache.put(sql, statement, namespace=namespace)
         return statement
 
     def set_current_user(self, name: str) -> None:
@@ -400,26 +488,30 @@ class Database:
         sql: str,
         params: list[object],
         trace: TraceRecorder | None,
+        snapshot: Snapshot,
     ) -> Result:
         self._enforce_authorization(statement)
         if isinstance(statement, ast.Select):
-            return self._execute_select(statement, params, trace)
+            return self._execute_select(statement, params, trace, snapshot)
         if isinstance(statement, ast.Explain):
-            return self._execute_explain(statement, params, trace)
+            return self._execute_explain(statement, params, trace, snapshot)
         if isinstance(statement, ast.Runstats):
             return self._execute_runstats(statement)
         if isinstance(statement, ast.CreateTable):
             return self._execute_create_table(statement)
         if isinstance(statement, ast.DropTable):
-            self.catalog.drop_table(statement.name)
+            dropped = self.catalog.drop_table(statement.name)
+            if dropped.storage is not None:
+                with self._visibility_lock:
+                    self._published = self._published.without(dropped.storage)
             self._invalidate_plans()
             return Result(statement_type="DROP TABLE")
         if isinstance(statement, ast.Insert):
-            return self._execute_insert(statement, params, trace)
+            return self._execute_insert(statement, params, trace, snapshot)
         if isinstance(statement, ast.Update):
-            return self._execute_update(statement, params)
+            return self._execute_update(statement, params, snapshot)
         if isinstance(statement, ast.Delete):
-            return self._execute_delete(statement, params)
+            return self._execute_delete(statement, params, snapshot)
         if isinstance(statement, ast.CreateSqlFunction):
             return self._execute_create_sql_function(statement)
         if isinstance(statement, ast.CreateExternalFunction):
@@ -466,6 +558,7 @@ class Database:
         statement: ast.Explain,
         params: list[object],
         trace: TraceRecorder | None,
+        snapshot: Snapshot,
     ) -> Result:
         """EXPLAIN [ANALYZE]: plan tree with cost-mode cardinality
         estimates; ANALYZE also executes the plan (row pipeline) and
@@ -479,7 +572,7 @@ class Database:
             from repro.fdbs.optimizer import instrument_plan
 
             instrument_plan(plan)
-            ctx = EvalContext(params=params, trace=trace)
+            ctx = EvalContext(params=params, trace=trace, snapshot=snapshot)
             rows = list(plan.rows(ctx))
             if self.machine is not None:
                 self.machine.clock.advance(
@@ -487,6 +580,7 @@ class Database:
                 )
         lines = (
             self._runtime_header()
+            + [f"Snapshot(epoch={snapshot.epoch})"]
             + plan.explain(mode=self.execution_mode).splitlines()
         )
         return Result(
@@ -528,6 +622,10 @@ class Database:
         return Result(rowcount=len(rows), statement_type="RUNSTATS")
 
     def _invalidate_plans(self) -> None:
+        # The epoch bump is what *guarantees* staleness safety (every
+        # compiled-plan cache folds it into its keys); the explicit
+        # clears just reclaim the now-unreachable entries eagerly.
+        self.catalog.note_ddl()
         self.statement_cache.invalidate()
         self._function_plan_cache.clear()
 
@@ -660,9 +758,10 @@ class Database:
         statement: ast.Select,
         params: list[object],
         trace: TraceRecorder | None,
+        snapshot: Snapshot,
     ) -> Result:
         plan = self._planner().plan_select(statement)
-        ctx = EvalContext(params=params, trace=trace)
+        ctx = EvalContext(params=params, trace=trace, snapshot=snapshot)
         if self.execution_mode == "batch":
             rows = [row for chunk in plan.batches(ctx) for row in chunk]
         else:
@@ -679,8 +778,7 @@ class Database:
         self, statement: ast.Select, params: list[object] | None = None
     ) -> Result:
         """Execute an already-parsed SELECT (used by the PSM interpreter)."""
-        with self._exec_lock:
-            return self._execute_select(statement, params or [], None)
+        return self._execute_select(statement, params or [], None, self.pin_snapshot())
 
     # ------------------------------------------------------------------
     # Table functions
@@ -692,22 +790,19 @@ class Database:
         args: list[object],
         trace: TraceRecorder | None = None,
     ) -> list[tuple]:
-        """Execute the single-statement body of a SQL I-UDTF."""
-        with self._exec_lock:
-            return self._run_sql_function_locked(function, args, trace)
+        """Execute the single-statement body of a SQL I-UDTF.
 
-    def _run_sql_function_locked(
-        self,
-        function: SqlTableFunction,
-        args: list[object],
-        trace: TraceRecorder | None = None,
-    ) -> list[tuple]:
-        if self._function_depth >= _MAX_FUNCTION_DEPTH:
+        The body is itself one statement, so it pins its own fresh
+        snapshot — nested invocations read the latest published state
+        exactly as they did under the serialized engine.
+        """
+        if self._local.function_depth >= _MAX_FUNCTION_DEPTH:
             raise ExecutionError(
                 f"table-function recursion deeper than {_MAX_FUNCTION_DEPTH} "
                 f"while invoking {function.name}"
             )
-        plan = self._function_plan_cache.get(function.name.upper())
+        plan_key = f"{function.name.upper()}@{self.catalog.ddl_epoch}"
+        plan = self._function_plan_cache.get(plan_key)
         if plan is None:
             if self.machine is not None:
                 key = f"FUNCTION:{function.name.upper()}"
@@ -734,13 +829,15 @@ class Database:
                     f"body of {function.name} produces {len(plan.schema)} "
                     f"column(s), declaration says {len(function.returns)}"
                 )
-            self._function_plan_cache[function.name.upper()] = plan
-        self._function_depth += 1
+            self._function_plan_cache[plan_key] = plan
+        self._local.function_depth += 1
         try:
-            ctx = EvalContext(params=args, trace=trace)
+            ctx = EvalContext(
+                params=args, trace=trace, snapshot=self.pin_snapshot()
+            )
             return list(plan.rows(ctx))
         finally:
-            self._function_depth -= 1
+            self._local.function_depth -= 1
 
     def run_external_function(
         self, function: ExternalTableFunction, args: list[object]
@@ -800,6 +897,7 @@ class Database:
         table = TableDef(statement.name, columns, primary_key)
         table.storage = Table(statement.name, columns, primary_key)
         self.catalog.add_table(table)
+        self._track_storage(table.storage)
         self._invalidate_plans()
         return Result(statement_type="CREATE TABLE")
 
@@ -889,6 +987,7 @@ class Database:
         statement: ast.Insert,
         params: list[object],
         trace: TraceRecorder | None,
+        snapshot: Snapshot,
     ) -> Result:
         table = self._require_writable_target(statement.table)
         assert table.storage is not None
@@ -898,13 +997,15 @@ class Database:
             positions = list(range(len(table.columns)))
 
         if statement.source is not None:
-            source_result = self._execute_select(statement.source, params, trace)
+            source_result = self._execute_select(
+                statement.source, params, trace, snapshot
+            )
             incoming = source_result.rows
             width = len(source_result.columns)
         else:
             assert statement.rows is not None
             compiler = ExpressionCompiler(RowLayout([]))
-            ctx = EvalContext(params=params, trace=trace)
+            ctx = EvalContext(params=params, trace=trace, snapshot=snapshot)
             incoming = []
             width = len(positions)
             for row_exprs in statement.rows:
@@ -922,12 +1023,16 @@ class Database:
                 f"width {width}"
             )
         count = 0
-        for incoming_row in incoming:
-            full_row: list[object] = [None] * len(table.columns)
-            for position, value in zip(positions, incoming_row):
-                full_row[position] = value
-            table.storage.insert(full_row, undo=self._undo)
-            count += 1
+        # Appends never first-writer-conflict (expected=None): concurrent
+        # inserters interleave safely under the latch, and genuine
+        # collisions surface as the primary-key ConstraintError they are.
+        with table.storage.write_transaction():
+            for incoming_row in incoming:
+                full_row: list[object] = [None] * len(table.columns)
+                for position, value in zip(positions, incoming_row):
+                    full_row[position] = value
+                table.storage.insert(full_row, undo=self._undo)
+                count += 1
         return Result(rowcount=count, statement_type="INSERT")
 
     def _dml_layout(self, table: TableDef) -> RowLayout:
@@ -935,46 +1040,80 @@ class Database:
             [ColumnSlot(table.name, c.name, c.type) for c in table.columns]
         )
 
-    def _execute_update(self, statement: ast.Update, params: list[object]) -> Result:
+    def _write_transaction(self, storage: Table, snapshot: Snapshot):
+        """A first-writer-wins write latch scope for UPDATE/DELETE.
+
+        The expected version is the statement's pinned one; unknown
+        tables (created after the snapshot was pinned) skip the check —
+        there is nothing an earlier reader could have validated against.
+        """
+        return storage.write_transaction(expected=snapshot.version_for(storage))
+
+    def _execute_update(
+        self, statement: ast.Update, params: list[object], snapshot: Snapshot
+    ) -> Result:
         table = self._require_writable_target(statement.table)
         assert table.storage is not None
         layout = self._dml_layout(table)
         compiler = ExpressionCompiler(layout, subquery_compiler=self._subquery_for_dml)
+        # No snapshot in the DML context: predicate and assignment
+        # evaluation (including subqueries) read the latest published
+        # state so they observe this statement's own earlier writes,
+        # exactly as under the serialized engine.  The pinned snapshot
+        # is the statement's *validation* point, not its read point.
         ctx = EvalContext(params=params)
-        assignments = [
-            (table.column_index(column), compiler.compile(expr))
-            for column, expr in statement.assignments
-        ]
-        predicate = (
-            compiler.compile(statement.where) if statement.where is not None else None
-        )
-        touched: list[tuple[int, tuple]] = []
-        for rid, row in table.storage.scan():
-            if predicate is None or predicate(row, ctx) is True:
-                touched.append((rid, row))
-        for rid, row in touched:
-            new_row = list(row)
-            for position, expr in assignments:
-                new_row[position] = expr(row, ctx)
-            table.storage.update_rid(rid, new_row, undo=self._undo)
+        try:
+            with self._write_transaction(table.storage, snapshot):
+                assignments = [
+                    (table.column_index(column), compiler.compile(expr))
+                    for column, expr in statement.assignments
+                ]
+                predicate = (
+                    compiler.compile(statement.where)
+                    if statement.where is not None
+                    else None
+                )
+                touched: list[tuple[int, tuple]] = []
+                for rid, row in table.storage.scan():
+                    if predicate is None or predicate(row, ctx) is True:
+                        touched.append((rid, row))
+                for rid, row in touched:
+                    new_row = list(row)
+                    for position, expr in assignments:
+                        new_row[position] = expr(row, ctx)
+                    table.storage.update_rid(rid, new_row, undo=self._undo)
+        except WriteConflictError:
+            with self._mvcc_lock:
+                self._mvcc["write_conflicts"] += 1
+            raise
         return Result(rowcount=len(touched), statement_type="UPDATE")
 
-    def _execute_delete(self, statement: ast.Delete, params: list[object]) -> Result:
+    def _execute_delete(
+        self, statement: ast.Delete, params: list[object], snapshot: Snapshot
+    ) -> Result:
         table = self._require_writable_target(statement.table)
         assert table.storage is not None
         layout = self._dml_layout(table)
         compiler = ExpressionCompiler(layout, subquery_compiler=self._subquery_for_dml)
         ctx = EvalContext(params=params)
-        predicate = (
-            compiler.compile(statement.where) if statement.where is not None else None
-        )
-        doomed = [
-            rid
-            for rid, row in table.storage.scan()
-            if predicate is None or predicate(row, ctx) is True
-        ]
-        for rid in doomed:
-            table.storage.delete_rid(rid, undo=self._undo)
+        try:
+            with self._write_transaction(table.storage, snapshot):
+                predicate = (
+                    compiler.compile(statement.where)
+                    if statement.where is not None
+                    else None
+                )
+                doomed = [
+                    rid
+                    for rid, row in table.storage.scan()
+                    if predicate is None or predicate(row, ctx) is True
+                ]
+                for rid in doomed:
+                    table.storage.delete_rid(rid, undo=self._undo)
+        except WriteConflictError:
+            with self._mvcc_lock:
+                self._mvcc["write_conflicts"] += 1
+            raise
         return Result(rowcount=len(doomed), statement_type="DELETE")
 
     def _subquery_for_dml(self, select: ast.Select):

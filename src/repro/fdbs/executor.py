@@ -137,28 +137,39 @@ class TableScanPlan(Plan):
         self._name = name
         self.index_probe: tuple[str, CompiledExpr] | None = None
 
+    def _version(self, ctx: EvalContext):
+        """The TableVersion this scan reads: the statement's pinned
+        snapshot when it covers the table, else the current version."""
+        if ctx.snapshot is not None:
+            pinned = ctx.snapshot.version_for(self._table)
+            if pinned is not None:
+                return pinned
+        return self._table.current_version
+
     def rows(self, ctx: EvalContext) -> Iterator[tuple]:
         """Yield the operator's result rows."""
+        version = self._version(ctx)
         if self.index_probe is not None:
             column, value_expr = self.index_probe
             value = value_expr((), ctx)
             if value is None:
                 return  # col = NULL never matches
-            yield from self._table.index_lookup(column, value)
+            yield from self._table.version_index_lookup(version, column, value)
             return
-        for row in self._table.rows():
+        for row in version.rows():
             yield row
 
     def batches(self, ctx: EvalContext, size: int = BATCH_SIZE) -> Iterator[list[tuple]]:
         """Yield chunks by slicing the materialised heap directly."""
+        version = self._version(ctx)
         if self.index_probe is not None:
             column, value_expr = self.index_probe
             value = value_expr((), ctx)
             if value is None:
                 return  # col = NULL never matches
-            data = self._table.index_lookup(column, value)
+            data = self._table.version_index_lookup(version, column, value)
         else:
-            data = self._table.rows()
+            data = version.rows()
         for start in range(0, len(data), size):
             yield data[start : start + size]
 

@@ -116,11 +116,16 @@ class EvalContext:
         params: list[object] | None = None,
         subquery_runner: Callable[[ast.Select], list[tuple]] | None = None,
         trace: object | None = None,
+        snapshot: object | None = None,
     ):
         self.params = params or []
         self.subquery_runner = subquery_runner
         #: Optional TraceRecorder threaded through to function invocations.
         self.trace = trace
+        #: The MVCC snapshot this statement pinned (a storage.Snapshot);
+        #: table scans resolve their TableVersion through it so every
+        #: read of the statement sees one consistent database state.
+        self.snapshot = snapshot
 
     def run_subquery(self, select: ast.Select) -> list[tuple]:
         """Execute an uncorrelated subquery via the runner hook."""

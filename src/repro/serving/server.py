@@ -252,6 +252,7 @@ class ConcurrentIntegrationServer:
         controller_enabled: bool = True,
         data: EnterpriseData | None = None,
         optimizer: str = "syntactic",
+        rmi_wall_latency_s: float = 0.0,
     ):
         if workers < 1:
             raise ServingError(f"workers must be >= 1, got {workers!r}")
@@ -266,6 +267,10 @@ class ConcurrentIntegrationServer:
         self.costs = costs
         self.controller_enabled = controller_enabled
         self.optimizer = optimizer
+        #: Real wall-clock seconds per RMI hop (simulated time is never
+        #: touched); 0.0 keeps wall-clock behaviour identical to a
+        #: server without the knob.  See Machine.configure_wall_latency.
+        self.rmi_wall_latency_s = rmi_wall_latency_s
         # One read-only enterprise universe shared by every shard: each
         # application system copies it into its private database, so the
         # shared object is never mutated after generation.
@@ -298,6 +303,7 @@ class ConcurrentIntegrationServer:
             faults=faults,
             optimizer=self.optimizer,
         )
+        scenario.server.machine.configure_wall_latency(self.rmi_wall_latency_s)
         return scenario.server
 
     def _shared_server(self, architecture: Architecture) -> IntegrationServer:
@@ -311,6 +317,9 @@ class ConcurrentIntegrationServer:
                     pooling=self.pooling,
                     result_cache=self.result_cache,
                     optimizer=self.optimizer,
+                )
+                scenario.server.machine.configure_wall_latency(
+                    self.rmi_wall_latency_s
                 )
                 self._shared_servers[architecture] = scenario.server
             return self._shared_servers[architecture]

@@ -24,10 +24,18 @@ from dataclasses import dataclass
 
 from repro.core.architectures import Architecture
 from repro.core.server import IntegrationServer
-from repro.errors import SessionClosedError, StatementAbortedError
+from repro.errors import (
+    SessionClosedError,
+    StatementAbortedError,
+    WriteConflictError,
+)
 from repro.fdbs.session import Result
 from repro.serving.workload import WorkloadCall
 from repro.simtime.trace import TraceRecorder
+
+#: How many times a session re-drives a statement that lost a
+#: first-writer-wins MVCC conflict before giving up and re-raising.
+MAX_CONFLICT_RETRIES = 8
 
 
 @dataclass
@@ -117,11 +125,27 @@ class ClientSession:
         return rows
 
     def execute(self, sql: str, params: tuple = ()) -> Result:
-        """Run one SQL statement through the session's FDBS (DML mix)."""
+        """Run one SQL statement through the session's FDBS (DML mix).
+
+        A statement that loses an MVCC first-writer-wins conflict is
+        retryable by definition (the error means "your snapshot is
+        stale, pin a fresh one"), so the session re-drives it a bounded
+        number of times before surfacing the conflict to the client.
+        On a single worker no conflict can ever arise and this path is
+        exactly one ``execute`` call.
+        """
         self._ensure_open()
         clock = self.server.machine.clock
         start = clock.now
-        result = self.server.fdbs.execute(sql, params=list(params))
+        fdbs = self.server.fdbs
+        for attempt in range(MAX_CONFLICT_RETRIES + 1):
+            try:
+                result = fdbs.execute(sql, params=list(params))
+                break
+            except WriteConflictError:
+                if attempt >= MAX_CONFLICT_RETRIES:
+                    raise
+                fdbs.note_conflict_retry()
         self.records.append(
             CallRecord(
                 label=sql.split(None, 2)[0] if sql else "SQL",

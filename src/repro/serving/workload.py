@@ -30,6 +30,27 @@ DEFAULT_ARCHITECTURES = (
     Architecture.SIMPLE_UDTF,
 )
 
+#: Architectures the MVCC scaling benchmark cycles through.  A subset of
+#: :data:`DEFAULT_ARCHITECTURES`: one WfMS-coupled and two UDTF-coupled
+#: shapes keep the shared-server matrix small while still exercising both
+#: integration paths under contention.
+SCALING_ARCHITECTURES = (
+    Architecture.WFMS,
+    Architecture.ENHANCED_JAVA_UDTF,
+    Architecture.SIMPLE_UDTF,
+)
+
+#: Named workload mixes for the concurrency scaling benchmark, as the
+#: ``dml_fraction`` passed to :func:`make_workload`.  ``read_heavy`` is
+#: pure federated-function reads (the MVCC fast path: snapshot pins,
+#: zero write latches); ``write_heavy`` spends most steps on scratch-table
+#: DML, where per-table latches and first-writer-wins checks dominate.
+WORKLOAD_PROFILES: dict[str, float] = {
+    "read_heavy": 0.0,
+    "mixed": 0.35,
+    "write_heavy": 0.85,
+}
+
 #: Argument pools per federated function (all valid against the default
 #: enterprise universe; variety exercises caches without breaking rows).
 ARG_POOLS: dict[str, tuple[tuple, ...]] = {
@@ -162,3 +183,33 @@ def make_workload(
                 )
         scripts.append(script)
     return scripts
+
+
+def make_profile_workload(
+    profile: str,
+    seed: int,
+    sessions: int = 8,
+    calls_per_session: int = 12,
+) -> list[SessionScript]:
+    """Generate a deterministic workload for a named scaling profile.
+
+    ``profile`` keys :data:`WORKLOAD_PROFILES`; sessions cycle through
+    :data:`SCALING_ARCHITECTURES`.  Everything else matches
+    :func:`make_workload`, so the same seed and profile always replay
+    the identical call sequences — the scaling benchmark relies on this
+    to compare worker counts on exactly the same work.
+    """
+    try:
+        dml_fraction = WORKLOAD_PROFILES[profile]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload profile {profile!r}; "
+            f"expected one of {sorted(WORKLOAD_PROFILES)}"
+        ) from None
+    return make_workload(
+        seed,
+        sessions=sessions,
+        calls_per_session=calls_per_session,
+        architectures=SCALING_ARCHITECTURES,
+        dml_fraction=dml_fraction,
+    )

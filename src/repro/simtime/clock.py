@@ -13,8 +13,10 @@ the shared clock once by the makespan.
 Advances are atomic: concurrent sessions of the serving layer may share
 one machine (and thus one clock), and ``_now += delta`` is a
 read-modify-write that would lose updates without the internal lock.
-Captures and frozen sections remain single-session constructs — the
-serving layer gives each session its own clock where those matter.
+Captures and frozen sections are **per-thread**: each serving worker
+navigating a workflow on a shared machine gets its own capture/freeze
+state, so one thread's critical-path accounting never swallows another
+thread's advances (and concurrent captures don't collide as "nested").
 """
 
 from __future__ import annotations
@@ -24,6 +26,14 @@ import threading
 from repro.errors import ClockError
 
 
+class _ThreadState(threading.local):
+    """Per-thread capture/freeze state of one clock."""
+
+    def __init__(self):
+        self.frozen = 0
+        self.capture: "ClockCapture | None" = None
+
+
 class VirtualClock:
     """Monotonic virtual clock measured in simulated milliseconds."""
 
@@ -31,8 +41,7 @@ class VirtualClock:
         if start < 0:
             raise ClockError(f"clock cannot start at negative time {start!r}")
         self._now = float(start)
-        self._frozen = 0
-        self._capture: "ClockCapture | None" = None
+        self._local = _ThreadState()
         self._lock = threading.RLock()
         #: Optional JitterSource applied to every advance() delta —
         #: deterministic measurement noise for the averaging paths.
@@ -47,31 +56,34 @@ class VirtualClock:
         """Advance the clock by ``delta`` ms and return the new time.
 
         Raises :class:`~repro.errors.ClockError` for negative deltas and
-        ignores advances while the clock is frozen (the freezer is
-        accounting for the time itself).  While a capture is active the
-        delta accumulates into the capture instead of moving the clock.
+        ignores advances while the calling thread holds a frozen section
+        (the freezer is accounting for the time itself).  While the
+        calling thread has a capture active the delta accumulates into
+        the capture instead of moving the clock.
         """
         if delta < 0:
             raise ClockError(f"cannot advance clock by negative delta {delta!r}")
+        local = self._local
         with self._lock:
             if self.jitter is not None and delta > 0:
                 delta = self.jitter.jitter(delta)
-            if self._capture is not None:
-                self._capture.total += delta
+            if local.capture is not None:
+                local.capture.total += delta
                 return self._now
-            if self._frozen:
+            if local.frozen:
                 return self._now
             self._now += delta
             return self._now
 
     @property
     def capturing(self) -> bool:
-        """True while a capture is active."""
-        return self._capture is not None
+        """True while the calling thread has a capture active."""
+        return self._local.capture is not None
 
     def capture_total(self) -> float:
-        """Accumulated total of the active capture (0.0 when none)."""
-        return self._capture.total if self._capture is not None else 0.0
+        """Accumulated total of this thread's active capture (0.0 when none)."""
+        capture = self._local.capture
+        return capture.total if capture is not None else 0.0
 
     def capture(self) -> "ClockCapture":
         """Context manager measuring cost without advancing the clock.
@@ -80,7 +92,7 @@ class VirtualClock:
         captured, branch finish times are computed with critical-path
         scheduling, and the clock is advanced once by the makespan —
         which is how parallel activities overlap in virtual time.
-        Captures cannot nest.
+        Captures cannot nest (within one thread).
         """
         return ClockCapture(self)
 
@@ -91,28 +103,26 @@ class VirtualClock:
                 raise ClockError(
                     f"cannot move clock backwards from {self._now!r} to {when!r}"
                 )
-            if not self._frozen:
+            if not self._local.frozen:
                 self._now = when
             return self._now
 
     # -- frozen sections ---------------------------------------------------
 
     def freeze(self) -> None:
-        """Suspend implicit advances (re-entrant)."""
-        with self._lock:
-            self._frozen += 1
+        """Suspend this thread's implicit advances (re-entrant)."""
+        self._local.frozen += 1
 
     def unfreeze(self) -> None:
-        """Re-enable implicit advances."""
-        with self._lock:
-            if self._frozen == 0:
-                raise ClockError("unfreeze() without matching freeze()")
-            self._frozen -= 1
+        """Re-enable this thread's implicit advances."""
+        if self._local.frozen == 0:
+            raise ClockError("unfreeze() without matching freeze()")
+        self._local.frozen -= 1
 
     @property
     def frozen(self) -> bool:
-        """True while a frozen section is active."""
-        return self._frozen > 0
+        """True while the calling thread holds a frozen section."""
+        return self._local.frozen > 0
 
     class _FrozenSection:
         def __init__(self, clock: "VirtualClock"):
@@ -135,7 +145,7 @@ class VirtualClock:
         return VirtualClock._FrozenSection(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = " frozen" if self._frozen else ""
+        state = " frozen" if self._local.frozen else ""
         return f"<VirtualClock now={self._now:.3f}{state}>"
 
 
@@ -147,10 +157,11 @@ class ClockCapture:
         self.total = 0.0
 
     def __enter__(self) -> "ClockCapture":
-        if self._clock._capture is not None:
+        local = self._clock._local
+        if local.capture is not None:
             raise ClockError("clock captures cannot nest")
-        self._clock._capture = self
+        local.capture = self
         return self
 
     def __exit__(self, *exc) -> None:
-        self._clock._capture = None
+        self._clock._local.capture = None

@@ -14,6 +14,7 @@ the hypothetical "prototype without the controller" of the paper.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable
 
 from repro.simtime.clock import VirtualClock
@@ -31,6 +32,8 @@ class Controller(OsProcess):
         self.enabled = enabled
         self.dispatch_count = 0
         self.brokerage_count = 0
+        #: Guards the two counters; never held across the target call.
+        self._counter_lock = threading.Lock()
 
     def dispatch(
         self,
@@ -43,7 +46,8 @@ class Controller(OsProcess):
         """Forward one A-UDTF request to ``target`` (a local function or
         an in-FDBS statement), charging the per-dispatch overhead."""
         self.require_running()
-        self.dispatch_count += 1
+        with self._counter_lock:
+            self.dispatch_count += 1
         with maybe_span(trace, label):
             self._clock.advance(self._costs.controller_dispatch)
         return target(*args, **kwargs)
@@ -58,7 +62,8 @@ class Controller(OsProcess):
     ) -> Any:
         """Broker one workflow start through the live WfMS connection."""
         self.require_running()
-        self.brokerage_count += 1
+        with self._counter_lock:
+            self.brokerage_count += 1
         with maybe_span(trace, label):
             self._clock.advance(self._costs.controller_wfms_brokerage)
         return start(*args, **kwargs)

@@ -82,6 +82,10 @@ class Machine:
         )
         self.architecture_tag = "DEFAULT"
         self.execution_mode_provider: Callable[[], str] | None = None
+        #: Extra runtime_stats() sections contributed by components the
+        #: machine does not own (e.g. the attached database's MVCC
+        #: counters).  Each provider must take only its own leaf locks.
+        self.extra_stats_providers: dict[str, Callable[[], dict[str, int]]] = {}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -163,6 +167,18 @@ class Machine:
                 enabled=result_cache, capacity=cache_capacity
             )
 
+    def configure_wall_latency(self, rmi_s: float = 0.0) -> None:
+        """Attach real wall-clock latency to every RMI hop.
+
+        Simulated time is untouched — this models the *physical* wire
+        delay that lets concurrent sessions overlap under the GIL (the
+        sleep releases it), which is what the concurrency scaling bench
+        measures.  The default 0.0 never sleeps, keeping single-worker
+        wall-clock behaviour identical to the seed.
+        """
+        self.udtf_rmi.wall_latency_s = rmi_s
+        self.wf_rmi.wall_latency_s = rmi_s
+
     def configure_faults(
         self,
         enabled: bool | None = None,
@@ -228,7 +244,7 @@ class Machine:
                 self.retry_policy._lock,
             ):
                 stack.enter_context(lock)
-            return {
+            stats = {
                 "runtime_pool": self.runtime_pool.stats(),
                 "result_cache": self.result_cache.stats(),
                 "rmi_udtf": self.udtf_rmi.stats(),
@@ -242,6 +258,9 @@ class Machine:
                     "forward_recovery": int(self.forward_recovery),
                 },
             }
+            for name, provider in self.extra_stats_providers.items():
+                stats[name] = provider()
+            return stats
 
     # -- convenience ----------------------------------------------------------
 

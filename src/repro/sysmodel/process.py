@@ -9,6 +9,7 @@ paper's performance story only needs *when* a process start is paid
 from __future__ import annotations
 
 import enum
+import threading
 
 from repro.errors import ProcessStateError
 from repro.simtime.clock import VirtualClock
@@ -36,6 +37,9 @@ class OsProcess:
         self.start_cost = start_cost
         self.state = ProcessState.STOPPED
         self.start_count = 0
+        #: Serializes lifecycle check-then-act transitions: two threads
+        #: racing through ensure_running must charge exactly one start.
+        self._state_lock = threading.RLock()
 
     @property
     def running(self) -> bool:
@@ -44,18 +48,20 @@ class OsProcess:
 
     def start(self) -> None:
         """Start the process, charging its start cost."""
-        if self.state is ProcessState.RUNNING:
-            raise ProcessStateError(f"process {self.name!r} is already running")
-        self._clock.advance(self.start_cost)
-        self.state = ProcessState.RUNNING
-        self.start_count += 1
+        with self._state_lock:
+            if self.state is ProcessState.RUNNING:
+                raise ProcessStateError(f"process {self.name!r} is already running")
+            self._clock.advance(self.start_cost)
+            self.state = ProcessState.RUNNING
+            self.start_count += 1
 
     def ensure_running(self) -> bool:
         """Start the process if needed; return True if a start occurred."""
-        if self.running:
-            return False
-        self.start()
-        return True
+        with self._state_lock:
+            if self.running:
+                return False
+            self.start()
+            return True
 
     def stop(self) -> None:
         """Stop the process (free — teardown time is not modelled)."""

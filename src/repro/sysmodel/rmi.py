@@ -28,6 +28,7 @@ the warm costs instead of double-paying cold setup.
 from __future__ import annotations
 
 import threading
+import time
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import RmiDroppedError
@@ -61,6 +62,13 @@ class RmiChannel:
         )
         self.persistent = False
         self._established = False
+        #: Real wall-clock seconds each hop sleeps (simulated time is
+        #: never touched).  Off (0.0) by default — then no sleep ever
+        #: runs and wall-clock behaviour is identical to a channel
+        #: without the knob.  When set, the sleep releases the GIL, so
+        #: concurrent serving sessions overlap their wire time — the
+        #: effect the MVCC scaling bench measures.
+        self.wall_latency_s = 0.0
         #: Guards the hop counters and the established flag; never held
         #: across the remote callable itself.
         self._lock = threading.RLock()
@@ -171,6 +179,8 @@ class RmiChannel:
                 self.warm_calls += 1
         with maybe_span(trace, call_label or f"rmi call:{self.name}"):
             self._clock.advance(self.warm_call_cost if warm else self.call_cost)
+        if self.wall_latency_s > 0.0:
+            time.sleep(self.wall_latency_s)
         if self.persistent:
             # Connection setup was paid with the call hop; a failure on
             # the remote side must not force a retry to pay it again.
@@ -200,6 +210,8 @@ class RmiChannel:
         finally:
             # The return hop carries results *and* failures back; charge
             # it either way so a raising remote cannot skip the hop.
+            if self.wall_latency_s > 0.0:
+                time.sleep(self.wall_latency_s)
             with maybe_span(trace, return_label or f"rmi return:{self.name}"):
                 self._clock.advance(
                     self.warm_return_cost if warm else self.return_cost

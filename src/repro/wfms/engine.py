@@ -19,6 +19,8 @@ Execution model (matching the paper's observations):
 
 from __future__ import annotations
 
+import threading
+
 from repro.errors import (
     ActivityFailedError,
     ActivityProgramCrashError,
@@ -65,6 +67,9 @@ class WorkflowEngine:
         self.processes_run = 0
         self.instances: list[ProcessInstance] = []
         self._next_instance_id = 1
+        #: Guards instance-id allocation, the run counter and the
+        #: bounded history list against concurrent navigations.
+        self._instances_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Public API
@@ -78,15 +83,16 @@ class WorkflowEngine:
     ) -> ProcessInstance:
         """Create and navigate one process instance to completion."""
         definition.validate()
-        self.processes_run += 1
         input_container = definition.input_type.new_container().fill(inputs)
-        instance = ProcessInstance(
-            definition, input_container, instance_id=self._next_instance_id
-        )
-        self._next_instance_id += 1
-        self.instances.append(instance)
-        if len(self.instances) > self.INSTANCE_HISTORY_LIMIT:
-            del self.instances[: -self.INSTANCE_HISTORY_LIMIT]
+        with self._instances_lock:
+            self.processes_run += 1
+            instance = ProcessInstance(
+                definition, input_container, instance_id=self._next_instance_id
+            )
+            self._next_instance_id += 1
+            self.instances.append(instance)
+            if len(self.instances) > self.INSTANCE_HISTORY_LIMIT:
+                del self.instances[: -self.INSTANCE_HISTORY_LIMIT]
         instance.state = ProcessState.RUNNING
         instance.start_time = self._now()
         self.audit.record(self._now(), definition.name, "process started")

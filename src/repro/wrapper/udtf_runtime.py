@@ -34,6 +34,8 @@ controller costs vanish on both paths.
 
 from __future__ import annotations
 
+import threading
+
 from repro.errors import FencedModeError, FencedProcessDiedError
 from repro.fdbs.catalog import ExternalTableFunction, SqlTableFunction
 from repro.fdbs.engine import Database, FunctionRuntime
@@ -75,6 +77,12 @@ class FencedFunctionRuntime(FunctionRuntime):
         super().__init__(database)
         self.machine = machine
         self.fenced_invocations = 0
+        #: Guards the invocation counter under concurrent sessions.
+        self._invocation_lock = threading.Lock()
+
+    def _note_invocation(self) -> None:
+        with self._invocation_lock:
+            self.fenced_invocations += 1
 
     # -- SQL I-UDTFs -------------------------------------------------------------
 
@@ -83,7 +91,7 @@ class FencedFunctionRuntime(FunctionRuntime):
     ) -> list[tuple]:
         """I-UDTF path: start/finish costs around the SQL body."""
         trace = ctx.trace
-        self.fenced_invocations += 1
+        self._note_invocation()
         costs = self.machine.costs
         with maybe_span(trace, "Start I-UDTF"):
             self.machine.clock.advance(costs.udtf_start_integration)
@@ -114,7 +122,7 @@ class FencedFunctionRuntime(FunctionRuntime):
         """A procedural ("Java") I-UDTF: integration-UDTF start/finish
         around a multi-statement body; each inner statement and A-UDTF
         pays its own way."""
-        self.fenced_invocations += 1
+        self._note_invocation()
         costs = self.machine.costs
         with maybe_span(trace, "Start I-UDTF"):
             self.machine.clock.advance(costs.udtf_start_integration)
@@ -143,7 +151,7 @@ class FencedFunctionRuntime(FunctionRuntime):
         fenced process turns the prepare step into a warm hand-off
         (span labelled ``Prepare A-UDTFs (warm)``).
         """
-        self.fenced_invocations += 1
+        self._note_invocation()
         costs = self.machine.costs
         cache = self.machine.result_cache
         runtime_key = f"audtf:{function.name}"
@@ -276,7 +284,7 @@ class FencedFunctionRuntime(FunctionRuntime):
             misses.append(index)
         if not misses:
             return results  # type: ignore[return-value]
-        self.fenced_invocations += 1
+        self._note_invocation()
         self._prepare_fenced_process(function, runtime_key, trace)
 
         def run_one(args: list[object]) -> list[tuple]:
@@ -321,7 +329,7 @@ class FencedFunctionRuntime(FunctionRuntime):
         trace: TraceRecorder | None,
     ) -> list[tuple]:
         """The connecting UDTF of the WfMS architecture."""
-        self.fenced_invocations += 1
+        self._note_invocation()
         costs = self.machine.costs
         with maybe_span(trace, "Start UDTF"):
             self.machine.clock.advance(costs.wf_udtf_start)

@@ -51,13 +51,21 @@ class TestExplainOutput:
         row_db = make_join_db("row")
         batch_db = make_join_db("batch")
         sql = "SELECT * FROM l"
-        assert row_db.explain(sql).splitlines()[0] == "Execution(mode=row)"
-        assert batch_db.explain(sql).splitlines()[0] == "Execution(mode=batch)"
+        # Line 0 is the MVCC Snapshot(epoch=...) header; the mode header
+        # follows it.
+        assert row_db.explain(sql).splitlines()[1] == "Execution(mode=row)"
+        assert batch_db.explain(sql).splitlines()[1] == "Execution(mode=batch)"
+
+    def test_explain_leads_with_snapshot_epoch(self):
+        db = make_join_db("row")
+        first = db.explain("SELECT * FROM l").splitlines()[0]
+        assert first.startswith("Snapshot(epoch=")
 
     def test_explain_statement_carries_mode(self):
         db = make_join_db("batch")
         rows = db.execute("EXPLAIN SELECT * FROM l").rows
-        assert rows[0] == ("Execution(mode=batch)",)
+        assert rows[0][0].startswith("Snapshot(epoch=")
+        assert rows[1] == ("Execution(mode=batch)",)
 
     def test_batch_equi_join_uses_hash_join(self):
         db = make_join_db("batch")

@@ -33,9 +33,10 @@ class TestExecutorEdges:
         db.execute("CREATE TABLE t (a INT)")
         text = db.explain("SELECT a FROM t WHERE a > 1")
         lines = text.splitlines()
-        assert lines[0].startswith("Execution(mode=")
-        assert lines[1].startswith("Project")
-        assert lines[2].startswith("  ")  # children indented
+        assert lines[0].startswith("Snapshot(epoch=")
+        assert lines[1].startswith("Execution(mode=")
+        assert lines[2].startswith("Project")
+        assert lines[3].startswith("  ")  # children indented
 
 
 class TestSqlEdges:

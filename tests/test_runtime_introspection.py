@@ -39,6 +39,7 @@ class TestSyscatView:
             "rmi_udtf",
             "rmi_wfms",
             "faults",
+            "mvcc",
         }
 
     def test_view_reflects_live_counters(self, pooled_scenario):
@@ -58,12 +59,12 @@ class TestSyscatView:
         ).rows
         assert rows[0][0] > 0
 
-    def test_plain_database_exposes_statement_cache_only(self):
+    def test_plain_database_exposes_statement_cache_and_mvcc(self):
         db = Database("plain")
         rows = db.execute(
             "SELECT DISTINCT component FROM SYSCAT_RUNTIME_STATS"
         ).rows
-        assert rows == [("statement_cache",)]
+        assert sorted(rows) == [("mvcc",), ("statement_cache",)]
 
 
 class TestShellStats:
