@@ -16,7 +16,10 @@
 #  5. optimizer parity (cost-based mode => bit-identical rows across
 #     architectures and execution modes; statistics absent =>
 #     bit-identical rows AND simulated times),
-#  6. calibration regression (the frozen Fig. 5/6 anchor numbers).
+#  6. columnar parity (row vs batch vs columnar => bit-identical rows
+#     AND simulated times; zone-map pruning on/off => same rows;
+#     COW-rebuild, all-NULL and pinned-snapshot edge cases),
+#  7. calibration regression (the frozen Fig. 5/6 anchor numbers).
 #
 # Usage: scripts/check_parity.sh
 
@@ -83,6 +86,9 @@ EOF
 
 echo "== optimizer parity (cost-based vs syntactic) =="
 python -m pytest -q tests/test_optimizer_parity.py tests/test_optimizer.py
+
+echo "== columnar parity (row vs batch vs columnar, zone maps on/off) =="
+python -m pytest -q tests/test_columnar_parity.py
 
 echo "== calibration regression =="
 python -m pytest -q tests/test_calibration_regression.py

@@ -19,15 +19,25 @@ python -m pytest -x -q
 
 echo "== wall-clock executor microbenchmark (${ROWS} fact rows) =="
 python benchmarks/bench_wallclock_executor.py --rows "$ROWS" \
-    --out BENCH_executor_smoke.json
+    --prune-rows $((ROWS * 10)) --out BENCH_executor_smoke.json > /dev/null
 
 python - <<'EOF'
 import json
 
 summary = json.load(open("BENCH_executor_smoke.json"))
-assert summary["parity"], "row/batch parity violated"
+assert summary["parity"], "row/batch/columnar parity violated"
 assert summary["speedup"] >= 3.0, f"speedup {summary['speedup']}x < 3x"
-print(f"OK: {summary['speedup']}x speedup, parity holds")
+pruning = summary["pruning"]
+assert pruning["parity"], "pruning workload parity violated"
+assert pruning["pruning_speedup"] >= 5.0, (
+    f"pruning speedup {pruning['pruning_speedup']}x < 5x"
+)
+assert pruning["chunks_pruned"] > 0, "zone maps pruned no chunks"
+assert all(s["parity"] for s in pruning["selectivity_sweep"])
+print(f"OK: {summary['speedup']}x batch speedup, "
+      f"{pruning['pruning_speedup']}x columnar pruning speedup, "
+      f"{pruning['chunks_pruned']}/{pruning['chunks_scanned'] + pruning['chunks_pruned']}"
+      " chunks pruned, parity holds")
 EOF
 
 echo "== coupling pooling/caching ablation =="

@@ -361,6 +361,7 @@ def build_scenario(
     result_cache: bool = False,
     faults: dict | None = None,
     optimizer: str = "syntactic",
+    chunk_size: int | None = None,
 ) -> Scenario:
     """Stand up an integration server and deploy every federated
     function the architecture supports; unsupported ones (the cyclic
@@ -370,7 +371,8 @@ def build_scenario(
     ``faults`` is forwarded to
     :meth:`~repro.core.server.IntegrationServer.configure_faults`;
     ``optimizer`` selects the FDBS planning mode (``"syntactic"`` or
-    ``"cost"``)."""
+    ``"cost"``); ``chunk_size`` overrides the FDBS rows-per-chunk knob
+    for batch/columnar execution."""
     server = IntegrationServer(
         architecture,
         costs=costs,
@@ -380,6 +382,7 @@ def build_scenario(
         pooling=pooling,
         result_cache=result_cache,
         optimizer=optimizer,
+        chunk_size=chunk_size,
     )
     if faults:
         server.configure_faults(**faults)

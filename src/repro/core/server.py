@@ -53,6 +53,7 @@ class IntegrationServer:
         pooling: bool = False,
         result_cache: bool = False,
         optimizer: str = "syntactic",
+        chunk_size: int | None = None,
     ):
         """``system_factories`` replaces the paper's three application
         systems with custom ones (each factory receives the machine);
@@ -60,7 +61,9 @@ class IntegrationServer:
         and ``result_cache`` switch on the warm runtime pool / memoizing
         result cache (both off by default: the paper's measured
         configuration).  ``optimizer`` selects the FDBS planning mode
-        (``"syntactic"`` or the RUNSTATS-fed ``"cost"``)."""
+        (``"syntactic"`` or the RUNSTATS-fed ``"cost"``); ``chunk_size``
+        overrides the FDBS rows-per-chunk knob for batch/columnar
+        execution."""
         self.architecture = architecture
         self.machine = Machine(
             costs=costs, controller_enabled=controller_enabled, jitter=jitter
@@ -89,6 +92,7 @@ class IntegrationServer:
             pooling=pooling,
             result_cache=result_cache,
             optimizer=optimizer,
+            chunk_size=chunk_size,
         )
         self.fdbs.function_runtime = FencedFunctionRuntime(self.fdbs, self.machine)
 

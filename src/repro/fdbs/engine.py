@@ -63,7 +63,13 @@ from repro.fdbs.parser import parse_statement
 from repro.fdbs.planner import Planner
 from repro.fdbs.procedures import ProcedureInterpreter
 from repro.fdbs.session import Result, StatementCache
-from repro.fdbs.storage import Snapshot, Table, TableVersion, UndoLog
+from repro.fdbs.storage import (
+    DEFAULT_CHUNK_SIZE,
+    Snapshot,
+    Table,
+    TableVersion,
+    UndoLog,
+)
 from repro.fdbs.types import coerce_into
 from repro.simtime.trace import TraceRecorder
 
@@ -142,6 +148,7 @@ class Database:
         pooling: bool = False,
         result_cache: bool = False,
         optimizer: str = "syntactic",
+        chunk_size: int | None = None,
     ):
         self.name = name
         self.machine = machine
@@ -153,13 +160,23 @@ class Database:
             # execution mode namespaces the machine-level result cache.
             machine.execution_mode_provider = lambda: self.execution_mode
             machine.extra_stats_providers["mvcc"] = lambda: self.mvcc_stats()
+            machine.extra_stats_providers["columnar"] = lambda: self.columnar_stats()
             if pooling or result_cache:
                 machine.configure_runtime(
                     pooling=pooling, result_cache=result_cache
                 )
-        #: "row" (Volcano) or "batch" (vectorized chunks + hash joins).
+        #: "row" (Volcano), "batch" (vectorized chunks + hash joins) or
+        #: "columnar" (storage column chunks + zone-map pruning).
         self.execution_mode = "row"
         self.set_execution_mode(execution_mode)
+        #: Rows per storage chunk / execution batch (columnar + batch).
+        self.chunk_size = DEFAULT_CHUNK_SIZE
+        if chunk_size is not None:
+            self.set_chunk_size(chunk_size)
+        #: Zone-map pruning toggle (False for the pruning ablation).
+        self.zone_maps_enabled = True
+        self._columnar_lock = threading.Lock()
+        self._columnar = {"chunks_scanned": 0, "chunks_pruned": 0}
         #: "syntactic" (FROM order as written — the default, and exactly
         #: the pre-optimizer behaviour) or "cost" (RUNSTATS-fed join
         #: reordering and bind joins; see repro.fdbs.optimizer).
@@ -246,17 +263,66 @@ class Database:
     # ------------------------------------------------------------------
 
     def set_execution_mode(self, mode: str) -> None:
-        """Switch between ``"row"`` and ``"batch"`` execution.
+        """Switch between ``"row"``, ``"batch"`` and ``"columnar"``.
 
         Cached statement plans are mode-specific, so the statement cache
         is keyed per mode (see :meth:`_parse_cached`); switching modes
         never invalidates the other mode's entries.
         """
-        if mode not in ("row", "batch"):
+        if mode not in ("row", "batch", "columnar"):
             raise ExecutionError(
-                f"unknown execution mode {mode!r}; expected 'row' or 'batch'"
+                f"unknown execution mode {mode!r}; expected 'row', 'batch' "
+                "or 'columnar'"
             )
         self.execution_mode = mode
+
+    def set_chunk_size(self, size: int) -> None:
+        """Set the rows-per-chunk knob for batch/columnar execution.
+
+        Applies to new scans immediately: storage zone maps are keyed by
+        the chunk size that sealed them, so a change triggers a lazy
+        rebuild on the next columnar scan of each table.
+        """
+        if isinstance(size, bool) or not isinstance(size, int):
+            raise ExecutionError("chunk size must be an integer")
+        if not 1 <= size <= 1_048_576:
+            raise ExecutionError(
+                f"chunk size {size} out of range (1..1048576)"
+            )
+        self.chunk_size = size
+        for table_def in self.catalog.tables():
+            if table_def.storage is not None:
+                table_def.storage.chunk_size = size
+
+    def set_zone_maps(self, enabled: bool) -> None:
+        """Enable/disable zone-map chunk pruning (columnar mode only).
+
+        Pruning is a pure superset skip, so toggling it never changes
+        query results — only ``chunks_pruned`` and wall-clock time.
+        """
+        self.zone_maps_enabled = bool(enabled)
+
+    def _note_chunks(self, scanned: int, pruned: int) -> None:
+        """Accumulate per-scan chunk counters (wired into columnar scans)."""
+        with self._columnar_lock:
+            self._columnar["chunks_scanned"] += scanned
+            self._columnar["chunks_pruned"] += pruned
+
+    def columnar_stats(self) -> dict[str, int]:
+        """Columnar-execution counters for SYSCAT_RUNTIME_STATS."""
+        with self._columnar_lock:
+            counters = dict(self._columnar)
+        rebuilds = 0
+        sealed = 0
+        for table_def in self.catalog.tables():
+            storage = table_def.storage
+            if storage is not None:
+                rebuilds += storage.zone_map_rebuilds
+                sealed += storage.chunks_sealed
+        counters["zone_map_rebuilds"] = rebuilds
+        counters["chunks_sealed"] = sealed
+        counters["zone_maps_enabled"] = int(self.zone_maps_enabled)
+        return counters
 
     def set_optimizer(self, mode: str) -> None:
         """Switch between ``"syntactic"`` and ``"cost"`` planning.
@@ -366,6 +432,7 @@ class Database:
             stats.update(self.machine.runtime_stats())
         else:
             stats["mvcc"] = self.mvcc_stats()
+            stats["columnar"] = self.columnar_stats()
         return stats
 
     def _runtime_header(self) -> list[str]:
@@ -681,6 +748,8 @@ class Database:
             optimizer=optimizer or self.optimizer,
             statistics=self.catalog.get_statistics,
             batch_invoker=self._invoke_table_function_batch,
+            enable_zone_maps=self.zone_maps_enabled,
+            columnar_note=self._note_chunks,
         )
 
     def _invoke_table_function(
@@ -762,8 +831,16 @@ class Database:
     ) -> Result:
         plan = self._planner().plan_select(statement)
         ctx = EvalContext(params=params, trace=trace, snapshot=snapshot)
-        if self.execution_mode == "batch":
-            rows = [row for chunk in plan.batches(ctx) for row in chunk]
+        if self.execution_mode == "columnar":
+            rows = [
+                row
+                for batch in plan.column_batches(ctx, self.chunk_size)
+                for row in batch.rows_view()
+            ]
+        elif self.execution_mode == "batch":
+            rows = [
+                row for chunk in plan.batches(ctx, self.chunk_size) for row in chunk
+            ]
         else:
             rows = list(plan.rows(ctx))
         if self.machine is not None:
@@ -895,7 +972,9 @@ class Database:
                 f"duplicate primary-key column in table {statement.name!r}"
             )
         table = TableDef(statement.name, columns, primary_key)
-        table.storage = Table(statement.name, columns, primary_key)
+        table.storage = Table(
+            statement.name, columns, primary_key, chunk_size=self.chunk_size
+        )
         self.catalog.add_table(table)
         self._track_storage(table.storage)
         self._invalidate_plans()

@@ -49,6 +49,7 @@ from repro.fdbs.executor import (
 from repro.fdbs.expr import (
     BatchCompiler,
     BatchFn,
+    ColumnarCompiler,
     ColumnSlot,
     CompiledExpr,
     EvalContext,
@@ -84,6 +85,8 @@ class Planner:
         optimizer: str = "syntactic",
         statistics: "Callable[[str], object | None] | None" = None,
         batch_invoker=None,
+        enable_zone_maps: bool = True,
+        columnar_note: Callable[[int, int], None] | None = None,
     ):
         self.catalog = catalog
         self.invoker = invoker
@@ -98,8 +101,10 @@ class Planner:
         self.pushdown_counter = pushdown_counter
         #: Index selection for local equality conjuncts.
         self.enable_index_selection = enable_index_selection
-        #: "row" (Volcano, per-row dispatch) or "batch" (chunked
-        #: execution with vectorized expressions and hash equi-joins).
+        #: "row" (Volcano, per-row dispatch), "batch" (chunked execution
+        #: with vectorized expressions and hash equi-joins) or "columnar"
+        #: (batch semantics over storage column chunks with zone-map
+        #: chunk pruning).
         self.execution_mode = execution_mode
         #: "syntactic" (FROM order as written) or "cost" (statistics-fed
         #: join reordering and bind joins; see repro.fdbs.optimizer).
@@ -109,13 +114,27 @@ class Planner:
         #: Batched table-function invoker for UDTF bind joins (the
         #: fenced runtime amortizes fixed per-call overheads).
         self.batch_invoker = batch_invoker
+        #: Zone-map chunk pruning for columnar scans (ablation switch;
+        #: disabled it leaves columnar plans scanning every chunk).
+        self.enable_zone_maps = enable_zone_maps
+        #: Callback ``(chunks_scanned, chunks_pruned)`` wired into
+        #: columnar table scans for the database's runtime counters.
+        self.columnar_note = columnar_note
         self._view_stack: list[str] = []
 
     def _batch(self, compiler: ExpressionCompiler, expr: ast.Expression) -> BatchFn | None:
-        """Batch-compile ``expr`` when planning for batch execution."""
-        if self.execution_mode != "batch":
+        """Batch-compile ``expr`` when planning for batch/columnar
+        execution (columnar plans keep row-chunk closures for operators
+        that fall back to the batch protocol)."""
+        if self.execution_mode not in ("batch", "columnar"):
             return None
         return BatchCompiler(compiler).compile(expr)
+
+    def _columnar(self, compiler: ExpressionCompiler, expr: ast.Expression) -> BatchFn | None:
+        """Column-batch-compile ``expr`` when planning columnar."""
+        if self.execution_mode != "columnar":
+            return None
+        return ColumnarCompiler(compiler).compile(expr)
 
     # -- public API -----------------------------------------------------------
 
@@ -152,8 +171,8 @@ class Planner:
                 self.statistics or (lambda name: None),
                 self.costs,
             )
-        plan, layout, remote_candidates, local_scans, consumed = self._plan_from(
-            select, decisions
+        plan, layout, remote_candidates, local_scans, consumed, prunable = (
+            self._plan_from(select, decisions)
         )
         compiler = self._compiler(layout)
 
@@ -180,9 +199,11 @@ class Planner:
         if self.enable_index_selection and local_scans and where is not None:
             where = self._select_indexes(where, layout, local_scans)
         if where is not None:
+            self._attach_zone_checks(where, layout, prunable)
             input_est = plan.est_rows
             plan = FilterPlan(plan, compiler.compile(where), "Filter(WHERE)")
             plan.batch_predicate = self._batch(compiler, where)
+            plan.columnar_predicate = self._columnar(compiler, where)
             if had_remote and self.enable_pushdown:
                 from repro.fdbs.pushdown import split_conjuncts
 
@@ -211,6 +232,7 @@ class Planner:
             if having is not None:
                 plan = FilterPlan(plan, compiler.compile(having), "Filter(HAVING)")
                 plan.batch_predicate = self._batch(compiler, having)
+                plan.columnar_predicate = self._columnar(compiler, having)
 
         exprs: list[CompiledExpr] = []
         schema: list[ColumnSlot] = []
@@ -232,9 +254,13 @@ class Planner:
             plan = self._project_and_sort(plan, layout, exprs, schema, select, items)
         else:
             plan = ProjectPlan(plan, exprs, schema)
-            if self.execution_mode == "batch":
+            if self.execution_mode in ("batch", "columnar"):
                 plan.batch_exprs = [
                     self._batch(compiler, item.expr) for item in items
+                ]
+            if self.execution_mode == "columnar":
+                plan.columnar_exprs = [
+                    self._columnar(compiler, item.expr) for item in items
                 ]
 
         if select.distinct:
@@ -298,16 +324,24 @@ class Planner:
                 for index, compiled in enumerate(hidden)
             ]
             plan = ProjectPlan(plan, exprs + hidden, extended_schema)
-            if self.execution_mode == "batch":
+            if self.execution_mode in ("batch", "columnar"):
                 plan.batch_exprs = [
                     self._batch(input_compiler, item.expr) for item in items
                 ] + [self._batch(input_compiler, expr) for expr in hidden_asts]
+            if self.execution_mode == "columnar":
+                plan.columnar_exprs = [
+                    self._columnar(input_compiler, item.expr) for item in items
+                ] + [self._columnar(input_compiler, expr) for expr in hidden_asts]
             plan = SortPlan(plan, keys)
             return CutPlan(plan, width, schema)
         plan = ProjectPlan(plan, exprs, schema)
-        if self.execution_mode == "batch":
+        if self.execution_mode in ("batch", "columnar"):
             plan.batch_exprs = [
                 self._batch(input_compiler, item.expr) for item in items
+            ]
+        if self.execution_mode == "columnar":
+            plan.columnar_exprs = [
+                self._columnar(input_compiler, item.expr) for item in items
             ]
         return SortPlan(plan, keys)
 
@@ -369,6 +403,7 @@ class Planner:
         dict[str, RemoteScanPlan],
         dict[str, TableScanPlan],
         list[ast.Expression],
+        "dict[str, TableScanPlan | None] | None",
     ]:
         plan: Plan = UnitPlan()
         layout = RowLayout([])
@@ -376,6 +411,16 @@ class Planner:
         remote_candidates: dict[str, RemoteScanPlan] = {}
         local_scans: dict[str, TableScanPlan] = {}
         consumed: list[ast.Expression] = []
+        #: Alias -> local scan eligible for zone-map pruning (columnar
+        #: mode only).  Scans on the nullable side of an outer join are
+        #: never registered: pruning them could manufacture NULL-padded
+        #: rows that pass predicates like ``d.x IS NULL``.  A duplicate
+        #: alias poisons its entry (None) so no check can mis-bind.
+        prunable: dict[str, TableScanPlan | None] | None = (
+            {}
+            if self.execution_mode == "columnar" and self.enable_zone_maps
+            else None
+        )
         items = select.from_items
         if decisions is not None:
             ordered = [(index, items[index]) for index in decisions.order]
@@ -405,7 +450,7 @@ class Planner:
                 right_schema = bind_built[0].schema
             else:
                 right, right_schema = self._plan_from_item(
-                    item, layout, exec_items, position
+                    item, layout, exec_items, position, prunable
                 )
             alias_names = {
                 (slot.alias or "").upper() for slot in right_schema if slot.alias
@@ -441,6 +486,7 @@ class Planner:
             ):
                 for alias in alias_names:
                     local_scans[alias] = right.plan
+                self._register_prunable(prunable, right.plan)
             if (
                 decisions is not None
                 and original_index in decisions.bind_udtf
@@ -465,7 +511,66 @@ class Planner:
                 else:
                     running_est = None
             layout = layout.extend(right_schema)
-        return plan, layout, remote_candidates, local_scans, consumed
+        return plan, layout, remote_candidates, local_scans, consumed, prunable
+
+    def _register_prunable(
+        self,
+        prunable: "dict[str, TableScanPlan | None] | None",
+        scan: TableScanPlan,
+    ) -> None:
+        """Register a local scan as a zone-check target by its alias."""
+        if prunable is None or not scan.schema:
+            return
+        alias = (scan.schema[0].alias or "").upper()
+        if not alias:
+            return
+        # A repeated alias poisons the entry: a check resolved against
+        # an ambiguous name must never bind to the wrong scan.
+        prunable[alias] = None if alias in prunable else scan
+
+    def _attach_zone_checks(
+        self,
+        where: ast.Expression,
+        layout: RowLayout,
+        prunable: "dict[str, TableScanPlan | None] | None",
+    ) -> None:
+        """Compile WHERE conjuncts into zone-map prune checks.
+
+        Each locally-evaluated conjunct of a recognised shape is bound
+        to its scan by slot identity and attached as a conservative
+        may-match check over the chunk's ``(min, max, null_count)``
+        statistics.  The conjunct itself stays in the filter above —
+        pruning only skips chunks the filter would have emptied anyway.
+        """
+        if not prunable:
+            return
+        from repro.fdbs.pushdown import split_conjuncts, zone_check, zone_target
+
+        for conjunct in split_conjuncts(where):
+            target = zone_target(conjunct)
+            if target is None:
+                continue
+            try:
+                resolved = layout.resolve(target.qualifier, target.name)
+            except PlanError:
+                continue  # ambiguous name: the filter handles it
+            if resolved is None:
+                continue
+            _, slot = resolved
+            scan = prunable.get((slot.alias or "").upper())
+            if scan is None:
+                continue
+            position = None
+            for index, scan_slot in enumerate(scan.schema):
+                if scan_slot is slot:
+                    position = index
+                    break
+            if position is None:
+                continue
+            check = zone_check(conjunct, slot.type)
+            if check is None:
+                continue
+            scan.prune_checks.append((position, check, conjunct.render()))
 
     def _try_remote_bind(
         self,
@@ -561,6 +666,7 @@ class Planner:
         layout: RowLayout,
         all_items: list[ast.FromItem],
         position: int,
+        prunable: "dict[str, TableScanPlan | None] | None" = None,
     ):
         if isinstance(item, ast.TableFunctionRef):
             return self._plan_table_function(item, layout, all_items, position)
@@ -573,7 +679,7 @@ class Planner:
             ]
             return self._static_side(_Reschema(subplan, schema))
         if isinstance(item, ast.Join):
-            return self._static_side(self._plan_join(item))
+            return self._static_side(self._plan_join(item, prunable))
         raise PlanError(f"unsupported FROM item: {item!r}")  # pragma: no cover
 
     def _static_side(self, plan: Plan):
@@ -591,7 +697,10 @@ class Planner:
                 ColumnSlot(alias, column.name, column.type)
                 for column in table_def.columns
             ]
-            return TableScanPlan(table_def.storage, schema, item.name)
+            plan = TableScanPlan(table_def.storage, schema, item.name)
+            if self.execution_mode == "columnar":
+                plan.columnar_note = self.columnar_note
+            return plan
         if self.catalog.has_nickname(item.name):
             if self.remote_fetcher is None:
                 raise PlanError("no federation layer available for nicknames")
@@ -643,9 +752,18 @@ class Planner:
         ]
         return _Reschema(subplan, schema)
 
-    def _plan_join(self, item: ast.Join) -> Plan:
-        left = self._plan_join_side(item.left)
-        right = self._plan_join_side(item.right)
+    def _plan_join(
+        self,
+        item: ast.Join,
+        prunable: "dict[str, TableScanPlan | None] | None" = None,
+    ) -> Plan:
+        left = self._plan_join_side(item.left, prunable)
+        # The right (nullable) side of a LEFT OUTER join is never a
+        # pruning target: skipping a chunk there would manufacture
+        # NULL-padded output rows (e.g. ``WHERE d.x IS NULL``).
+        right = self._plan_join_side(
+            item.right, prunable if item.kind != "LEFT OUTER" else None
+        )
         combined = RowLayout(left.schema + right.schema)
         predicate = None
         if item.on is not None:
@@ -656,7 +774,7 @@ class Planner:
         elif item.kind != "CROSS":
             raise PlanError(f"{item.kind} JOIN requires an ON condition")
         if (
-            self.execution_mode == "batch"
+            self.execution_mode in ("batch", "columnar")
             and item.on is not None
             and item.kind in ("INNER", "LEFT OUTER")
         ):
@@ -705,6 +823,11 @@ class Planner:
         )
         batch = BatchCompiler(left_compiler)
         plan.batch_left_keys = [batch.compile(key_ast) for key_ast in key_asts]
+        if self.execution_mode == "columnar":
+            columnar = ColumnarCompiler(left_compiler)
+            plan.columnar_left_keys = [
+                columnar.compile(key_ast) for key_ast in key_asts
+            ]
         return plan
 
     def _equi_key(
@@ -755,9 +878,16 @@ class Planner:
         except (PlanError, TypeError_):
             return None
 
-    def _plan_join_side(self, item: ast.FromItem) -> Plan:
+    def _plan_join_side(
+        self,
+        item: ast.FromItem,
+        prunable: "dict[str, TableScanPlan | None] | None" = None,
+    ) -> Plan:
         if isinstance(item, ast.TableRef):
-            return self._plan_table_ref(item)
+            plan = self._plan_table_ref(item)
+            if isinstance(plan, TableScanPlan):
+                self._register_prunable(prunable, plan)
+            return plan
         if isinstance(item, ast.SubquerySource):
             subplan = self.plan_select(item.select)
             schema = [
@@ -765,7 +895,7 @@ class Planner:
             ]
             return _Reschema(subplan, schema)
         if isinstance(item, ast.Join):
-            return self._plan_join(item)
+            return self._plan_join(item, prunable)
         if isinstance(item, ast.TableFunctionRef):
             raise PlanError(
                 "table functions cannot appear inside an explicit JOIN; list "
@@ -919,6 +1049,7 @@ class Planner:
                     raise PlanError("aggregates cannot be nested")
                 spec = AggregateSpec(name, compiler.compile(call.args[0]), call.distinct)
                 spec.batch_arg = self._batch(compiler, call.args[0])
+                spec.columnar_arg = self._columnar(compiler, call.args[0])
                 agg_specs.append(spec)
             else:
                 raise PlanError(f"aggregate {call.name} takes exactly one argument")
@@ -930,10 +1061,14 @@ class Planner:
             ColumnSlot(None, f"$a{index}", None) for index in range(len(agg_specs))
         ]
         agg_plan = AggregatePlan(plan, group_compiled, agg_specs, post_schema)
-        if self.execution_mode == "batch" and select.group_by:
+        if self.execution_mode in ("batch", "columnar") and select.group_by:
             agg_plan.batch_group = [
                 self._batch(compiler, expr) for expr in select.group_by
             ]
+            if self.execution_mode == "columnar":
+                agg_plan.columnar_group = [
+                    self._columnar(compiler, expr) for expr in select.group_by
+                ]
         post_layout = RowLayout(post_schema)
 
         replacement: dict[str, ast.Expression] = {}
@@ -992,10 +1127,14 @@ class Planner:
                 for index, expr in enumerate(extra_exprs)
             ]
             plan = ProjectPlan(plan, identity + extra_exprs, extended_schema)
-            if self.execution_mode == "batch":
+            if self.execution_mode in ("batch", "columnar"):
                 plan.batch_exprs = [
                     _slot_batch(index) for index in range(width)
                 ] + [self._batch(compiler, expr) for expr in extra_asts]
+                if self.execution_mode == "columnar":
+                    plan.columnar_exprs = [
+                        _slot_columnar(index) for index in range(width)
+                    ] + [self._columnar(compiler, expr) for expr in extra_asts]
         plan = SortPlan(plan, key_positions)
         if extra_exprs:
             plan = CutPlan(plan, width, output_schema)
@@ -1035,6 +1174,11 @@ def _slot_ref(index: int, slot: ColumnSlot) -> CompiledExpr:
 def _slot_batch(index: int) -> BatchFn:
     """Batch identity extractor for one output slot position."""
     return lambda chunk, ctx, _i=index: [row[_i] for row in chunk]
+
+
+def _slot_columnar(index: int) -> BatchFn:
+    """Column-batch identity extractor for one output slot position."""
+    return lambda batch, ctx, _i=index: batch.column(_i)
 
 
 def _column_refs(expr: ast.Expression):

@@ -168,3 +168,166 @@ def push_predicates(
         if counter is not None:
             counter.predicates_pushed += 1
     return recombine(residual)
+
+
+# ---------------------------------------------------------------------------
+# Zone-map prune-check compilation (columnar execution mode)
+# ---------------------------------------------------------------------------
+#
+# A prune check is the zone-map analogue of pushing a predicate into a
+# remote source: instead of shipping SQL text it compiles a WHERE
+# conjunct against the per-chunk (min, max, null_count) statistics of a
+# *local* columnar scan.  The contract is conservative may-match: the
+# check receives one chunk's zone entry and returns False only when NO
+# row of the chunk can satisfy the conjunct — the conjunct itself stays
+# in the filter, so a check that keeps too much costs time, never
+# correctness.
+
+#: A compiled prune check: ``check(lo, hi, nulls, count) -> bool`` where
+#: True means the chunk may contain matching rows (keep it).
+ZoneCheck = "Callable[[object, object, int, int], bool]"
+
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>"}
+
+
+def _zone_value(value: object) -> bool:
+    """True when a literal is safe for raw min/max comparison.
+
+    Mirrors the batch compiler's ``_plain_numeric`` gate: only plain
+    ints and floats (not bools, not Decimal, not strings) compare under
+    raw Python operators exactly as the row-mode ``_align`` semantics —
+    CHAR values pad-strip in comparisons and DECIMAL operands are
+    re-aligned through ``Decimal(str(x))``, both of which raw bounds
+    comparisons would not reproduce.
+    """
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def zone_target(conjunct: ast.Expression) -> ast.ColumnRef | None:
+    """The single column a zone check could prune on (None if none).
+
+    Recognised shapes: ``col <op> literal`` / ``literal <op> col`` for
+    the six comparison operators, ``col [NOT] BETWEEN lit AND lit``,
+    ``col IN (lit, ...)`` (non-negated), and ``col IS [NOT] NULL``.
+    """
+    if isinstance(conjunct, ast.BinaryOp) and conjunct.op.upper() in _FLIPPED:
+        if isinstance(conjunct.left, ast.ColumnRef) and isinstance(
+            conjunct.right, ast.Literal
+        ):
+            return conjunct.left
+        if isinstance(conjunct.left, ast.Literal) and isinstance(
+            conjunct.right, ast.ColumnRef
+        ):
+            return conjunct.right
+        return None
+    if isinstance(conjunct, ast.Between):
+        if (
+            isinstance(conjunct.operand, ast.ColumnRef)
+            and isinstance(conjunct.low, ast.Literal)
+            and isinstance(conjunct.high, ast.Literal)
+        ):
+            return conjunct.operand
+        return None
+    if isinstance(conjunct, ast.InList):
+        if (
+            not conjunct.negated
+            and isinstance(conjunct.operand, ast.ColumnRef)
+            and all(isinstance(item, ast.Literal) for item in conjunct.items)
+        ):
+            return conjunct.operand
+        return None
+    if isinstance(conjunct, ast.IsNull):
+        if isinstance(conjunct.operand, ast.ColumnRef):
+            return conjunct.operand
+        return None
+    return None
+
+
+def _bounded(test):
+    """Wrap a ``(lo, hi, value)`` bounds test with the shared guards:
+    an all-NULL chunk can never satisfy a value predicate (NULL compares
+    to nothing), and unknown bounds must keep the chunk."""
+
+    def check(lo, hi, nulls, count):
+        if nulls >= count:  # every slot NULL (or the chunk is empty)
+            return False
+        if lo is None or hi is None:  # bounds unknown: cannot prune
+            return True
+        return test(lo, hi)
+
+    return check
+
+
+def _prune_all(lo, hi, nulls, count):
+    return False
+
+
+def zone_check(conjunct: ast.Expression, column_type) -> "ZoneCheck | None":
+    """Compile one WHERE conjunct into a zone-map prune check.
+
+    ``column_type`` is the scan column's SQL type; value comparisons are
+    only compiled for plain numeric columns (see :func:`_zone_value`).
+    Returns None when the conjunct cannot prune safely.
+    """
+    from repro.fdbs.expr import _plain_numeric
+
+    if isinstance(conjunct, ast.IsNull):
+        # Type-free: the null count is exact regardless of column type.
+        if conjunct.negated:
+            return lambda lo, hi, nulls, count: nulls < count
+        return lambda lo, hi, nulls, count: nulls > 0
+
+    if not _plain_numeric(column_type):
+        return None
+
+    if isinstance(conjunct, ast.BinaryOp):
+        op = conjunct.op.upper()
+        if isinstance(conjunct.left, ast.ColumnRef):
+            literal = conjunct.right.value  # type: ignore[union-attr]
+        else:
+            literal = conjunct.left.value  # type: ignore[union-attr]
+            op = _FLIPPED[op]
+        if literal is None:
+            # ``col <op> NULL`` is never TRUE: no chunk can match.
+            return _prune_all
+        if not _zone_value(literal):
+            return None
+        if op == "=":
+            return _bounded(lambda lo, hi: lo <= literal <= hi)
+        if op == "<":
+            return _bounded(lambda lo, hi: lo < literal)
+        if op == "<=":
+            return _bounded(lambda lo, hi: lo <= literal)
+        if op == ">":
+            return _bounded(lambda lo, hi: hi > literal)
+        if op == ">=":
+            return _bounded(lambda lo, hi: hi >= literal)
+        if op == "<>":
+            return _bounded(lambda lo, hi: not (lo == literal and hi == literal))
+        return None
+
+    if isinstance(conjunct, ast.Between):
+        low = conjunct.low.value  # type: ignore[union-attr]
+        high = conjunct.high.value  # type: ignore[union-attr]
+        if low is None or high is None:
+            return _prune_all
+        if not (_zone_value(low) and _zone_value(high)):
+            return None
+        if conjunct.negated:
+            # Prunable only when every value is inside [low, high].
+            return _bounded(lambda lo, hi: lo < low or hi > high)
+        return _bounded(lambda lo, hi: not (hi < low or lo > high))
+
+    if isinstance(conjunct, ast.InList):
+        values = [item.value for item in conjunct.items]  # type: ignore[union-attr]
+        members = [v for v in values if v is not None]
+        if not members:
+            # ``col IN (NULL, ...)`` with no real members is never TRUE.
+            return _prune_all
+        if not all(_zone_value(v) for v in members):
+            return None
+        return _bounded(
+            lambda lo, hi: any(lo <= member <= hi for member in members)
+        )
+
+    return None

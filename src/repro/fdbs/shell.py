@@ -116,6 +116,7 @@ class Shell:
                 ".functions        list table functions\n"
                 ".stats            pool / cache / channel counters + RUNSTATS\n"
                 ".optimizer [m]    show or set planning mode (syntactic|cost)\n"
+                ".chunksize [n]    show or set rows per chunk (batch/columnar)\n"
                 ".time on|off      toggle virtual-time display\n"
                 ".user <name>      switch the session user\n"
                 ".quit             leave\n"
@@ -140,6 +141,19 @@ class Shell:
                     stdout.write(f"error: {exc}\n")
             else:
                 stdout.write("usage: .optimizer [syntactic|cost]\n")
+        elif name == ".chunksize":
+            if len(parts) == 1:
+                stdout.write(f"chunk size is {self.database.chunk_size}\n")
+            elif len(parts) == 2:
+                try:
+                    self.database.set_chunk_size(int(parts[1]))
+                    stdout.write(
+                        f"chunk size is now {self.database.chunk_size}\n"
+                    )
+                except (ReproError, ValueError) as exc:
+                    stdout.write(f"error: {exc}\n")
+            else:
+                stdout.write("usage: .chunksize [rows]\n")
         elif name == ".time":
             if len(parts) == 2 and parts[1].lower() in ("on", "off"):
                 self.show_time = parts[1].lower() == "on"

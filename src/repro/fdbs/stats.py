@@ -21,6 +21,7 @@ systems.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.fdbs.catalog import ColumnDef
 
@@ -52,6 +53,26 @@ class TableStats:
     def column(self, name: str) -> ColumnStats | None:
         """Column statistics by case-insensitive name (None if absent)."""
         return self.columns.get(name.upper())
+
+
+def zone_bounds(
+    values: Sequence[object],
+) -> tuple[object | None, object | None, int]:
+    """``(min, max, null_count)`` of one column chunk — a zone map entry.
+
+    Mirrors the RUNSTATS min/max collection but per chunk: NULLs are
+    counted separately, and mutually incomparable values degrade the
+    bounds to ``(None, None)`` (meaning *unknown*, never *empty*) so a
+    pruning check built on them must keep the chunk.
+    """
+    live = [value for value in values if value is not None]
+    nulls = len(values) - len(live)
+    if not live:
+        return None, None, nulls
+    try:
+        return min(live), max(live), nulls
+    except TypeError:  # mixed/unorderable values: bounds unknown
+        return None, None, nulls
 
 
 def collect_stats(

@@ -42,10 +42,75 @@ from typing import Callable, Iterator, Sequence
 
 from repro.errors import ConstraintError, ExecutionError, WriteConflictError
 from repro.fdbs.catalog import ColumnDef
+from repro.fdbs.stats import zone_bounds
 from repro.fdbs.types import coerce_into
 
 
 Row = tuple
+
+#: Default number of rids per column chunk (also the batch size of the
+#: vectorized executor; configurable per database via ``chunk_size``).
+DEFAULT_CHUNK_SIZE = 1024
+
+
+class ColumnChunk:
+    """One chunk of a table's rows in columnar form, with zone maps.
+
+    A chunk covers a fixed rid range ``[start, start + chunk_size)`` of
+    one arena; ``rows`` holds only the *live* tuples of that range, in
+    rid order.  Columns and per-column ``(min, max, null_count)`` zone
+    maps are decomposed lazily and cached — a sealed chunk belongs to an
+    immutable rid range, so the cache is safe to share across versions
+    and threads (filling a cache slot is idempotent).
+
+    The chunk also satisfies the executor's batch protocol (``len``,
+    iteration, ``rows_view``) so vectorized operators can consume it
+    directly without re-materialising row lists.
+    """
+
+    __slots__ = ("start", "rows", "count", "_width", "_columns", "_zones")
+
+    def __init__(self, start: int, rows: list[Row], width: int):
+        self.start = start
+        self.rows = rows
+        self.count = len(rows)
+        self._width = width
+        self._columns: list[list[object] | None] = [None] * width
+        self._zones: list[tuple[object, object, int] | None] = [None] * width
+
+    def column(self, position: int) -> list[object]:
+        """Values of one column across the chunk's live rows (cached)."""
+        column = self._columns[position]
+        if column is None:
+            column = [row[position] for row in self.rows]
+            self._columns[position] = column
+        return column
+
+    def zone(self, position: int) -> tuple[object, object, int]:
+        """``(min, max, null_count)`` zone map of one column (cached)."""
+        zone = self._zones[position]
+        if zone is None:
+            zone = zone_bounds(self.column(position))
+            self._zones[position] = zone
+        return zone
+
+    def seal(self) -> None:
+        """Eagerly decompose every column and compute its zone map."""
+        for position in range(self._width):
+            self.zone(position)
+
+    def rows_view(self) -> list[Row]:
+        """The chunk's live rows as tuples (no copy)."""
+        return self.rows
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ColumnChunk start={self.start} live={self.count}>"
 
 
 class UndoLog:
@@ -130,7 +195,7 @@ class _Arena:
     own ``row_limit``.
     """
 
-    __slots__ = ("rows", "pk_index", "indexes")
+    __slots__ = ("rows", "pk_index", "indexes", "chunk_state")
 
     def __init__(
         self,
@@ -141,9 +206,18 @@ class _Arena:
         self.rows: list[Row | None] = rows if rows is not None else []
         self.pk_index: dict[tuple, int] = pk_index if pk_index is not None else {}
         self.indexes: dict[str, HashIndex] = indexes if indexes is not None else {}
+        #: Lazily-built columnar cache: ``(chunk_size, sealed_chunks)``
+        #: where ``sealed_chunks`` only ever grows while the arena is
+        #: current.  ``None`` until the first columnar access.
+        self.chunk_state: tuple[int, list[ColumnChunk]] | None = None
 
     def copy(self) -> "_Arena":
-        """Copy-on-write clone (rows list, pk index, secondary indexes)."""
+        """Copy-on-write clone (rows list, pk index, secondary indexes).
+
+        The columnar cache is *not* carried over: the clone's rows are
+        about to be mutated, so its chunks and zone maps are rebuilt
+        lazily on the next columnar access.
+        """
         return _Arena(
             rows=list(self.rows),
             pk_index=dict(self.pk_index),
@@ -212,7 +286,13 @@ class Table:
     mutations through the write latch.
     """
 
-    def __init__(self, name: str, columns: Sequence[ColumnDef], primary_key: Sequence[str] = ()):
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[ColumnDef],
+        primary_key: Sequence[str] = (),
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ):
         self.name = name
         self.columns = list(columns)
         self.primary_key = [k for k in primary_key]
@@ -225,6 +305,14 @@ class Table:
         #: (set by the owning database to advance its snapshot map).
         self.publish_hook: Callable[["Table", TableVersion], None] | None = None
         self.versions_published = 0
+        #: Rids per column chunk for this table's columnar view.
+        self.chunk_size = chunk_size
+        #: Times an arena's sealed-chunk cache was discarded and rebuilt
+        #: (COW rebuild after UPDATE/DELETE, or a chunk-size change).
+        self.zone_map_rebuilds = 0
+        #: Total sealed chunks produced across all arenas.
+        self.chunks_sealed = 0
+        self._chunks_built = False
 
     # -- version plumbing ------------------------------------------------------------
 
@@ -428,6 +516,61 @@ class Table:
     def rows(self) -> list[Row]:
         """All live rows of the current version (materialised)."""
         return self._current.rows()
+
+    def columnar_chunks(self, version: TableVersion) -> list[ColumnChunk]:
+        """The version's live rows as column chunks with zone maps.
+
+        Chunks are rid-aligned: sealed chunk ``k`` covers rids
+        ``[k * chunk_size, (k + 1) * chunk_size)`` of the version's
+        arena.  Sealing is lazy and incremental: chunks fully below the
+        version's ``row_limit`` are decomposed once (under the write
+        latch) and cached on the arena — the append-only INSERT fast
+        path never touches sealed chunks, it merely makes new rid ranges
+        eligible for sealing, while a copy-on-write UPDATE/DELETE arena
+        starts with an empty cache and rebuilds on first access.  The
+        rid range straddling ``row_limit`` becomes a fresh, uncached
+        tail chunk so versions pinned at different limits never share
+        mutable state.
+
+        Concatenating the chunks' rows reproduces ``version.rows()``
+        exactly (live rows in rid order) — the bit-identity anchor for
+        the columnar execution mode.
+        """
+        size = self.chunk_size
+        arena = version.arena
+        width = len(self.columns)
+        full = version.row_limit // size
+        with self._latch:
+            state = arena.chunk_state
+            if state is None or state[0] != size:
+                if self._chunks_built:
+                    self.zone_map_rebuilds += 1
+                self._chunks_built = True
+                state = (size, [])
+                arena.chunk_state = state
+            sealed = state[1]
+            while len(sealed) < full:
+                start = len(sealed) * size
+                live = [
+                    row
+                    for row in arena.rows[start : start + size]
+                    if row is not None
+                ]
+                chunk = ColumnChunk(start, live, width)
+                chunk.seal()
+                self.chunks_sealed += 1
+                sealed.append(chunk)
+        chunks = sealed[:full]
+        tail_start = full * size
+        if tail_start < version.row_limit:
+            live = [
+                row
+                for row in arena.rows[tail_start : version.row_limit]
+                if row is not None
+            ]
+            if live:
+                chunks.append(ColumnChunk(tail_start, live, width))
+        return chunks
 
     def lookup_pk(self, key: tuple) -> Row | None:
         """Fetch one row by primary-key value tuple."""

@@ -25,7 +25,7 @@ def make_join_db(mode: str) -> Database:
 class TestExecutionMode:
     def test_invalid_mode_rejected(self):
         with pytest.raises(ExecutionError):
-            Database("bad", execution_mode="columnar")
+            Database("bad", execution_mode="vectorwise")
         db = Database("ok")
         with pytest.raises(ExecutionError):
             db.set_execution_mode("vector")

@@ -40,6 +40,7 @@ class TestSyscatView:
             "rmi_wfms",
             "faults",
             "mvcc",
+            "columnar",
         }
 
     def test_view_reflects_live_counters(self, pooled_scenario):
@@ -64,7 +65,7 @@ class TestSyscatView:
         rows = db.execute(
             "SELECT DISTINCT component FROM SYSCAT_RUNTIME_STATS"
         ).rows
-        assert sorted(rows) == [("mvcc",), ("statement_cache",)]
+        assert sorted(rows) == [("columnar",), ("mvcc",), ("statement_cache",)]
 
 
 class TestShellStats:
