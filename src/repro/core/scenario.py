@@ -22,7 +22,9 @@ AllCompNames              dependent: cyclic      1 (iterated)
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
+from decimal import Decimal
 
 from repro.appsys.datagen import EnterpriseData, generate_enterprise_data
 from repro.core.architectures import Architecture, supports
@@ -38,6 +40,13 @@ from repro.core.mapping import (
     OutputSpec,
 )
 from repro.core.server import IntegrationServer
+from repro.fdbs.federation import (
+    ARCHIVE_PROFILE,
+    CACHE_FRONTED_PROFILE,
+    WEB_API_PROFILE,
+    DatabaseEndpoint,
+    SourceProfile,
+)
 from repro.fdbs.types import BIGINT, INTEGER, VARCHAR
 from repro.simtime.costs import CostModel
 from repro.simtime.rng import JitterSource
@@ -362,6 +371,7 @@ def build_scenario(
     faults: dict | None = None,
     optimizer: str = "syntactic",
     chunk_size: int | None = None,
+    heterogeneous: bool = False,
 ) -> Scenario:
     """Stand up an integration server and deploy every federated
     function the architecture supports; unsupported ones (the cyclic
@@ -372,7 +382,9 @@ def build_scenario(
     :meth:`~repro.core.server.IntegrationServer.configure_faults`;
     ``optimizer`` selects the FDBS planning mode (``"syntactic"`` or
     ``"cost"``); ``chunk_size`` overrides the FDBS rows-per-chunk knob
-    for batch/columnar execution."""
+    for batch/columnar execution; ``heterogeneous`` additionally
+    federates the three heterogeneous source profiles (see
+    :func:`attach_heterogeneous_sources`)."""
     server = IntegrationServer(
         architecture,
         costs=costs,
@@ -386,6 +398,8 @@ def build_scenario(
     )
     if faults:
         server.configure_faults(**faults)
+    if heterogeneous:
+        attach_heterogeneous_sources(server.fdbs, data=server.data)
     scenario = Scenario(server)
     for fed in scenario_functions():
         if not supports(architecture, fed.case):
@@ -397,3 +411,122 @@ def build_scenario(
         server.deploy(fed)
         scenario.functions[fed.name.upper()] = fed
     return scenario
+
+
+# ===========================================================================
+# Heterogeneous federated sources (three distinct cost profiles)
+# ===========================================================================
+
+#: Foreign server name -> (profile, nickname, remote table).
+HETEROGENEOUS_SOURCES: dict[str, tuple[SourceProfile, str, str]] = {
+    "RATINGS_API": (WEB_API_PROFILE, "api_ratings", "ratings"),
+    "ORDER_ARCHIVE": (ARCHIVE_PROFILE, "arch_orders", "orders_hist"),
+    "COMP_CATALOG": (CACHE_FRONTED_PROFILE, "cat_components", "catalog_comp"),
+}
+
+
+def attach_heterogeneous_sources(fdbs, data: EnterpriseData | None = None, seed: int = 7):
+    """Federate three heterogeneous sources into ``fdbs``.
+
+    Creates one foreign server per :data:`HETEROGENEOUS_SOURCES` entry,
+    each backed by its own in-process remote database and priced by its
+    own :class:`~repro.fdbs.federation.SourceProfile`:
+
+    * ``RATINGS_API`` / nickname ``api_ratings`` — a web-API-style
+      supplier-rating service (expensive paged requests, rate-limit
+      budget with retry/backoff);
+    * ``ORDER_ARCHIVE`` / nickname ``arch_orders`` — an order-history
+      archive (bulk scans nearly free, predicated lookups expensive);
+    * ``COMP_CATALOG`` / nickname ``cat_components`` — the component
+      catalog behind a response cache (repeating the same SQL is
+      almost free).
+
+    The remote rows are deterministic for a given ``seed`` and drawn
+    from the enterprise universe (``data``), NULL-heavy with DECIMAL
+    and VARCHAR columns.  Returns the remote databases by server name.
+    Per-source counters appear in SYSCAT_RUNTIME_STATS as
+    ``source:<server>`` components.
+    """
+    from repro.fdbs.engine import Database
+
+    if data is None:
+        data = generate_enterprise_data()
+    rng = random.Random(seed)
+    supplier_nos = [supplier.supplier_no for supplier in data.suppliers]
+
+    ratings = Database("remote-ratings-api")
+    ratings.execute(
+        "CREATE TABLE ratings (supplier_no INT, score DECIMAL(6,2), "
+        "reviewer VARCHAR(12), note VARCHAR(20))"
+    )
+    reviewers = ["auditor", "field", "panel", None]
+    notes = ["prompt", "late", "damaged", "spotless", None, None]
+    for _ in range(120):
+        score = (
+            None
+            if rng.random() < 0.2
+            else Decimal(rng.randint(0, 1000)) / Decimal(100)
+        )
+        ratings.execute(
+            "INSERT INTO ratings VALUES (?, ?, ?, ?)",
+            params=[
+                rng.choice(supplier_nos),
+                score,
+                rng.choice(reviewers),
+                rng.choice(notes),
+            ],
+        )
+
+    archive = Database("remote-order-archive")
+    archive.execute(
+        "CREATE TABLE orders_hist (order_no INT PRIMARY KEY, supplier_no INT, "
+        "comp_no INT, qty INT, price DECIMAL(8,2))"
+    )
+    for order_no in range(1, 241):
+        price = (
+            None
+            if rng.random() < 0.1
+            else Decimal(rng.randint(100, 999999)) / Decimal(100)
+        )
+        archive.execute(
+            "INSERT INTO orders_hist VALUES (?, ?, ?, ?, ?)",
+            params=[
+                order_no,
+                rng.choice(supplier_nos),
+                rng.choice(data.components).comp_no,
+                rng.randint(1, 500),
+                price,
+            ],
+        )
+
+    catalog = Database("remote-comp-catalog")
+    catalog.execute(
+        "CREATE TABLE catalog_comp (comp_no INT PRIMARY KEY, "
+        "name VARCHAR(30), weight DECIMAL(7,3))"
+    )
+    for component in data.components:
+        weight = (
+            None
+            if rng.random() < 0.1
+            else Decimal(rng.randint(1, 500000)) / Decimal(1000)
+        )
+        catalog.execute(
+            "INSERT INTO catalog_comp VALUES (?, ?, ?)",
+            params=[component.comp_no, component.name, weight],
+        )
+
+    remotes = {
+        "RATINGS_API": ratings,
+        "ORDER_ARCHIVE": archive,
+        "COMP_CATALOG": catalog,
+    }
+    fdbs.execute("CREATE WRAPPER hetero_wrapper")
+    for server_name, (profile, nickname, remote_table) in HETEROGENEOUS_SOURCES.items():
+        fdbs.execute(f"CREATE SERVER {server_name} WRAPPER hetero_wrapper")
+        fdbs.attach_endpoint(
+            server_name, DatabaseEndpoint(remotes[server_name]), profile=profile
+        )
+        fdbs.execute(
+            f"CREATE NICKNAME {nickname} FOR {server_name}.{remote_table}"
+        )
+    return remotes

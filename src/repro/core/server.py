@@ -230,3 +230,13 @@ class IntegrationServer:
         start = self.machine.clock.now
         result = fn(*args, **kwargs)
         return result, self.machine.clock.now - start
+
+    def source_stats(self) -> dict:
+        """Per-source federation counters keyed by ``source:<server>``.
+
+        Populated when heterogeneous sources are attached (requests,
+        pages, rows, rate-limit waits, cache hits per foreign server);
+        empty for plain scenarios.  The same counters appear in
+        ``SYSCAT_RUNTIME_STATS``.
+        """
+        return self.fdbs.federation.stats()

@@ -146,12 +146,16 @@ class ServerDef:
     """A SQL/MED foreign server using a wrapper.
 
     ``endpoint`` is attached by the federation layer and points at the
-    remote database adapter the wrapper talks to.
+    remote database adapter the wrapper talks to.  ``profile`` is an
+    optional :class:`~repro.fdbs.federation.SourceProfile` replacing
+    the uniform remote cost model with source-specific constants
+    (pagination, rate limits, lookup surcharges, cache fronts).
     """
 
     name: str
     wrapper: str
     endpoint: object | None = None
+    profile: object | None = None
 
 
 @dataclass

@@ -433,6 +433,8 @@ class Database:
         else:
             stats["mvcc"] = self.mvcc_stats()
             stats["columnar"] = self.columnar_stats()
+        # Heterogeneous sources: one component per profiled server.
+        stats.update(self.federation.stats())
         return stats
 
     def _runtime_header(self) -> list[str]:
@@ -470,10 +472,22 @@ class Database:
         procedure = self.catalog.get_procedure(name)
         return ProcedureInterpreter(self, procedure).call(args)
 
-    def attach_endpoint(self, server_name: str, endpoint: RemoteEndpoint) -> None:
-        """Attach the remote endpoint object to a created server."""
+    def attach_endpoint(
+        self,
+        server_name: str,
+        endpoint: RemoteEndpoint,
+        profile=None,
+    ) -> None:
+        """Attach the remote endpoint object to a created server.
+
+        ``profile`` optionally marks the server as a heterogeneous
+        source (a :class:`~repro.fdbs.federation.SourceProfile`): its
+        cost constants replace the uniform round-trip pricing and its
+        counters surface in SYSCAT_RUNTIME_STATS as ``source:<name>``.
+        """
         server = self.catalog.get_server(server_name)
         server.endpoint = endpoint
+        server.profile = profile
 
     def register_external_function(self, function: ExternalTableFunction) -> None:
         """Register a pre-built external table function (A-UDTF)."""

@@ -266,7 +266,7 @@ class TableScanPlan(Plan):
                 return pinned
         return self._table.current_version
 
-    def _chunks(self, ctx: EvalContext) -> list:
+    def _chunks(self, ctx: EvalContext) -> Iterator:
         """Column chunks of the pinned version, zone-map pruned.
 
         Pruning is a pure superset skip: a pruned chunk provably holds
@@ -275,31 +275,45 @@ class TableScanPlan(Plan):
         order) are exactly what the unpruned scan would feed through
         that filter.  Empty (all-tombstone) chunks are skipped without
         counting as scanned or pruned.
+
+        Chunks are produced lazily and counted as they are examined, so
+        when a LIMIT above terminates the scan early the counters stay
+        consistent: ``chunks_scanned`` is exactly the chunks handed to
+        the consumer, and EXPLAIN ANALYZE's ``pruned=N/M`` reports the
+        chunks actually examined (``M - N`` of which were scanned) —
+        never chunks the aborted scan would have read.
         """
         chunks = self._table.columnar_chunks(self._version(ctx))
         checks = self.prune_checks
-        kept = []
         scanned = pruned = 0
-        for chunk in chunks:
-            count = chunk.count
-            if count == 0:
-                continue
-            keep = True
-            for position, check, _text in checks:
-                lo, hi, nulls = chunk.zone(position)
-                if not check(lo, hi, nulls, count):
-                    keep = False
-                    break
-            if keep:
-                scanned += 1
-                kept.append(chunk)
-            else:
-                pruned += 1
-        self.last_chunks_total = scanned + pruned
-        self.last_chunks_pruned = pruned
-        if self.columnar_note is not None:
-            self.columnar_note(scanned, pruned)
-        return kept
+        self.last_chunks_total = 0
+        self.last_chunks_pruned = 0
+        try:
+            for chunk in chunks:
+                count = chunk.count
+                if count == 0:
+                    continue
+                keep = True
+                for position, check, _text in checks:
+                    lo, hi, nulls = chunk.zone(position)
+                    if not check(lo, hi, nulls, count):
+                        keep = False
+                        break
+                if keep:
+                    scanned += 1
+                    self.last_chunks_total = scanned + pruned
+                    yield chunk
+                else:
+                    pruned += 1
+                    self.last_chunks_total = scanned + pruned
+                    self.last_chunks_pruned = pruned
+        finally:
+            # Runs on exhaustion *and* on early termination (generator
+            # close), so the database counters see each chunk once.
+            self.last_chunks_total = scanned + pruned
+            self.last_chunks_pruned = pruned
+            if self.columnar_note is not None:
+                self.columnar_note(scanned, pruned)
 
     def rows(self, ctx: EvalContext) -> Iterator[tuple]:
         """Yield the operator's result rows."""
@@ -809,14 +823,20 @@ class RemoteBindJoinPlan(Plan):
         if not key_values:
             return  # inner equality over all-NULL outer keys: no matches
         predicates = list(self.scan.pushed_predicates)
+        layer = getattr(self.scan.fetcher, "layer", None)
         if len(key_values) <= self.max_keys:
             predicates.append(self._bind_predicate(key_values))
             self.bound_fetches += 1
-            layer = getattr(self.scan.fetcher, "layer", None)
             if layer is not None:
                 layer.bind_join_count += 1
         else:
+            # Runtime guard: the optimizer's gate is estimate-based, so
+            # the *actual* distinct keys can exceed it (stale RUNSTATS
+            # after DML).  Ship-all instead of an oversized IN list —
+            # the hash probe below enforces the equi-conjunct either way.
             self.unbound_fetches += 1
+            if layer is not None:
+                layer.bind_join_fallbacks += 1
         buckets: dict[object, list[tuple]] = {}
         key_index = self.remote_key_index
         for remote_row in self.scan.fetcher.fetch(ctx, predicates):

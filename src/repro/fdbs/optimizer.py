@@ -104,6 +104,12 @@ class _Item:
     deps: frozenset[str]
     base_card: float
     eff_card: float = 0.0
+    #: Heterogeneous-source profile of a nickname's server (None keeps
+    #: the uniform remote cost model).
+    profile: object = None
+    #: Whether the source's cache front would serve the plain ship-all
+    #: scan of this nickname right now (cache-fronted profiles only).
+    scan_cached: bool = False
 
 
 def plan_decisions(
@@ -111,12 +117,19 @@ def plan_decisions(
     catalog,
     stats_lookup: StatsLookup,
     costs=None,
+    federation=None,
 ) -> Decisions | None:
-    """Analyse one query block; None means full syntactic fallback."""
+    """Analyse one query block; None means full syntactic fallback.
+
+    ``federation`` (the database's FederationLayer, when available)
+    supplies heterogeneous-source inputs: each nickname's
+    :class:`~repro.fdbs.federation.SourceProfile` and whether its
+    ship-all scan is currently cache-resident.
+    """
     from_items = select.from_items
     if not from_items:
         return None
-    infos = _analyse_items(from_items, catalog, stats_lookup)
+    infos = _analyse_items(from_items, catalog, stats_lookup, federation)
     if infos is None:
         return None
     by_alias = {info.alias: info for info in infos}
@@ -175,7 +188,9 @@ def plan_decisions(
     )
 
 
-def _analyse_items(from_items, catalog, stats_lookup) -> list[_Item] | None:
+def _analyse_items(
+    from_items, catalog, stats_lookup, federation=None
+) -> list[_Item] | None:
     aliases: set[str] = set()
     shapes: list[tuple] = []
     for index, item in enumerate(from_items):
@@ -212,9 +227,24 @@ def _analyse_items(from_items, catalog, stats_lookup) -> list[_Item] | None:
                 stats = stats_lookup(item.name)
                 if stats is None:
                     return None
+                nickname = catalog.get_nickname(item.name)
+                profile = None
+                scan_cached = False
+                if federation is not None:
+                    profile = federation.profile_for(nickname)
+                    if profile is not None:
+                        scan_cached = federation.cached_full_scan(nickname)
                 infos.append(
                     _Item(
-                        index, "nickname", alias, item.name, stats, frozenset(), stats.card
+                        index,
+                        "nickname",
+                        alias,
+                        item.name,
+                        stats,
+                        frozenset(),
+                        stats.card,
+                        profile=profile,
+                        scan_cached=scan_cached,
                     )
                 )
                 continue
@@ -276,6 +306,10 @@ def _choose_bind_joins(infos, conjuncts, by_alias, position, costs):
     for info in infos:
         if info.kind != "nickname":
             continue
+        max_keys = MAX_BIND_KEYS
+        if info.profile is not None and info.profile.max_bind_keys is not None:
+            max_keys = info.profile.max_bind_keys
+        pushed = _has_single_alias_conjunct(conjuncts, info.alias)
         for conjunct in conjuncts:
             if any(conjunct is used for used in consumed):
                 continue
@@ -287,12 +321,12 @@ def _choose_bind_joins(infos, conjuncts, by_alias, position, costs):
             if position[outer.index] >= position[info.index]:
                 continue  # outer side not materialised yet
             est_keys = _est_distinct(outer, outer_column)
-            if est_keys > MAX_BIND_KEYS:
+            if est_keys > max_keys:
                 continue
             column = info.stats.column(bind_column) if info.stats else None
             ndv = column.ndv if column is not None and column.ndv > 0 else 0
             per_key = info.stats.card / ndv if ndv else float(info.stats.card)
-            if not _bind_pays_off(info.stats.card, est_keys * per_key, costs):
+            if not _bind_pays_off(info, est_keys * per_key, costs, pushed):
                 continue
             bind_remote[info.index] = BindRemote(
                 conjunct, outer_alias, outer_column, bind_column, per_key
@@ -302,14 +336,50 @@ def _choose_bind_joins(infos, conjuncts, by_alias, position, costs):
     return bind_remote, consumed
 
 
-def _bind_pays_off(full_rows: float, bound_rows: float, costs) -> bool:
+def _has_single_alias_conjunct(conjuncts, alias: str) -> bool:
+    """Whether a conjunct references only ``alias`` (it will be pushed
+    into the remote scan, changing the shipped SQL text)."""
+    for conjunct in conjuncts:
+        qualifiers = referenced_qualifiers(conjunct)
+        if qualifiers is not None and qualifiers == {alias}:
+            return True
+    return False
+
+
+def _bind_pays_off(info: "_Item", bound_rows: float, costs, pushed: bool) -> bool:
     """Priced comparison of the bound vs. the unbound fetch."""
-    if costs is None:
-        return bound_rows < full_rows
-    transfer = costs.remote_row_transfer
-    # Both variants pay one round trip; the bound fetch only wins on the
-    # per-row transfer of the rows it avoids shipping.
-    return bound_rows * transfer < full_rows * transfer
+    full_rows = info.stats.card
+    profile = info.profile
+    if profile is None:
+        if costs is None:
+            return bound_rows < full_rows
+        transfer = costs.remote_row_transfer
+        # Both variants pay one round trip; the bound fetch only wins on
+        # the per-row transfer of the rows it avoids shipping.
+        return bound_rows * transfer < full_rows * transfer
+    # Heterogeneous source: price both fetches with the profile's own
+    # constants.  The ship-all scan is filtered only when single-alias
+    # conjuncts get pushed into it; the bound fetch always ships a
+    # predicate.  A cache-resident ship-all scan costs one cache hit.
+    cached = info.scan_cached and not pushed
+    full_cost = _profiled_fetch_cost(full_rows, profile, filtered=pushed, cached=cached)
+    bound_cost = _profiled_fetch_cost(bound_rows, profile, filtered=True, cached=False)
+    return bound_cost < full_cost
+
+
+def _profiled_fetch_cost(
+    rows: float, profile, filtered: bool, cached: bool
+) -> float:
+    """Estimated simulated cost of one fetch under a source profile."""
+    if cached:
+        return profile.cache_hit_cost
+    requests = 1.0
+    if profile.page_size:
+        requests = max(1.0, -(-rows // profile.page_size))
+    cost = requests * profile.per_request + rows * profile.per_row
+    if filtered:
+        cost += profile.filtered_surcharge
+    return cost
 
 
 def _as_bind_conjunct(conjunct, nickname_alias, by_alias):

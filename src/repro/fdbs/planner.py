@@ -24,6 +24,7 @@ from repro.errors import (
 from repro.fdbs import ast
 from repro.fdbs.catalog import Catalog, ColumnDef, NicknameDef
 from repro.fdbs.executor import (
+    MAX_BIND_KEYS,
     AggregatePlan,
     AggregateSpec,
     CrossApplyPlan,
@@ -170,6 +171,11 @@ class Planner:
                 self.catalog,
                 self.statistics or (lambda name: None),
                 self.costs,
+                federation=(
+                    self.pushdown_counter
+                    if hasattr(self.pushdown_counter, "profile_for")
+                    else None
+                ),
             )
         plan, layout, remote_candidates, local_scans, consumed, prunable = (
             self._plan_from(select, decisions)
@@ -411,15 +417,18 @@ class Planner:
         remote_candidates: dict[str, RemoteScanPlan] = {}
         local_scans: dict[str, TableScanPlan] = {}
         consumed: list[ast.Expression] = []
-        #: Alias -> local scan eligible for zone-map pruning (columnar
-        #: mode only).  Scans on the nullable side of an outer join are
-        #: never registered: pruning them could manufacture NULL-padded
-        #: rows that pass predicates like ``d.x IS NULL``.  A duplicate
-        #: alias poisons its entry (None) so no check can mis-bind.
+        #: Alias -> local scan eligible for zone-map pruning.  Pruning
+        #: applies in *every* execution mode, not just columnar: a scan
+        #: must deliver the same rows however they are dispatched, or a
+        #: lazily-pulled inner side (a remote fetch, a rate-limited
+        #: web-API request) would run under one mode and not another
+        #: whenever pruning empties the outer side.  Scans on the
+        #: nullable side of an outer join are never registered: pruning
+        #: them could manufacture NULL-padded rows that pass predicates
+        #: like ``d.x IS NULL``.  A duplicate alias poisons its entry
+        #: (None) so no check can mis-bind.
         prunable: dict[str, TableScanPlan | None] | None = (
-            {}
-            if self.execution_mode == "columnar" and self.enable_zone_maps
-            else None
+            {} if self.enable_zone_maps else None
         )
         items = select.from_items
         if decisions is not None:
@@ -597,8 +606,13 @@ class Planner:
             return None
         if not hash_join_compatible(left_key.type, scan.schema[remote_index].type):
             return None
+        profile = getattr(scan.fetcher, "profile", None)
+        max_keys = MAX_BIND_KEYS
+        if profile is not None and profile.max_bind_keys is not None:
+            max_keys = profile.max_bind_keys
         return RemoteBindJoinPlan(
-            left, scan, left_key, spec.bind_column, remote_index
+            left, scan, left_key, spec.bind_column, remote_index,
+            max_keys=max_keys,
         )
 
     def _select_indexes(

@@ -174,10 +174,23 @@ class Shell:
         return True
 
 
-def build_database(scenario_name: str | None) -> Database:
-    """An empty database, or the paper scenario's integration FDBS."""
+def build_database(
+    scenario_name: str | None, heterogeneous: bool = False
+) -> Database:
+    """An empty database, or the paper scenario's integration FDBS.
+
+    ``heterogeneous`` federates the three heterogeneous source profiles
+    (web-API, archive, cache-fronted nicknames; see
+    :func:`repro.core.scenario.attach_heterogeneous_sources`) so their
+    per-source counters show up under ``.stats``.
+    """
     if scenario_name is None:
-        return Database("shell")
+        database = Database("shell")
+        if heterogeneous:
+            from repro.core.scenario import attach_heterogeneous_sources
+
+            attach_heterogeneous_sources(database)
+        return database
     from repro.core.architectures import Architecture
     from repro.core.scenario import build_scenario
 
@@ -193,7 +206,7 @@ def build_database(scenario_name: str | None) -> Database:
             f"unknown scenario {scenario_name!r}; pick one of "
             f"{', '.join(architectures)}"
         ) from None
-    return build_scenario(architecture).server.fdbs
+    return build_scenario(architecture, heterogeneous=heterogeneous).server.fdbs
 
 
 def main(argv: list[str]) -> int:
@@ -201,10 +214,27 @@ def main(argv: list[str]) -> int:
     import sys
 
     scenario = None
-    if argv and argv[0] == "--scenario":
-        if len(argv) < 2:
-            print("usage: python -m repro.fdbs [--scenario wfms|sql|java]")
+    heterogeneous = False
+    args = list(argv)
+    while args:
+        arg = args.pop(0)
+        if arg == "--scenario":
+            if not args:
+                print(
+                    "usage: python -m repro.fdbs "
+                    "[--scenario wfms|sql|java] [--hetero]"
+                )
+                return 2
+            scenario = args.pop(0)
+        elif arg == "--hetero":
+            heterogeneous = True
+        else:
+            print(
+                "usage: python -m repro.fdbs "
+                "[--scenario wfms|sql|java] [--hetero]"
+            )
             return 2
-        scenario = argv[1]
-    Shell(build_database(scenario)).run(sys.stdin, sys.stdout)
+    Shell(build_database(scenario, heterogeneous=heterogeneous)).run(
+        sys.stdin, sys.stdout
+    )
     return 0

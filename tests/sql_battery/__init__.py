@@ -1,0 +1,9 @@
+"""Differential SQL battery over heterogeneous federated sources.
+
+A seeded generator (:mod:`tests.sql_battery.generator`) produces a
+corpus of shape-checked SELECT/DML statements; the runner
+(:mod:`tests.sql_battery.runner`) executes the identical corpus against
+every architecture x execution-mode x optimizer combination and the
+tests (:mod:`tests.sql_battery.test_battery_shape`) assert bit-identical
+rows and simulated times per the parity contract documented there.
+"""

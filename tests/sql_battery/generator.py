@@ -1,0 +1,530 @@
+"""Seeded SQL corpus generator for the differential battery.
+
+Every query is *shape-checked*: it carries the number of output columns
+it must produce, whether its ORDER BY covers the whole select list
+(making the result a total order — ties are identical rows, so the row
+*list* must be bit-identical even across plans that scan in different
+orders), an optional LIMIT bound, and whether it touches a remote
+nickname or a lateral ``TABLE()`` call (which changes what the tests
+may assert about simulated time across optimizers/architectures).
+
+The corpus draws from three battery-local tables (created by the
+runner; NULL-heavy, with ``DECIMAL`` and ``VARCHAR`` columns) and the
+three heterogeneous nicknames that
+:func:`repro.core.scenario.attach_heterogeneous_sources` federates:
+
+========================  =============================================
+``bat_watch``             local; supplier/component watch list
+``bat_parts``             local; parts with NULLable DECIMAL weights
+``bat_scratch``           local; DML target (INSERT/UPDATE/DELETE)
+``api_ratings``           web-API source (paged, rate-limited)
+``arch_orders``           archive source (scan-cheap, lookup-expensive)
+``cat_components``        cache-fronted source
+========================  =============================================
+
+Only :class:`random.Random` seeded state is used — same seed, same
+corpus, on every run and platform (no iteration over ``set``/``dict``
+views of strings).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from decimal import Decimal
+
+DEFAULT_SEED = 20260809
+DEFAULT_COUNT = 320
+
+# -- schema the generator writes queries against -------------------------------
+
+# (column, kind) where kind is "int" | "dec" | "str"
+TABLES: dict[str, list[tuple[str, str]]] = {
+    "bat_watch": [
+        ("pk", "int"),
+        ("supplier_no", "int"),
+        ("comp_no", "int"),
+        ("grade", "int"),
+        ("label", "str"),
+    ],
+    "bat_parts": [
+        ("pno", "int"),
+        ("pname", "str"),
+        ("weight", "dec"),
+        ("sno", "int"),
+        ("tag", "str"),
+    ],
+    "bat_scratch": [
+        ("k", "int"),
+        ("v", "int"),
+        ("note", "str"),
+        ("amount", "dec"),
+    ],
+    "api_ratings": [
+        ("supplier_no", "int"),
+        ("score", "dec"),
+        ("reviewer", "str"),
+        ("note", "str"),
+    ],
+    "arch_orders": [
+        ("order_no", "int"),
+        ("supplier_no", "int"),
+        ("comp_no", "int"),
+        ("qty", "int"),
+        ("price", "dec"),
+    ],
+    "cat_components": [
+        ("comp_no", "int"),
+        ("name", "str"),
+        ("weight", "dec"),
+    ],
+}
+
+REMOTE_TABLES = ("api_ratings", "arch_orders", "cat_components")
+LOCAL_TABLES = ("bat_watch", "bat_parts", "bat_scratch")
+
+# joinable column pairs: (left table, left col, right table, right col)
+JOIN_PAIRS = [
+    ("bat_watch", "supplier_no", "bat_parts", "sno"),
+    ("bat_watch", "supplier_no", "api_ratings", "supplier_no"),
+    ("bat_watch", "supplier_no", "arch_orders", "supplier_no"),
+    ("bat_watch", "comp_no", "cat_components", "comp_no"),
+    ("bat_parts", "sno", "api_ratings", "supplier_no"),
+    ("bat_parts", "sno", "arch_orders", "supplier_no"),
+    ("arch_orders", "comp_no", "cat_components", "comp_no"),
+]
+
+SUPPLIER_NOS = [1234] + [5000 + i for i in range(1, 9)]
+
+INT_LITERALS = {
+    "pk": list(range(0, 19)),
+    "supplier_no": SUPPLIER_NOS,
+    "sno": SUPPLIER_NOS,
+    "comp_no": list(range(1, 61)),
+    "grade": [1, 2, 3, 4, 5],
+    "pno": list(range(1, 31)),
+    "k": list(range(1, 16)) + list(range(1000, 1040)),
+    "v": list(range(0, 101, 5)),
+    "order_no": list(range(1, 241, 7)),
+    "qty": list(range(1, 501, 25)),
+}
+
+DEC_LITERALS = {
+    "weight": ["0.5", "2.25", "7.125", "19.5", "33.0", "48.75"],
+    "score": ["1.0", "2.5", "4.75", "6.0", "8.25", "9.5"],
+    "amount": ["10.00", "55.25", "120.50", "300.00", "640.75"],
+    "price": ["5.00", "42.50", "99.99", "180.25", "333.00"],
+}
+
+STR_LITERALS = {
+    "label": ["gold", "silver", "bronze", "watch", "hold"],
+    "pname": ["gearbox", "piston", "camshaft", "flywheel", "valve", "rotor"],
+    "tag": ["a1", "b2", "c3", "dd", "ee"],
+    "note": ["prompt", "late", "damaged", "spotless", "ok"],
+    "reviewer": ["auditor", "field", "panel"],
+    "name": ["gearbox", "axle", "bearing", "shaft"],
+}
+
+LIKE_PATTERNS = {
+    "label": ["%o%", "g%", "%d"],
+    "pname": ["%a%", "%or%", "p%"],
+    "tag": ["%1", "b%", "%e%"],
+    "note": ["%t%", "%ed", "s%"],
+    "reviewer": ["%l%", "a%", "%d%"],
+    "name": ["%a%", "%x%", "g%"],
+}
+
+CMP_OPS = ["<", "<=", ">", ">=", "=", "<>"]
+
+
+@dataclass(frozen=True)
+class BatteryQuery:
+    """One generated statement plus its shape contract."""
+
+    sql: str
+    kind: str  # "select" | "dml"
+    columns: int  # output width (for DML: of the verification SELECT)
+    total_order: bool  # ORDER BY covers the whole select list
+    limit: int | None  # row-count ceiling, if the query has one
+    remote: bool  # touches a nickname
+    lateral: bool  # touches a lateral TABLE() call
+    tag: str  # generator family, for triage
+
+
+# -- battery-local table DDL and seed rows -------------------------------------
+
+BATTERY_DDL = [
+    "CREATE TABLE bat_watch (pk INT PRIMARY KEY, supplier_no INT, "
+    "comp_no INT, grade INT, label VARCHAR(8))",
+    "CREATE TABLE bat_parts (pno INT PRIMARY KEY, pname VARCHAR(14), "
+    "weight DECIMAL(7,3), sno INT, tag VARCHAR(6))",
+    "CREATE TABLE bat_scratch (k INT PRIMARY KEY, v INT, "
+    "note VARCHAR(10), amount DECIMAL(8,2))",
+]
+
+
+def battery_rows(seed: int = 11) -> dict[str, list[tuple]]:
+    """Deterministic NULL-heavy seed rows for the battery tables."""
+    rng = random.Random(seed)
+    watch = []
+    for pk in range(18):
+        watch.append(
+            (
+                pk,
+                rng.choice(SUPPLIER_NOS),  # never NULL: fed to GetQuality
+                rng.choice(list(range(1, 61)) + [None, None]),
+                rng.choice([1, 2, 3, 4, 5, None]),
+                rng.choice(STR_LITERALS["label"] + [None, None]),
+            )
+        )
+    parts = []
+    for pno in range(1, 25):
+        parts.append(
+            (
+                pno,
+                rng.choice(STR_LITERALS["pname"] + [None]),
+                rng.choice(
+                    [
+                        Decimal("0.500"),
+                        Decimal("2.250"),
+                        Decimal("7.125"),
+                        Decimal("19.500"),
+                        Decimal("33.000"),
+                        None,
+                        None,
+                    ]
+                ),
+                rng.choice(SUPPLIER_NOS + [None, None]),
+                rng.choice(STR_LITERALS["tag"] + [None]),
+            )
+        )
+    scratch = []
+    for k in range(1, 13):
+        scratch.append(
+            (
+                k,
+                rng.choice(list(range(0, 101, 5)) + [None]),
+                rng.choice(STR_LITERALS["note"] + [None]),
+                rng.choice(
+                    [
+                        Decimal("10.00"),
+                        Decimal("55.25"),
+                        Decimal("120.50"),
+                        Decimal("300.00"),
+                        None,
+                    ]
+                ),
+            )
+        )
+    return {"bat_watch": watch, "bat_parts": parts, "bat_scratch": scratch}
+
+
+# -- the generator -------------------------------------------------------------
+
+
+class QueryGenerator:
+    """Draws :class:`BatteryQuery` items from a seeded RNG."""
+
+    def __init__(self, seed: int = DEFAULT_SEED):
+        self.rng = random.Random(seed)
+        self._next_insert_key = 1000
+
+    # helper draws ---------------------------------------------------------
+
+    def _columns_of(self, table: str) -> list[tuple[str, str]]:
+        return TABLES[table]
+
+    def _literal(self, column: str, kind: str) -> str:
+        if kind == "int":
+            return str(self.rng.choice(INT_LITERALS[column]))
+        if kind == "dec":
+            return self.rng.choice(DEC_LITERALS[column])
+        return "'" + self.rng.choice(STR_LITERALS[column]) + "'"
+
+    def _predicate(self, alias: str, column: str, kind: str) -> str:
+        """One atomic predicate over ``alias.column``."""
+        ref = f"{alias}.{column}"
+        roll = self.rng.random()
+        if roll < 0.12:
+            return f"{ref} IS NULL"
+        if roll < 0.24:
+            return f"{ref} IS NOT NULL"
+        if kind == "str":
+            if roll < 0.5:
+                pattern = self.rng.choice(LIKE_PATTERNS[column])
+                return f"{ref} LIKE '{pattern}'"
+            if roll < 0.75:
+                picks = self.rng.sample(
+                    STR_LITERALS[column], k=min(2, len(STR_LITERALS[column]))
+                )
+                quoted = ", ".join(f"'{p}'" for p in picks)
+                return f"{ref} IN ({quoted})"
+            return f"{ref} = {self._literal(column, kind)}"
+        if roll < 0.45:
+            op = self.rng.choice(CMP_OPS)
+            return f"{ref} {op} {self._literal(column, kind)}"
+        if roll < 0.65:
+            lo = self._literal(column, kind)
+            hi = self._literal(column, kind)
+            if kind == "int" and int(lo) > int(hi):
+                lo, hi = hi, lo
+            if kind == "dec" and float(lo) > float(hi):
+                lo, hi = hi, lo
+            return f"{ref} BETWEEN {lo} AND {hi}"
+        if roll < 0.85:
+            pool = INT_LITERALS[column] if kind == "int" else DEC_LITERALS[column]
+            picks = self.rng.sample(pool, k=min(3, len(pool)))
+            return f"{ref} IN ({', '.join(str(p) for p in picks)})"
+        op = self.rng.choice(CMP_OPS)
+        return f"{ref} {op} {self._literal(column, kind)}"
+
+    def _where(self, parts: list[str]) -> str:
+        if not parts:
+            return ""
+        glue = " AND " if self.rng.random() < 0.7 else " OR "
+        return " WHERE " + glue.join(parts)
+
+    def _some_predicates(self, alias: str, table: str, max_n: int = 2) -> list[str]:
+        columns = self._columns_of(table)
+        n = self.rng.randint(0, max_n)
+        out = []
+        for _ in range(n):
+            column, kind = self.rng.choice(columns)
+            out.append(self._predicate(alias, column, kind))
+        return out
+
+    # query families -------------------------------------------------------
+
+    def simple_select(self) -> BatteryQuery:
+        table = self.rng.choice(LOCAL_TABLES + REMOTE_TABLES)
+        alias = table[0]
+        columns = self._columns_of(table)
+        k = self.rng.randint(1, min(4, len(columns)))
+        projected = self.rng.sample(columns, k=k)
+        select_list = ", ".join(f"{alias}.{c}" for c, _ in projected)
+        distinct = "DISTINCT " if self.rng.random() < 0.25 else ""
+        where = self._where(self._some_predicates(alias, table))
+        order, total = "", False
+        limit = None
+        if self.rng.random() < 0.7:
+            keys = []
+            for c, _ in projected:
+                direction = self.rng.choice(["", " DESC"])
+                keys.append(f"{alias}.{c}{direction}")
+            order = " ORDER BY " + ", ".join(keys)
+            total = True
+            if self.rng.random() < 0.3:
+                limit = self.rng.choice([1, 3, 5, 10])
+                clause = self.rng.random()
+                if clause < 0.5:
+                    order += f" LIMIT {limit}"
+                else:
+                    order += f" FETCH FIRST {limit} ROWS ONLY"
+        sql = (
+            f"SELECT {distinct}{select_list} FROM {table} AS {alias}"
+            f"{where}{order}"
+        )
+        return BatteryQuery(
+            sql,
+            "select",
+            len(projected),
+            total,
+            limit,
+            table in REMOTE_TABLES,
+            False,
+            "simple",
+        )
+
+    def aggregate(self) -> BatteryQuery:
+        table = self.rng.choice(LOCAL_TABLES + REMOTE_TABLES)
+        alias = table[0]
+        columns = self._columns_of(table)
+        group_col, _ = self.rng.choice(
+            [(c, kd) for c, kd in columns if kd != "dec"]
+        )
+        numeric = [(c, kd) for c, kd in columns if kd in ("int", "dec")]
+        agg_col, _ = self.rng.choice(numeric)
+        agg_fn = self.rng.choice(["SUM", "MIN", "MAX", "AVG", "COUNT"])
+        aggs = ["COUNT(*)", f"{agg_fn}({alias}.{agg_col})"]
+        where = self._where(self._some_predicates(alias, table, max_n=1))
+        having = ""
+        if self.rng.random() < 0.4:
+            having = f" HAVING COUNT(*) >= {self.rng.choice([1, 2, 3])}"
+        sql = (
+            f"SELECT {alias}.{group_col}, {', '.join(aggs)} "
+            f"FROM {table} AS {alias}{where} "
+            f"GROUP BY {alias}.{group_col}{having} "
+            f"ORDER BY {alias}.{group_col}"
+        )
+        # group keys are unique per output row, so ordering by them alone
+        # is already a total order.
+        return BatteryQuery(
+            sql,
+            "select",
+            3,
+            True,
+            None,
+            table in REMOTE_TABLES,
+            False,
+            "aggregate",
+        )
+
+    def join2(self) -> BatteryQuery:
+        lt, lc, rt, rc = self.rng.choice(JOIN_PAIRS)
+        la, ra = "l", "r"
+        lcols = self.rng.sample(
+            self._columns_of(lt), k=self.rng.randint(1, 2)
+        )
+        rcols = self.rng.sample(
+            self._columns_of(rt), k=self.rng.randint(1, 2)
+        )
+        select_items = [f"{la}.{c}" for c, _ in lcols] + [
+            f"{ra}.{c}" for c, _ in rcols
+        ]
+        preds = [f"{la}.{lc} = {ra}.{rc}"]
+        preds += self._some_predicates(la, lt, max_n=1)
+        preds += self._some_predicates(ra, rt, max_n=1)
+        order, total = "", False
+        if self.rng.random() < 0.75:
+            order = " ORDER BY " + ", ".join(select_items)
+            total = True
+        sql = (
+            f"SELECT {', '.join(select_items)} FROM {lt} AS {la}, {rt} AS {ra} "
+            f"WHERE {' AND '.join(preds)}{order}"
+        )
+        remote = lt in REMOTE_TABLES or rt in REMOTE_TABLES
+        return BatteryQuery(
+            sql,
+            "select",
+            len(select_items),
+            total,
+            None,
+            remote,
+            False,
+            "join2",
+        )
+
+    def left_join(self) -> BatteryQuery:
+        lt, lc, rt, rc = self.rng.choice(JOIN_PAIRS)
+        la, ra = "l", "r"
+        lcols = self.rng.sample(
+            self._columns_of(lt), k=self.rng.randint(1, 2)
+        )
+        rcols = self.rng.sample(self._columns_of(rt), k=1)
+        select_items = [f"{la}.{c}" for c, _ in lcols] + [
+            f"{ra}.{c}" for c, _ in rcols
+        ]
+        outer = "LEFT OUTER JOIN" if self.rng.random() < 0.5 else "LEFT JOIN"
+        where = ""
+        if self.rng.random() < 0.4:
+            rcol, _ = rcols[0]
+            where = f" WHERE {ra}.{rcol} IS NULL"
+        order, total = "", False
+        if self.rng.random() < 0.75:
+            order = " ORDER BY " + ", ".join(select_items)
+            total = True
+        sql = (
+            f"SELECT {', '.join(select_items)} FROM {lt} AS {la} "
+            f"{outer} {rt} AS {ra} ON {la}.{lc} = {ra}.{rc}{where}{order}"
+        )
+        remote = lt in REMOTE_TABLES or rt in REMOTE_TABLES
+        return BatteryQuery(
+            sql,
+            "select",
+            len(select_items),
+            total,
+            None,
+            remote,
+            False,
+            "left_join",
+        )
+
+    def lateral(self) -> BatteryQuery:
+        preds = self._some_predicates("w", "bat_watch", max_n=1)
+        where = (" AND " + " AND ".join(preds)) if preds else ""
+        sql = (
+            "SELECT w.pk, w.supplier_no, q.Qual "
+            "FROM bat_watch AS w, TABLE (GetQuality(w.supplier_no)) AS q "
+            f"WHERE w.pk >= 0{where} ORDER BY w.pk"
+        )
+        return BatteryQuery(sql, "select", 3, True, None, False, True, "lateral")
+
+    def union(self) -> BatteryQuery:
+        # int-kinded single-column branches are always type-compatible
+        choices = [
+            ("bat_watch", "w", "supplier_no"),
+            ("bat_parts", "p", "sno"),
+            ("api_ratings", "a", "supplier_no"),
+            ("arch_orders", "o", "supplier_no"),
+        ]
+        (t1, a1, c1), (t2, a2, c2) = self.rng.sample(choices, k=2)
+        w1 = self._where(self._some_predicates(a1, t1, max_n=1))
+        w2 = self._where(self._some_predicates(a2, t2, max_n=1))
+        op = "UNION ALL" if self.rng.random() < 0.5 else "UNION"
+        sql = (
+            f"SELECT {a1}.{c1} FROM {t1} AS {a1}{w1} "
+            f"{op} "
+            f"SELECT {a2}.{c2} FROM {t2} AS {a2}{w2}"
+        )
+        remote = t1 in REMOTE_TABLES or t2 in REMOTE_TABLES
+        return BatteryQuery(
+            sql, "select", 1, False, None, remote, False, "union"
+        )
+
+    def dml(self) -> BatteryQuery:
+        roll = self.rng.random()
+        if roll < 0.45:
+            key = self._next_insert_key
+            self._next_insert_key += 1
+            v = self.rng.choice(list(range(0, 101, 5)) + ["NULL"])
+            note = self.rng.choice(
+                ["'" + n + "'" for n in STR_LITERALS["note"]] + ["NULL"]
+            )
+            amount = self.rng.choice(DEC_LITERALS["amount"] + ["NULL"])
+            sql = f"INSERT INTO bat_scratch VALUES ({key}, {v}, {note}, {amount})"
+            tag = "insert"
+        elif roll < 0.8:
+            assign = []
+            if self.rng.random() < 0.7:
+                assign.append(f"v = {self.rng.choice(INT_LITERALS['v'])}")
+            if not assign or self.rng.random() < 0.4:
+                assign.append(
+                    f"note = '{self.rng.choice(STR_LITERALS['note'])}'"
+                )
+            pred = self._predicate(
+                "bat_scratch", self.rng.choice(["k", "v"]), "int"
+            )
+            sql = f"UPDATE bat_scratch SET {', '.join(assign)} WHERE {pred}"
+            tag = "update"
+        else:
+            # narrow predicates only, so the table never empties out
+            key = self.rng.choice(INT_LITERALS["k"])
+            sql = f"DELETE FROM bat_scratch WHERE bat_scratch.k = {key}"
+            tag = "delete"
+        # the runner snapshots bat_scratch (ORDER BY k: a total order)
+        # right after every DML and compares those rows
+        return BatteryQuery(sql, "dml", 4, True, None, False, False, tag)
+
+
+FAMILY_WEIGHTS = [
+    ("simple_select", 30),
+    ("aggregate", 18),
+    ("join2", 18),
+    ("left_join", 10),
+    ("lateral", 6),
+    ("union", 8),
+    ("dml", 10),
+]
+
+
+def generate_corpus(
+    seed: int = DEFAULT_SEED, count: int = DEFAULT_COUNT
+) -> list[BatteryQuery]:
+    """The battery corpus: ``count`` queries drawn from a seeded RNG."""
+    gen = QueryGenerator(seed)
+    families = [name for name, weight in FAMILY_WEIGHTS for _ in range(weight)]
+    corpus = []
+    for _ in range(count):
+        family = gen.rng.choice(families)
+        corpus.append(getattr(gen, family)())
+    return corpus

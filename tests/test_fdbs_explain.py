@@ -23,7 +23,9 @@ def test_explain_returns_plan_rows(db):
     result = db.execute("EXPLAIN SELECT v FROM t WHERE v > 1 ORDER BY v")
     assert result.columns == ["PLAN"]
     text = "\n".join(row[0] for row in result.rows)
-    assert "TableScan(t)" in text
+    # Zone checks attach in every execution mode, so the pushed
+    # conjunct shows up as a zone annotation even in row mode.
+    assert "TableScan(t, zone: (v > 1))" in text
     assert "Filter(WHERE)" in text
     assert "Sort" in text
 

@@ -175,7 +175,7 @@ def test_select_without_from(db):
 
 def test_explain_produces_plan_tree(db):
     text = db.explain("SELECT name FROM suppliers WHERE relia > 5 ORDER BY name")
-    assert "TableScan(suppliers)" in text
+    assert "TableScan(suppliers, zone: (relia > 5))" in text
     assert "Sort" in text
 
 

@@ -1,5 +1,8 @@
 """Random-query fuzzing: generated SELECTs must plan, run, and respect
-basic relational invariants."""
+basic relational invariants — in every execution mode and under both
+optimizers (the cost combos run after RUNSTATS so plan decisions are
+statistics-driven, and a small chunk size makes columnar chunking and
+all-mode zone pruning real)."""
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -11,9 +14,19 @@ from repro.fdbs.types import INTEGER
 COLUMNS = ["a", "b", "c"]
 
 
-@pytest.fixture(scope="module")
-def db():
-    database = Database("fuzz")
+@pytest.fixture(
+    scope="module",
+    params=[
+        ("row", "syntactic"),
+        ("columnar", "syntactic"),
+        ("row", "cost"),
+        ("columnar", "cost"),
+    ],
+    ids=lambda p: f"{p[0]}-{p[1]}",
+)
+def db(request):
+    mode, optimizer = request.param
+    database = Database("fuzz", execution_mode=mode, chunk_size=5)
     database.execute("CREATE TABLE t (a INT, b INT, c VARCHAR(5))")
     values = [(i, i % 3, f"s{i % 4}") for i in range(12)] + [(99, None, None)]
     for row in values:
@@ -23,6 +36,8 @@ def db():
             "Twice", [("x", INTEGER)], [("y", INTEGER)], lambda x: (x or 0) * 2
         )
     )
+    database.execute("RUNSTATS ON TABLE t")
+    database.set_optimizer(optimizer)
     return database
 
 
