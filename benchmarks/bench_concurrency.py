@@ -30,6 +30,16 @@ per-profile speedup-vs-1-worker curve plus the engines' MVCC counters
 (snapshots pinned, versions published, write conflicts, retries) land
 in the report under ``"scaling"``.
 
+A third section measures **process scaling**: the read-heavy profile
+replayed through the :class:`~repro.serving.router
+.ShardedIntegrationServer` at 1/2/4/8 OS worker processes with the same
+injected per-hop wall latency.  Shards own isolated per-session
+servers, so rows *and* per-session simulated times stay bit-identical
+to the bare stack at every shard count while sleeps overlap across
+processes; throughput/p95 per shard count plus the speedup curve land
+in the report under ``"process_scaling"``, gated at
+:data:`PROCESS_GATE_SPEEDUP` x by :data:`PROCESS_GATE_SHARDS` shards.
+
 Results are written to ``BENCH_concurrency.json`` in the repository root.
 
 Run standalone::
@@ -51,6 +61,7 @@ import pytest
 from repro.appsys.datagen import generate_enterprise_data
 from repro.core.scenario import build_scenario
 from repro.errors import StatementAbortedError
+from repro.serving.router import ShardedIntegrationServer
 from repro.serving.server import ConcurrentIntegrationServer
 from repro.serving.workload import (
     WORKLOAD_PROFILES,
@@ -81,6 +92,25 @@ SCALING_WALL_LATENCY_S = 0.002
 SCALING_GATE_WORKERS = 4
 SCALING_GATE_SPEEDUP = 2.0
 
+#: Shard counts for the process-sharded scaling curve.
+PROCESS_SHARD_COUNTS = (1, 2, 4, 8)
+
+#: Sessions in the process-scaling workload.  More sessions than the
+#: thread section: per-session shard construction is CPU that every
+#: shard count pays identically, so extra sessions raise the
+#: sleep-to-CPU ratio and make the overlap measurable.
+PROCESS_SESSIONS = 16
+
+#: Real wall-clock seconds per RMI hop in the process section (twice
+#: the thread section's: worker processes pay a fork+build cost the
+#: thread pool does not, so the hops must dominate more clearly).
+PROCESS_WALL_LATENCY_S = 0.004
+
+#: The read-heavy process workload must reach this speedup at this
+#: shard count (re-checked by ``scripts/check_parity.sh``).
+PROCESS_GATE_SHARDS = 4
+PROCESS_GATE_SPEEDUP = 2.0
+
 
 def drive_single_server(script: SessionScript, data) -> tuple[list, float]:
     """Run one session script on a bare single-caller stack.
@@ -95,8 +125,12 @@ def drive_single_server(script: SessionScript, data) -> tuple[list, float]:
     if script.faults:
         server.configure_faults(**script.faults)
     row_sets: list[list[tuple] | None] = []
-    sim_start = server.machine.clock.now
+    simulated = 0.0
     for call in script.calls:
+        # Accumulate per-call deltas (not end minus start): that is the
+        # exact float sum a ClientSession reports, so bit-identity
+        # holds for every call sequence, not just benign roundings.
+        before = server.machine.clock.now
         if call.kind == "call":
             try:
                 row_sets.append(server.call(call.target, *call.args))
@@ -105,7 +139,8 @@ def drive_single_server(script: SessionScript, data) -> tuple[list, float]:
         else:
             result = server.fdbs.execute(call.target, params=list(call.args))
             row_sets.append(list(result.rows))
-    return row_sets, server.machine.clock.now - sim_start
+        simulated += server.machine.clock.now - before
+    return row_sets, simulated
 
 
 def run(
@@ -274,10 +309,108 @@ def run_scaling(
     }
 
 
+def run_process_scaling(
+    seed: int = CONCURRENCY_SEED,
+    sessions: int = PROCESS_SESSIONS,
+    calls_per_session: int = 12,
+    shard_counts: tuple[int, ...] = PROCESS_SHARD_COUNTS,
+    rmi_wall_latency_s: float = PROCESS_WALL_LATENCY_S,
+) -> dict:
+    """Measure process-sharded throughput scaling on the read-heavy mix.
+
+    The same seeded read-heavy workload replays at each shard count on a
+    fresh :class:`~repro.serving.router.ShardedIntegrationServer`.
+    Unlike the shared-mode MVCC section, shards are *isolated*, so the
+    parity contract is exact: rows and per-session simulated times must
+    match the bare single-caller stack bit-for-bit at every shard count.
+    Speedups are wall-clock relative to the 1-shard run.
+    """
+    data = generate_enterprise_data()
+
+    def workload():
+        return make_profile_workload(
+            "read_heavy",
+            seed=seed,
+            sessions=sessions,
+            calls_per_session=calls_per_session,
+        )
+
+    # Bare-stack baseline (wall latency never touches rows or the
+    # simulated clock, so the latency-free stack is the bit baseline).
+    bare_rows: dict[int, list] = {}
+    bare_sim: dict[int, float] = {}
+    for script in workload():
+        rows, sim = drive_single_server(script, data)
+        bare_rows[script.session_id] = rows
+        bare_sim[script.session_id] = sim
+
+    runs = []
+    one_shard_wall = None
+    one_shard_rows = None
+    one_shard_sim = None
+    for shards in shard_counts:
+        with ShardedIntegrationServer(
+            shards=shards,
+            data=data,
+            queue_limit=sessions,
+            rmi_wall_latency_s=rmi_wall_latency_s,
+        ) as server:
+            result = server.run_workload(workload())
+            assignments = dict(result.shard_assignments)
+        if one_shard_wall is None:
+            one_shard_wall = result.wall_seconds
+            one_shard_rows = result.row_sets
+            one_shard_sim = result.simulated_ms
+        histogram = {shard: 0 for shard in range(shards)}
+        for shard in assignments.values():
+            histogram[shard] += 1
+        runs.append(
+            {
+                "shards": shards,
+                "calls": result.calls,
+                "wall_seconds": round(result.wall_seconds, 6),
+                "throughput_calls_per_s": round(result.throughput, 2),
+                "latency_p50_ms": round(result.latency_percentile(50) * 1000, 4),
+                "latency_p95_ms": round(result.latency_percentile(95) * 1000, 4),
+                "latency_p99_ms": round(result.latency_percentile(99) * 1000, 4),
+                "speedup_vs_1_shard": round(
+                    one_shard_wall / result.wall_seconds, 3
+                ),
+                "rows_match_single_server": result.row_sets == bare_rows,
+                "sim_times_match_single_server": result.simulated_ms == bare_sim,
+                "matches_one_shard": (
+                    result.row_sets == one_shard_rows
+                    and result.simulated_ms == one_shard_sim
+                ),
+                "sessions_per_shard": {
+                    str(shard): count for shard, count in sorted(histogram.items())
+                },
+            }
+        )
+    return {
+        "mode": "process",
+        "profile": "read_heavy",
+        "seed": seed,
+        "sessions": sessions,
+        "calls_per_session": calls_per_session,
+        "rmi_wall_latency_s": rmi_wall_latency_s,
+        "shard_counts": list(shard_counts),
+        "runs": runs,
+        "cross_shard_parity": all(
+            r["rows_match_single_server"]
+            and r["sim_times_match_single_server"]
+            and r["matches_one_shard"]
+            for r in runs
+        ),
+    }
+
+
 def full_summary() -> dict:
-    """The complete report: isolated parity matrix plus MVCC scaling."""
+    """The complete report: isolated parity matrix, MVCC scaling and
+    process-sharded scaling."""
     summary = run()
     summary["scaling"] = run_scaling()
+    summary["process_scaling"] = run_process_scaling()
     return summary
 
 
@@ -354,6 +487,36 @@ def test_mvcc_scaling_read_heavy_speedup():
     )
 
 
+@pytest.mark.perf
+def test_process_scaling_parity_and_speedup():
+    """Process shards: exact parity at every shard count, and the
+    read-heavy workload clears the acceptance speedup at 4 shards."""
+    process = _cached_summary()["process_scaling"]
+    assert [r["shards"] for r in process["runs"]] == list(PROCESS_SHARD_COUNTS)
+    expected_calls = process["sessions"] * (process["calls_per_session"] + 1)
+    for r in process["runs"]:
+        assert r["calls"] == expected_calls
+        assert r["rows_match_single_server"], (
+            f"{r['shards']}-shard run changed result rows vs the bare stack"
+        )
+        assert r["sim_times_match_single_server"], (
+            f"{r['shards']}-shard run changed simulated times vs the bare stack"
+        )
+        assert r["matches_one_shard"], (
+            f"{r['shards']}-shard run diverged from the 1-shard run"
+        )
+        assert sum(r["sessions_per_shard"].values()) == process["sessions"]
+    assert process["cross_shard_parity"]
+    gated = next(
+        r for r in process["runs"] if r["shards"] == PROCESS_GATE_SHARDS
+    )
+    assert gated["speedup_vs_1_shard"] >= PROCESS_GATE_SPEEDUP, (
+        f"read-heavy process speedup at {PROCESS_GATE_SHARDS} shards is "
+        f"{gated['speedup_vs_1_shard']}x, below the "
+        f"{PROCESS_GATE_SPEEDUP}x acceptance gate"
+    )
+
+
 def main(argv: list[str] | None = None) -> None:
     """CLI entry point mirroring the other benchmarks."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -374,6 +537,11 @@ def main(argv: list[str] | None = None) -> None:
         action="store_true",
         help="omit the shared-mode MVCC scaling section",
     )
+    parser.add_argument(
+        "--skip-process",
+        action="store_true",
+        help="omit the process-sharded scaling section",
+    )
     parser.add_argument("--out", type=Path, default=REPORT_PATH)
     args = parser.parse_args(argv)
     if args.sessions < 1 or args.calls < 1 or min(args.workers) < 1:
@@ -388,6 +556,8 @@ def main(argv: list[str] | None = None) -> None:
     )
     if not args.skip_scaling:
         summary["scaling"] = run_scaling(seed=args.seed, sessions=args.sessions)
+    if not args.skip_process:
+        summary["process_scaling"] = run_process_scaling(seed=args.seed)
     write_report(summary, args.out)
     print(json.dumps(summary, indent=2))
 

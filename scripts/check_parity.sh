@@ -13,13 +13,18 @@
 #     worker vs K workers => bit-identical per-session rows and
 #     simulated times; serving layer == bare single-caller stack;
 #     thread-safety regression suite),
-#  5. optimizer parity (cost-based mode => bit-identical rows across
+#  5. process-sharded parity (same workload at 1/2/4 OS worker
+#     processes => bit-identical per-session rows and simulated times
+#     to the bare stack and to thread-mode serving; worker-kill fault
+#     battery; battery-through-serving differential slice; serving
+#     teardown/accounting regressions; wire + hash-ring unit suite),
+#  6. optimizer parity (cost-based mode => bit-identical rows across
 #     architectures and execution modes; statistics absent =>
 #     bit-identical rows AND simulated times),
-#  6. columnar parity (row vs batch vs columnar => bit-identical rows
+#  7. columnar parity (row vs batch vs columnar => bit-identical rows
 #     AND simulated times; zone-map pruning on/off => same rows;
 #     COW-rebuild, all-NULL and pinned-snapshot edge cases),
-#  7. calibration regression (the frozen Fig. 5/6 anchor numbers).
+#  8. calibration regression (the frozen Fig. 5/6 anchor numbers).
 #
 # Usage: scripts/check_parity.sh
 
@@ -82,7 +87,31 @@ assert speedup[4] >= 2.0, (
     f"read-heavy speedup at 4 workers is {speedup[4]}x, below the 2x gate"
 )
 print(f"OK: MVCC scaling gate holds; read-heavy speedup by workers: {speedup}")
+
+# Process-sharded gates: isolated shards keep the parity contract exact
+# across the process boundary (rows AND simulated times match the bare
+# stack and the 1-shard run at every shard count), and overlapping the
+# injected RMI wall latency across OS processes actually scales.
+process = summary["process_scaling"]
+assert process["cross_shard_parity"], (
+    "a shard count changed per-session rows or simulated times"
+)
+for r in process["runs"]:
+    assert r["rows_match_single_server"] and r["sim_times_match_single_server"], (
+        f"{r['shards']}-shard run is not bit-identical to the bare stack"
+    )
+proc_speedup = {r["shards"]: r["speedup_vs_1_shard"] for r in process["runs"]}
+assert proc_speedup[4] >= 2.0, (
+    f"read-heavy process speedup at 4 shards is {proc_speedup[4]}x, "
+    "below the 2x gate"
+)
+print(f"OK: process scaling gate holds; speedup by shards: {proc_speedup}")
 EOF
+
+echo "== process-sharded parity + fault battery + serving regressions =="
+python -m pytest -q tests/test_serving_wire.py tests/test_serving_shutdown.py
+python -m pytest -q -m proc tests/test_process_parity.py \
+    tests/test_process_faults.py tests/sql_battery/test_battery_serving.py
 
 echo "== optimizer parity (cost-based vs syntactic) =="
 python -m pytest -q tests/test_optimizer_parity.py tests/test_optimizer.py

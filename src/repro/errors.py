@@ -278,5 +278,30 @@ class SessionClosedError(ServingError):
     """A call was routed through a session that has been closed."""
 
 
+class WireProtocolError(ServingError):
+    """A frame on the router<->shard wire violated the protocol.
+
+    Raised for bad magic bytes, an unsupported protocol version, an
+    unknown message kind, or a checksum mismatch.  The router treats a
+    wire violation like a dead shard: the connection is unusable.
+    """
+
+
+class ShardCrashError(ServingError):
+    """A shard worker process died with work outstanding.
+
+    Sessions routed to the dead shard fail with this error; it is
+    *retryable* — each session ran on its own isolated server inside
+    the worker, so nothing partial survives the crash and the script
+    may simply be resubmitted once the router respawns the shard.
+    """
+
+    retryable = True
+
+    def __init__(self, shard_id: int, message: str):
+        super().__init__(message)
+        self.shard_id = shard_id
+
+
 class ProcessStateError(SimulationError):
     """Simulated OS process used in the wrong state (not started, dead)."""

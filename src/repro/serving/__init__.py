@@ -12,9 +12,16 @@ of the single-caller :class:`~repro.core.server.IntegrationServer`:
   statement-level fault containment;
 * :mod:`~repro.serving.workload` — seeded, reproducible multi-client
   workloads (mixed architectures, read/DML mix) for the concurrency
-  benchmark and the stress/parity suites.
+  benchmark and the stress/parity suites;
+* :class:`~repro.serving.router.ShardedIntegrationServer` — the
+  scale-out mode: sessions consistent-hashed onto N OS worker
+  processes (:mod:`~repro.serving.shard`), each building isolated
+  per-session shards, framed over the wire protocol of
+  :mod:`~repro.serving.wire` with crash detection and respawn.
 """
 
+from repro.serving.hashring import ConsistentHashRing
+from repro.serving.router import ShardedIntegrationServer
 from repro.serving.server import (
     AdmissionController,
     ConcurrentIntegrationServer,
@@ -22,6 +29,7 @@ from repro.serving.server import (
     WorkloadRunResult,
 )
 from repro.serving.session import CallRecord, ClientSession
+from repro.serving.shard import ShardConfig
 from repro.serving.workload import (
     SessionScript,
     WorkloadCall,
@@ -34,8 +42,11 @@ __all__ = [
     "CallRecord",
     "ClientSession",
     "ConcurrentIntegrationServer",
+    "ConsistentHashRing",
     "SessionManager",
     "SessionScript",
+    "ShardConfig",
+    "ShardedIntegrationServer",
     "WorkloadCall",
     "WorkloadRunResult",
     "make_workload",

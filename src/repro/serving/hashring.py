@@ -1,0 +1,99 @@
+"""Consistent-hash routing of sessions onto shard workers.
+
+The sharded server owns one :class:`ConsistentHashRing`: every shard id
+is hashed onto a ring at ``replicas`` virtual points, and a session is
+routed to the first shard point at or after the hash of its session id.
+Two properties matter here:
+
+* **Determinism across processes.**  Hashes come from SHA-1, never the
+  builtin ``hash()`` (which is salted per process) — the same session
+  id maps to the same shard in the router, in a respawned router, and
+  in any test that wants to predict placement.
+* **Stability under membership change.**  Adding or removing one shard
+  only moves the sessions whose arc it owned; everything else keeps its
+  placement.  The fault path relies on this: a respawned shard takes
+  back exactly the sessions of the shard it replaces (same id, same
+  ring points).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.errors import ServingError
+
+#: Virtual points per shard; more points -> smoother load spread.
+DEFAULT_REPLICAS = 128
+
+
+def _hash(key: str) -> int:
+    """Stable 64-bit ring position for a key (SHA-1, process-independent)."""
+    return int.from_bytes(hashlib.sha1(key.encode()).digest()[:8], "big")
+
+
+class ConsistentHashRing:
+    """Maps hashable keys onto a fixed set of shard ids."""
+
+    def __init__(self, nodes: tuple[int, ...] = (), replicas: int = DEFAULT_REPLICAS):
+        if replicas < 1:
+            raise ServingError(f"replicas must be >= 1, got {replicas!r}")
+        self.replicas = replicas
+        self._points: list[int] = []
+        self._owner: dict[int, int] = {}
+        self._nodes: set[int] = set()
+        for node in nodes:
+            self.add_node(node)
+
+    @property
+    def nodes(self) -> list[int]:
+        """The shard ids currently on the ring, sorted."""
+        return sorted(self._nodes)
+
+    def add_node(self, node: int) -> None:
+        """Place one shard id on the ring at ``replicas`` virtual points."""
+        if node in self._nodes:
+            raise ServingError(f"shard {node} is already on the ring")
+        self._nodes.add(node)
+        for replica in range(self.replicas):
+            point = _hash(f"shard:{node}#{replica}")
+            # SHA-1 collisions across distinct keys are not a practical
+            # concern, but keep ownership deterministic anyway: lowest
+            # shard id wins a contested point.
+            if point in self._owner:
+                self._owner[point] = min(self._owner[point], node)
+            else:
+                self._owner[point] = node
+                bisect.insort(self._points, point)
+
+    def remove_node(self, node: int) -> None:
+        """Take one shard id off the ring (its arcs fall to successors)."""
+        if node not in self._nodes:
+            raise ServingError(f"shard {node} is not on the ring")
+        self._nodes.discard(node)
+        for replica in range(self.replicas):
+            point = _hash(f"shard:{node}#{replica}")
+            if self._owner.get(point) == node:
+                del self._owner[point]
+                index = bisect.bisect_left(self._points, point)
+                del self._points[index]
+
+    def route(self, session_id: int) -> int:
+        """The shard id owning this session (clockwise successor rule)."""
+        if not self._points:
+            raise ServingError("cannot route: the ring has no shards")
+        point = _hash(f"session:{session_id}")
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._owner[self._points[index]]
+
+    def assignments(self, session_ids) -> dict[int, int]:
+        """Route many sessions at once: ``{session_id: shard_id}``."""
+        return {sid: self.route(sid) for sid in session_ids}
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+
+__all__ = ["ConsistentHashRing", "DEFAULT_REPLICAS"]

@@ -212,6 +212,12 @@ class WorkloadRunResult:
     simulated_ms: dict[int, float]
     summaries: dict[int, SessionSummary]
     admission: dict[str, int] = field(default_factory=dict)
+    call_sim_ms: dict[int, list[float]] = field(default_factory=dict)
+    """Per-call simulated times by session, in script order (the
+    battery-through-serving suite compares these per statement)."""
+    shard_assignments: dict[int, int] = field(default_factory=dict)
+    """session id -> shard id (process-sharded runs only; empty for
+    thread-pool runs, where every session shares one pool)."""
 
     @property
     def calls(self) -> int:
@@ -253,6 +259,9 @@ class ConcurrentIntegrationServer:
         data: EnterpriseData | None = None,
         optimizer: str = "syntactic",
         rmi_wall_latency_s: float = 0.0,
+        heterogeneous: bool = False,
+        execution_mode: str | None = None,
+        setup_sql: tuple[str, ...] = (),
     ):
         if workers < 1:
             raise ServingError(f"workers must be >= 1, got {workers!r}")
@@ -267,6 +276,14 @@ class ConcurrentIntegrationServer:
         self.costs = costs
         self.controller_enabled = controller_enabled
         self.optimizer = optimizer
+        #: Attach the three heterogeneous source profiles to every shard
+        #: (the battery-through-serving suite needs the nicknames).
+        self.heterogeneous = heterogeneous
+        #: Execution mode applied to every shard after setup (None keeps
+        #: the engine default); ``setup_sql`` statements run on each
+        #: fresh shard before its script — DDL, loads, RUNSTATS.
+        self.execution_mode = execution_mode
+        self.setup_sql = tuple(setup_sql)
         #: Real wall-clock seconds per RMI hop (simulated time is never
         #: touched); 0.0 keeps wall-clock behaviour identical to a
         #: server without the knob.  See Machine.configure_wall_latency.
@@ -286,6 +303,7 @@ class ConcurrentIntegrationServer:
         )
         self._shared_lock = threading.RLock()
         self._shared_servers: dict[Architecture, IntegrationServer] = {}
+        self._shutdown_lock = threading.Lock()
         self._closed = False
 
     # -- session plumbing ---------------------------------------------------
@@ -302,9 +320,18 @@ class ConcurrentIntegrationServer:
             result_cache=self.result_cache,
             faults=faults,
             optimizer=self.optimizer,
+            heterogeneous=self.heterogeneous,
         )
-        scenario.server.machine.configure_wall_latency(self.rmi_wall_latency_s)
+        self._prepare_server(scenario.server)
         return scenario.server
+
+    def _prepare_server(self, server: IntegrationServer) -> None:
+        """Apply the serving-level knobs to a freshly built server."""
+        server.machine.configure_wall_latency(self.rmi_wall_latency_s)
+        for statement in self.setup_sql:
+            server.fdbs.execute(statement)
+        if self.execution_mode is not None:
+            server.fdbs.set_execution_mode(self.execution_mode)
 
     def _shared_server(self, architecture: Architecture) -> IntegrationServer:
         with self._shared_lock:
@@ -317,10 +344,9 @@ class ConcurrentIntegrationServer:
                     pooling=self.pooling,
                     result_cache=self.result_cache,
                     optimizer=self.optimizer,
+                    heterogeneous=self.heterogeneous,
                 )
-                scenario.server.machine.configure_wall_latency(
-                    self.rmi_wall_latency_s
-                )
+                self._prepare_server(scenario.server)
                 self._shared_servers[architecture] = scenario.server
             return self._shared_servers[architecture]
 
@@ -376,35 +402,70 @@ class ConcurrentIntegrationServer:
     ) -> WorkloadRunResult:
         """Run every session script; concurrently across sessions, in
         order within each.  ``join_timeout`` bounds the wait for any one
-        session (a deadlock therefore fails fast instead of hanging)."""
+        session (a deadlock therefore fails fast instead of hanging).
+
+        Accounting is exception-safe: whatever a script or the pool
+        does, every admitted slot is released and every opened session
+        closed before this method returns or re-raises — the admission
+        and session gates always drain back to zero.
+        """
         if self._closed:
             raise ServingError("server is shut down")
-        sessions = [
-            self.open_session(script.session_id, script.architecture, script.faults)
-            for script in scripts
-        ]
-        wall_start = time.perf_counter()
+        sessions: list[ClientSession] = []
         futures = []
-        for session, script in zip(sessions, scripts):
-            self.admission.admit(timeout=join_timeout)
-            futures.append(self._executor.submit(self._run_session, session, script))
-        latencies: list[float] = []
-        for future in futures:
-            latencies.extend(future.result(timeout=join_timeout))
-        wall_seconds = time.perf_counter() - wall_start
-        result = WorkloadRunResult(
-            workers=self.workers,
-            mode=self.mode,
-            wall_seconds=wall_seconds,
-            latencies=latencies,
-            row_sets={s.session_id: s.row_sets for s in sessions},
-            simulated_ms={s.session_id: s.simulated_time for s in sessions},
-            summaries={s.session_id: s.summary() for s in sessions},
-            admission=self.admission.stats(),
-        )
-        for session in sessions:
-            session.close()
-        return result
+        try:
+            for script in scripts:
+                sessions.append(
+                    self.open_session(
+                        script.session_id, script.architecture, script.faults
+                    )
+                )
+            wall_start = time.perf_counter()
+            for session, script in zip(sessions, scripts):
+                self.admission.admit(timeout=join_timeout)
+                try:
+                    futures.append(
+                        self._executor.submit(self._run_session, session, script)
+                    )
+                except BaseException:
+                    # submit() itself failed (e.g. pool shut down), so
+                    # _run_session's finally will never release the slot.
+                    self.admission.release()
+                    raise
+            latencies: list[float] = []
+            for future in futures:
+                latencies.extend(future.result(timeout=join_timeout))
+            wall_seconds = time.perf_counter() - wall_start
+            return WorkloadRunResult(
+                workers=self.workers,
+                mode=self.mode,
+                wall_seconds=wall_seconds,
+                latencies=latencies,
+                row_sets={s.session_id: s.row_sets for s in sessions},
+                simulated_ms={s.session_id: s.simulated_time for s in sessions},
+                summaries={s.session_id: s.summary() for s in sessions},
+                admission=self.admission.stats(),
+                call_sim_ms={
+                    s.session_id: [r.simulated_ms for r in s.records]
+                    for s in sessions
+                },
+            )
+        finally:
+            # A script that never started would leak its admission slot:
+            # cancel it and release on its behalf; then wait out the
+            # rest so their own finally-blocks have run before we report
+            # the gates as drained.
+            for future in futures:
+                if future.cancel():
+                    self.admission.release()
+            for future in futures:
+                if not future.cancelled():
+                    try:
+                        future.result(timeout=join_timeout)
+                    except Exception:
+                        pass
+            for session in sessions:
+                session.close()
 
     # -- introspection & lifecycle ------------------------------------------
 
@@ -424,13 +485,27 @@ class ConcurrentIntegrationServer:
                 for sid in sorted(self.sessions._sessions)
             }
 
+    @property
+    def closed(self) -> bool:
+        """Whether the server has been shut down."""
+        return self._closed
+
     def shutdown(self) -> None:
-        """Close every session and stop the worker pool (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
-        self.sessions.close_all()
+        """Drain and tear the server down (idempotent, thread-safe).
+
+        New work is refused first, then the worker pool drains — every
+        in-flight script finishes and releases its admission slot —
+        and only then are the sessions closed, so a shutdown never
+        poisons a running script with ``SessionClosedError``.  After
+        return the admission gate is at zero in flight and no session
+        is open.
+        """
+        with self._shutdown_lock:
+            if self._closed:
+                return
+            self._closed = True
         self._executor.shutdown(wait=True)
+        self.sessions.close_all()
 
     def __enter__(self) -> "ConcurrentIntegrationServer":
         return self

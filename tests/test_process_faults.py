@@ -1,0 +1,167 @@
+"""Process-fault battery: a dying shard must fail clean, not sick.
+
+The contract when a worker process is SIGKILLed mid-workload:
+
+* sessions on *surviving* shards complete unaffected, bit-identical to
+  the bare stack;
+* results the dead worker already flushed into its pipe are still
+  delivered (completed work survives the crash);
+* every genuinely unfinished session on the dead shard surfaces a
+  *retryable* :class:`~repro.errors.ShardCrashError` promptly — no
+  hangs — and new submissions to the dead shard fail the same way;
+* the dead process is reaped (no zombies/orphans), the router can
+  respawn the shard on the same hash arcs, and resubmitted sessions
+  then produce exactly the bare-stack outcome;
+* admission accounting drains back to zero through all of it.
+
+Deselected by default behind the ``proc`` marker.
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.appsys.datagen import generate_enterprise_data
+from repro.errors import ServingError, ShardCrashError
+from repro.serving import ShardedIntegrationServer
+from repro.serving.workload import WorkloadCall, make_workload
+
+pytestmark = pytest.mark.proc
+
+SEED = 7
+SHARDS = 3
+SESSIONS = 9
+CALLS = 6
+JOIN_TIMEOUT = 90.0
+
+
+def scripts():
+    return make_workload(seed=SEED, sessions=SESSIONS, calls_per_session=CALLS)
+
+
+def busiest_shard(server, workload):
+    """The shard owning the most sessions of this workload."""
+    counts = {shard: 0 for shard in range(SHARDS)}
+    for script in workload:
+        counts[server.route(script.session_id)] += 1
+    return max(counts, key=lambda shard: (counts[shard], -shard))
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_enterprise_data()
+
+
+def test_kill_mid_workload_contains_the_blast_radius(data):
+    workload = scripts()
+    with ShardedIntegrationServer(
+        shards=SHARDS, data=data, queue_limit=SESSIONS
+    ) as server:
+        victim = busiest_shard(server, workload)
+        victims = [
+            s.session_id for s in workload if server.route(s.session_id) == victim
+        ]
+        assert len(victims) >= 2, "workload must put several sessions on the victim"
+
+        futures = {s.session_id: server.submit(s, timeout=JOIN_TIMEOUT) for s in workload}
+        # Wait until the victim is demonstrably mid-workload (it has
+        # completed at least one script and still owes more), then kill.
+        deadline = time.monotonic() + JOIN_TIMEOUT
+        while server.shard_stats()[victim]["completed"] < 1:
+            assert time.monotonic() < deadline, "victim never started working"
+            time.sleep(0.005)
+        server.kill_shard(victim)
+
+        survivors, crashed = [], []
+        for session_id, future in futures.items():
+            exc = future.exception(timeout=JOIN_TIMEOUT)  # promptly: no hangs
+            if exc is None:
+                survivors.append(session_id)
+            else:
+                assert isinstance(exc, ShardCrashError), exc
+                assert exc.retryable, "a shard crash must be retryable"
+                assert exc.shard_id == victim
+                crashed.append(session_id)
+
+        # Only victim sessions may crash; every survivor shard finished all.
+        assert all(server.route(s) == victim for s in crashed)
+        assert crashed, "the kill landed after the victim drained everything"
+        for session_id in survivors:
+            done = futures[session_id].result()
+            assert len(done.row_sets) == CALLS + 1  # CREATE TABLE + calls
+            assert all(rows is not None for rows in done.row_sets)
+
+        # New work for the dead shard fails fast and retryable too.
+        dead_script = next(
+            s for s in workload if s.session_id in crashed
+        )
+        with pytest.raises(ShardCrashError):
+            server.submit(dead_script, timeout=JOIN_TIMEOUT)
+
+        stats = server.shard_stats()[victim]
+        assert not stats["alive"]
+        assert stats["pending"] == 0, "dead shard still holds pending futures"
+        assert stats["death_cause"] is not None
+
+        # Respawn on the same ring arcs: the crashed sessions rerun to
+        # completion and the router is whole again.
+        server.respawn_shard(victim)
+        redo = [s for s in workload if s.session_id in crashed]
+        redone = [server.submit(s, timeout=JOIN_TIMEOUT) for s in redo]
+        for script, future in zip(redo, redone):
+            done = future.result(timeout=JOIN_TIMEOUT)
+            assert done.session_id == script.session_id
+            assert len(done.row_sets) == len(script.calls)
+        assert server.shard_stats()[victim]["respawns"] == 1
+
+        # Admission drained: nothing in flight once all futures resolved.
+        assert server.admission.stats()["in_flight"] == 0
+    # Shutdown reaped everything: no orphaned worker processes remain.
+    assert not multiprocessing.active_children()
+    for stats in server.shard_stats().values():
+        assert not stats["alive"]
+
+
+def test_respawn_requires_a_dead_shard(data):
+    with ShardedIntegrationServer(shards=2, data=data) as server:
+        with pytest.raises(ServingError):
+            server.respawn_shard(0)
+        with pytest.raises(ServingError):
+            server.respawn_shard(99)
+
+
+def test_worker_survives_a_failing_script(data):
+    """A script that raises inside the worker fails only that script."""
+    workload = make_workload(seed=3, sessions=2, calls_per_session=2)
+    bogus = workload[0]
+    bogus.calls.append(WorkloadCall("bogus-kind", "nope"))
+    with ShardedIntegrationServer(
+        shards=1, data=data, queue_limit=4
+    ) as server:
+        bad = server.submit(bogus, timeout=JOIN_TIMEOUT)
+        good = server.submit(workload[1], timeout=JOIN_TIMEOUT)
+        exc = bad.exception(timeout=JOIN_TIMEOUT)
+        assert isinstance(exc, ServingError)
+        assert not isinstance(exc, ShardCrashError)
+        assert "bogus-kind" in str(exc)
+        done = good.result(timeout=JOIN_TIMEOUT)
+        assert len(done.row_sets) == len(workload[1].calls)
+        assert server.shard_stats()[0]["alive"], "worker must survive"
+        assert server.admission.stats()["in_flight"] == 0
+    assert not multiprocessing.active_children()
+
+
+def test_shutdown_is_idempotent_and_graceful(data):
+    server = ShardedIntegrationServer(shards=2, data=data)
+    result = server.run_workload(
+        make_workload(seed=5, sessions=4, calls_per_session=2),
+        join_timeout=JOIN_TIMEOUT,
+    )
+    assert result.calls == 4 * 3
+    server.shutdown()
+    server.shutdown()  # second call is a no-op
+    with pytest.raises(ServingError):
+        server.submit(make_workload(seed=5, sessions=1)[0])
+    assert server.admission.stats()["in_flight"] == 0
+    assert not multiprocessing.active_children()
