@@ -20,7 +20,9 @@
 #     teardown/accounting regressions; wire + hash-ring unit suite),
 #  6. optimizer parity (cost-based mode => bit-identical rows across
 #     architectures and execution modes; statistics absent =>
-#     bit-identical rows AND simulated times),
+#     bit-identical rows AND simulated times; join strategies —
+#     hash/merge/indexnlj/nlj — bit-identical rows and times, with the
+#     merge-join and adaptive-feedback benchmark gates),
 #  7. columnar parity (row vs batch vs columnar => bit-identical rows
 #     AND simulated times; zone-map pruning on/off => same rows;
 #     COW-rebuild, all-NULL and pinned-snapshot edge cases),
@@ -114,7 +116,37 @@ python -m pytest -q -m proc tests/test_process_parity.py \
     tests/test_process_faults.py tests/sql_battery/test_battery_serving.py
 
 echo "== optimizer parity (cost-based vs syntactic) =="
-python -m pytest -q tests/test_optimizer_parity.py tests/test_optimizer.py
+python -m pytest -q tests/test_optimizer_parity.py tests/test_optimizer.py \
+    tests/test_join_strategies.py
+
+echo "== optimizer benchmark gate (merge join + adaptive feedback) =="
+python benchmarks/bench_optimizer.py > /dev/null
+
+python - <<'EOF'
+import json
+
+summary = json.load(open("BENCH_optimizer.json"))
+assert summary["rows_identical"], (
+    "an optimizer workload changed the answer"
+)
+merge = summary["merge_join"]
+assert merge["rows_identical"], "a join strategy changed the answer"
+assert merge["presorted_input"], "merge join missed the clustered order"
+assert merge["speedup_wall"] >= 3.0, (
+    f"merge join wall speedup {merge['speedup_wall']}x below the 3x gate"
+)
+adaptive = summary["adaptive_feedback"]
+assert adaptive["rows_identical"], "feedback replanning changed the answer"
+assert adaptive["bind_join_after_feedback"], (
+    "feedback failed to unlock the bind join"
+)
+assert adaptive["recovery"] >= 5.0, (
+    f"adaptive recovery {adaptive['recovery']}x below the 5x gate"
+)
+print(f"OK: merge join {merge['speedup_wall']}x wall over hash; "
+      f"feedback recovery {adaptive['recovery']}x "
+      f"(q-error {adaptive['observed_q_error']})")
+EOF
 
 echo "== columnar parity (row vs batch vs columnar, zone maps on/off) =="
 python -m pytest -q tests/test_columnar_parity.py

@@ -9,6 +9,7 @@ identifier semantics.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
@@ -18,7 +19,7 @@ from repro.fdbs.types import SqlType
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.fdbs import ast
-    from repro.fdbs.stats import TableStats
+    from repro.fdbs.stats import StatsFeedback, TableStats
     from repro.fdbs.storage import Table
 
 
@@ -205,12 +206,27 @@ class Catalog:
         #: Compiled-plan caches fold this into their keys so a plan
         #: validated against one schema is never replayed against another.
         self.ddl_epoch = 0
+        #: Bumped whenever planning statistics change — RUNSTATS
+        #: collection or a cardinality-feedback override.  Statement
+        #: caches fold it into their namespaces (next to ddl_epoch) so
+        #: plans whose driving estimates drifted are invalidated.
+        self.stats_epoch = 0
+        #: Cardinality-feedback overrides recorded by EXPLAIN ANALYZE,
+        #: keyed by upper-cased table/nickname name; cleared when
+        #: RUNSTATS re-collects the table.
+        self._feedback: dict[str, "StatsFeedback"] = {}
 
     def note_ddl(self) -> int:
         """Record a schema change; returns the new DDL epoch."""
         with self._lock:
             self.ddl_epoch += 1
             return self.ddl_epoch
+
+    def note_stats(self) -> int:
+        """Record a statistics change; returns the new stats epoch."""
+        with self._lock:
+            self.stats_epoch += 1
+            return self.stats_epoch
 
     # -- tables -----------------------------------------------------------------
 
@@ -243,6 +259,7 @@ class Catalog:
             except KeyError:
                 raise CatalogError(f"unknown table {name!r}") from None
             self._statistics.pop(name.upper(), None)
+            self._feedback.pop(name.upper(), None)
             return table
 
     def tables(self) -> list[TableDef]:
@@ -402,11 +419,20 @@ class Catalog:
         """True if the named object exists."""
         return name.upper() in self._nicknames
 
-    # -- statistics (RUNSTATS snapshots) -----------------------------------------
+    # -- statistics (RUNSTATS snapshots + cardinality feedback) ------------------
 
     def set_statistics(self, stats: "TableStats") -> None:
-        """Record (or replace) the RUNSTATS snapshot of one table."""
-        self._statistics[stats.table.upper()] = stats
+        """Record (or replace) the RUNSTATS snapshot of one table.
+
+        A fresh collection supersedes any cardinality-feedback override
+        for the table and opens a new stats epoch (invalidating cached
+        plans built on the old numbers).
+        """
+        key = stats.table.upper()
+        with self._lock:
+            self._statistics[key] = stats
+            self._feedback.pop(key, None)
+            self.stats_epoch += 1
 
     def get_statistics(self, name: str) -> "TableStats | None":
         """The RUNSTATS snapshot of a table/nickname, or None."""
@@ -420,3 +446,39 @@ class Catalog:
         """All collected RUNSTATS snapshots."""
         with self._lock:
             return list(self._statistics.values())
+
+    def record_feedback(self, feedback: "StatsFeedback") -> int:
+        """Store one observed-cardinality override; returns the new
+        stats epoch.  No-op (epoch unchanged) for tables that never had
+        RUNSTATS collected — feedback refines estimates, it never
+        *creates* statistics, so the stats-absent fallback gate holds.
+        """
+        key = feedback.table.upper()
+        with self._lock:
+            if key not in self._statistics:
+                return self.stats_epoch
+            self._feedback[key] = feedback
+            self.stats_epoch += 1
+            return self.stats_epoch
+
+    def feedback_for(self, name: str) -> "StatsFeedback | None":
+        """The recorded cardinality-feedback override, or None."""
+        return self._feedback.get(name.upper())
+
+    def feedback(self) -> list["StatsFeedback"]:
+        """All recorded cardinality-feedback overrides."""
+        with self._lock:
+            return list(self._feedback.values())
+
+    def planning_statistics(self, name: str) -> "TableStats | None":
+        """The statistics the planner should use: the RUNSTATS snapshot
+        with the table cardinality replaced by the feedback-observed one
+        when an override is recorded.  Column statistics are shared with
+        the snapshot (they are read-only to the estimator)."""
+        stats = self._statistics.get(name.upper())
+        if stats is None:
+            return None
+        override = self._feedback.get(name.upper())
+        if override is None:
+            return stats
+        return dataclasses.replace(stats, card=override.observed)

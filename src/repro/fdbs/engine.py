@@ -161,6 +161,7 @@ class Database:
             machine.execution_mode_provider = lambda: self.execution_mode
             machine.extra_stats_providers["mvcc"] = lambda: self.mvcc_stats()
             machine.extra_stats_providers["columnar"] = lambda: self.columnar_stats()
+            machine.extra_stats_providers["joins"] = lambda: self.join_stats()
             if pooling or result_cache:
                 machine.configure_runtime(
                     pooling=pooling, result_cache=result_cache
@@ -182,6 +183,28 @@ class Database:
         #: reordering and bind joins; see repro.fdbs.optimizer).
         self.optimizer = "syntactic"
         self.set_optimizer(optimizer)
+        #: Local join-strategy selection under the cost optimizer:
+        #: "auto" prices nlj/hash/merge/indexnlj per join, a named
+        #: strategy forces that operator wherever types permit.
+        self.join_strategy = "auto"
+        #: Mid-query escape hatch: when set, cost-rejected remote bind
+        #: joins probe the build side with COUNT(*) and fall back to a
+        #: bind join when it exceeds the estimate by this factor.
+        self.adaptive_blowup_factor: float | None = None
+        #: Cardinality feedback: q-errors above this threshold recorded
+        #: by EXPLAIN ANALYZE override the table's planning cardinality
+        #: and bump the stats epoch (invalidating cached plans).
+        self.feedback_threshold = 2.0
+        self._join_lock = threading.Lock()
+        self._joins = {
+            "joins_hash": 0,
+            "joins_merge": 0,
+            "joins_indexnlj": 0,
+            "joins_nlj": 0,
+            "plans_invalidated": 0,
+            "midquery_fallbacks": 0,
+            "max_q_error_pct": 0,
+        }
         self.federation = FederationLayer(self)
         self.function_runtime: FunctionRuntime = FunctionRuntime(self)
         self._undo = UndoLog()
@@ -337,6 +360,56 @@ class Database:
             )
         self.optimizer = mode
 
+    def set_join_strategy(self, strategy: str) -> None:
+        """Force one local join strategy under the cost optimizer, or
+        restore ``"auto"`` cost-based selection.
+
+        A forced strategy applies wherever the join's key types permit
+        it (e.g. ``indexnlj`` needs numeric keys); incompatible joins
+        keep the syntactic fold.  Every strategy produces bit-identical
+        rows — the switch exists for ablation benches and parity tests.
+        """
+        from repro.fdbs.optimizer import JOIN_STRATEGIES
+
+        if strategy not in JOIN_STRATEGIES:
+            expected = ", ".join(repr(name) for name in JOIN_STRATEGIES)
+            raise ExecutionError(
+                f"unknown join strategy {strategy!r}; expected one of {expected}"
+            )
+        self.join_strategy = strategy
+
+    def set_adaptive_join(self, factor: float | None) -> None:
+        """Configure the mid-query bind-join escape hatch.
+
+        ``factor`` is the build-side blowup (observed / estimated) past
+        which a cost-rejected remote join abandons its planned ship-all
+        fetch mid-query; ``None`` disables the probe entirely.
+        """
+        if factor is not None and factor <= 1.0:
+            raise ExecutionError(
+                "adaptive join factor must exceed 1.0 (or be None to disable)"
+            )
+        self.adaptive_blowup_factor = factor
+
+    def _note_join(self, strategy: str) -> None:
+        """Count one built join operator (wired into the planner)."""
+        key = f"joins_{strategy}"
+        with self._join_lock:
+            if key in self._joins:
+                self._joins[key] += 1
+
+    def _note_midquery_fallback(self) -> None:
+        """Count one adaptive mid-query fallback (wired into the plan)."""
+        with self._join_lock:
+            self._joins["midquery_fallbacks"] += 1
+
+    def join_stats(self) -> dict[str, int]:
+        """Join-strategy and feedback counters for SYSCAT_RUNTIME_STATS."""
+        with self._join_lock:
+            counters = dict(self._joins)
+        counters["stats_epoch"] = self.catalog.stats_epoch
+        return counters
+
     def execute(
         self,
         sql: str,
@@ -433,6 +506,7 @@ class Database:
         else:
             stats["mvcc"] = self.mvcc_stats()
             stats["columnar"] = self.columnar_stats()
+            stats["joins"] = self.join_stats()
         # Heterogeneous sources: one component per profiled server.
         stats.update(self.federation.stats())
         return stats
@@ -512,10 +586,16 @@ class Database:
         # against one schema generation can never be replayed after a
         # concurrent CREATE/DROP changed the catalog underneath it —
         # the entry simply misses and the statement recompiles against
-        # the schema its fresh snapshot will actually read.  The
+        # the schema its fresh snapshot will actually read.  The stats
+        # epoch folds in the same way: RUNSTATS or recorded cardinality
+        # feedback bumps it, invalidating every cached statement so the
+        # next execution replans against the corrected estimates.  The
         # *warmth* key stays mode-independent — the simulated
         # plan-compile charge is identical in both modes.
-        namespace = f"{self.execution_mode}@{self.catalog.ddl_epoch}"
+        namespace = (
+            f"{self.execution_mode}@{self.catalog.ddl_epoch}"
+            f".{self.catalog.stats_epoch}"
+        )
         cached = self.statement_cache.get(sql, namespace=namespace)
         if cached is not None:
             return cached  # type: ignore[return-value]
@@ -659,6 +739,8 @@ class Database:
                 self.machine.clock.advance(
                     self.machine.costs.fdbs_row_cost * len(rows)
                 )
+            if self.optimizer == "cost":
+                self._ingest_feedback(plan)
         lines = (
             self._runtime_header()
             + [f"Snapshot(epoch={snapshot.epoch})"]
@@ -670,6 +752,41 @@ class Database:
             rowcount=len(lines),
             statement_type="EXPLAIN",
         )
+
+    def _ingest_feedback(self, plan) -> None:
+        """Cardinality feedback from an EXPLAIN ANALYZE execution.
+
+        Every instrumented base-table or remote scan is compared against
+        its planning estimate; a q-error at or past the feedback
+        threshold records the observed cardinality as the table's
+        planning override and bumps the stats epoch, invalidating every
+        cached statement so the next execution replans.  Feedback only
+        refines *existing* RUNSTATS — with no statistics recorded the
+        optimizer gate already falls back to syntactic plans, and
+        feedback must not change that.
+        """
+        from repro.fdbs.optimizer import collect_feedback
+        from repro.fdbs.stats import StatsFeedback
+
+        for table, estimated, observed, error in collect_feedback(plan):
+            with self._join_lock:
+                pct = int(round(error * 100))
+                if pct > self._joins["max_q_error_pct"]:
+                    self._joins["max_q_error_pct"] = pct
+            if error < self.feedback_threshold:
+                continue
+            before = self.catalog.stats_epoch
+            after = self.catalog.record_feedback(
+                StatsFeedback(
+                    table=table,
+                    estimated=estimated,
+                    observed=observed,
+                    q_error=error,
+                )
+            )
+            if after != before:
+                with self._join_lock:
+                    self._joins["plans_invalidated"] += 1
 
     def _execute_runstats(self, statement: ast.Runstats) -> Result:
         """RUNSTATS <table>: scan the table (or nickname) and store row
@@ -760,10 +877,14 @@ class Database:
             enable_index_selection=self.index_selection_enabled,
             execution_mode=execution_mode or self.execution_mode,
             optimizer=optimizer or self.optimizer,
-            statistics=self.catalog.get_statistics,
+            statistics=self.catalog.planning_statistics,
             batch_invoker=self._invoke_table_function_batch,
             enable_zone_maps=self.zone_maps_enabled,
             columnar_note=self._note_chunks,
+            join_strategy=self.join_strategy,
+            adaptive_factor=self.adaptive_blowup_factor,
+            join_counter=self._note_join,
+            adaptive_note=self._note_midquery_fallback,
         )
 
     def _invoke_table_function(

@@ -19,6 +19,7 @@ the simulated cost accounting.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Callable, Iterable, Iterator, Protocol, Sequence
 
 from repro.errors import ExecutionError
@@ -591,7 +592,7 @@ class NestedLoopJoinPlan(Plan):
                 yield left_row + null_right
 
     def _describe(self) -> str:
-        return f"NestedLoopJoin({self.kind})"
+        return f"NestedLoopJoin({self.kind}, join=nlj)"
 
     def _children(self) -> list[Plan]:
         return [self.left, self.right]
@@ -752,10 +753,289 @@ class HashJoinPlan(Plan):
     def _describe(self) -> str:
         keys = ", ".join(self.key_names) if self.key_names else f"{len(self.left_keys)} key(s)"
         suffix = ", residual" if self.residual is not None else ""
-        return f"HashJoin({self.kind}, on {keys}{suffix})"
+        return f"HashJoin({self.kind}, on {keys}{suffix}, join=hash)"
 
     def _children(self) -> list[Plan]:
         return [self.left, self.right]
+
+
+class MergeJoinPlan(Plan):
+    """Sort-merge INNER equi-join, chosen by the cost-based optimizer
+    for comma joins whose inputs RUNSTATS saw in key order.
+
+    The right side is materialised and checked for non-decreasing key
+    order: a presorted input (insertion order, clustered key) skips the
+    explicit sort the cost model priced in; otherwise a *stable* sort
+    groups equal keys while preserving scan order within each group.
+    The probe walks left rows in input order, locating each key's group
+    with a forward-merging cursor while the left keys arrive in
+    non-decreasing order and by bisection otherwise.  Output is
+    therefore left-major with matches in right-scan order —
+    bit-identical rows to the nested-loop and hash plans.  NULL keys
+    never match; mutually unorderable key values degrade to hashed
+    grouping (same rows, the sort saving is simply lost).
+    """
+
+    def __init__(
+        self,
+        left: Plan,
+        right: Plan,
+        left_key: CompiledExpr,
+        right_key_index: int,
+        key_name: str = "",
+        left_key_index: int | None = None,
+        normalise: bool = True,
+        sorted_hint: bool = False,
+    ):
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key_index = right_key_index
+        self.key_name = key_name
+        #: Direct left-row position of the outer key (attached by the
+        #: planner for bare column refs; enables the no-closure probe).
+        self.left_key_index = left_key_index
+        #: False for numeric keys, where ``_join_key_part`` is identity.
+        self.normalise = normalise
+        #: True when RUNSTATS saw the inner key column presorted (the
+        #: cost model then charged no explicit sort).
+        self.sorted_hint = sorted_hint
+        self.schema = left.schema + right.schema
+        self.sorts_applied = 0
+        self.presorted_inputs = 0
+
+    def _prepare(self, ctx: EvalContext):
+        """Materialise the right side into ``(group_keys, group_rows,
+        buckets)``: sorted distinct keys with their row groups, or a
+        plain dict (``buckets``) when the keys defeat ordering."""
+        index = self.right_key_index
+        if self.normalise:
+            pairs = [
+                (_join_key_part(row[index]), row)
+                for row in self.right.rows(ctx)
+                if row[index] is not None
+            ]
+        else:
+            pairs = [
+                (row[index], row)
+                for row in self.right.rows(ctx)
+                if row[index] is not None
+            ]
+        keys = [pair[0] for pair in pairs]
+        comparable = True
+        try:
+            presorted = all(a <= b for a, b in zip(keys, keys[1:]))
+        except TypeError:
+            comparable = False
+            presorted = False
+        if presorted:
+            self.presorted_inputs += 1
+        elif comparable:
+            try:
+                pairs.sort(key=_first_of_pair)  # stable: groups keep scan order
+                self.sorts_applied += 1
+            except TypeError:
+                comparable = False
+        if not comparable:
+            buckets: dict[object, list[tuple]] = {}
+            for key, row in pairs:
+                bucket = buckets.get(key)
+                if bucket is None:
+                    buckets[key] = [row]
+                else:
+                    bucket.append(row)
+            return None, None, buckets
+        group_keys: list = []
+        group_rows: list[list[tuple]] = []
+        for key, row in pairs:
+            if group_keys and key == group_keys[-1]:
+                group_rows[-1].append(row)
+            else:
+                group_keys.append(key)
+                group_rows.append([row])
+        return group_keys, group_rows, None
+
+    def rows(self, ctx: EvalContext) -> Iterator[tuple]:
+        """Yield the operator's result rows (row-protocol probe, so
+        EXPLAIN ANALYZE instrumentation sees the left subtree)."""
+        group_keys, group_rows, buckets = self._prepare(ctx)
+        left_key = self.left_key
+        if buckets is not None:
+            for left_row in self.left.rows(ctx):
+                value = left_key(left_row, ctx)
+                if value is None:
+                    continue
+                for right_row in buckets.get(_join_key_part(value), ()):
+                    yield left_row + right_row
+            return
+        n = len(group_keys)
+        cursor = 0
+        previous: object = None
+        first = True
+        lookup: dict | None = None
+        normalise = self.normalise
+        for left_row in self.left.rows(ctx):
+            key = left_key(left_row, ctx)
+            if key is None:
+                continue
+            if normalise:
+                key = _join_key_part(key)
+            try:
+                if first or key >= previous:
+                    while cursor < n and group_keys[cursor] < key:
+                        cursor += 1
+                else:  # left order regressed: bisect instead of rewind
+                    cursor = bisect_left(group_keys, key)
+                first = False
+                previous = key
+            except TypeError:
+                if lookup is None:
+                    lookup = dict(zip(group_keys, group_rows))
+                for right_row in lookup.get(key, ()):
+                    yield left_row + right_row
+                continue
+            if cursor < n and group_keys[cursor] == key:
+                for right_row in group_rows[cursor]:
+                    yield left_row + right_row
+
+    def batches(self, ctx: EvalContext, size: int = BATCH_SIZE) -> Iterator[list[tuple]]:
+        """Yield chunks by merging left chunks against the grouped right."""
+        group_keys, group_rows, buckets = self._prepare(ctx)
+        left_index = self.left_key_index
+        left_key = self.left_key
+        normalise = self.normalise
+        if buckets is not None:
+            empty: tuple = ()
+            for chunk in self.left.batches(ctx, size):
+                out: list[tuple] = []
+                for left_row in chunk:
+                    value = (
+                        left_row[left_index]
+                        if left_index is not None
+                        else left_key(left_row, ctx)
+                    )
+                    if value is None:
+                        continue
+                    for right_row in buckets.get(_join_key_part(value), empty):
+                        out.append(left_row + right_row)
+                if out:
+                    yield out
+            return
+        n = len(group_keys)
+        cursor = 0
+        previous: object = None
+        first = True
+        lookup: dict | None = None
+        for chunk in self.left.batches(ctx, size):
+            out = []
+            append = out.append
+            for left_row in chunk:
+                key = (
+                    left_row[left_index]
+                    if left_index is not None
+                    else left_key(left_row, ctx)
+                )
+                if key is None:
+                    continue
+                if normalise:
+                    key = _join_key_part(key)
+                try:
+                    if first or key >= previous:
+                        while cursor < n and group_keys[cursor] < key:
+                            cursor += 1
+                    else:  # left order regressed: bisect instead of rewind
+                        cursor = bisect_left(group_keys, key)
+                    first = False
+                    previous = key
+                except TypeError:
+                    # A left key unorderable against the grouped keys can
+                    # still match by equality — probe a lazy dict view.
+                    if lookup is None:
+                        lookup = dict(zip(group_keys, group_rows))
+                    for right_row in lookup.get(key, ()):
+                        append(left_row + right_row)
+                    continue
+                if cursor < n and group_keys[cursor] == key:
+                    for right_row in group_rows[cursor]:
+                        append(left_row + right_row)
+            if out:
+                yield out
+
+    def _describe(self) -> str:
+        order = "presorted" if self.sorted_hint else "sort"
+        return (
+            f"MergeJoin(INNER, on {self.key_name}, join=merge, input={order})"
+        )
+
+    def _children(self) -> list[Plan]:
+        return [self.left, self.right]
+
+
+def _first_of_pair(pair: tuple) -> object:
+    """Sort key for (key, row) pairs — rows themselves never compare."""
+    return pair[0]
+
+
+class IndexNestedLoopJoinPlan(Plan):
+    """INNER equi-join probing the inner table's hash index per outer key.
+
+    Instead of building a transient hash table from a full inner scan,
+    each distinct outer key probes :meth:`Table.version_index_lookup` on
+    the inner join column — the index is built once per table version
+    and shared across statements, so the cost model amortises the build
+    away for repeatedly-joined tables.  Lookups return matches in rid
+    (scan) order, making the output left-major with inner matches in
+    scan order — bit-identical to the nested-loop / hash / merge plans.
+    Numeric key columns only (CHAR keys would need padding-normalised
+    index entries), and the planner never attaches index probes or zone
+    checks to the inner scan: this operator replaces its access path.
+    """
+
+    def __init__(
+        self,
+        left: Plan,
+        scan: TableScanPlan,
+        left_key: CompiledExpr,
+        column: str,
+        key_name: str = "",
+    ):
+        self.left = left
+        self.scan = scan
+        self.left_key = left_key
+        self.column = column
+        self.key_name = key_name
+        self.schema = left.schema + scan.schema
+        self.index_probes = 0
+
+    def rows(self, ctx: EvalContext) -> Iterator[tuple]:
+        """Yield the operator's result rows."""
+        table = self.scan._table
+        version = self.scan._version(ctx)
+        lookup = table.version_index_lookup
+        column = self.column
+        left_key = self.left_key
+        cache: dict[object, list[tuple]] = {}
+        for left_row in self.left.rows(ctx):
+            value = left_key(left_row, ctx)
+            if value is None:
+                continue
+            key = _join_key_part(value)
+            matches = cache.get(key)
+            if matches is None:
+                matches = lookup(version, column, value)
+                cache[key] = matches
+                self.index_probes += 1
+            for right_row in matches:
+                yield left_row + right_row
+
+    def _describe(self) -> str:
+        return (
+            f"IndexNestedLoopJoin({self.scan._name}.{self.column}, "
+            f"on {self.key_name}, join=indexnlj)"
+        )
+
+    def _children(self) -> list[Plan]:
+        return [self.left, self.scan]
 
 
 #: Bind joins fall back to an unbound fetch beyond this many distinct
@@ -807,9 +1087,8 @@ class RemoteBindJoinPlan(Plan):
         items: list[ast.Expression] = [ast.Literal(value) for value in key_values]
         return ast.InList(column, items).render()
 
-    def rows(self, ctx: EvalContext) -> Iterator[tuple]:
-        """Yield the operator's result rows."""
-        left_rows = list(self.left.rows(ctx))
+    def _distinct_keys(self, left_rows: list[tuple], ctx: EvalContext) -> list[object]:
+        """Distinct non-NULL outer key values in first-occurrence order."""
         key_values: list[object] = []
         seen: set = set()
         for left_row in left_rows:
@@ -820,6 +1099,32 @@ class RemoteBindJoinPlan(Plan):
             if normalised not in seen:
                 seen.add(normalised)
                 key_values.append(value)
+        return key_values
+
+    def _emit(
+        self, left_rows: list[tuple], ctx: EvalContext, predicates: list[str]
+    ) -> Iterator[tuple]:
+        """Fetch the (possibly bound) remote side and hash-join it back:
+        outer-major, remote matches in remote-scan order."""
+        buckets: dict[object, list[tuple]] = {}
+        key_index = self.remote_key_index
+        for remote_row in self.scan.fetcher.fetch(ctx, predicates):
+            value = remote_row[key_index]
+            if value is None:
+                continue
+            bucket = buckets.setdefault(_join_key_part(value), [])
+            bucket.append(remote_row)
+        for left_row in left_rows:
+            value = self.left_key(left_row, ctx)
+            if value is None:
+                continue
+            for remote_row in buckets.get(_join_key_part(value), ()):
+                yield left_row + remote_row
+
+    def rows(self, ctx: EvalContext) -> Iterator[tuple]:
+        """Yield the operator's result rows."""
+        left_rows = list(self.left.rows(ctx))
+        key_values = self._distinct_keys(left_rows, ctx)
         if not key_values:
             return  # inner equality over all-NULL outer keys: no matches
         predicates = list(self.scan.pushed_predicates)
@@ -837,26 +1142,82 @@ class RemoteBindJoinPlan(Plan):
             self.unbound_fetches += 1
             if layer is not None:
                 layer.bind_join_fallbacks += 1
-        buckets: dict[object, list[tuple]] = {}
-        key_index = self.remote_key_index
-        for remote_row in self.scan.fetcher.fetch(ctx, predicates):
-            value = remote_row[key_index]
-            if value is None:
-                continue
-            bucket = buckets.setdefault(_join_key_part(value), [])
-            bucket.append(remote_row)
-        for left_row in left_rows:
-            value = self.left_key(left_row, ctx)
-            if value is None:
-                continue
-            for remote_row in buckets.get(_join_key_part(value), ()):
-                yield left_row + remote_row
+        yield from self._emit(left_rows, ctx, predicates)
 
     def _describe(self) -> str:
         return f"BindJoin({self.scan._name}, bind: {self.bind_column})"
 
     def _children(self) -> list[Plan]:
         return [self.left, self.scan]
+
+
+class AdaptiveRemoteJoinPlan(RemoteBindJoinPlan):
+    """Ship-all remote join with a mid-query bind-join escape hatch.
+
+    Emitted (only when the engine's adaptive blowup factor is set) where
+    the cost model *rejected* a bind join — the estimated bound transfer
+    did not beat shipping the whole remote side, or the estimated key
+    count blew the IN-list cap.  Those estimates can be stale, so before
+    paying the full transfer the operator ships one ``SELECT COUNT(*)``
+    probe (a single roundtrip returning one row) against the same pushed
+    predicates.  When the observed build side exceeds the estimate by
+    the configured factor — and the actual distinct keys fit the cap —
+    execution falls back to the bind join mid-query.  Both paths produce
+    identical rows; only the transfer cost differs.
+    """
+
+    def __init__(
+        self,
+        left: Plan,
+        scan: RemoteScanPlan,
+        left_key: CompiledExpr,
+        bind_column: str,
+        remote_key_index: int,
+        est_build: int,
+        blowup_factor: float,
+        max_keys: int = MAX_BIND_KEYS,
+        note: Callable[[], None] | None = None,
+    ):
+        super().__init__(
+            left, scan, left_key, bind_column, remote_key_index, max_keys
+        )
+        self.est_build = est_build
+        self.blowup_factor = blowup_factor
+        self.note = note
+        self.midquery_fallbacks = 0
+        #: Build-side cardinality the COUNT(*) probe observed last run.
+        self.last_probed_build: int | None = None
+
+    def rows(self, ctx: EvalContext) -> Iterator[tuple]:
+        """Yield the operator's result rows."""
+        left_rows = list(self.left.rows(ctx))
+        key_values = self._distinct_keys(left_rows, ctx)
+        if not key_values:
+            return  # inner equality over all-NULL outer keys: no matches
+        predicates = list(self.scan.pushed_predicates)
+        actual_build = self.scan.fetcher.count(ctx, predicates)
+        self.last_probed_build = actual_build
+        if (
+            actual_build > self.est_build * self.blowup_factor
+            and len(key_values) <= self.max_keys
+        ):
+            predicates.append(self._bind_predicate(key_values))
+            self.bound_fetches += 1
+            self.midquery_fallbacks += 1
+            layer = getattr(self.scan.fetcher, "layer", None)
+            if layer is not None:
+                layer.bind_join_count += 1
+            if self.note is not None:
+                self.note()
+        else:
+            self.unbound_fetches += 1
+        yield from self._emit(left_rows, ctx, predicates)
+
+    def _describe(self) -> str:
+        return (
+            f"AdaptiveJoin({self.scan._name}, bind: {self.bind_column}, "
+            f"blowup>{self.blowup_factor:g}x)"
+        )
 
 
 class BatchFunctionInvoker(Protocol):

@@ -1129,6 +1129,23 @@ def hash_join_compatible(a: SqlType | None, b: SqlType | None) -> bool:
     return False
 
 
+def order_join_compatible(a: SqlType | None, b: SqlType | None) -> bool:
+    """True when two equi-join key types can additionally be *ordered*
+    for a sort-merge join with the row-mode comparison semantics.
+
+    A superset check on :func:`hash_join_compatible`: the merge join
+    sorts and bisects normalised key values, so beyond hashability the
+    keys must compare with ``<`` exactly as ``=`` aligns them.  BOOLEAN
+    keys are excluded — they hash fine but carry no useful sort order,
+    and keeping them on the hash path avoids pricing a two-value sort.
+    """
+    if not hash_join_compatible(a, b):
+        return False
+    if a is not None and a.name == "BOOLEAN":
+        return False
+    return True
+
+
 # ---------------------------------------------------------------------------
 # Runtime helpers
 # ---------------------------------------------------------------------------

@@ -232,6 +232,35 @@ class RemoteTableFetcher:
             machine.clock.advance(machine.costs.remote_row_transfer * len(rows))
         return rows
 
+    def count(self, ctx, predicates: list[str] | None = None) -> int:
+        """Ship ``SELECT COUNT(*)`` with the same predicates (costed).
+
+        The adaptive join's cheap build-side probe: one roundtrip and a
+        single transferred row, regardless of the remote cardinality.
+        Profiled sources pay one uncached request plus one row.
+        """
+        sql = f"SELECT COUNT(*) FROM {self.nickname.remote_name}"
+        if predicates:
+            sql += " WHERE " + " AND ".join(predicates)
+        self.last_sql = sql
+        machine = self.layer.database.machine
+        if self.profile is not None:
+            state = self.layer.source_state(self.server_name, self.profile)
+            surcharge = self.profile.filtered_surcharge if predicates else 0.0
+            self._charge_request(machine, state, surcharge)
+            _, rows = self.endpoint.query(sql)
+            state.counters["rows"] += 1
+            state.counters["pages"] += 1
+            if machine is not None:
+                machine.clock.advance(self.profile.per_row)
+        else:
+            if machine is not None:
+                machine.clock.advance(machine.costs.remote_sql_roundtrip)
+            _, rows = self.endpoint.query(sql)
+            if machine is not None:
+                machine.clock.advance(machine.costs.remote_row_transfer)
+        return int(rows[0][0]) if rows else 0
+
     # -- profiled wire model ---------------------------------------------------
 
     def _profiled_fetch(self, sql: str, filtered: bool) -> list[tuple]:

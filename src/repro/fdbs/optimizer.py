@@ -35,6 +35,7 @@ comparison degrades to plain cardinalities.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -48,7 +49,8 @@ from repro.fdbs.executor import (
     Plan,
 )
 from repro.fdbs.pushdown import referenced_qualifiers, split_conjuncts
-from repro.fdbs.stats import TableStats
+from repro.fdbs.stats import TableStats, q_error
+from repro.fdbs.types import is_numeric
 
 #: Output-cardinality guess for a table function (no statistics exist).
 DEFAULT_FUNCTION_ROWS = 10
@@ -75,6 +77,32 @@ class BindRemote:
     """Estimated matching remote rows per outer row (card / ndv)."""
 
 
+#: Local join strategies the cost model prices against each other.
+JOIN_STRATEGIES = ("auto", "hash", "merge", "indexnlj", "nlj")
+
+
+@dataclass
+class LocalJoin:
+    """One local join-strategy decision for a comma-joined base table."""
+
+    conjunct: ast.Expression
+    """The consumed ``outer.col = inner.col`` equi-conjunct (matched by
+    object identity when the planner filters the WHERE clause)."""
+
+    outer_qualifier: str
+    outer_column: str
+    inner_column: str
+    strategy: str
+    """``hash`` | ``merge`` | ``indexnlj`` (``nlj`` means no entry)."""
+
+    est_match_per_key: float
+    """Estimated matching inner rows per outer key (card / ndv)."""
+
+    sorted_hint: bool = False
+    """RUNSTATS saw the inner key column presorted (merge joins skip
+    the explicit sort the cost model would otherwise charge)."""
+
+
 @dataclass
 class Decisions:
     """The optimizer's verdict for one query block."""
@@ -90,6 +118,15 @@ class Decisions:
 
     local_selectivity: float = 1.0
     """Combined selectivity of the conjuncts evaluated locally."""
+
+    local_join: dict[int, LocalJoin] = field(default_factory=dict)
+    """Original index of a comma-joined base table -> join strategy."""
+
+    adaptive_remote: dict[int, BindRemote] = field(default_factory=dict)
+    """Original index -> rejected-bind decision armed with the
+    mid-query escape hatch (only when the engine configures a blowup
+    factor): execution probes the build side's actual cardinality and
+    falls back to the bind join when the estimate was blown."""
 
 
 @dataclass
@@ -118,13 +155,19 @@ def plan_decisions(
     stats_lookup: StatsLookup,
     costs=None,
     federation=None,
+    join_strategy: str = "auto",
+    adaptive_factor: float | None = None,
 ) -> Decisions | None:
     """Analyse one query block; None means full syntactic fallback.
 
     ``federation`` (the database's FederationLayer, when available)
     supplies heterogeneous-source inputs: each nickname's
     :class:`~repro.fdbs.federation.SourceProfile` and whether its
-    ship-all scan is currently cache-resident.
+    ship-all scan is currently cache-resident.  ``join_strategy``
+    either lets the cost model price hash/merge/index-NLJ/NLJ per local
+    comma join (``auto``) or forces one strategy wherever it applies;
+    ``adaptive_factor`` (when set) arms rejected remote bind joins with
+    the mid-query COUNT(*) escape hatch.
     """
     from_items = select.from_items
     if not from_items:
@@ -151,6 +194,14 @@ def plan_decisions(
     bind_udtf = frozenset(
         info.index for info in infos if info.kind == "function" and info.deps
     )
+    local_join = _choose_local_joins(
+        infos, conjuncts, by_alias, position, consumed, join_strategy, catalog
+    )
+    adaptive_remote: dict[int, BindRemote] = {}
+    if adaptive_factor is not None:
+        adaptive_remote = _choose_adaptive_remote(
+            infos, conjuncts, by_alias, position, consumed, bind_remote
+        )
 
     est_scan: dict[int, float] = {}
     for info in infos:
@@ -185,6 +236,8 @@ def plan_decisions(
         bind_udtf=bind_udtf,
         est_scan=est_scan,
         local_selectivity=local,
+        local_join=local_join,
+        adaptive_remote=adaptive_remote,
     )
 
 
@@ -284,7 +337,13 @@ def _analyse_items(
 
 
 def _greedy_order(infos: list[_Item]) -> list[int] | None:
-    """Smallest effective cardinality first, lateral deps respected."""
+    """Smallest effective cardinality first, lateral deps respected.
+
+    Ties break on the upper-cased correlation name (not the FROM-list
+    position): a deterministic, syntax-independent order that keeps
+    EXPLAIN text stable across Python hash seeds and across cosmetic
+    reorderings of equal-cardinality FROM items.
+    """
     order: list[int] = []
     placed: set[str] = set()
     pending = list(infos)
@@ -292,7 +351,7 @@ def _greedy_order(infos: list[_Item]) -> list[int] | None:
         available = [info for info in pending if info.deps <= placed]
         if not available:
             return None  # forward reference: the syntactic path diagnoses it
-        best = min(available, key=lambda info: (info.eff_card, info.index))
+        best = min(available, key=lambda info: (info.eff_card, info.alias))
         order.append(best.index)
         placed.add(best.alias)
         pending.remove(best)
@@ -334,6 +393,161 @@ def _choose_bind_joins(infos, conjuncts, by_alias, position, costs):
             consumed.append(conjunct)
             break
     return bind_remote, consumed
+
+
+def _choose_local_joins(
+    infos, conjuncts, by_alias, position, consumed, join_strategy, catalog
+) -> dict[int, LocalJoin]:
+    """Price a physical join strategy per comma-joined base table.
+
+    For every base table placed after at least one other FROM item, the
+    first unconsumed orientable equi-conjunct joining it to an
+    earlier-placed item is a local-join candidate; the cost model then
+    picks the cheapest of nested-loop, hash, merge (sort charged unless
+    RUNSTATS saw the key presorted) and index nested-loop (numeric keys
+    only).  Winning conjuncts are appended to ``consumed`` in place so
+    they leave the residual WHERE estimate, exactly like bind joins.
+    """
+    local_join: dict[int, LocalJoin] = {}
+    for info in sorted(infos, key=lambda item: position[item.index]):
+        if info.kind != "table" or position[info.index] == 0:
+            continue
+        for conjunct in conjuncts:
+            if any(conjunct is used for used in consumed):
+                continue
+            oriented = _as_bind_conjunct(conjunct, info.alias, by_alias)
+            if oriented is None:
+                continue
+            outer_alias, outer_column, inner_column = oriented
+            outer = by_alias[outer_alias]
+            if position[outer.index] >= position[info.index]:
+                continue  # outer side not materialised yet
+            choice = _pick_local_strategy(
+                info, outer, inner_column, outer_column,
+                position, join_strategy, catalog,
+            )
+            if choice is None:
+                continue
+            strategy, per_key, sorted_hint = choice
+            local_join[info.index] = LocalJoin(
+                conjunct,
+                outer_alias,
+                outer_column,
+                inner_column,
+                strategy,
+                per_key,
+                sorted_hint,
+            )
+            consumed.append(conjunct)
+            break
+    return local_join
+
+
+def _log2(value: float) -> float:
+    return math.log2(value) if value > 1.0 else 0.0
+
+
+def _pick_local_strategy(
+    info, outer, inner_column, outer_column, position, join_strategy, catalog
+):
+    """``(strategy, est_match_per_key, inner_sorted)`` or None (= NLJ).
+
+    Cost formulas (units: rows touched; L = outer effective
+    cardinality, R = inner cardinality, see DESIGN.md):
+
+    * nlj       L x R                      (cross product + filter)
+    * hash      L + 2R                     (build is heavier than probe)
+    * merge     sort(L) + sort(R)          sort(N) = N if presorted
+                                           else N x (1 + log2 N)
+    * indexnlj  L x (1 + R/ndv) + R        (index build amortised;
+                                           numeric key columns only)
+    """
+    if info.stats is None:
+        return None
+    inner_rows = float(info.stats.card)
+    column = info.stats.column(inner_column)
+    ndv = column.ndv if column is not None and column.ndv > 0 else 0
+    per_key = inner_rows / ndv if ndv else inner_rows
+    outer_rows = max(outer.eff_card, 1.0)
+    inner_sorted = bool(column is not None and column.sorted_asc)
+    # The left input preserves the first-placed table's scan order
+    # (every operator above it is left-major), so merge's outer sort is
+    # free only when the outer is the position-0 table and RUNSTATS saw
+    # its key column presorted.
+    outer_stats = outer.stats.column(outer_column) if outer.stats else None
+    outer_sorted = (
+        outer.kind == "table"
+        and position[outer.index] == 0
+        and bool(outer_stats is not None and outer_stats.sorted_asc)
+    )
+    costs = {
+        "nlj": outer_rows * inner_rows,
+        "hash": outer_rows + 2.0 * inner_rows,
+        "merge": (
+            (outer_rows if outer_sorted else outer_rows * (1.0 + _log2(outer_rows)))
+            + (inner_rows if inner_sorted else inner_rows * (1.0 + _log2(inner_rows)))
+        ),
+    }
+    if _numeric_table_column(catalog, info.name, inner_column):
+        costs["indexnlj"] = outer_rows * (1.0 + per_key) + inner_rows
+    if join_strategy != "auto":
+        if join_strategy == "nlj" or join_strategy not in costs:
+            return None  # forced NLJ, or forced indexnlj on non-numeric keys
+        return join_strategy, per_key, inner_sorted
+    best = min(costs, key=lambda name: (costs[name], name))
+    if best == "nlj":
+        return None
+    return best, per_key, inner_sorted
+
+
+def _numeric_table_column(catalog, table_name: str, column_name: str) -> bool:
+    """Whether the base-table column is numeric (index-NLJ eligible —
+    CHAR keys would need padding-normalised index entries)."""
+    if not catalog.has_table(table_name):
+        return False
+    table = catalog.get_table(table_name)
+    target = column_name.upper()
+    for column in table.columns:
+        if column.name.upper() == target:
+            return is_numeric(column.type)
+    return False
+
+
+def _choose_adaptive_remote(
+    infos, conjuncts, by_alias, position, consumed, bind_remote
+) -> dict[int, BindRemote]:
+    """Arm rejected bind joins with the mid-query escape hatch.
+
+    Nicknames where :func:`_choose_bind_joins` found no paying bind
+    conjunct still get their orientation recorded here, so the planner
+    can emit an :class:`~repro.fdbs.executor.AdaptiveRemoteJoinPlan`
+    that probes the actual build-side cardinality before committing to
+    the ship-all fetch.  The conjunct is consumed — the adaptive plan
+    enforces it through its hash probe either way.
+    """
+    adaptive: dict[int, BindRemote] = {}
+    for info in infos:
+        if info.kind != "nickname" or info.index in bind_remote:
+            continue
+        for conjunct in conjuncts:
+            if any(conjunct is used for used in consumed):
+                continue
+            oriented = _as_bind_conjunct(conjunct, info.alias, by_alias)
+            if oriented is None:
+                continue
+            outer_alias, outer_column, bind_column = oriented
+            outer = by_alias[outer_alias]
+            if position[outer.index] >= position[info.index]:
+                continue  # outer side not materialised yet
+            column = info.stats.column(bind_column) if info.stats else None
+            ndv = column.ndv if column is not None and column.ndv > 0 else 0
+            per_key = info.stats.card / ndv if ndv else float(info.stats.card)
+            adaptive[info.index] = BindRemote(
+                conjunct, outer_alias, outer_column, bind_column, per_key
+            )
+            consumed.append(conjunct)
+            break
+    return adaptive
 
 
 def _has_single_alias_conjunct(conjuncts, alias: str) -> bool:
@@ -539,6 +753,44 @@ def instrument_plan(plan: Plan, _seen: "set[int] | None" = None) -> None:
     plan.rows = counted  # type: ignore[method-assign]
     for child in plan._children():  # noqa: SLF001 - same package
         instrument_plan(child, _seen)
+
+
+def collect_feedback(plan: Plan) -> list[tuple[str, int, int, float]]:
+    """``(table, est_rows, actual_rows, q_error)`` per executed scan.
+
+    Cardinality-feedback ingestion after an instrumented run: only
+    *clean* full scans carry evidence — a scan with an index probe or
+    zone checks outputs a filtered subset, a scan inside a bind join
+    never executes (``actual_rows`` stays 0), and a zero-row
+    observation is unbounded in q-error — all are skipped.
+    """
+    from repro.fdbs.executor import RemoteScanPlan, TableScanPlan
+
+    observations: list[tuple[str, int, int, float]] = []
+    seen: set[int] = set()
+
+    def walk(node: Plan) -> None:
+        if id(node) in seen:
+            return
+        seen.add(id(node))
+        est, actual = node.est_rows, node.actual_rows
+        if est is not None and actual:
+            if isinstance(node, TableScanPlan):
+                if node.index_probe is None and not node.prune_checks:
+                    name = getattr(node._table, "name", node._name)
+                    observations.append(
+                        (name, est, actual, q_error(float(est), float(actual)))
+                    )
+            elif isinstance(node, RemoteScanPlan):
+                name = node.fetcher.nickname.name
+                observations.append(
+                    (name, est, actual, q_error(float(est), float(actual)))
+                )
+        for child in node._children():  # noqa: SLF001 - same package
+            walk(child)
+
+    walk(plan)
+    return observations
 
 
 def _column_refs(expr: ast.Expression):

@@ -25,6 +25,7 @@ from repro.fdbs import ast
 from repro.fdbs.catalog import Catalog, ColumnDef, NicknameDef
 from repro.fdbs.executor import (
     MAX_BIND_KEYS,
+    AdaptiveRemoteJoinPlan,
     AggregatePlan,
     AggregateSpec,
     CrossApplyPlan,
@@ -33,7 +34,9 @@ from repro.fdbs.executor import (
     FilterPlan,
     FunctionInvoker,
     HashJoinPlan,
+    IndexNestedLoopJoinPlan,
     LimitPlan,
+    MergeJoinPlan,
     NestedLoopJoinPlan,
     Plan,
     ProjectPlan,
@@ -60,8 +63,9 @@ from repro.fdbs.expr import (
     contains_aggregate,
     hash_join_compatible,
     is_aggregate_call,
+    order_join_compatible,
 )
-from repro.fdbs.types import implicitly_castable
+from repro.fdbs.types import implicitly_castable, is_numeric
 
 RemoteFetcher = Callable[
     [NicknameDef], tuple[Callable[[EvalContext], list[tuple]], list[ColumnDef]]
@@ -88,6 +92,10 @@ class Planner:
         batch_invoker=None,
         enable_zone_maps: bool = True,
         columnar_note: Callable[[int, int], None] | None = None,
+        join_strategy: str = "auto",
+        adaptive_factor: float | None = None,
+        join_counter: Callable[[str], None] | None = None,
+        adaptive_note: Callable[[], None] | None = None,
     ):
         self.catalog = catalog
         self.invoker = invoker
@@ -121,6 +129,18 @@ class Planner:
         #: Callback ``(chunks_scanned, chunks_pruned)`` wired into
         #: columnar table scans for the database's runtime counters.
         self.columnar_note = columnar_note
+        #: Local join-strategy selection for cost-mode comma joins:
+        #: "auto" prices the repertoire, a named strategy forces it.
+        self.join_strategy = join_strategy
+        #: Mid-query escape hatch blowup factor (None disables the
+        #: adaptive COUNT(*) probe on rejected remote bind joins).
+        self.adaptive_factor = adaptive_factor
+        #: Callback ``(strategy)`` counting built join operators into
+        #: the database's runtime statistics.
+        self.join_counter = join_counter
+        #: Callback wired into adaptive joins: fires when the mid-query
+        #: fallback from ship-all to bind join actually triggers.
+        self.adaptive_note = adaptive_note
         self._view_stack: list[str] = []
 
     def _batch(self, compiler: ExpressionCompiler, expr: ast.Expression) -> BatchFn | None:
@@ -176,6 +196,8 @@ class Planner:
                     if hasattr(self.pushdown_counter, "profile_for")
                     else None
                 ),
+                join_strategy=self.join_strategy,
+                adaptive_factor=self.adaptive_factor,
             )
         plan, layout, remote_candidates, local_scans, consumed, prunable = (
             self._plan_from(select, decisions)
@@ -454,9 +476,55 @@ class Planner:
                     bind_plan = self._try_remote_bind(plan, layout, scan, spec)
                     if bind_plan is not None:
                         bind_built = (scan, bind_plan)
+            local_spec = (
+                decisions.local_join.get(original_index)
+                if decisions is not None
+                else None
+            )
+            local_built = None
+            if (
+                bind_built is None
+                and local_spec is not None
+                and isinstance(item, ast.TableRef)
+                and self.catalog.has_table(item.name)
+            ):
+                scan = self._plan_table_ref(item)
+                if isinstance(scan, TableScanPlan):
+                    join_plan = self._try_local_join(plan, layout, scan, local_spec)
+                    if join_plan is not None:
+                        local_built = (scan, join_plan)
+            adaptive_spec = (
+                decisions.adaptive_remote.get(original_index)
+                if decisions is not None
+                else None
+            )
+            adaptive_built = None
+            if (
+                bind_built is None
+                and local_built is None
+                and adaptive_spec is not None
+                and self.adaptive_factor is not None
+                and isinstance(item, ast.TableRef)
+                and self.catalog.has_nickname(item.name)
+            ):
+                scan = self._plan_table_ref(item)
+                if isinstance(scan, RemoteScanPlan):
+                    est_build = _round_est(decisions.est_scan.get(original_index))
+                    if est_build is not None:
+                        adaptive_plan = self._try_adaptive_bind(
+                            plan, layout, scan, adaptive_spec, est_build
+                        )
+                        if adaptive_plan is not None:
+                            adaptive_built = (scan, adaptive_plan)
             if bind_built is not None:
                 right = None
                 right_schema = bind_built[0].schema
+            elif local_built is not None:
+                right = None
+                right_schema = local_built[0].schema
+            elif adaptive_built is not None:
+                right = None
+                right_schema = adaptive_built[0].schema
             else:
                 right, right_schema = self._plan_from_item(
                     item, layout, exec_items, position, prunable
@@ -481,6 +549,40 @@ class Planner:
                     running_est *= spec.est_match_per_key
                     bind_plan.est_rows = _round_est(running_est)
                 plan = bind_plan
+                layout = layout.extend(right_schema)
+                continue
+            if local_built is not None:
+                scan, join_plan = local_built
+                if local_spec.strategy in ("hash", "merge"):
+                    # Hash and merge joins pull the inner side through
+                    # ``scan.rows()``, so index probes and zone checks
+                    # still apply.  IndexNLJ bypasses the scan protocol
+                    # entirely (it probes the hash index per outer key),
+                    # so its scan must stay unregistered.
+                    for alias in alias_names:
+                        local_scans[alias] = scan
+                    self._register_prunable(prunable, scan)
+                consumed.append(local_spec.conjunct)
+                item_est = decisions.est_scan.get(original_index)
+                scan.est_rows = _round_est(item_est)
+                if running_est is not None:
+                    running_est *= local_spec.est_match_per_key
+                    join_plan.est_rows = _round_est(running_est)
+                self._count_join(local_spec.strategy)
+                plan = join_plan
+                layout = layout.extend(right_schema)
+                continue
+            if adaptive_built is not None:
+                scan, adaptive_plan = adaptive_built
+                for alias in alias_names:
+                    remote_candidates[alias] = scan
+                consumed.append(adaptive_spec.conjunct)
+                item_est = decisions.est_scan.get(original_index)
+                scan.est_rows = _round_est(item_est)
+                if running_est is not None:
+                    running_est *= adaptive_spec.est_match_per_key
+                    adaptive_plan.est_rows = _round_est(running_est)
+                plan = adaptive_plan
                 layout = layout.extend(right_schema)
                 continue
             # Only top-level (comma) remote scans are pushdown targets;
@@ -613,6 +715,125 @@ class Planner:
         return RemoteBindJoinPlan(
             left, scan, left_key, spec.bind_column, remote_index,
             max_keys=max_keys,
+        )
+
+    def _count_join(self, strategy: str) -> None:
+        if self.join_counter is not None:
+            self.join_counter(strategy)
+
+    def _try_local_join(
+        self,
+        left: Plan,
+        layout: RowLayout,
+        scan: TableScanPlan,
+        spec,
+    ) -> Plan | None:
+        """Build the cost-selected local join operator (hash, merge or
+        index nested-loop) when the outer key compiles against the
+        running layout and the key types are compatible with the chosen
+        strategy; None falls back to the syntactic cross-apply fold."""
+        inner_index = None
+        for index, slot in enumerate(scan.schema):
+            if slot.name.upper() == spec.inner_column.upper():
+                inner_index = index
+                break
+        if inner_index is None:
+            return None
+        key_ast = ast.ColumnRef(spec.outer_qualifier, spec.outer_column)
+        left_compiler = self._compiler(layout)
+        try:
+            left_key = left_compiler.compile(key_ast)
+        except (PlanError, TypeError_):
+            return None
+        inner_type = scan.schema[inner_index].type
+        if not hash_join_compatible(left_key.type, inner_type):
+            return None
+        key_name = spec.conjunct.render()
+        numeric = is_numeric(left_key.type) and is_numeric(inner_type)
+        if spec.strategy == "indexnlj":
+            if not numeric:
+                return None
+            return IndexNestedLoopJoinPlan(
+                left, scan, left_key, scan.schema[inner_index].name, key_name
+            )
+        if spec.strategy == "merge":
+            if not order_join_compatible(left_key.type, inner_type):
+                return None
+            left_pos = None
+            try:
+                resolved = layout.resolve(spec.outer_qualifier, spec.outer_column)
+                if resolved is not None:
+                    left_pos = resolved[0]
+            except PlanError:
+                left_pos = None
+            return MergeJoinPlan(
+                left,
+                scan,
+                left_key,
+                inner_index,
+                key_name,
+                left_key_index=left_pos,
+                normalise=not numeric,
+                sorted_hint=spec.sorted_hint,
+            )
+        if spec.strategy != "hash":
+            return None
+        inner_slot = scan.schema[inner_index]
+        try:
+            right_key = self._compiler(RowLayout(scan.schema)).compile(
+                ast.ColumnRef(inner_slot.alias, inner_slot.name)
+            )
+        except (PlanError, TypeError_):
+            return None
+        plan = HashJoinPlan(
+            left, scan, "INNER", [left_key], [right_key], None, [key_name]
+        )
+        plan.batch_left_keys = [BatchCompiler(left_compiler).compile(key_ast)]
+        if self.execution_mode == "columnar":
+            plan.columnar_left_keys = [
+                ColumnarCompiler(left_compiler).compile(key_ast)
+            ]
+        return plan
+
+    def _try_adaptive_bind(
+        self,
+        left: Plan,
+        layout: RowLayout,
+        scan: RemoteScanPlan,
+        spec,
+        est_build: int,
+    ) -> AdaptiveRemoteJoinPlan | None:
+        """Build the ship-all remote join with a mid-query bind-join
+        escape hatch; None keeps the plain static remote scan."""
+        remote_index = None
+        for index, slot in enumerate(scan.schema):
+            if slot.name.upper() == spec.bind_column.upper():
+                remote_index = index
+                break
+        if remote_index is None:
+            return None
+        try:
+            left_key = self._compiler(layout).compile(
+                ast.ColumnRef(spec.outer_qualifier, spec.outer_column)
+            )
+        except (PlanError, TypeError_):
+            return None
+        if not hash_join_compatible(left_key.type, scan.schema[remote_index].type):
+            return None
+        profile = getattr(scan.fetcher, "profile", None)
+        max_keys = MAX_BIND_KEYS
+        if profile is not None and profile.max_bind_keys is not None:
+            max_keys = profile.max_bind_keys
+        return AdaptiveRemoteJoinPlan(
+            left,
+            scan,
+            left_key,
+            spec.bind_column,
+            remote_index,
+            est_build=est_build,
+            blowup_factor=self.adaptive_factor,
+            max_keys=max_keys,
+            note=self.adaptive_note,
         )
 
     def _select_indexes(
@@ -794,7 +1015,9 @@ class Planner:
         ):
             hash_join = self._try_hash_join(left, right, item)
             if hash_join is not None:
+                self._count_join("hash")
                 return hash_join
+        self._count_join("nlj")
         return NestedLoopJoinPlan(left, right, item.kind, predicate)
 
     def _try_hash_join(self, left: Plan, right: Plan, item: ast.Join) -> Plan | None:

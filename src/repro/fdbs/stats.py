@@ -8,14 +8,17 @@ collected explicitly: ``RUNSTATS <table>`` (or the PostgreSQL-flavoured
 
 * the table cardinality (row count),
 * per column: the number of distinct non-NULL values, the NULL count,
-  and the minimum / maximum value (when the column's values are
-  mutually comparable).
+  the minimum / maximum value (when the column's values are mutually
+  comparable), and whether the column arrived in non-decreasing
+  NULL-free order — the *sorted* flag the merge-join costing uses to
+  skip its explicit sort.
 
 Statistics live in the catalog (:meth:`~repro.fdbs.catalog.Catalog.
 set_statistics`), are exposed through the ``SYSCAT_STATS`` view, and
 feed the estimator in :mod:`repro.fdbs.optimizer`.  They are a snapshot:
 DML after RUNSTATS leaves them stale, exactly as in the modelled
-systems.
+systems — until EXPLAIN ANALYZE observes the drift and records a
+:class:`StatsFeedback` override (cardinality feedback) in the catalog.
 """
 
 from __future__ import annotations
@@ -37,6 +40,11 @@ class ColumnStats:
     null_count: int
     min_value: object | None = None
     max_value: object | None = None
+
+    sorted_asc: bool = False
+    """True when the column's values arrived in non-decreasing order
+    with no NULLs — i.e. a scan already produces merge-join input order
+    and the explicit sort can be skipped."""
 
 
 @dataclass
@@ -86,11 +94,21 @@ def collect_stats(
         low: object | None = None
         high: object | None = None
         comparable = True
+        ordered = True
+        previous: object | None = None
         for row in rows:
             value = row[index]
             if value is None:
                 nulls += 1
+                ordered = False  # NULL breaks the sorted-scan guarantee
                 continue
+            if ordered:
+                try:
+                    if previous is not None and value < previous:
+                        ordered = False
+                    previous = value
+                except TypeError:  # unorderable mix: not sorted
+                    ordered = False
             try:
                 distinct.add(value)
             except TypeError:  # unhashable value: count conservatively
@@ -112,5 +130,36 @@ def collect_stats(
             null_count=nulls,
             min_value=low,
             max_value=high,
+            sorted_asc=ordered and len(rows) > 0,
         )
     return stats
+
+
+@dataclass(frozen=True)
+class StatsFeedback:
+    """One cardinality-feedback observation recorded by EXPLAIN ANALYZE.
+
+    When a scan's observed output drifts past the engine's q-error
+    threshold, the catalog stores this override under the table's name
+    and bumps its *stats epoch*: cached plans in the old namespace are
+    abandoned, and the next planning pass sees the observed cardinality
+    in place of the stale RUNSTATS one (RUNSTATS re-collection clears
+    the override).
+    """
+
+    table: str
+    estimated: int
+    observed: int
+    q_error: float
+
+
+def q_error(estimated: float, observed: float) -> float:
+    """The symmetric estimation-error quotient max(est/act, act/est).
+
+    Degenerate observations (either side non-positive) report no error:
+    a scan that was never executed — or produced zero rows — carries no
+    usable evidence, because q-error against zero is unbounded.
+    """
+    if estimated <= 0 or observed <= 0:
+        return 1.0
+    return max(estimated / observed, observed / estimated)

@@ -40,13 +40,18 @@ class Outcome:
     elapsed: float
 
 
-def build_battery_scenario(architecture, mode, optimizer, data=None):
+def build_battery_scenario(
+    architecture, mode, optimizer, data=None, join_strategy="auto"
+):
     """A heterogeneous scenario preloaded with the battery tables.
 
     RUNSTATS runs over every battery table and nickname so the cost
     optimizer sees real cardinalities (and, deliberately, so the
     cache-fronted source's response cache is warm — RUNSTATS issues the
     exact full-scan SQL the planner later prices as a cache hit).
+    ``join_strategy`` forces one local join operator for the whole
+    corpus (the join-strategy parity sweep); ``"auto"`` keeps the
+    cost-based pick.
     """
     scenario = build_scenario(
         architecture, data=data, optimizer=optimizer, heterogeneous=True
@@ -71,6 +76,8 @@ def build_battery_scenario(architecture, mode, optimizer, data=None):
     ):
         fdbs.execute(f"RUNSTATS ON TABLE {table}")
     fdbs.set_execution_mode(mode)
+    if join_strategy != "auto":
+        fdbs.set_join_strategy(join_strategy)
     return scenario
 
 
@@ -80,9 +87,12 @@ def run_combo(
     optimizer: str,
     corpus: list[BatteryQuery],
     data=None,
+    join_strategy: str = "auto",
 ) -> list[Outcome]:
     """Run the corpus under one combination; shape-check as we go."""
-    scenario = build_battery_scenario(architecture, mode, optimizer, data=data)
+    scenario = build_battery_scenario(
+        architecture, mode, optimizer, data=data, join_strategy=join_strategy
+    )
     fdbs = scenario.server.fdbs
     server = scenario.server
     outcomes: list[Outcome] = []

@@ -64,15 +64,24 @@ def corpus():
     return _CORPUS
 
 
-def combo(architecture, mode, optimizer):
-    """Outcomes for one combination, computed once per test session."""
+def data():
     global _DATA
-    key = (architecture, mode, optimizer)
+    if _DATA is None:
+        _DATA = generate_enterprise_data()
+    return _DATA
+
+
+def combo(architecture, mode, optimizer, join_strategy="auto"):
+    """Outcomes for one combination, computed once per test session."""
+    key = (architecture, mode, optimizer, join_strategy)
     if key not in _OUTCOMES:
-        if _DATA is None:
-            _DATA = generate_enterprise_data()
         _OUTCOMES[key] = run_combo(
-            architecture, mode, optimizer, corpus(), data=_DATA
+            architecture,
+            mode,
+            optimizer,
+            corpus(),
+            data=data(),
+            join_strategy=join_strategy,
         )
     return _OUTCOMES[key]
 
@@ -204,6 +213,28 @@ class TestOptimizerParity:
             ), (
                 f"local time diverges ({cost[i].elapsed} != "
                 f"{syntactic[i].elapsed}): {query.sql}"
+            )
+
+
+class TestJoinStrategyParity:
+    """Forced local join strategies (hash / merge / indexnlj / nlj)
+    must be invisible in the battery: bit-identical rows *and*
+    bit-identical simulated times against the cost optimizer's own
+    pick, for every corpus statement.  Local join operators charge no
+    simulated time of their own — identical rows therefore imply
+    identical clocks, and any drift is a real operator bug."""
+
+    @pytest.mark.parametrize("strategy", ["hash", "merge", "indexnlj", "nlj"])
+    def test_rows_and_time_bit_identical_across_strategies(self, strategy):
+        base = combo(ARCHITECTURES[0], "row", "cost")
+        forced = combo(ARCHITECTURES[0], "row", "cost", join_strategy=strategy)
+        for i, query in enumerate(corpus()):
+            assert forced[i].rows == base[i].rows, (
+                f"[{strategy}] rows diverge: {query.sql}"
+            )
+            assert forced[i].elapsed == base[i].elapsed, (
+                f"[{strategy}] time diverges "
+                f"({forced[i].elapsed} != {base[i].elapsed}): {query.sql}"
             )
 
 

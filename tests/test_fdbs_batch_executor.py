@@ -70,26 +70,26 @@ class TestExplainOutput:
     def test_batch_equi_join_uses_hash_join(self):
         db = make_join_db("batch")
         text = db.explain("SELECT * FROM l JOIN r ON l.a = r.b")
-        assert "HashJoin(INNER, on (l.a = r.b))" in text
+        assert "HashJoin(INNER, on (l.a = r.b), join=hash)" in text
         assert "NestedLoopJoin" not in text
 
     def test_row_mode_keeps_nested_loop(self):
         db = make_join_db("row")
         text = db.explain("SELECT * FROM l JOIN r ON l.a = r.b")
-        assert "NestedLoopJoin(INNER)" in text
+        assert "NestedLoopJoin(INNER, join=nlj)" in text
         assert "HashJoin" not in text
 
     def test_non_equi_join_falls_back_to_nlj(self):
         db = make_join_db("batch")
         text = db.explain("SELECT * FROM l JOIN r ON l.a < r.b")
-        assert "NestedLoopJoin(INNER)" in text
+        assert "NestedLoopJoin(INNER, join=nlj)" in text
 
     def test_residual_conjunct_marked(self):
         db = make_join_db("batch")
         text = db.explain(
             "SELECT * FROM l JOIN r ON l.a = r.b AND l.a + r.b > 3"
         )
-        assert "HashJoin(INNER, on (l.a = r.b), residual)" in text
+        assert "HashJoin(INNER, on (l.a = r.b), residual, join=hash)" in text
 
     def test_left_outer_equi_join_hashes(self):
         db = make_join_db("batch")

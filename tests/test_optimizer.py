@@ -197,6 +197,27 @@ class TestReordering:
         assert cost.index("TableScan(small)") < cost.index("TableScan(big)")
         assert db.execute(sql).rows == baseline
 
+    def test_equal_cardinality_ties_break_on_alias_name(self):
+        """Equal effective cardinalities order alphabetically by alias,
+        pinning the greedy order against dict/hash-seed accidents."""
+        db = Database("tie")
+        db.execute("CREATE TABLE zeta (k INT)")
+        db.execute("CREATE TABLE alpha (k INT)")
+        for index in range(5):
+            db.execute("INSERT INTO zeta VALUES (?)", params=[index])
+            db.execute("INSERT INTO alpha VALUES (?)", params=[index])
+        db.execute("RUNSTATS zeta")
+        db.execute("RUNSTATS alpha")
+        select = parse_statement(
+            "SELECT z.k FROM zeta AS z, alpha AS a WHERE z.k = a.k"
+        )
+        decisions = plan_decisions(
+            select, db.catalog, db.catalog.get_statistics
+        )
+        # Both tables have 5 rows; alias "A" sorts before alias "Z",
+        # so alpha (written second) is promoted to the outer position.
+        assert decisions.order == [1, 0]
+
     def test_lateral_dependency_is_respected(self):
         local, _ = federated_pair()
         collect_runstats(local)

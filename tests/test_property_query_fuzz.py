@@ -31,12 +31,21 @@ def db(request):
     values = [(i, i % 3, f"s{i % 4}") for i in range(12)] + [(99, None, None)]
     for row in values:
         database.execute("INSERT INTO t VALUES (?, ?, ?)", params=list(row))
+    # Comma-join partner for the join-strategy sweep (its key column is
+    # named ``k`` so the single-table predicates stay unambiguous).
+    database.execute("CREATE TABLE u (k INT, d VARCHAR(5))")
+    for index in range(8):
+        database.execute(
+            "INSERT INTO u VALUES (?, ?)", params=[index % 4, f"d{index}"]
+        )
+    database.execute("INSERT INTO u VALUES (?, ?)", params=[None, "dnull"])
     database.register_external_function(
         make_external_function(
             "Twice", [("x", INTEGER)], [("y", INTEGER)], lambda x: (x or 0) * 2
         )
     )
     database.execute("RUNSTATS ON TABLE t")
+    database.execute("RUNSTATS ON TABLE u")
     database.set_optimizer(optimizer)
     return database
 
@@ -116,6 +125,24 @@ def test_lateral_function_preserves_cardinality(db, predicate):
         f"SELECT r.y FROM t, TABLE (Twice(a)) AS r WHERE {predicate}"
     ).rows
     assert len(applied) == len(plain)
+
+
+@settings(max_examples=40, deadline=None)
+@given(predicate=predicates)
+def test_join_strategies_produce_identical_rows(db, predicate):
+    """Every forced local join strategy returns the same rows as the
+    default plan for a comma equi-join, whatever the WHERE clause."""
+    sql = (
+        "SELECT a, b, u.d FROM t, u "
+        f"WHERE b = u.k AND ({predicate}) ORDER BY a, u.d"
+    )
+    baseline = db.execute(sql).rows
+    try:
+        for strategy in ("hash", "merge", "indexnlj", "nlj"):
+            db.set_join_strategy(strategy)
+            assert db.execute(sql).rows == baseline
+    finally:
+        db.set_join_strategy("auto")
 
 
 @settings(max_examples=40, deadline=None)

@@ -41,6 +41,7 @@ class TestSyscatView:
             "faults",
             "mvcc",
             "columnar",
+            "joins",
         }
 
     def test_view_reflects_live_counters(self, pooled_scenario):
@@ -65,7 +66,12 @@ class TestSyscatView:
         rows = db.execute(
             "SELECT DISTINCT component FROM SYSCAT_RUNTIME_STATS"
         ).rows
-        assert sorted(rows) == [("columnar",), ("mvcc",), ("statement_cache",)]
+        assert sorted(rows) == [
+            ("columnar",),
+            ("joins",),
+            ("mvcc",),
+            ("statement_cache",),
+        ]
 
 
 class TestShellStats:
